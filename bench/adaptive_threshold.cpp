@@ -1,0 +1,96 @@
+// Ablation: online threshold adaptation across trading rounds (the
+// Section 8 "find the optimal threshold" future work, without knowing the
+// value distribution in advance).
+//
+// A TPD auctioneer starts with a badly wrong threshold, observes each
+// round's declared book (sunk information — one-shot bidders cannot
+// profit by distorting it), and updates via the clearing-midpoint policy.
+// Compared against (a) the oracle fixed threshold and (b) the stubborn
+// initial threshold, on a market whose value distribution SHIFTS halfway
+// through the day.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "core/surplus.h"
+#include "protocols/tpd.h"
+#include "sim/adaptive_threshold.h"
+#include "sim/generators.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  constexpr std::size_t kRounds = 120;
+  constexpr std::size_t kPerSide = 100;
+
+  // Regime 1 (rounds 0-59): values U[0,100] (optimum r = 50).
+  // Regime 2 (rounds 60-119): values U[40,140] (optimum r = 90).
+  const ValueDistribution regime1{money(0), money(100), ValueDomain{}};
+  const ValueDistribution regime2{money(40), money(140), ValueDomain{}};
+
+  AdaptiveThresholdPolicy policy(money(15), 0.3);  // starts far off
+  Rng rng(0xada9);
+
+  RunningStats adaptive_ratio;
+  RunningStats stubborn_ratio;
+  RunningStats oracle_ratio;
+  TextTable trace({"round", "adaptive r", "ratio adaptive", "ratio stubborn",
+                   "ratio oracle"});
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const bool second_regime = round >= kRounds / 2;
+    const ValueDistribution& values = second_regime ? regime2 : regime1;
+    const Money oracle = second_regime ? money(90) : money(50);
+    const InstanceGenerator gen =
+        fixed_count_generator(kPerSide, kPerSide, values);
+    const SingleUnitInstance instance = gen(rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+
+    Rng pareto_rng = rng.split();
+    const SortedBook sorted(market.book, pareto_rng);
+    const double pareto = efficient_surplus(sorted);
+
+    auto ratio_for = [&](Money threshold) {
+      Rng clear_rng = rng.split();
+      const Outcome outcome =
+          TpdProtocol(threshold).clear(market.book, clear_rng);
+      const SurplusReport surplus = realized_surplus(outcome, market.truth);
+      return pareto > 0.0 ? surplus.total / pareto : 1.0;
+    };
+
+    const double adaptive = ratio_for(policy.current());
+    const double stubborn = ratio_for(money(15));
+    const double oracle_r = ratio_for(oracle);
+    adaptive_ratio.add(adaptive);
+    stubborn_ratio.add(stubborn);
+    oracle_ratio.add(oracle_r);
+
+    if (round % 20 == 0 || round == kRounds / 2 || round + 1 == kRounds) {
+      trace.add_row({std::to_string(round),
+                     format_fixed(policy.current().to_double(), 1),
+                     format_fixed(100.0 * adaptive, 1) + "%",
+                     format_fixed(100.0 * stubborn, 1) + "%",
+                     format_fixed(100.0 * oracle_r, 1) + "%"});
+    }
+
+    // Learn from the completed round (declared == true values: truthful
+    // bidding is dominant under TPD regardless of r).
+    policy.observe(sorted);
+  }
+
+  std::cout << "== Adaptive threshold across a regime shift "
+               "(U[0,100] -> U[40,140] at round 60, n=m=100) ==\n";
+  std::cout << trace << '\n';
+  TextTable summary({"policy", "mean efficiency over the day"});
+  summary.add_row({"adaptive (starts at 15)",
+                   format_fixed(100.0 * adaptive_ratio.mean(), 2) + "%"});
+  summary.add_row({"stubborn r = 15",
+                   format_fixed(100.0 * stubborn_ratio.mean(), 2) + "%"});
+  summary.add_row({"per-regime oracle",
+                   format_fixed(100.0 * oracle_ratio.mean(), 2) + "%"});
+  std::cout << summary
+            << "\nThe adaptive auctioneer recovers from a bad initial "
+               "guess and re-converges after the shift, approaching the "
+               "oracle without ever knowing the distribution.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Each bench prints the paper's reported numbers next to the measured
+// ones so the reproduction quality is visible at a glance; EXPERIMENTS.md
+// records a captured run.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+namespace fnda::bench {
+
+/// Paper row for Tables 1/2: surplus and (ratio) for four columns.
+struct PaperRow {
+  int size;  // n=m for Table 1, N for Table 2
+  double tpd, tpd_ratio;
+  double tpd_ex, tpd_ex_ratio;
+  double pmd, pmd_ratio;
+  double pmd_ex, pmd_ex_ratio;
+};
+
+inline std::string measured_cell(const ComparisonResult& result,
+                                 const std::string& name, bool except) {
+  const ProtocolSummary& summary = result.summary(name);
+  const double value =
+      except ? summary.except_auctioneer.mean() : summary.total.mean();
+  const double ratio = except ? result.ratio_except_auctioneer(name)
+                              : result.ratio_total(name);
+  return format_with_ratio(value, ratio);
+}
+
+inline std::string paper_cell(double value, double ratio_percent) {
+  return format_fixed(value, 1) + " (" + format_fixed(ratio_percent, 1) +
+         "%)";
+}
+
+/// Emits one measured-vs-paper block for a Table 1/2 style experiment.
+inline void print_surplus_table(const std::string& title,
+                                const std::string& size_label,
+                                const std::vector<PaperRow>& paper,
+                                const std::vector<ComparisonResult>& results) {
+  TextTable table({size_label, "TPD", "TPD ex-auct", "PMD", "PMD ex-auct",
+                   "source"});
+  for (std::size_t row = 0; row < paper.size(); ++row) {
+    const PaperRow& p = paper[row];
+    const ComparisonResult& r = results[row];
+    table.add_row({std::to_string(p.size),
+                   measured_cell(r, "tpd", false),
+                   measured_cell(r, "tpd", true),
+                   measured_cell(r, "pmd", false),
+                   measured_cell(r, "pmd", true), "measured"});
+    table.add_row({std::to_string(p.size), paper_cell(p.tpd, p.tpd_ratio),
+                   paper_cell(p.tpd_ex, p.tpd_ex_ratio),
+                   paper_cell(p.pmd, p.pmd_ratio),
+                   paper_cell(p.pmd_ex, p.pmd_ex_ratio), "paper"});
+  }
+  std::cout << "== " << title << " ==\n" << table << '\n';
+}
+
+}  // namespace fnda::bench

@@ -1,0 +1,106 @@
+// The Myerson-Satterthwaite foundation (paper Section 2, ref [6]),
+// mechanized.
+//
+// For two-point bilateral settings this bench decides — by exact linear
+// feasibility over the mechanism's transfers — whether an efficient,
+// dominant-strategy IC, ex-post IR mechanism exists, with and without
+// budget balance, as the supports slide from disjoint to overlapping.
+// It then shows the escape hatch the paper generalizes: the posted-price
+// mechanism, which is exactly TPD with one buyer and one seller, and its
+// efficiency cost.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "core/instance.h"
+#include "core/surplus.h"
+#include "mechanism/bilateral.h"
+#include "protocols/tpd.h"
+#include "sim/table.h"
+
+namespace {
+
+using namespace fnda;
+
+void impossibility_grid() {
+  std::cout << "== Existence of an efficient + DSIC + ex-post-IR "
+               "mechanism (buyer {g, g+2}, seller {0, 2}, uniform) ==\n";
+  TextTable table({"gap g", "supports", "budget balanced", "deficit allowed",
+                   "verdict"});
+  for (double g : {3.0, 2.5, 2.0, 1.5, 1.0, 0.5, 0.0}) {
+    BilateralSetting setting;
+    setting.buyer_types = {{money(g), 0.5}, {money(g + 2), 0.5}};
+    setting.seller_types = {{money(0), 0.5}, {money(2), 0.5}};
+    const bool overlapping = g < 2.0;
+
+    const FeasibilityReport balanced = check_efficient_mechanism_exists(
+        setting, MechanismRequirements{/*budget_balanced=*/true});
+    MechanismRequirements subsidised;
+    subsidised.budget_balanced = false;
+    const FeasibilityReport with_subsidy =
+        check_efficient_mechanism_exists(setting, subsidised);
+
+    table.add_row({format_fixed(g, 1),
+                   overlapping ? "overlapping" : "disjoint",
+                   balanced.feasible ? "EXISTS" : "impossible",
+                   with_subsidy.feasible ? "EXISTS" : "impossible",
+                   balanced.feasible
+                       ? "a posted price is efficient here"
+                       : "Myerson-Satterthwaite bites"});
+  }
+  std::cout << table
+            << "\nOnce gains from trade are uncertain (overlap), budget "
+               "balance must go (VCG deficit) or efficiency must go "
+               "(posted price / TPD).\n\n";
+}
+
+void posted_price_is_tpd() {
+  std::cout << "== Posted price == TPD at n = m = 1 ==\n";
+  // Continuous-ish uniform supports, discretised to 11 points each.
+  BilateralSetting setting;
+  for (int v = 0; v <= 10; ++v) {
+    setting.buyer_types.push_back({money(v * 10), 1.0 / 11.0});
+    setting.seller_types.push_back({money(v * 10), 1.0 / 11.0});
+  }
+  const PostedPriceResult analytic = optimal_posted_price(setting);
+  std::cout << "analytic optimal posted price: " << analytic.price
+            << ", expected surplus "
+            << format_fixed(analytic.expected_surplus, 3) << " ("
+            << format_fixed(100.0 * analytic.efficiency, 1)
+            << "% of efficient)\n";
+
+  // Monte-Carlo cross-check: TPD with that threshold on 1x1 markets drawn
+  // from the same distribution.
+  const TpdProtocol tpd(analytic.price);
+  Rng rng(0xb11a);
+  RunningStats tpd_surplus;
+  RunningStats efficient;
+  for (int run = 0; run < 200'000; ++run) {
+    SingleUnitInstance instance;
+    instance.buyer_values = {
+        Money::from_units(10 * rng.uniform_int(0, 10))};
+    instance.seller_values = {
+        Money::from_units(10 * rng.uniform_int(0, 10))};
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = tpd.clear(market.book, clear_rng);
+    tpd_surplus.add(realized_surplus(outcome, market.truth).total);
+    Rng sort_rng = rng.split();
+    const SortedBook sorted(market.book, sort_rng);
+    efficient.add(efficient_surplus(sorted));
+  }
+  std::cout << "TPD(r=" << analytic.price << ") simulated:       "
+            << format_fixed(tpd_surplus.mean(), 3) << " +/- "
+            << format_fixed(tpd_surplus.ci95_half_width(), 3)
+            << " (efficient " << format_fixed(efficient.mean(), 3) << ")\n";
+  std::cout << "The bilateral analysis and the double-auction protocol "
+               "agree: TPD is the posted-price mechanism scaled to many "
+               "traders.\n";
+}
+
+}  // namespace
+
+int main() {
+  impossibility_grid();
+  posted_price_is_tpd();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Continuous vs discrete double auctions (paper Section 1's taxonomy).
+//
+// On identical valuations (U[0,100], n = m), compares allocative
+// efficiency of: the continuous double auction driven by budget-
+// constrained zero-intelligence traders (Gode-Sunder, via the Friedman &
+// Rust line the paper cites), the TPD call market at r = 50, and the PMD
+// call market.  The discrete protocols get truthful declarations (their
+// dominant strategy — the whole point of the paper); the CDA traders have
+// no dominant strategy, so ZI-C random quoting is the standard baseline.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "market/zi_traders.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  std::cout << "== Allocative efficiency: CDA(ZI-C) vs call markets "
+               "(U[0,100], 300 instances) ==\n";
+  TextTable table({"n=m", "CDA ZI-C", "mean trades (CDA)", "TPD r=50",
+                   "PMD", "Pareto trades"});
+
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+
+  for (std::size_t size : {5u, 10u, 25u, 50u, 100u}) {
+    // Discrete-time protocols through the standard experiment runner.
+    ExperimentConfig config;
+    config.instances = 300;
+    config.seed = 0xcda0 + size;
+    const ComparisonResult call = run_comparison(
+        fixed_count_generator(size, size), {&tpd, &pmd}, config);
+
+    // CDA with the same generator and seed (identical instance stream).
+    Rng rng(config.seed);
+    const InstanceGenerator generator = fixed_count_generator(size, size);
+    RunningStats efficiency;
+    RunningStats trades;
+    for (std::size_t run = 0; run < config.instances; ++run) {
+      const SingleUnitInstance instance = generator(rng);
+      Rng session_rng = rng.split();
+      const ZiSessionResult result = run_zi_session(instance, session_rng);
+      if (result.efficient_surplus > 0.0) {
+        efficiency.add(result.efficiency);
+      }
+      trades.add(static_cast<double>(result.trades));
+    }
+
+    table.add_row({std::to_string(size),
+                   format_fixed(100.0 * efficiency.mean(), 1) + "%",
+                   format_fixed(trades.mean(), 1),
+                   format_fixed(100.0 * call.ratio_total("tpd"), 1) + "%",
+                   format_fixed(100.0 * call.ratio_total("pmd"), 1) + "%",
+                   format_fixed(call.pareto_trades.mean(), 1)});
+  }
+  std::cout << table << '\n';
+  std::cout << "Call markets clear at one efficient instant; the CDA "
+               "burns some surplus on intramarginal traders matching "
+               "extramarginal ones, yet ZI-C discipline keeps it high — "
+               "the classic double-auction robustness result.\n"
+               "Only TPD among these keeps its efficiency when bidders "
+               "can use false names (see robustness_attacks).\n";
+  return 0;
+}

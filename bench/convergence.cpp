@@ -1,0 +1,58 @@
+// Monte-Carlo error analysis of the Table 1 pipeline.
+//
+// The paper reports 1000-instance averages without error bars; this bench
+// supplies them — normal-approximation and percentile-bootstrap 95% CIs
+// for the TPD surplus at several instance counts — so readers can judge
+// how much of the measured-vs-paper gap in EXPERIMENTS.md is sampling
+// noise versus real (RNG/tie-handling) differences.
+#include <iostream>
+#include <vector>
+
+#include "common/statistics.h"
+#include "core/surplus.h"
+#include "protocols/tpd.h"
+#include "sim/generators.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  constexpr std::size_t kPerSide = 50;
+  const TpdProtocol tpd(money(50));
+  const InstanceGenerator generator = fixed_count_generator(kPerSide, kPerSide);
+
+  std::cout << "== Monte-Carlo error of the Table 1 cell (n = m = 50, "
+               "TPD r = 50) ==\n";
+  TextTable table({"instances", "mean surplus", "normal 95% CI",
+                   "bootstrap 95% CI", "rel. error"});
+
+  for (std::size_t instances : {50u, 100u, 250u, 500u, 1000u, 4000u}) {
+    Rng rng(20010416);
+    std::vector<double> sample;
+    RunningStats stats;
+    sample.reserve(instances);
+    for (std::size_t run = 0; run < instances; ++run) {
+      const SingleUnitInstance instance = generator(rng);
+      const InstantiatedMarket market = instantiate_truthful(instance);
+      Rng clear_rng = rng.split();
+      const Outcome outcome = tpd.clear(market.book, clear_rng);
+      const double surplus = realized_surplus(outcome, market.truth).total;
+      sample.push_back(surplus);
+      stats.add(surplus);
+    }
+    Rng boot_rng(7);
+    const BootstrapInterval ci =
+        bootstrap_mean_ci(sample, 0.95, 2000, boot_rng);
+    table.add_row(
+        {std::to_string(instances), format_fixed(stats.mean(), 1),
+         "+/-" + format_fixed(stats.ci95_half_width(), 1),
+         "[" + format_fixed(ci.lo, 1) + ", " + format_fixed(ci.hi, 1) + "]",
+         format_fixed(100.0 * stats.ci95_half_width() / stats.mean(), 2) +
+             "%"});
+  }
+  std::cout << table
+            << "\nAt the paper's 1000 instances the cell is accurate to "
+               "about +/-1%, which covers most of the difference between "
+               "our measured values and the paper's (EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// The robustness lineage behind the paper (refs [8], [13], [14]):
+// one-sided auctions and the exact boundary where false-name-proofness
+// breaks — which is the same boundary Section 9 inherits for the
+// multi-unit TPD.
+#include <iostream>
+
+#include "common/rng.h"
+#include "protocols/one_sided.h"
+#include "sim/table.h"
+
+namespace {
+
+using namespace fnda;
+
+QuantityValuation concave(std::uint64_t id, std::vector<double> marginals) {
+  QuantityValuation bid;
+  bid.identity = IdentityId{id};
+  bid.values.push_back(Money{});
+  Money total;
+  for (double m : marginals) {
+    total += money(m);
+    bid.values.push_back(total);
+  }
+  return bid;
+}
+
+void vickrey_story() {
+  std::cout << "== Single-unit Vickrey: false names only hurt ==\n";
+  TextTable table({"scenario", "winner pays", "attacker utility"});
+  const std::vector<std::pair<IdentityId, Money>> honest = {
+      {IdentityId{1}, money(10)}, {IdentityId{2}, money(7)}};
+  const VickreyResult base = run_vickrey(honest);
+  table.add_row({"truthful (bids 10, 7)", base.price.to_string(),
+                 format_fixed(10.0 - base.price.to_double(), 1)});
+  auto attacked = honest;
+  attacked.push_back({IdentityId{99}, money(9)});
+  const VickreyResult fake = run_vickrey(attacked);
+  table.add_row({"+ winner's fake bid 9", fake.price.to_string(),
+                 format_fixed(10.0 - fake.price.to_double(), 1)});
+  std::cout << table << '\n';
+}
+
+void gva_boundary() {
+  std::cout << "== GVA robustness boundary (SYM AAAI-99, the paper's "
+               "ref [8]) ==\n";
+  GeneralizedVickreyAuction gva(2);
+
+  // Concave world: splitting never pays (spot-checked over random draws).
+  Rng rng(0x6a7);
+  int profitable = 0;
+  constexpr int kRuns = 400;
+  for (int run = 0; run < kRuns; ++run) {
+    const double m1 = rng.uniform_double(10, 100);
+    const double m2 = rng.uniform_double(0, m1);
+    const double r1 = rng.uniform_double(0, 100);
+    const double r2 = rng.uniform_double(0, r1);
+    const QuantityValuation rival = concave(10, {r1, r2});
+    auto utility = [&](const OneSidedResult& result, bool split) {
+      std::size_t units = 0;
+      double paid = 0.0;
+      for (std::uint64_t id : {1ULL, 2ULL}) {
+        if (const auto* award = result.award_for(IdentityId{id})) {
+          units += award->units;
+          paid += award->payment.to_double();
+        }
+        if (!split) break;
+      }
+      return (units >= 2 ? m1 + m2 : units == 1 ? m1 : 0.0) - paid;
+    };
+    const double truthful =
+        utility(gva.run({concave(1, {m1, m2}), rival}), false);
+    const double split =
+        utility(gva.run({concave(1, {m1}), concave(2, {m2}), rival}), true);
+    if (split > truthful + 1e-9) ++profitable;
+  }
+  std::cout << "decreasing marginals: profitable identity splits in "
+            << profitable << "/" << kRuns << " random instances\n";
+
+  // Complements: the classic counterexample.
+  QuantityValuation package;
+  package.identity = IdentityId{1};
+  package.values = {money(0), money(0), money(100)};
+  const OneSidedResult honest = gva.run({package, concave(2, {70})});
+  const OneSidedResult attacked =
+      gva.run({package, concave(2, {70}), concave(99, {70})});
+  const auto* real = attacked.award_for(IdentityId{2});
+  const auto* fake = attacked.award_for(IdentityId{99});
+  std::cout << "complements (pair-bidder 100 vs single-unit 70):\n"
+            << "  truthful: single-unit bidder wins "
+            << (honest.award_for(IdentityId{2}) != nullptr ? 1 : 0)
+            << " units -> utility 0\n"
+            << "  split into two 70-bids: wins 2 units paying "
+            << (real->payment + fake->payment)
+            << " -> utility " << format_fixed(70.0 - 60.0, 1)
+            << "  (GVA manipulated)\n\n";
+  std::cout << "This is exactly why Section 9's multi-unit TPD *requires* "
+               "decreasing marginal utilities: the GVA-style payments it "
+               "borrows are only false-name-proof on that side of the "
+               "boundary.\n";
+}
+
+}  // namespace
+
+int main() {
+  vickrey_story();
+  gva_boundary();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Best-response dynamics ablation (Section 8's discussion, quantified).
+//
+// Agents start truthful and iteratively best-respond over the full
+// strategy space (misreports + up to one false name).  Under TPD the
+// truthful profile is a dominant-strategy equilibrium: zero updates.
+// Under PMD/kDA/VCG agents drift, convergence is not guaranteed, and the
+// realized surplus (scored on true valuations) degrades — the
+// "unpredictable outcome" cost of deploying a non-robust protocol.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "mechanism/dynamics.h"
+#include "mechanism/properties.h"
+#include "protocols/kda.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+#include "protocols/vcg.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const KDoubleAuction kda(0.5);
+  const VcgDoubleAuction vcg;
+
+  std::cout << "== Best-response dynamics: 30 random instances "
+               "(<=5 agents/side, U[0,100]), max 6 sweeps ==\n";
+  TextTable table({"protocol", "converged", "mean sweeps", "mean updates",
+                   "mean deviators", "surplus retained"});
+
+  for (const DoubleAuctionProtocol* protocol :
+       {static_cast<const DoubleAuctionProtocol*>(&tpd),
+        static_cast<const DoubleAuctionProtocol*>(&pmd),
+        static_cast<const DoubleAuctionProtocol*>(&kda),
+        static_cast<const DoubleAuctionProtocol*>(&vcg)}) {
+    RunningStats sweeps, updates, deviators, retained;
+    int converged = 0;
+    constexpr int kInstances = 30;
+    Rng rng(0xd10);
+    InstanceSpec spec;
+    spec.min_buyers = 2;
+    spec.max_buyers = 5;
+    spec.min_sellers = 2;
+    spec.max_sellers = 5;
+    for (int run = 0; run < kInstances; ++run) {
+      const SingleUnitInstance instance = random_instance(spec, rng);
+      DynamicsConfig config;
+      config.max_sweeps = 6;
+      config.search.max_declarations = 2;
+      config.seed = rng();
+      const DynamicsResult result =
+          best_response_dynamics(*protocol, instance, config);
+      converged += result.converged ? 1 : 0;
+      sweeps.add(static_cast<double>(result.sweeps));
+      updates.add(static_cast<double>(result.updates));
+      deviators.add(static_cast<double>(result.deviators));
+      if (result.truthful_surplus > 1e-9) {
+        retained.add(result.final_surplus / result.truthful_surplus);
+      } else {
+        retained.add(1.0);
+      }
+    }
+    table.add_row({protocol->name(),
+                   std::to_string(converged) + "/" +
+                       std::to_string(kInstances),
+                   format_fixed(sweeps.mean(), 2),
+                   format_fixed(updates.mean(), 2),
+                   format_fixed(deviators.mean(), 2),
+                   format_fixed(100.0 * retained.mean(), 1) + "%"});
+  }
+  std::cout << table << '\n';
+  std::cout << "TPD: dominant-strategy equilibrium at truth — no agent "
+               "ever moves, surplus fully retained.\nOthers: agents "
+               "deliberate, deviate, and burn surplus, exactly the "
+               "Section 8 argument for robustness.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table 1: social surplus of TPD (r = 50) vs PMD, n = m in
+// {5, 10, 25, 50, 100, 500}, valuations U[0, 100], 1000 instances per row,
+// ratios against the Pareto-efficient surplus.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+
+namespace {
+
+// Table 1 as printed in the paper (Section 7).
+const std::vector<fnda::bench::PaperRow> kPaperTable1 = {
+    {5, 103.4, 92.4, 84.4, 75.4, 105.9, 94.6, 96.7, 86.5},
+    {10, 228.9, 95.9, 187.5, 78.6, 235.1, 98.5, 220.5, 92.4},
+    {25, 609.6, 98.4, 519.9, 83.9, 617.9, 99.7, 599.0, 96.7},
+    {50, 1255.9, 99.2, 1111.4, 87.8, 1265.7, 99.9, 1246.5, 98.4},
+    {100, 2533.8, 99.6, 2314.3, 91.0, 2543.3, 100.0, 2527.8, 99.6},
+    {500, 12738.3, 99.9, 12254.1, 96.1, 12745.5, 100.0, 12744.9, 100.0},
+};
+
+}  // namespace
+
+int main() {
+  using namespace fnda;
+
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+
+  std::vector<ComparisonResult> results;
+  results.reserve(kPaperTable1.size());
+  for (const auto& row : kPaperTable1) {
+    ExperimentConfig config;
+    config.instances = 1000;
+    config.seed = 1'000 + static_cast<std::uint64_t>(row.size);
+    results.push_back(run_comparison(
+        fixed_count_generator(static_cast<std::size_t>(row.size),
+                              static_cast<std::size_t>(row.size)),
+        {&tpd, &pmd}, config));
+  }
+
+  bench::print_surplus_table(
+      "Table 1: social surplus, n = m, values U[0,100], TPD r = 50, "
+      "1000 instances",
+      "n=m", kPaperTable1, results);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table 2: as Table 1 but with m and n drawn independently
+// from Binomial(N, 0.5), N in {10, 20, 50, 100, 200, 1000}.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+
+namespace {
+
+const std::vector<fnda::bench::PaperRow> kPaperTable2 = {
+    {10, 101.3, 91.7, 81.0, 73.3, 103.8, 94.0, 93.7, 84.8},
+    {20, 223.4, 94.8, 175.7, 74.6, 231.2, 98.1, 213.4, 90.7},
+    {50, 607.0, 97.8, 504.4, 81.3, 618.7, 99.7, 598.5, 96.5},
+    {100, 1252.9, 98.8, 1076.7, 84.9, 1267.4, 99.9, 1247.8, 98.4},
+    {200, 2492.0, 99.4, 2223.6, 88.7, 2506.6, 100.0, 2491.6, 99.4},
+    {1000, 12724.0, 99.9, 12123.9, 95.2, 12734.9, 100.0, 12734.4, 100.0},
+};
+
+}  // namespace
+
+int main() {
+  using namespace fnda;
+
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+
+  std::vector<ComparisonResult> results;
+  results.reserve(kPaperTable2.size());
+  for (const auto& row : kPaperTable2) {
+    ExperimentConfig config;
+    config.instances = 1000;
+    config.seed = 2'000 + static_cast<std::uint64_t>(row.size);
+    results.push_back(run_comparison(binomial_count_generator(row.size),
+                                     {&tpd, &pmd}, config));
+  }
+
+  bench::print_surplus_table(
+      "Table 2: social surplus, m,n ~ B(N, 0.5), values U[0,100], "
+      "TPD r = 50, 1000 instances",
+      "N", kPaperTable2, results);
+  return 0;
+}

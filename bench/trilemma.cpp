@@ -1,0 +1,146 @@
+// The mechanism-design trilemma, measured.
+//
+// Myerson-Satterthwaite: no double auction is simultaneously (a)
+// dominant-strategy incentive compatible, (b) Pareto efficient, and (c)
+// budget balanced + individually rational.  Each protocol in this library
+// picks a different corner to give up; this bench puts them side by side
+// on identical workloads, adding the paper's fourth axis — false-name
+// robustness — that motivates TPD.
+#include <iostream>
+#include <memory>
+
+#include "mechanism/properties.h"
+#include "protocols/efficient.h"
+#include "protocols/kda.h"
+#include "protocols/pmd.h"
+#include "protocols/random_threshold.h"
+#include "protocols/tpd.h"
+#include "protocols/tpd_rebate.h"
+#include "protocols/vcg.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const VcgDoubleAuction vcg;
+  const KDoubleAuction kda(0.5);
+  const RandomThresholdProtocol lottery(money(50));
+  const EfficientClearing efficient;
+
+  ExperimentConfig config;
+  config.instances = 1000;
+  config.seed = 0x7311e;
+  config.validation.allow_deficit = true;  // VCG is in the lineup
+  const ComparisonResult result =
+      run_comparison(fixed_count_generator(50, 50),
+                     {&tpd, &pmd, &vcg, &kda, &lottery, &efficient}, config);
+
+  std::cout << "== Design-space comparison (n = m = 50, U[0,100], 1000 "
+               "instances, truthful play) ==\n";
+  TextTable table({"protocol", "efficiency", "traders keep", "auctioneer",
+                   "IC (misreports)", "IC (false names)"});
+
+  struct Row {
+    const char* name;
+    const char* ic;
+    const char* fn;
+  };
+  const Row rows[] = {
+      {"tpd", "yes (Thm 1)", "YES (Thm 1)"},
+      {"pmd", "yes (McAfee'92)", "no (Sec. 4)"},
+      {"vcg", "yes (Clarke)", "no (SYM'99)"},
+      {"kda", "no (Chatterjee-Samuelson)", "no"},
+      {"random-threshold", "yes", "no (lottery stuffing)"},
+      {"efficient", "no (oracle only)", "no"},
+  };
+  for (const Row& row : rows) {
+    const ProtocolSummary& summary = result.summary(row.name);
+    table.add_row({row.name,
+                   format_fixed(100.0 * result.ratio_total(row.name), 1) + "%",
+                   format_fixed(100.0 * result.ratio_except_auctioneer(row.name),
+                                1) + "%",
+                   format_fixed(summary.auctioneer.mean(), 1), row.ic,
+                   row.fn});
+  }
+  std::cout << table << '\n';
+  std::cout << "VCG's negative auctioneer column is the budget deficit that "
+               "rules it out in practice;\nkDA/efficient buy 100% "
+               "efficiency by abandoning incentive compatibility;\nTPD is "
+               "the only row that is IC under false names, paying with the "
+               "auctioneer's cut.\n\n";
+
+  std::cout << "== Verifying the IC columns empirically (30 random "
+               "instances each, exhaustive deviations) ==\n";
+  TextTable ic_table({"protocol", "misreport violations", "false-name "
+                      "violations"});
+  const DoubleAuctionProtocol* protocols[] = {&tpd, &pmd, &vcg, &kda};
+  for (const DoubleAuctionProtocol* protocol : protocols) {
+    auto sweep = [&](std::size_t max_declarations) {
+      IcCheckConfig ic;
+      ic.instances = 30;
+      ic.manipulators_per_instance = 2;
+      ic.instance_spec.max_buyers = 5;
+      ic.instance_spec.max_sellers = 5;
+      ic.search.max_declarations = max_declarations;
+      ic.seed = 0x1c;
+      ic.max_violations = 1000;
+      // Misreport-only sweeps must also exclude absence and wrong-side
+      // bids to test the classical (single own-side report) notion.
+      const IcCheckReport report =
+          check_incentive_compatibility(*protocol, ic);
+      std::size_t classical = 0;
+      for (const IcViolation& v : report.violations) {
+        const bool single_own_side =
+            v.strategy.declarations.size() == 1 &&
+            v.strategy.declarations[0].side == v.manipulator.role;
+        if (max_declarations == 1 ? single_own_side : true) ++classical;
+      }
+      return std::to_string(classical) + "/" +
+             std::to_string(report.searches_run);
+    };
+    ic_table.add_row({protocol->name(), sweep(1), sweep(2)});
+  }
+  std::cout << ic_table << '\n';
+
+  std::cout << "== Why not just rebate the auctioneer's revenue? ==\n";
+  // Bailey-Cavallo-style rebates on top of TPD: each identity receives
+  // 1/N of the revenue computed without it.
+  const TpdWithRebates rebated(money(50));
+  ExperimentConfig rebate_config;
+  rebate_config.instances = 500;
+  rebate_config.seed = 0x2eb;
+  rebate_config.validation.allow_deficit = true;
+  const ComparisonResult with_rebates = run_comparison(
+      fixed_count_generator(50, 50), {&rebated, &tpd}, rebate_config);
+  TextTable rebate_table({"protocol", "traders keep", "auctioneer"});
+  for (const char* name : {"tpd", "tpd-rebate"}) {
+    rebate_table.add_row(
+        {name,
+         format_fixed(100.0 * with_rebates.ratio_except_auctioneer(name), 1) +
+             "%",
+         format_fixed(with_rebates.summary(name).auctioneer.mean(), 1)});
+  }
+  IcCheckConfig rebate_ic;
+  rebate_ic.instances = 20;
+  rebate_ic.manipulators_per_instance = 2;
+  rebate_ic.instance_spec.max_buyers = 5;
+  rebate_ic.instance_spec.max_sellers = 5;
+  rebate_ic.search.max_declarations = 2;
+  rebate_ic.seed = 0x2ec;
+  rebate_ic.max_violations = 1000;
+  const IcCheckReport rebate_report =
+      check_incentive_compatibility(rebated, rebate_ic);
+  std::cout << rebate_table
+            << "rebates hand the revenue back to the traders... but "
+            << rebate_report.violations.size() << "/"
+            << rebate_report.searches_run
+            << " deviation searches now find profitable FALSE-NAME "
+               "manipulations\n(each pseudonym collects its own rebate "
+               "share), and balanced books pay rebates the market never "
+               "collected.\nThe paper's choice — let the auctioneer keep "
+               "the spread — is what keeps TPD false-name-proof.\n";
+  return 0;
+}

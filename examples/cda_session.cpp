@@ -1,0 +1,54 @@
+// A continuous double auction session (the paper's Section 1 contrast to
+// its discrete-time setting), driven by zero-intelligence traders.
+//
+//   $ ./build/examples/cda_session
+#include <iostream>
+
+#include "market/zi_traders.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  // A small pit: eight buyers, eight sellers, U[0,100]-ish valuations.
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(92), money(85), money(77), money(64),
+                           money(51), money(38), money(22), money(15)};
+  instance.seller_values = {money(11), money(19), money(33), money(42),
+                            money(58), money(66), money(79), money(88)};
+
+  Rng rng(20010416);
+  const ZiSessionResult session = run_zi_session(instance, rng);
+
+  std::cout << "CDA session with ZI-C (budget-constrained random) "
+               "traders\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"trades executed", std::to_string(session.trades)});
+  table.add_row({"quote steps", std::to_string(session.steps)});
+  table.add_row({"mean trade price", format_fixed(session.mean_price, 2)});
+  table.add_row({"realized surplus", format_fixed(session.surplus, 1)});
+  table.add_row({"efficient surplus",
+                 format_fixed(session.efficient_surplus, 1)});
+  table.add_row({"allocative efficiency",
+                 format_fixed(100.0 * session.efficiency, 1) + "%"});
+  std::cout << table << '\n';
+
+  // Show the book mechanics on a tiny deterministic script.
+  std::cout << "--- order-book mechanics ---\n";
+  ContinuousDoubleAuction book;
+  book.submit(Side::kSeller, IdentityId{1}, money(60), SimTime{0});
+  book.submit(Side::kSeller, IdentityId{2}, money(55), SimTime{1});
+  book.submit(Side::kBuyer, IdentityId{3}, money(50), SimTime{2});
+  std::cout << "resting: best bid " << book.best_bid()->to_string()
+            << ", best ask " << book.best_ask()->to_string() << '\n';
+  const auto trade = book.submit(Side::kBuyer, IdentityId{4}, money(58),
+                                 SimTime{3});
+  std::cout << "aggressive buy @58 crosses the 55 ask: trades at "
+            << trade->price << " (the resting order's price)\n";
+  std::cout << "remaining asks: " << book.open_asks()
+            << ", remaining bids: " << book.open_bids() << '\n';
+  std::cout << "\nUnlike the call market, every trade here is a bilateral "
+               "transaction at its own price; the paper's TPD instead "
+               "clears all trades at once around the threshold.\n";
+  return 0;
+}

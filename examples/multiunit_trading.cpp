@@ -1,0 +1,80 @@
+// Multi-unit trading (Section 9): a small FX-style market where every
+// participant has a declining marginal-value schedule for multiple units.
+//
+//   $ ./build/examples/multiunit_trading
+#include <iostream>
+
+#include "protocols/tpd_multi.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace fnda;
+
+  // Dealers quote marginal values per unit (non-increasing, as Section 9
+  // requires).  A seller's schedule reads: parting with the first unit
+  // costs its *last* marginal value.
+  MultiUnitBook book;
+  MultiUnitTruth truth;
+
+  auto add_buyer = [&](std::uint64_t id, std::vector<Money> values) {
+    truth.buyer_values[IdentityId{id}] = values;
+    book.add_buyer(IdentityId{id}, std::move(values));
+  };
+  auto add_seller = [&](std::uint64_t id, std::vector<Money> values) {
+    truth.seller_values[IdentityId{id}] = values;
+    book.add_seller(IdentityId{id}, std::move(values));
+  };
+
+  add_buyer(1, {money(95), money(80), money(62)});  // fund A
+  add_buyer(2, {money(88), money(71)});             // fund B
+  add_buyer(3, {money(55)});                        // retail buyer
+  add_seller(11, {money(70), money(48), money(33)});  // dealer X
+  add_seller(12, {money(64), money(41)});             // dealer Y
+  add_seller(13, {money(52)});                        // retail seller
+
+  const Money r = money(57.5);
+  const TpdMultiUnitProtocol protocol(r);
+  Rng rng(7);
+  const MultiUnitOutcome outcome = protocol.clear(book, rng);
+
+  std::cout << "threshold price r = " << r << ", units traded: "
+            << outcome.units_traded() << "\n\n";
+
+  TextTable buyers({"buyer", "units", "total paid", "per-unit prices"});
+  for (const auto& result : outcome.buyers) {
+    std::string prices;
+    for (Money p : result.unit_payments) {
+      if (!prices.empty()) prices += ", ";
+      prices += p.to_string();
+    }
+    buyers.add_row({"id-" + std::to_string(result.identity.value()),
+                    std::to_string(result.units),
+                    result.total_paid.to_string(), prices});
+  }
+  std::cout << buyers << '\n';
+
+  TextTable sellers({"seller", "units", "total received", "per-unit prices"});
+  for (const auto& result : outcome.sellers) {
+    std::string prices;
+    for (Money p : result.unit_receipts) {
+      if (!prices.empty()) prices += ", ";
+      prices += p.to_string();
+    }
+    sellers.add_row({"id-" + std::to_string(result.identity.value()),
+                     std::to_string(result.units),
+                     result.total_received.to_string(), prices});
+  }
+  std::cout << sellers << '\n';
+
+  const MultiUnitSurplus surplus = realized_multi_surplus(outcome, truth);
+  Rng pareto_rng(8);
+  std::cout << "realized surplus: " << format_fixed(surplus.total, 1)
+            << " (auctioneer " << format_fixed(surplus.auctioneer, 1)
+            << "); Pareto bound: "
+            << format_fixed(efficient_multi_surplus(book, pareto_rng), 1)
+            << '\n';
+  std::cout << "\nBecause marginal utilities decrease, the protocol remains "
+               "false-name-proof: splitting a schedule across pseudonyms "
+               "cannot lower the GVA payments.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Tuning the threshold price for a market's value distribution — the
+// paper's Section 8 "future work", implemented as a Monte-Carlo optimizer.
+//
+//   $ ./build/examples/threshold_tuning
+#include <iostream>
+
+#include "sim/table.h"
+#include "sim/threshold_search.h"
+
+int main() {
+  using namespace fnda;
+
+  // Suppose our marketplace's historical valuations look like U[10, 70]
+  // with three times as many sellers as buyers.
+  const ValueDistribution values{money(10), money(70), ValueDomain{}};
+  const InstanceGenerator market = fixed_count_generator(25, 75, values);
+
+  std::cout << "Market: 25 buyers, 75 sellers, valuations U[10,70]\n\n";
+
+  // Sweep first, to see the whole surplus curve.
+  ThresholdSearchConfig config;
+  config.lo = money(10);
+  config.hi = money(70);
+  config.coarse_points = 13;
+  config.instances_per_eval = 400;
+
+  const ThresholdSearchResult total =
+      optimize_threshold(market, config);
+  config.objective = ThresholdObjective::kSurplusExceptAuctioneer;
+  const ThresholdSearchResult except =
+      optimize_threshold(market, config);
+
+  TextTable table({"threshold", "E[total surplus]"});
+  for (const auto& [r, value] : total.sweep) {
+    table.add_row({r.to_string(), format_fixed(value, 1)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "best threshold (total surplus):      "
+            << total.best_threshold << " -> "
+            << format_fixed(total.best_value, 1) << '\n';
+  std::cout << "best threshold (traders' surplus):   "
+            << except.best_threshold << " -> "
+            << format_fixed(except.best_value, 1) << '\n';
+  std::cout << "\nWith more sellers than buyers, the clearing bottleneck "
+               "is demand: the optimal r sits below the distribution "
+               "midpoint, where it admits every serious buyer.\n";
+  return 0;
+}

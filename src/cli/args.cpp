@@ -1,0 +1,86 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fnda {
+
+ArgParser::ArgParser(const std::vector<std::string>& args) {
+  std::size_t i = 0;
+  if (i < args.size() && args[i].rfind("--", 0) != 0) {
+    command_ = args[i++];
+  }
+  while (i < args.size()) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("ArgParser: expected --flag, got '" +
+                                  token + "'");
+    }
+    const std::string key = token.substr(2);
+    if (values_.contains(key)) {
+      throw std::invalid_argument("ArgParser: duplicate flag --" + key);
+    }
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_.emplace(key, args[i + 1]);
+      i += 2;
+    } else {
+      values_.emplace(key, "");  // bare flag
+      i += 1;
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  consumed_.insert(key);
+  return true;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  consumed_.insert(key);
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& key,
+                              const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double ArgParser::get_double_or(const std::string& key,
+                                double fallback) const {
+  const auto text = get(key);
+  if (!text.has_value()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  if (end == nullptr || *end != '\0' || text->empty()) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a number, got '" + *text + "'");
+  }
+  return value;
+}
+
+std::int64_t ArgParser::get_int_or(const std::string& key,
+                                   std::int64_t fallback) const {
+  const auto text = get(key);
+  if (!text.has_value()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(text->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text->empty()) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects an integer, got '" + *text + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> leftover;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) leftover.push_back("--" + key);
+  }
+  return leftover;
+}
+
+}  // namespace fnda

@@ -1,0 +1,40 @@
+// Tiny command-line argument parser for the fnda CLI.
+//
+// Grammar: `fnda <command> [--key value | --flag] ...`.  Values never
+// start with `--`; everything else is rejected loudly — a mistyped flag
+// silently ignored is how benchmarks lie.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fnda {
+
+class ArgParser {
+ public:
+  /// Parses argv (excluding argv[0]).  The first non-flag token is the
+  /// command.  Throws std::invalid_argument on malformed input.
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+
+  /// Flags the caller never consumed; non-empty means a typo.  The CLI
+  /// calls this after wiring a command and refuses to run with leftovers.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::unordered_map<std::string, std::string> values_;
+  mutable std::unordered_set<std::string> consumed_;
+};
+
+}  // namespace fnda

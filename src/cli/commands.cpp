@@ -1,0 +1,430 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/validation.h"
+#include "protocols/efficient.h"
+#include "protocols/kda.h"
+#include "protocols/pmd.h"
+#include "protocols/random_threshold.h"
+#include "protocols/tpd.h"
+#include "protocols/tpd_multi.h"
+#include "protocols/vcg.h"
+#include "serialize/csv.h"
+#include "serialize/json.h"
+#include "mechanism/dynamics.h"
+#include "mechanism/manipulation.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+#include "sim/threshold_search.h"
+
+namespace fnda {
+namespace {
+
+/// Builds the protocol named by --protocol (default tpd); --threshold and
+/// --theta parameterize the ones that need it.
+ProtocolPtr make_protocol(const ArgParser& args) {
+  const std::string name = args.get_or("protocol", "tpd");
+  const Money threshold = money(args.get_double_or("threshold", 50.0));
+  if (name == "tpd") return std::make_unique<TpdProtocol>(threshold);
+  if (name == "pmd") return std::make_unique<PmdProtocol>();
+  if (name == "vcg") return std::make_unique<VcgDoubleAuction>();
+  if (name == "kda") {
+    return std::make_unique<KDoubleAuction>(args.get_double_or("theta", 0.5));
+  }
+  if (name == "efficient") return std::make_unique<EfficientClearing>();
+  if (name == "random-threshold") {
+    return std::make_unique<RandomThresholdProtocol>(threshold);
+  }
+  throw std::invalid_argument(
+      "unknown --protocol '" + name +
+      "' (tpd|pmd|vcg|kda|efficient|random-threshold)");
+}
+
+int usage_error(std::ostream& err, const std::string& message) {
+  err << "error: " << message << "\nrun 'fnda help' for usage\n";
+  return 2;
+}
+
+/// Reads --book FILE or stdin into a string; returns false on I/O error.
+bool slurp_book(const ArgParser& args, std::istream& in, std::ostream& err,
+                std::string* text) {
+  if (const auto path = args.get("book"); path.has_value()) {
+    std::ifstream file(*path);
+    if (!file) {
+      err << "error: cannot open book file '" << *path << "'\n";
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    *text = buffer.str();
+    return true;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+int check_unused(const ArgParser& args, std::ostream& err) {
+  const auto leftover = args.unused();
+  if (leftover.empty()) return 0;
+  std::string list;
+  for (const auto& flag : leftover) {
+    if (!list.empty()) list += ", ";
+    list += flag;
+  }
+  return usage_error(err, "unrecognized flag(s): " + list);
+}
+
+}  // namespace
+
+int cmd_clear(const ArgParser& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  const ProtocolPtr protocol = make_protocol(args);
+  const std::string format = args.get_or("format", "text");
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+
+  std::string text;
+  if (!slurp_book(args, in, err, &text)) return 1;
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const OrderBook book = read_book_csv(text);
+  Rng rng(seed);
+  const Outcome outcome = protocol->clear(book, rng);
+  // VCG legitimately runs a deficit; everything else must balance.
+  ValidationOptions options;
+  options.allow_deficit = protocol->name() == "vcg";
+  expect_valid_outcome(book, outcome, options);
+
+  if (format == "csv") {
+    out << write_outcome_csv(outcome);
+  } else if (format == "json") {
+    out << outcome_to_json(outcome) << '\n';
+  } else if (format == "text") {
+    out << protocol->name() << ": " << outcome.trade_count()
+        << " trades, auctioneer revenue " << outcome.auctioneer_revenue()
+        << '\n';
+    for (const Fill& fill : outcome.fills()) {
+      out << "  " << to_string(fill.side) << ' ' << fill.identity.value()
+          << (fill.side == Side::kBuyer ? " pays " : " receives ")
+          << fill.price << '\n';
+    }
+  } else {
+    return usage_error(err, "unknown --format '" + format + "'");
+  }
+  return 0;
+}
+
+int cmd_clear_multi(const ArgParser& args, std::istream& in,
+                    std::ostream& out, std::ostream& err) {
+  const Money threshold = money(args.get_double_or("threshold", 50.0));
+  const std::string format = args.get_or("format", "text");
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  std::string text;
+  if (!slurp_book(args, in, err, &text)) return 1;
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const MultiUnitBook book = read_multi_book_csv(text);
+  const TpdMultiUnitProtocol protocol(threshold);
+  Rng rng(seed);
+  const MultiUnitOutcome outcome = protocol.clear(book, rng);
+  const auto errors = validate_multi_outcome(book, outcome);
+  if (!errors.empty()) {
+    err << "error: invalid multi-unit outcome: " << errors.front() << "\n";
+    return 1;
+  }
+
+  if (format == "csv") {
+    out << write_multi_outcome_csv(outcome);
+  } else if (format == "text") {
+    out << protocol.name() << " (r = " << threshold << "): "
+        << outcome.units_traded() << " units traded, auctioneer revenue "
+        << outcome.auctioneer_revenue() << '\n';
+    for (const auto& buyer : outcome.buyers) {
+      out << "  buyer " << buyer.identity.value() << " takes " << buyer.units
+          << " unit(s) for " << buyer.total_paid << '\n';
+    }
+    for (const auto& seller : outcome.sellers) {
+      out << "  seller " << seller.identity.value() << " sells "
+          << seller.units << " unit(s) for " << seller.total_received
+          << '\n';
+    }
+  } else {
+    return usage_error(err, "unknown --format '" + format +
+                                "' (clear-multi supports text|csv)");
+  }
+  return 0;
+}
+
+int cmd_simulate(const ArgParser& args, std::ostream& out,
+                 std::ostream& err) {
+  const ProtocolPtr protocol = make_protocol(args);
+  const auto buyers = static_cast<std::size_t>(args.get_int_or("buyers", 50));
+  const auto sellers =
+      static_cast<std::size_t>(args.get_int_or("sellers", 50));
+  ExperimentConfig config;
+  config.instances =
+      static_cast<std::size_t>(args.get_int_or("instances", 1000));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  config.validation.allow_deficit = protocol->name() == "vcg";
+  const double low = args.get_double_or("low", 0.0);
+  const double high = args.get_double_or("high", 100.0);
+  const auto binomial = args.get_int_or("binomial", 0);
+  const auto threads = args.get_int_or("threads", 1);
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const ValueDistribution values{money(low), money(high), ValueDomain{}};
+  const InstanceGenerator generator =
+      binomial > 0
+          ? binomial_count_generator(static_cast<int>(binomial), 0.5, values)
+          : fixed_count_generator(buyers, sellers, values);
+  const ComparisonResult result =
+      threads > 1 ? run_comparison_parallel(generator, {protocol.get()},
+                                            config,
+                                            static_cast<std::size_t>(threads))
+                  : run_comparison(generator, {protocol.get()}, config);
+  const ProtocolSummary& summary = result.protocols.front();
+
+  TextTable table({"metric", "mean", "ci95"});
+  auto row = [&table](const char* metric, const RunningStats& stats) {
+    table.add_row({metric, format_fixed(stats.mean(), 2),
+                   "+/-" + format_fixed(stats.ci95_half_width(), 2)});
+  };
+  row("social surplus", summary.total);
+  row("surplus except auctioneer", summary.except_auctioneer);
+  row("auctioneer revenue", summary.auctioneer);
+  row("trades", summary.trades);
+  row("pareto surplus", result.pareto);
+  out << protocol->name() << " on ";
+  if (binomial > 0) {
+    out << "m,n~B(" << binomial << ",0.5)";
+  } else {
+    out << buyers << "x" << sellers;
+  }
+  out << " U[" << low << "," << high << "], " << config.instances
+      << " instances\n"
+      << table;
+  out << "efficiency: "
+      << format_fixed(100.0 * result.ratio_total(protocol->name()), 2)
+      << "% of Pareto\n";
+  return 0;
+}
+
+int cmd_attack(const ArgParser& args, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  const ProtocolPtr protocol = make_protocol(args);
+  const std::string manipulator_spec = args.get_or("manipulator", "");
+  const auto max_declarations =
+      static_cast<std::size_t>(args.get_int_or("max-declarations", 2));
+  std::string text;
+  if (!slurp_book(args, in, err, &text)) return 1;
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  // --manipulator side:index, e.g. "seller:2".
+  const auto colon = manipulator_spec.find(':');
+  if (colon == std::string::npos) {
+    return usage_error(err,
+                       "--manipulator must be side:index, e.g. seller:2");
+  }
+  const std::string side_text = manipulator_spec.substr(0, colon);
+  Side role;
+  if (side_text == "buyer") {
+    role = Side::kBuyer;
+  } else if (side_text == "seller") {
+    role = Side::kSeller;
+  } else {
+    return usage_error(err, "--manipulator side must be buyer or seller");
+  }
+  const auto index = static_cast<std::size_t>(
+      std::strtoull(manipulator_spec.c_str() + colon + 1, nullptr, 10));
+
+  // Interpret the book's declarations as the participants' true values
+  // (the standard assumption when auditing an instance).
+  const OrderBook book = read_book_csv(text);
+  SingleUnitInstance instance;
+  for (const BidEntry& entry : book.buyers()) {
+    instance.buyer_values.push_back(entry.value);
+  }
+  for (const BidEntry& entry : book.sellers()) {
+    instance.seller_values.push_back(entry.value);
+  }
+
+  const DeviationEvaluator evaluator(*protocol, instance, {role, index});
+  SearchConfig search;
+  search.max_declarations = max_declarations;
+  const SearchResult result = find_best_deviation(evaluator, search);
+
+  out << "protocol: " << protocol->name() << "\n"
+      << "manipulator: " << side_text << " #" << index << " (true value "
+      << evaluator.true_value() << ")\n"
+      << "strategies evaluated: " << result.strategies_evaluated
+      << (result.truncated ? " (truncated)" : "") << "\n"
+      << "truthful utility: " << format_fixed(result.truthful_utility, 4)
+      << "\n"
+      << "best deviation:   " << format_fixed(result.best_utility, 4)
+      << "  via " << result.best_strategy.to_string() << "\n";
+  if (result.profitable()) {
+    out << "VERDICT: manipulable (profitable deviation found)\n";
+  } else {
+    out << "VERDICT: truthful play is optimal here\n";
+  }
+  return 0;
+}
+
+int cmd_dynamics(const ArgParser& args, std::istream& in, std::ostream& out,
+                 std::ostream& err) {
+  const ProtocolPtr protocol = make_protocol(args);
+  const auto sweeps = static_cast<std::size_t>(args.get_int_or("sweeps", 6));
+  const auto max_declarations =
+      static_cast<std::size_t>(args.get_int_or("max-declarations", 2));
+  std::string text;
+  if (!slurp_book(args, in, err, &text)) return 1;
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const OrderBook book = read_book_csv(text);
+  SingleUnitInstance instance;
+  for (const BidEntry& entry : book.buyers()) {
+    instance.buyer_values.push_back(entry.value);
+  }
+  for (const BidEntry& entry : book.sellers()) {
+    instance.seller_values.push_back(entry.value);
+  }
+
+  DynamicsConfig config;
+  config.max_sweeps = sweeps;
+  config.search.max_declarations = max_declarations;
+  const DynamicsResult result =
+      best_response_dynamics(*protocol, instance, config);
+
+  out << "protocol: " << protocol->name() << "\n"
+      << "converged: " << (result.converged ? "yes" : "no") << " after "
+      << result.sweeps << " sweep(s), " << result.updates
+      << " strategy update(s)\n"
+      << "agents deviating from truth: " << result.deviators << "/"
+      << result.agents.size() << "\n"
+      << "surplus: truthful " << format_fixed(result.truthful_surplus, 2)
+      << " -> strategic " << format_fixed(result.final_surplus, 2) << "\n";
+  for (std::size_t a = 0; a < result.agents.size(); ++a) {
+    const AgentState& agent = result.agents[a];
+    out << "  " << to_string(agent.role) << " v=" << agent.true_value
+        << " plays " << agent.strategy.to_string() << " (u="
+        << format_fixed(agent.utility, 2) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const auto participants =
+      static_cast<std::size_t>(args.get_int_or("participants", 500));
+  const auto step = args.get_int_or("step", 5);
+  ExperimentConfig config;
+  config.instances =
+      static_cast<std::size_t>(args.get_int_or("instances", 200));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (step <= 0) return usage_error(err, "--step must be positive");
+
+  std::vector<std::unique_ptr<TpdProtocol>> protocols;
+  std::vector<const DoubleAuctionProtocol*> pointers;
+  std::vector<std::int64_t> thresholds;
+  for (std::int64_t r = 0; r <= 100; r += step) {
+    thresholds.push_back(r);
+    protocols.push_back(std::make_unique<TpdProtocol>(money(r)));
+    pointers.push_back(protocols.back().get());
+  }
+  const ComparisonResult result = run_comparison(
+      fixed_count_generator(participants, participants), pointers, config);
+
+  out << "threshold,surplus,surplus_except_auctioneer,pareto\n";
+  for (std::size_t p = 0; p < pointers.size(); ++p) {
+    out << thresholds[p] << ',' << format_fixed(result.protocols[p].total.mean(), 3)
+        << ',' << format_fixed(result.protocols[p].except_auctioneer.mean(), 3)
+        << ',' << format_fixed(result.pareto.mean(), 3) << '\n';
+  }
+  return 0;
+}
+
+int cmd_optimize(const ArgParser& args, std::ostream& out,
+                 std::ostream& err) {
+  const auto buyers = static_cast<std::size_t>(args.get_int_or("buyers", 50));
+  const auto sellers =
+      static_cast<std::size_t>(args.get_int_or("sellers", 50));
+  const double low = args.get_double_or("low", 0.0);
+  const double high = args.get_double_or("high", 100.0);
+  ThresholdSearchConfig config;
+  config.lo = money(args.get_double_or("lo", low));
+  config.hi = money(args.get_double_or("hi", high));
+  config.instances_per_eval =
+      static_cast<std::size_t>(args.get_int_or("instances", 200));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  if (args.get_or("objective", "total") == "traders") {
+    config.objective = ThresholdObjective::kSurplusExceptAuctioneer;
+  }
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const ThresholdSearchResult result = optimize_threshold(
+      fixed_count_generator(buyers, sellers,
+                            ValueDistribution{money(low), money(high),
+                                              ValueDomain{}}),
+      config);
+  out << "best threshold: " << result.best_threshold << '\n'
+      << "expected surplus: " << format_fixed(result.best_value, 2) << '\n';
+  return 0;
+}
+
+int cmd_help(std::ostream& out) {
+  out << "fnda - false-name-robust double auctions (Yokoo et al., ICDCS"
+         " 2001)\n\n"
+         "commands:\n"
+         "  clear     clear one book from CSV (side,identity,value)\n"
+         "            --protocol tpd|pmd|vcg|kda|efficient|random-threshold\n"
+         "            --threshold R  --theta T  --book FILE (default stdin)\n"
+         "            --format text|csv|json  --seed N\n"
+         "  clear-multi  Section 9 multi-unit TPD from CSV\n"
+         "            (side,identity,schedule; schedule = v1;v2;... )\n"
+         "            --threshold R --book FILE --format text|csv\n"
+         "  simulate  Monte-Carlo surplus of one protocol\n"
+         "            --buyers N --sellers M | --binomial N\n"
+         "            --instances K --low --high --threads T\n"
+         "  attack    exhaustive deviation search for one participant\n"
+         "            --book FILE --manipulator buyer:0|seller:2\n"
+         "            --protocol ... --max-declarations D\n"
+         "  dynamics  iterated best response over the book's traders\n"
+         "            --book FILE --protocol ... --sweeps N\n"
+         "  sweep     TPD threshold sweep (Figure 1 series, CSV)\n"
+         "            --participants N --step S --instances K\n"
+         "  optimize  find the best threshold for a workload\n"
+         "            --buyers N --sellers M --lo --hi --objective "
+         "total|traders\n"
+         "  help      this text\n";
+  return 0;
+}
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  try {
+    const ArgParser parsed(args);
+    const std::string& command = parsed.command();
+    if (command.empty() || command == "help") return cmd_help(out);
+    if (command == "clear") return cmd_clear(parsed, in, out, err);
+    if (command == "clear-multi") return cmd_clear_multi(parsed, in, out, err);
+    if (command == "simulate") return cmd_simulate(parsed, out, err);
+    if (command == "attack") return cmd_attack(parsed, in, out, err);
+    if (command == "dynamics") return cmd_dynamics(parsed, in, out, err);
+    if (command == "sweep") return cmd_sweep(parsed, out, err);
+    if (command == "optimize") return cmd_optimize(parsed, out, err);
+    return usage_error(err, "unknown command '" + command + "'");
+  } catch (const std::invalid_argument& e) {
+    err << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace fnda

@@ -1,0 +1,46 @@
+// fnda CLI commands.
+//
+//   fnda clear       --protocol tpd --threshold 50 --book bids.csv
+//                    [--format text|csv|json] [--seed N]
+//   fnda clear-multi --threshold 50 --book schedules.csv (Section 9)
+//   fnda simulate    --buyers 50 --sellers 50 [--binomial N]
+//                    [--protocol ...] [--instances N]
+//   fnda attack      --book bids.csv --manipulator buyer:0 [--protocol ...]
+//                    (exhaustive deviation search incl. false names)
+//   fnda dynamics    --book bids.csv [--protocol ...] [--sweeps N]
+//                    (iterated best response; Section 8's deliberation)
+//   fnda sweep    --participants 500 [--step 5] [--instances N]   (Figure 1)
+//   fnda optimize --buyers 50 --sellers 50 [--lo 0 --hi 100]
+//   fnda help
+//
+// Commands are plain functions over streams so tests can drive them
+// without a process boundary.  `run_cli` dispatches and maps exceptions
+// to exit codes (0 ok, 1 runtime failure, 2 usage error).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+
+namespace fnda {
+
+int cmd_clear(const ArgParser& args, std::istream& in, std::ostream& out,
+              std::ostream& err);
+int cmd_clear_multi(const ArgParser& args, std::istream& in,
+                    std::ostream& out, std::ostream& err);
+int cmd_simulate(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmd_attack(const ArgParser& args, std::istream& in, std::ostream& out,
+               std::ostream& err);
+int cmd_dynamics(const ArgParser& args, std::istream& in, std::ostream& out,
+                 std::ostream& err);
+int cmd_sweep(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmd_optimize(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmd_help(std::ostream& out);
+
+/// Entry point used by tools/fnda_cli.cpp and the tests.
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err);
+
+}  // namespace fnda

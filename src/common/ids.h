@@ -1,0 +1,79 @@
+// Strongly typed identifiers.
+//
+// The false-name-bid setting distinguishes *accounts* (real economic
+// actors) from *identities* (the possibly-fictitious names under which bids
+// are submitted).  Mixing those up is exactly the bug class this paper is
+// about, so each concept gets its own incompatible ID type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace fnda {
+
+/// CRTP base for type-safe integer IDs.  Distinct Tag types do not compare
+/// or convert to one another.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(std::uint64_t value) : value_(value) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr auto operator<=>(const TypedId&) const = default;
+
+  /// Sentinel distinct from every ID minted by the registries.
+  static constexpr TypedId invalid() {
+    return TypedId(static_cast<std::uint64_t>(-1));
+  }
+  constexpr bool is_valid() const { return *this != invalid(); }
+
+ private:
+  std::uint64_t value_ = static_cast<std::uint64_t>(-1);
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TypedId<Tag> id) {
+  return os << Tag::prefix() << id.value();
+}
+
+struct AccountTag {
+  static constexpr const char* prefix() { return "acct-"; }
+};
+struct IdentityTag {
+  static constexpr const char* prefix() { return "id-"; }
+};
+struct BidTag {
+  static constexpr const char* prefix() { return "bid-"; }
+};
+struct RoundTag {
+  static constexpr const char* prefix() { return "round-"; }
+};
+struct MessageTag {
+  static constexpr const char* prefix() { return "msg-"; }
+};
+
+/// A real economic actor (holds money, goods, and a security deposit).
+using AccountId = TypedId<AccountTag>;
+/// A name under which bids are submitted; cheap to mint, possibly fake.
+using IdentityId = TypedId<IdentityTag>;
+/// A single submitted bid.
+using BidId = TypedId<BidTag>;
+/// One clearing round of the call market.
+using RoundId = TypedId<RoundTag>;
+/// A message on the simulated bus.
+using MessageId = TypedId<MessageTag>;
+
+}  // namespace fnda
+
+namespace std {
+template <typename Tag>
+struct hash<fnda::TypedId<Tag>> {
+  size_t operator()(const fnda::TypedId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

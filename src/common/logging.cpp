@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace fnda {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(std::ostream* sink) { g_sink = sink; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace fnda

@@ -1,0 +1,49 @@
+// Minimal leveled logging.
+//
+// The market simulator narrates rounds at kDebug level during development;
+// benches and tests run with the default kWarn so output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fnda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Sink override for tests (nullptr restores stderr).
+void set_log_sink(std::ostream* sink);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log line builder: LogLine(LogLevel::kInfo) << "x=" << x;
+/// emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fnda
+
+#define FNDA_LOG(level) ::fnda::LogLine(::fnda::LogLevel::level)

@@ -1,0 +1,35 @@
+#include "common/money.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+namespace fnda {
+
+Money Money::from_double(double value) {
+  const double scaled = value * static_cast<double>(kScale);
+  return from_micros(static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+std::string Money::to_string() const {
+  const std::int64_t whole = micros_ / kScale;
+  std::int64_t frac = micros_ % kScale;
+  std::string out;
+  if (micros_ < 0 && whole == 0) out += '-';
+  out += std::to_string(whole);
+  frac = std::llabs(frac);
+  if (frac != 0) {
+    std::string digits = std::to_string(frac);
+    digits.insert(digits.begin(), 6 - digits.size(), '0');
+    while (!digits.empty() && digits.back() == '0') digits.pop_back();
+    out += '.';
+    out += digits;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) {
+  return os << m.to_string();
+}
+
+}  // namespace fnda

@@ -1,0 +1,122 @@
+// Fixed-point money type used throughout the library.
+//
+// Auction protocols in this repository compare prices for exact equality
+// (e.g. "does this bid meet the threshold price r?").  Floating point makes
+// those comparisons unreliable, so all monetary quantities are represented
+// as a signed 64-bit count of micro-units (10^-6 of one currency unit).
+// The paper's evaluation draws valuations from U[0,100]; micro-unit
+// resolution is far finer than anything the protocols distinguish.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace fnda {
+
+/// Exact fixed-point monetary value (64-bit signed micro-units).
+///
+/// Money is a regular value type: totally ordered, hashable, cheap to copy.
+/// Arithmetic that could overflow int64 is out of scope for this domain
+/// (valuations are bounded by the instance generators); debug builds assert
+/// on overflow in the few places it could conceivably matter.
+class Money {
+ public:
+  /// Number of micro-units per currency unit.
+  static constexpr std::int64_t kScale = 1'000'000;
+
+  /// Zero money; the additive identity.
+  constexpr Money() = default;
+
+  /// Constructs from a raw micro-unit count.  Prefer the named factories.
+  static constexpr Money from_micros(std::int64_t micros) {
+    Money m;
+    m.micros_ = micros;
+    return m;
+  }
+
+  /// Constructs from a whole number of currency units.
+  static constexpr Money from_units(std::int64_t units) {
+    return from_micros(units * kScale);
+  }
+
+  /// Constructs from a double, rounding to the nearest micro-unit.
+  /// Intended for instance generation and human-entered values; protocol
+  /// logic never round-trips through floating point.
+  static Money from_double(double value);
+
+  /// Smallest representable value.  Used as the b(m+1) sentinel.
+  static constexpr Money min_value() {
+    return from_micros(std::numeric_limits<std::int64_t>::min());
+  }
+
+  /// Largest representable value.  Used as the s(n+1) sentinel.
+  static constexpr Money max_value() {
+    return from_micros(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t micros() const { return micros_; }
+
+  /// Value in currency units as a double (for reporting only).
+  constexpr double to_double() const {
+    return static_cast<double>(micros_) / static_cast<double>(kScale);
+  }
+
+  /// Midpoint of two values, rounding toward negative infinity.  Computed
+  /// without overflow for any pair of representable values (the classic
+  /// half-each-plus-shared-remainder decomposition, with a floor fix when
+  /// exactly one operand is odd and negative).
+  static constexpr Money midpoint(Money a, Money b) {
+    // Arithmetic right shift floors signed division by two (guaranteed in
+    // C++20); the (a & b & 1) term restores the unit lost when both
+    // operands are odd.
+    const std::int64_t x = a.micros_;
+    const std::int64_t y = b.micros_;
+    return from_micros((x >> 1) + (y >> 1) + (x & y & 1));
+  }
+
+  constexpr Money operator+(Money other) const {
+    return from_micros(micros_ + other.micros_);
+  }
+  constexpr Money operator-(Money other) const {
+    return from_micros(micros_ - other.micros_);
+  }
+  constexpr Money operator-() const { return from_micros(-micros_); }
+  constexpr Money operator*(std::int64_t n) const {
+    return from_micros(micros_ * n);
+  }
+  constexpr Money& operator+=(Money other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Money&) const = default;
+
+  /// Renders as a decimal string with trailing zeros trimmed, e.g. "4.5".
+  std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+constexpr Money operator*(std::int64_t n, Money m) { return m * n; }
+
+std::ostream& operator<<(std::ostream& os, Money m);
+
+/// Convenience literal-style helper: money(4.5) == Money::from_double(4.5).
+inline Money money(double value) { return Money::from_double(value); }
+
+}  // namespace fnda
+
+template <>
+struct std::hash<fnda::Money> {
+  std::size_t operator()(const fnda::Money& m) const noexcept {
+    return std::hash<std::int64_t>{}(m.micros());
+  }
+};

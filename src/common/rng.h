@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this repository (instance generators, tie
+// breaking, bus jitter, manipulation search) draws from an explicitly
+// seeded Rng so that experiments and failures replay bit-identically.
+// The generator is xoshiro256** (Blackman & Vigna) seeded via SplitMix64,
+// chosen over std::mt19937 for speed and for a guaranteed cross-platform
+// stream (libstdc++/libc++ distributions are not portable; ours are
+// hand-rolled below).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/money.h"
+
+namespace fnda {
+
+/// xoshiro256** generator with SplitMix64 seeding.
+///
+/// Satisfies UniformRandomBitGenerator, but the distribution helpers on this
+/// class should be preferred over <random> distributions for portability.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xfeedfacecafebeefULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Uniform Money in [lo, hi], at micro-unit resolution.
+  Money uniform_money(Money lo, Money hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Number of successes in n fair-ish trials: Binomial(n, p).
+  /// Direct summation; n in this codebase is at most a few thousand.
+  int binomial(int n, double p);
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename RandomIt>
+  void shuffle(RandomIt first, RandomIt last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+  /// Derives an independent child generator.  Used to give each component
+  /// of a simulation its own stream so adding draws to one component does
+  /// not perturb the others.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fnda

@@ -1,0 +1,82 @@
+// Streaming statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace fnda {
+
+/// Single-pass accumulator: count, mean, variance (Welford), min, max.
+///
+/// Numerically stable for the ~10^3..10^6 sample sizes the benches use.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (zero for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_half_width() const { return 1.96 * sem(); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Pools another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.  Used for diagnostics (e.g. distribution of trade counts).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Inclusive lower edge of a bin.
+  double bin_lower(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact quantiles over a retained sample (used only for small diagnostic
+/// sets; the main experiment pipeline is streaming).
+double quantile(std::vector<double> values, double q);
+
+/// Percentile-bootstrap confidence interval for the mean of `sample`.
+/// Returns {lo, hi}; `confidence` in (0, 1), e.g. 0.95.  Deterministic
+/// given the generator state.  Throws std::invalid_argument on an empty
+/// sample or out-of-range confidence.
+struct BootstrapInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width() const { return (hi - lo) / 2.0; }
+};
+class Rng;  // common/rng.h
+BootstrapInterval bootstrap_mean_ci(const std::vector<double>& sample,
+                                    double confidence, std::size_t resamples,
+                                    Rng& rng);
+
+}  // namespace fnda

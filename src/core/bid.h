@@ -1,0 +1,28 @@
+// Bid types shared by every protocol.
+#pragma once
+
+#include "common/ids.h"
+#include "common/money.h"
+
+namespace fnda {
+
+/// Which side of the market a declaration is on.  Following the paper, we
+/// use "bid" for both buyer and seller declarations.
+enum class Side { kBuyer, kSeller };
+
+constexpr const char* to_string(Side side) {
+  return side == Side::kBuyer ? "buyer" : "seller";
+}
+
+/// One single-unit declaration: `identity` claims it values one unit of the
+/// good at `value` (willingness to pay for buyers, willingness to accept
+/// for sellers).  Declared values are not necessarily truthful.
+struct BidEntry {
+  BidId id;
+  IdentityId identity;
+  Money value;
+
+  friend bool operator==(const BidEntry&, const BidEntry&) = default;
+};
+
+}  // namespace fnda

@@ -1,0 +1,25 @@
+#include "core/instance.h"
+
+namespace fnda {
+
+InstantiatedMarket instantiate_truthful(const SingleUnitInstance& instance) {
+  InstantiatedMarket market{OrderBook(instance.domain), {}, {}, {}};
+  market.buyer_identities.reserve(instance.buyer_values.size());
+  market.seller_identities.reserve(instance.seller_values.size());
+
+  for (std::size_t i = 0; i < instance.buyer_values.size(); ++i) {
+    const IdentityId identity{i};
+    market.book.add_buyer(identity, instance.buyer_values[i]);
+    market.truth.buyer_values.emplace(identity, instance.buyer_values[i]);
+    market.buyer_identities.push_back(identity);
+  }
+  for (std::size_t j = 0; j < instance.seller_values.size(); ++j) {
+    const IdentityId identity{kSellerIdentityBase + j};
+    market.book.add_seller(identity, instance.seller_values[j]);
+    market.truth.seller_values.emplace(identity, instance.seller_values[j]);
+    market.seller_identities.push_back(identity);
+  }
+  return market;
+}
+
+}  // namespace fnda

@@ -1,0 +1,94 @@
+#include "core/order_book.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fnda {
+
+OrderBook::OrderBook(ValueDomain domain) : domain_(domain) {
+  if (!(domain_.lowest < domain_.highest)) {
+    throw std::invalid_argument("OrderBook: domain must satisfy lowest < highest");
+  }
+}
+
+BidId OrderBook::add(Side side, IdentityId identity, Money value) {
+  if (value < domain_.lowest || value > domain_.highest) {
+    throw std::invalid_argument("OrderBook::add: value outside the domain");
+  }
+  const BidId id{next_bid_++};
+  auto& lane = side == Side::kBuyer ? buyers_ : sellers_;
+  lane.push_back(BidEntry{id, identity, value});
+  return id;
+}
+
+SortedBook::SortedBook(const OrderBook& book, Rng& rng)
+    : domain_(book.domain()), buyers_(book.buyers()), sellers_(book.sellers()) {
+  // Random tie-breaking (paper footnote 5): shuffle first, then stable-sort
+  // by value only.  Equal-valued bids end up in the shuffled order.
+  rng.shuffle(buyers_.begin(), buyers_.end());
+  rng.shuffle(sellers_.begin(), sellers_.end());
+  std::stable_sort(buyers_.begin(), buyers_.end(),
+                   [](const BidEntry& a, const BidEntry& b) {
+                     return a.value > b.value;
+                   });
+  std::stable_sort(sellers_.begin(), sellers_.end(),
+                   [](const BidEntry& a, const BidEntry& b) {
+                     return a.value < b.value;
+                   });
+}
+
+Money SortedBook::buyer_value(std::size_t rank) const {
+  if (rank == 0 || rank > buyers_.size() + 1) {
+    throw std::out_of_range("SortedBook::buyer_value: rank out of range");
+  }
+  if (rank == buyers_.size() + 1) return domain_.lowest;  // b(m+1) sentinel
+  return buyers_[rank - 1].value;
+}
+
+Money SortedBook::seller_value(std::size_t rank) const {
+  if (rank == 0 || rank > sellers_.size() + 1) {
+    throw std::out_of_range("SortedBook::seller_value: rank out of range");
+  }
+  if (rank == sellers_.size() + 1) return domain_.highest;  // s(n+1) sentinel
+  return sellers_[rank - 1].value;
+}
+
+const BidEntry& SortedBook::buyer(std::size_t rank) const {
+  if (rank == 0 || rank > buyers_.size()) {
+    throw std::out_of_range("SortedBook::buyer: rank out of range");
+  }
+  return buyers_[rank - 1];
+}
+
+const BidEntry& SortedBook::seller(std::size_t rank) const {
+  if (rank == 0 || rank > sellers_.size()) {
+    throw std::out_of_range("SortedBook::seller: rank out of range");
+  }
+  return sellers_[rank - 1];
+}
+
+std::size_t SortedBook::buyers_at_or_above(Money r) const {
+  // buyers_ is descending; find the first strictly below r.
+  auto it = std::lower_bound(buyers_.begin(), buyers_.end(), r,
+                             [](const BidEntry& e, Money v) {
+                               return e.value >= v;
+                             });
+  return static_cast<std::size_t>(it - buyers_.begin());
+}
+
+std::size_t SortedBook::sellers_at_or_below(Money r) const {
+  auto it = std::lower_bound(sellers_.begin(), sellers_.end(), r,
+                             [](const BidEntry& e, Money v) {
+                               return e.value <= v;
+                             });
+  return static_cast<std::size_t>(it - sellers_.begin());
+}
+
+std::size_t SortedBook::efficient_trade_count() const {
+  const std::size_t limit = std::min(buyers_.size(), sellers_.size());
+  std::size_t k = 0;
+  while (k < limit && buyers_[k].value >= sellers_[k].value) ++k;
+  return k;
+}
+
+}  // namespace fnda

@@ -1,0 +1,105 @@
+// Order book and the paper's order statistics.
+//
+// An OrderBook collects raw single-unit declarations.  A SortedBook is the
+// immutable, rank-ordered view every protocol actually consumes:
+//
+//   b(1) >= b(2) >= ... >= b(m)      (buyers, highest first)
+//   s(1) <= s(2) <= ... <= s(n)      (sellers, lowest first)
+//
+// with the paper's sentinels b(m+1) = lowest possible valuation and
+// s(n+1) = highest possible valuation, and random tie-breaking among equal
+// values (footnote 5 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/money.h"
+#include "common/rng.h"
+#include "core/bid.h"
+
+namespace fnda {
+
+/// Inclusive bounds of the valuation domain.  The PMD trading-price
+/// candidate p0 averages the sentinels when the book is short, so bounds
+/// must be finite; defaults match the paper's examples ("e.g. 0" and
+/// "e.g. one billion dollars").
+struct ValueDomain {
+  Money lowest = Money::from_units(0);
+  Money highest = Money::from_units(1'000'000'000);
+};
+
+/// Mutable collection of declarations for one clearing round.
+class OrderBook {
+ public:
+  explicit OrderBook(ValueDomain domain = {});
+
+  /// Records a declaration and returns its book-unique bid ID.
+  /// Values outside the domain are clamped-free: they are rejected with
+  /// std::invalid_argument, since a declaration the domain cannot price is
+  /// a caller bug, not market data.
+  BidId add(Side side, IdentityId identity, Money value);
+  BidId add_buyer(IdentityId identity, Money value) {
+    return add(Side::kBuyer, identity, value);
+  }
+  BidId add_seller(IdentityId identity, Money value) {
+    return add(Side::kSeller, identity, value);
+  }
+
+  const std::vector<BidEntry>& buyers() const { return buyers_; }
+  const std::vector<BidEntry>& sellers() const { return sellers_; }
+  const ValueDomain& domain() const { return domain_; }
+
+  std::size_t buyer_count() const { return buyers_.size(); }
+  std::size_t seller_count() const { return sellers_.size(); }
+
+ private:
+  ValueDomain domain_;
+  std::vector<BidEntry> buyers_;
+  std::vector<BidEntry> sellers_;
+  std::uint64_t next_bid_ = 0;
+};
+
+/// Immutable rank-ordered view of an OrderBook.
+///
+/// Accessors use the paper's 1-based rank convention, including sentinel
+/// ranks m+1 / n+1, so protocol code reads like the paper's definitions.
+class SortedBook {
+ public:
+  /// Sorts with random tie-breaking drawn from `rng`.  The same book and
+  /// rng state always produce the same ranking (deterministic replay).
+  SortedBook(const OrderBook& book, Rng& rng);
+
+  std::size_t buyer_count() const { return buyers_.size(); }   // m
+  std::size_t seller_count() const { return sellers_.size(); }  // n
+
+  /// b(rank) for rank in [1, m+1]; b(m+1) is the low sentinel.
+  Money buyer_value(std::size_t rank) const;
+  /// s(rank) for rank in [1, n+1]; s(n+1) is the high sentinel.
+  Money seller_value(std::size_t rank) const;
+
+  /// The declaration at a given rank (1-based, no sentinel rank).
+  const BidEntry& buyer(std::size_t rank) const;
+  const BidEntry& seller(std::size_t rank) const;
+
+  const std::vector<BidEntry>& buyers() const { return buyers_; }
+  const std::vector<BidEntry>& sellers() const { return sellers_; }
+  const ValueDomain& domain() const { return domain_; }
+
+  /// Number of buyers with value >= r (the paper's `i`).
+  std::size_t buyers_at_or_above(Money r) const;
+  /// Number of sellers with value <= r (the paper's `j`).
+  std::size_t sellers_at_or_below(Money r) const;
+
+  /// The paper's k: the largest rank with b(k) >= s(k); 0 when even the
+  /// best pair cannot trade.  This is the Pareto-efficient trade count.
+  std::size_t efficient_trade_count() const;
+
+ private:
+  ValueDomain domain_;
+  std::vector<BidEntry> buyers_;   // descending by value
+  std::vector<BidEntry> sellers_;  // ascending by value
+};
+
+}  // namespace fnda

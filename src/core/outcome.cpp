@@ -1,0 +1,64 @@
+#include "core/outcome.h"
+
+#include <stdexcept>
+
+namespace fnda {
+
+void Outcome::add_buy(BidId bid, IdentityId identity, Money price) {
+  fills_.push_back(Fill{Side::kBuyer, bid, identity, price});
+  ++buy_count_;
+  buyer_payments_ += price;
+  auto& entry = per_identity_[identity];
+  ++entry.bought;
+  entry.paid += price;
+  ++fills_per_bid_[bid];
+}
+
+void Outcome::add_sell(BidId bid, IdentityId identity, Money price) {
+  fills_.push_back(Fill{Side::kSeller, bid, identity, price});
+  ++sell_count_;
+  seller_receipts_ += price;
+  auto& entry = per_identity_[identity];
+  ++entry.sold;
+  entry.received += price;
+  ++fills_per_bid_[bid];
+}
+
+std::size_t Outcome::units_bought(IdentityId identity) const {
+  auto it = per_identity_.find(identity);
+  return it == per_identity_.end() ? 0 : it->second.bought;
+}
+
+std::size_t Outcome::units_sold(IdentityId identity) const {
+  auto it = per_identity_.find(identity);
+  return it == per_identity_.end() ? 0 : it->second.sold;
+}
+
+Money Outcome::paid_by(IdentityId identity) const {
+  auto it = per_identity_.find(identity);
+  return it == per_identity_.end() ? Money{} : it->second.paid;
+}
+
+Money Outcome::received_by(IdentityId identity) const {
+  auto it = per_identity_.find(identity);
+  return it == per_identity_.end() ? Money{} : it->second.received;
+}
+
+void Outcome::add_rebate(IdentityId identity, Money amount) {
+  if (amount < Money{}) {
+    throw std::invalid_argument("Outcome::add_rebate: negative rebate");
+  }
+  rebates_[identity] += amount;
+  rebates_total_ += amount;
+}
+
+Money Outcome::rebate_of(IdentityId identity) const {
+  auto it = rebates_.find(identity);
+  return it == rebates_.end() ? Money{} : it->second;
+}
+
+bool Outcome::bid_filled(BidId bid) const {
+  return fills_per_bid_.contains(bid);
+}
+
+}  // namespace fnda

@@ -1,0 +1,39 @@
+// Protocol interface.
+//
+// A double-auction protocol is a deterministic function of the rank-ordered
+// book (plus any randomness it explicitly draws, e.g. tie-breaking or the
+// randomized-threshold baseline).  Protocols are direct revelation
+// mechanisms: they see declared values only, never true valuations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/order_book.h"
+#include "core/outcome.h"
+
+namespace fnda {
+
+/// Abstract discrete-time (call-market) double-auction protocol.
+class DoubleAuctionProtocol {
+ public:
+  virtual ~DoubleAuctionProtocol() = default;
+
+  /// Clears one round.  `rng` supplies tie-breaking (and, for randomized
+  /// protocols, allocation randomness); passing the same book and rng
+  /// state reproduces the same outcome exactly.
+  virtual Outcome clear(const OrderBook& book, Rng& rng) const = 0;
+
+  /// Short stable name used in reports ("tpd", "pmd", ...).
+  virtual std::string name() const = 0;
+
+ protected:
+  DoubleAuctionProtocol() = default;
+  DoubleAuctionProtocol(const DoubleAuctionProtocol&) = default;
+  DoubleAuctionProtocol& operator=(const DoubleAuctionProtocol&) = default;
+};
+
+using ProtocolPtr = std::unique_ptr<DoubleAuctionProtocol>;
+
+}  // namespace fnda

@@ -1,0 +1,52 @@
+#include "core/surplus.h"
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+Money lookup(const std::unordered_map<IdentityId, Money>& values,
+             IdentityId identity, const char* side) {
+  auto it = values.find(identity);
+  if (it == values.end()) {
+    throw std::out_of_range(std::string("realized_surplus: no true ") + side +
+                            " valuation for a filled identity");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+SurplusReport realized_surplus(const Outcome& outcome,
+                               const TrueValuations& truth) {
+  SurplusReport report;
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kBuyer) {
+      const Money value = lookup(truth.buyer_values, fill.identity, "buyer");
+      report.buyers += (value - fill.price).to_double();
+    } else {
+      const Money value = lookup(truth.seller_values, fill.identity, "seller");
+      report.sellers += (fill.price - value).to_double();
+    }
+  }
+  report.auctioneer = outcome.auctioneer_revenue().to_double();
+  // Rebates are transfers from the auctioneer to participants; they raise
+  // the traders' surplus and are already deducted from the auctioneer's.
+  report.except_auctioneer =
+      report.buyers + report.sellers + outcome.rebates_total().to_double();
+  report.total = report.except_auctioneer + report.auctioneer;
+  return report;
+}
+
+double efficient_surplus(const SortedBook& true_value_book) {
+  const std::size_t k = true_value_book.efficient_trade_count();
+  double surplus = 0.0;
+  for (std::size_t rank = 1; rank <= k; ++rank) {
+    surplus += (true_value_book.buyer_value(rank) -
+                true_value_book.seller_value(rank))
+                   .to_double();
+  }
+  return surplus;
+}
+
+}  // namespace fnda

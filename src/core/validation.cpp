@@ -1,0 +1,83 @@
+#include "core/validation.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fnda {
+
+ValidationErrors validate_outcome(const OrderBook& book,
+                                  const Outcome& outcome,
+                                  const ValidationOptions& options) {
+  ValidationErrors errors;
+
+  std::unordered_map<BidId, const BidEntry*> buyer_bids;
+  std::unordered_map<BidId, const BidEntry*> seller_bids;
+  for (const BidEntry& e : book.buyers()) buyer_bids.emplace(e.id, &e);
+  for (const BidEntry& e : book.sellers()) seller_bids.emplace(e.id, &e);
+
+  if (outcome.buy_fill_count() != outcome.sell_fill_count()) {
+    std::ostringstream os;
+    os << "goods not conserved: " << outcome.buy_fill_count()
+       << " units bought vs " << outcome.sell_fill_count() << " sold";
+    errors.push_back(os.str());
+  }
+
+  std::unordered_map<BidId, std::size_t> fill_counts;
+  for (const Fill& fill : outcome.fills()) {
+    const auto& lane = fill.side == Side::kBuyer ? buyer_bids : seller_bids;
+    auto it = lane.find(fill.bid);
+    if (it == lane.end()) {
+      std::ostringstream os;
+      os << "fill references unknown " << to_string(fill.side) << " bid "
+         << fill.bid;
+      errors.push_back(os.str());
+      continue;
+    }
+    const BidEntry& bid = *it->second;
+    if (bid.identity != fill.identity) {
+      std::ostringstream os;
+      os << "fill identity " << fill.identity << " does not match bid "
+         << fill.bid << " identity " << bid.identity;
+      errors.push_back(os.str());
+    }
+    if (fill.side == Side::kBuyer && fill.price > bid.value) {
+      std::ostringstream os;
+      os << "buyer IR violated: bid " << fill.bid << " declared " << bid.value
+         << " but pays " << fill.price;
+      errors.push_back(os.str());
+    }
+    if (fill.side == Side::kSeller && fill.price < bid.value) {
+      std::ostringstream os;
+      os << "seller IR violated: bid " << fill.bid << " declared " << bid.value
+         << " but receives " << fill.price;
+      errors.push_back(os.str());
+    }
+    if (++fill_counts[fill.bid] > 1) {
+      std::ostringstream os;
+      os << "single-unit bid " << fill.bid << " filled more than once";
+      errors.push_back(os.str());
+    }
+  }
+
+  if (!options.allow_deficit && outcome.auctioneer_revenue() < Money{}) {
+    std::ostringstream os;
+    os << "auctioneer subsidises the market: revenue "
+       << outcome.auctioneer_revenue();
+    errors.push_back(os.str());
+  }
+
+  return errors;
+}
+
+void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
+                          const ValidationOptions& options) {
+  const ValidationErrors errors = validate_outcome(book, outcome, options);
+  if (errors.empty()) return;
+  std::ostringstream os;
+  os << "invalid outcome (" << errors.size() << " violation(s)):";
+  for (const std::string& e : errors) os << "\n  - " << e;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace fnda

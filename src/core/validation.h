@@ -1,0 +1,42 @@
+// Outcome invariant checking.
+//
+// These checks encode the properties Section 2 demands of any acceptable
+// protocol run: material feasibility, individual rationality with respect
+// to *declared* values, and a budget-balancing (never subsidising)
+// auctioneer.  Tests and the market server run every outcome through them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/order_book.h"
+#include "core/outcome.h"
+
+namespace fnda {
+
+/// Validation findings; empty means the outcome satisfies every invariant.
+using ValidationErrors = std::vector<std::string>;
+
+/// Relaxations for protocols that intentionally break an invariant.
+struct ValidationOptions {
+  /// VCG runs a budget deficit by design; set this to skip the
+  /// non-negative-auctioneer-revenue check.
+  bool allow_deficit = false;
+};
+
+/// Checks `outcome` against the book it was cleared from:
+///   - units bought == units sold (goods are conserved);
+///   - every fill references a bid present in the book, on the right side;
+///   - no single-unit bid fills more than once;
+///   - declared individual rationality: a buyer never pays above its
+///     declared value, a seller never receives below its declared value;
+///   - auctioneer revenue is non-negative.
+ValidationErrors validate_outcome(const OrderBook& book,
+                                  const Outcome& outcome,
+                                  const ValidationOptions& options = {});
+
+/// Throws std::logic_error listing all violations if any check fails.
+void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
+                          const ValidationOptions& options = {});
+
+}  // namespace fnda

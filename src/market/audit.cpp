@@ -1,0 +1,53 @@
+#include "market/audit.h"
+
+#include <sstream>
+
+namespace fnda {
+
+const char* to_string(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kRoundOpened: return "round-opened";
+    case AuditKind::kBidAccepted: return "bid-accepted";
+    case AuditKind::kBidRejected: return "bid-rejected";
+    case AuditKind::kRoundCleared: return "round-cleared";
+    case AuditKind::kDelivery: return "delivery";
+    case AuditKind::kDeliveryFailed: return "delivery-failed";
+    case AuditKind::kDepositConfiscated: return "deposit-confiscated";
+    case AuditKind::kDepositRefunded: return "deposit-refunded";
+  }
+  return "?";
+}
+
+void AuditLog::append(SimTime at, RoundId round, AuditKind kind,
+                      std::string detail) {
+  records_.push_back(AuditRecord{at, round, kind, std::move(detail)});
+}
+
+std::size_t AuditLog::count(AuditKind kind) const {
+  std::size_t n = 0;
+  for (const AuditRecord& record : records_) {
+    if (record.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<AuditRecord> AuditLog::for_round(RoundId round) const {
+  std::vector<AuditRecord> result;
+  for (const AuditRecord& record : records_) {
+    if (record.round == round) result.push_back(record);
+  }
+  return result;
+}
+
+std::string AuditLog::dump() const {
+  std::ostringstream os;
+  for (const AuditRecord& record : records_) {
+    os << "t=" << record.at.micros << ' ' << record.round << ' '
+       << to_string(record.kind);
+    if (!record.detail.empty()) os << ' ' << record.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fnda

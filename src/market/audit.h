@@ -1,0 +1,53 @@
+// Append-only audit log.
+//
+// Every externally visible event at the exchange — round lifecycle, bid
+// acceptance/rejection, clears, deliveries, confiscations — is recorded
+// with its simulated timestamp.  The log supports filtering for tests and
+// a compact dump for the examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "market/clock.h"
+
+namespace fnda {
+
+enum class AuditKind {
+  kRoundOpened,
+  kBidAccepted,
+  kBidRejected,
+  kRoundCleared,
+  kDelivery,
+  kDeliveryFailed,
+  kDepositConfiscated,
+  kDepositRefunded,
+};
+
+const char* to_string(AuditKind kind);
+
+struct AuditRecord {
+  SimTime at;
+  RoundId round;
+  AuditKind kind;
+  std::string detail;
+};
+
+class AuditLog {
+ public:
+  void append(SimTime at, RoundId round, AuditKind kind, std::string detail);
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t count(AuditKind kind) const;
+  std::vector<AuditRecord> for_round(RoundId round) const;
+
+  /// One line per record: "t=12000 round-0 bid-accepted id-3 buyer@9".
+  std::string dump() const;
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace fnda

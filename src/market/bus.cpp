@@ -1,0 +1,78 @@
+#include "market/bus.h"
+
+#include <utility>
+
+namespace fnda {
+
+const char* message_kind(const Message& message) {
+  struct Visitor {
+    const char* operator()(const RoundOpenMsg&) const { return "round-open"; }
+    const char* operator()(const SubmitBidMsg&) const { return "submit-bid"; }
+    const char* operator()(const BidAckMsg&) const { return "bid-ack"; }
+    const char* operator()(const FillNoticeMsg&) const { return "fill"; }
+    const char* operator()(const RoundClosedMsg&) const {
+      return "round-closed";
+    }
+    const char* operator()(const SettlementNoticeMsg&) const {
+      return "settlement";
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+MessageBus::MessageBus(EventQueue& queue, BusConfig config, Rng rng)
+    : queue_(queue), config_(config), rng_(rng) {}
+
+void MessageBus::attach(const std::string& address, Endpoint& endpoint) {
+  endpoints_[address] = &endpoint;
+}
+
+void MessageBus::detach(const std::string& address) {
+  endpoints_.erase(address);
+}
+
+MessageId MessageBus::send(const std::string& from, const std::string& to,
+                           Message payload) {
+  const MessageId id{next_message_++};
+  ++stats_.sent;
+
+  Envelope envelope;
+  envelope.id = id;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.sent_at = queue_.now();
+  envelope.payload = std::move(payload);
+
+  if (rng_.bernoulli(config_.drop_probability)) {
+    ++stats_.dropped;
+    return id;
+  }
+  schedule_delivery(envelope);
+  if (rng_.bernoulli(config_.duplicate_probability)) {
+    ++stats_.duplicated;
+    schedule_delivery(envelope);
+  }
+  return id;
+}
+
+void MessageBus::schedule_delivery(Envelope envelope) {
+  SimTime latency = config_.base_latency;
+  if (config_.jitter.micros > 0) {
+    latency.micros +=
+        rng_.uniform_int(0, config_.jitter.micros - 1);
+  }
+  const SimTime deliver_at = queue_.now() + latency;
+  queue_.schedule_at(deliver_at, [this, envelope = std::move(envelope),
+                                  deliver_at]() mutable {
+    auto it = endpoints_.find(envelope.to);
+    if (it == endpoints_.end()) {
+      ++stats_.dead_lettered;
+      return;
+    }
+    envelope.delivered_at = deliver_at;
+    ++stats_.delivered;
+    it->second->on_message(envelope);
+  });
+}
+
+}  // namespace fnda

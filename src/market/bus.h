@@ -1,0 +1,89 @@
+// In-process message bus with simulated network behaviour.
+//
+// Deliveries are scheduled on the EventQueue after a configurable latency
+// (base + uniform jitter) and may be duplicated or dropped.  Duplicates
+// carry the original MessageId so receivers can deduplicate; the server
+// does, which the tests exercise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "market/clock.h"
+#include "market/messages.h"
+
+namespace fnda {
+
+/// A delivered message with transport metadata.
+struct Envelope {
+  MessageId id;
+  std::string from;
+  std::string to;
+  SimTime sent_at;
+  SimTime delivered_at;
+  Message payload;
+};
+
+/// Anything attachable to the bus.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Envelope& envelope) = 0;
+};
+
+struct BusConfig {
+  SimTime base_latency{1'000};  // 1ms
+  SimTime jitter{500};          // uniform [0, jitter)
+  double duplicate_probability = 0.0;
+  double drop_probability = 0.0;
+};
+
+struct BusStats {
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  std::size_t duplicated = 0;
+  std::size_t dropped = 0;
+  std::size_t dead_lettered = 0;  // receiver detached before delivery
+};
+
+class MessageBus {
+ public:
+  MessageBus(EventQueue& queue, BusConfig config, Rng rng);
+
+  /// Attaches an endpoint at `address`; the endpoint must outlive the bus
+  /// or be detached first.  Re-attaching an address replaces the handler.
+  void attach(const std::string& address, Endpoint& endpoint);
+  void detach(const std::string& address);
+
+  /// Queues a message; returns its id (shared by any duplicates).
+  MessageId send(const std::string& from, const std::string& to,
+                 Message payload);
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  void schedule_delivery(Envelope envelope);
+
+  EventQueue& queue_;
+  BusConfig config_;
+  Rng rng_;
+  std::unordered_map<std::string, Endpoint*> endpoints_;
+  BusStats stats_;
+  std::uint64_t next_message_ = 0;
+};
+
+/// Receiver-side duplicate filter keyed by MessageId.
+class DedupFilter {
+ public:
+  /// Returns true the first time an id is seen.
+  bool fresh(MessageId id) { return seen_.insert(id).second; }
+  std::size_t seen_count() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<MessageId> seen_;
+};
+
+}  // namespace fnda

@@ -1,0 +1,86 @@
+#include "market/cda.h"
+
+namespace fnda {
+
+bool ContinuousDoubleAuction::remove_resting(Side side, IdentityId identity) {
+  auto scan = [identity](auto& book) {
+    for (auto level = book.begin(); level != book.end(); ++level) {
+      auto& queue = level->second;
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->identity == identity) {
+          queue.erase(it);
+          if (queue.empty()) book.erase(level);
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  return side == Side::kBuyer ? scan(bids_) : scan(asks_);
+}
+
+bool ContinuousDoubleAuction::cancel(IdentityId identity) {
+  return remove_resting(Side::kBuyer, identity) ||
+         remove_resting(Side::kSeller, identity);
+}
+
+std::optional<ContinuousDoubleAuction::Trade> ContinuousDoubleAuction::submit(
+    Side side, IdentityId identity, Money limit, SimTime now) {
+  // Replace any previous open order from this identity.
+  cancel(identity);
+
+  if (side == Side::kBuyer) {
+    if (!asks_.empty() && asks_.begin()->first <= limit) {
+      auto level = asks_.begin();
+      const RestingOrder resting = level->second.front();
+      level->second.pop_front();
+      if (level->second.empty()) asks_.erase(level);
+      const Trade trade{identity, resting.identity, resting.price, now};
+      trades_.push_back(trade);
+      return trade;
+    }
+    bids_[limit].push_back(RestingOrder{identity, limit, next_sequence_++});
+    return std::nullopt;
+  }
+
+  if (!bids_.empty() && bids_.begin()->first >= limit) {
+    auto level = bids_.begin();
+    const RestingOrder resting = level->second.front();
+    level->second.pop_front();
+    if (level->second.empty()) bids_.erase(level);
+    const Trade trade{resting.identity, identity, resting.price, now};
+    trades_.push_back(trade);
+    return trade;
+  }
+  asks_[limit].push_back(RestingOrder{identity, limit, next_sequence_++});
+  return std::nullopt;
+}
+
+std::optional<Money> ContinuousDoubleAuction::best_bid() const {
+  if (bids_.empty()) return std::nullopt;
+  return bids_.begin()->first;
+}
+
+std::optional<Money> ContinuousDoubleAuction::best_ask() const {
+  if (asks_.empty()) return std::nullopt;
+  return asks_.begin()->first;
+}
+
+std::size_t ContinuousDoubleAuction::open_bids() const {
+  std::size_t count = 0;
+  for (const auto& [price, queue] : bids_) count += queue.size();
+  return count;
+}
+
+std::size_t ContinuousDoubleAuction::open_asks() const {
+  std::size_t count = 0;
+  for (const auto& [price, queue] : asks_) count += queue.size();
+  return count;
+}
+
+bool ContinuousDoubleAuction::crossed() const {
+  if (bids_.empty() || asks_.empty()) return false;
+  return bids_.begin()->first >= asks_.begin()->first;
+}
+
+}  // namespace fnda

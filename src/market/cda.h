@@ -1,0 +1,78 @@
+// Continuous double auction (CDA) order book.
+//
+// The paper's Section 1 taxonomy: double auctions are either discrete-time
+// call markets (PMD/TPD — the paper's setting) or continuous-time books
+// where "the overall trades of the auction are composed of multiple
+// bilateral transactions".  This is the continuous half, used by the
+// zi_traders harness and `bench/cda_vs_call` to compare the two market
+// structures on identical valuations.
+//
+// Rules (the standard CDA):
+//   - single-unit limit orders with price-time priority;
+//   - an incoming order that crosses the best resting opposite order
+//     trades immediately at the *resting* order's price;
+//   - otherwise it rests in the book until matched or cancelled.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/money.h"
+#include "core/bid.h"
+#include "market/clock.h"
+
+namespace fnda {
+
+class ContinuousDoubleAuction {
+ public:
+  struct Trade {
+    IdentityId buyer;
+    IdentityId seller;
+    Money price;
+    SimTime at;
+  };
+
+  ContinuousDoubleAuction() = default;
+
+  /// Submits a limit order.  Returns the trade if the order crossed, or
+  /// std::nullopt if it rested.  One identity may have at most one open
+  /// order (resubmitting replaces it, losing time priority).
+  std::optional<Trade> submit(Side side, IdentityId identity, Money limit,
+                              SimTime now);
+
+  /// Removes an identity's resting order; false if it had none.
+  bool cancel(IdentityId identity);
+
+  /// Best resting prices (nullopt when that side is empty).
+  std::optional<Money> best_bid() const;
+  std::optional<Money> best_ask() const;
+
+  std::size_t open_bids() const;
+  std::size_t open_asks() const;
+
+  const std::vector<Trade>& trades() const { return trades_; }
+
+  /// True if no resting bid can ever cross a resting ask (book is done
+  /// unless new orders arrive).
+  bool crossed() const;
+
+ private:
+  struct RestingOrder {
+    IdentityId identity;
+    Money price;
+    std::uint64_t sequence;  // time priority within a price level
+  };
+
+  // Bids keyed descending (best first), asks ascending.
+  std::map<Money, std::deque<RestingOrder>, std::greater<Money>> bids_;
+  std::map<Money, std::deque<RestingOrder>> asks_;
+  std::vector<Trade> trades_;
+  std::uint64_t next_sequence_ = 0;
+
+  bool remove_resting(Side side, IdentityId identity);
+};
+
+}  // namespace fnda

@@ -1,0 +1,102 @@
+// Trading clients.
+//
+// A client is one *account* pursuing one strategy.  On every round-open
+// broadcast it mints a fresh identity per declaration (false names are
+// free), posts the required deposit, and submits its bids over the bus.
+// Truthful clients have a single own-side declaration; attackers carry
+// whatever Strategy they were configured with.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "market/bus.h"
+#include "market/clock.h"
+#include "market/escrow.h"
+#include "market/identity.h"
+#include "mechanism/strategy.h"
+#include "mechanism/utility.h"
+
+namespace fnda {
+
+struct ClientConfig {
+  /// Deposit posted for each freshly minted identity.
+  Money deposit_per_identity = Money::from_units(10);
+  /// Retransmit an unacked bid after this long; zero disables retries.
+  /// The server acks identical retransmissions idempotently, so retrying
+  /// over a lossy bus is safe.
+  SimTime retry_interval{0};
+  /// Retransmissions per bid before giving up.
+  std::size_t max_retries = 3;
+};
+
+class TradingClient : public Endpoint {
+ public:
+  TradingClient(std::string address, AccountId account, Side role,
+                Money true_value, EventQueue& queue, MessageBus& bus,
+                IdentityRegistry& registry, EscrowService& escrow,
+                std::string server_address, ClientConfig config = {});
+
+  /// Replaces the default truthful strategy.
+  void set_strategy(Strategy strategy) { strategy_ = std::move(strategy); }
+
+  void on_message(const Envelope& envelope) override;
+
+  AccountId account() const { return account_; }
+  Side role() const { return role_; }
+  Money true_value() const { return true_value_; }
+  const std::string& address() const { return address_; }
+
+  /// Aggregate cleared position across all of this account's identities,
+  /// reconstructed from fill notices.
+  const AccountPosition& position() const { return position_; }
+
+  /// Quasi-linear utility of the position as *announced* (before
+  /// settlement cancellations); the exchange-level utility from ledgers is
+  /// the authoritative number.
+  double announced_utility(const UtilityModel& model = UtilityModel{}) const {
+    return model.evaluate(role_, true_value_, position_);
+  }
+
+  std::size_t bids_accepted() const { return accepted_; }
+  std::size_t bids_rejected() const { return rejected_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+  std::size_t rounds_seen() const { return rounds_seen_; }
+  std::size_t settlement_failures() const { return settlement_failures_; }
+  const std::vector<FillNoticeMsg>& fills() const { return fills_; }
+  const std::vector<IdentityId>& identities() const { return identities_; }
+
+ private:
+  void on_round_open(const RoundOpenMsg& msg);
+  void submit_with_retry(const SubmitBidMsg& msg, SimTime deadline,
+                         std::size_t retries_left);
+
+  std::string address_;
+  AccountId account_;
+  Side role_;
+  Money true_value_;
+  EventQueue& queue_;
+  MessageBus& bus_;
+  IdentityRegistry& registry_;
+  EscrowService& escrow_;
+  std::string server_address_;
+  ClientConfig config_;
+  Strategy strategy_;
+
+  std::vector<IdentityId> identities_;
+  std::vector<FillNoticeMsg> fills_;
+  AccountPosition position_;
+  DedupFilter dedup_;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t rounds_seen_ = 0;
+  std::size_t settlement_failures_ = 0;
+  std::size_t retransmissions_ = 0;
+  /// Identities whose bid the server has acknowledged (either way).
+  std::unordered_set<IdentityId> acked_;
+  /// Rounds already bid in (round-open heartbeats repeat announcements).
+  std::unordered_set<RoundId> rounds_bid_;
+};
+
+}  // namespace fnda

@@ -1,0 +1,43 @@
+#include "market/clock.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fnda {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  queue_.push(Entry{std::max(at, now_), next_sequence_++, std::move(action)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the entry must be copied out before
+  // pop.  Actions are small (captured pointers), so this is cheap.
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.at;
+  entry.action();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(SimTime until, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty() &&
+         queue_.top().at <= until) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace fnda

@@ -1,0 +1,78 @@
+// Virtual time and the discrete-event queue driving the market simulator.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fnda {
+
+/// Simulated time in microseconds since simulation start.
+struct SimTime {
+  std::int64_t micros = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimTime other) const {
+    return SimTime{micros + other.micros};
+  }
+  constexpr SimTime operator-(SimTime other) const {
+    return SimTime{micros - other.micros};
+  }
+
+  static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime{ms * 1000};
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime{s * 1'000'000};
+  }
+};
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Events fire in (time, insertion-order) order, so two events scheduled
+/// for the same instant run FIFO — deterministic replays depend on this.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`.  Scheduling in the past is
+  /// clamped to now (the action runs next).
+  void schedule_at(SimTime at, Action action);
+  /// Schedules `action` `delay` after the current time.
+  void schedule_after(SimTime delay, Action action);
+
+  /// Executes the earliest pending event; returns false if none remain.
+  bool step();
+
+  /// Runs events until the queue is empty or `max_events` have executed;
+  /// returns the number executed.  The cap guards against event loops
+  /// that reschedule themselves forever.
+  std::size_t run(std::size_t max_events = 1'000'000);
+
+  /// Runs all events scheduled at or before `until`.
+  std::size_t run_until(SimTime until, std::size_t max_events = 1'000'000);
+
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return b.at < a.at;
+      return b.sequence < a.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_{};
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace fnda

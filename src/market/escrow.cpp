@@ -1,0 +1,45 @@
+#include "market/escrow.h"
+
+namespace fnda {
+
+void EscrowService::post(IdentityId identity, AccountId payer, Money amount) {
+  cash_.transfer(payer, escrow_account(), amount);
+  deposits_[identity] += amount;
+}
+
+void EscrowService::refund(IdentityId identity, AccountId payee) {
+  auto it = deposits_.find(identity);
+  if (it == deposits_.end() || it->second == Money{}) return;
+  cash_.transfer(escrow_account(), payee, it->second);
+  it->second = Money{};
+}
+
+Money EscrowService::confiscate(IdentityId identity, AccountId exchange) {
+  auto it = deposits_.find(identity);
+  if (it == deposits_.end() || it->second == Money{}) return Money{};
+  const Money seized = it->second;
+  cash_.transfer(escrow_account(), exchange, seized);
+  it->second = Money{};
+  return seized;
+}
+
+Money EscrowService::held(IdentityId identity) const {
+  auto it = deposits_.find(identity);
+  return it == deposits_.end() ? Money{} : it->second;
+}
+
+std::vector<IdentityId> EscrowService::identities_with_deposits() const {
+  std::vector<IdentityId> result;
+  for (const auto& [identity, amount] : deposits_) {
+    if (amount > Money{}) result.push_back(identity);
+  }
+  return result;
+}
+
+Money EscrowService::total_held() const {
+  Money sum;
+  for (const auto& [identity, amount] : deposits_) sum += amount;
+  return sum;
+}
+
+}  // namespace fnda

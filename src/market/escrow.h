@@ -1,0 +1,52 @@
+// Security-deposit escrow (Section 6's penalty mechanism).
+//
+// "If one completes his/her transaction, or his/her bid is not included in
+// the actual trades, the security deposit would be returned.  If one does
+// not complete his/her transaction while his/her bid is included in the
+// actual trades, the security deposit would be confiscated."
+//
+// Deposits are posted per identity (the server cannot tell identities
+// apart, so it must charge each one).  Confiscated deposits go to the
+// exchange account.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/money.h"
+#include "market/ledger.h"
+
+namespace fnda {
+
+class EscrowService {
+ public:
+  explicit EscrowService(CashLedger& cash) : cash_(cash) {}
+
+  /// Moves `amount` from `payer`'s cash into escrow for `identity`.
+  /// Additional posts accumulate.
+  void post(IdentityId identity, AccountId payer, Money amount);
+
+  /// Returns the full deposit to `payee`'s cash.
+  void refund(IdentityId identity, AccountId payee);
+
+  /// Seizes the full deposit for the exchange.  Returns the amount seized.
+  Money confiscate(IdentityId identity, AccountId exchange);
+
+  Money held(IdentityId identity) const;
+  Money total_held() const;
+
+  /// Identities currently holding a non-zero deposit (market-close sweep).
+  std::vector<IdentityId> identities_with_deposits() const;
+
+ private:
+  CashLedger& cash_;
+  std::unordered_map<IdentityId, Money> deposits_;
+  /// Escrow is itself a cash holder; use a dedicated pseudo-account so the
+  /// CashLedger's conservation invariant covers posted deposits too.
+  static constexpr AccountId escrow_account() {
+    return AccountId{static_cast<std::uint64_t>(-2)};
+  }
+};
+
+}  // namespace fnda

@@ -1,0 +1,80 @@
+// ExchangeSimulation: one-stop wiring of the whole market substrate.
+//
+// Owns the event queue, bus, ledgers, registry, escrow, settlement engine,
+// audit log, server, and clients, in dependency order.  Examples, benches
+// and integration tests use this facade instead of hand-wiring components.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "market/client.h"
+#include "market/server.h"
+
+namespace fnda {
+
+struct ExchangeConfig {
+  BusConfig bus{};
+  ServerConfig server{};
+  ClientConfig client{};
+  /// Cash granted to each trader account on creation.
+  Money initial_cash = Money::from_units(1'000);
+  std::uint64_t seed = 1;
+};
+
+class ExchangeSimulation {
+ public:
+  /// `protocol` must outlive the simulation.
+  explicit ExchangeSimulation(const DoubleAuctionProtocol& protocol,
+                              ExchangeConfig config = {});
+
+  /// Adds a truthful trader (single own-side declaration of `true_value`).
+  /// Sellers are endowed with one unit of the good.
+  TradingClient& add_trader(Side role, Money true_value);
+  /// Adds a trader playing an arbitrary strategy (attackers).
+  TradingClient& add_trader(Side role, Money true_value, Strategy strategy);
+
+  /// Opens one round, runs the event queue to quiescence (all bids,
+  /// clearing, fills, settlement, notices), and returns the round id.
+  RoundId run_round(SimTime open_for = SimTime::millis(100));
+
+  /// Settlement-truth utility of a trader: change in cash plus change in
+  /// valued goods (at most one unit counts), relative to its endowment.
+  /// Confiscated deposits and cancelled trades are all reflected here.
+  double settled_utility(const TradingClient& client) const;
+
+  /// Ends the trading day: every remaining deposit is returned to the
+  /// account behind its identity (confiscated deposits are already gone).
+  /// Returns the total refunded.  Throws std::logic_error while a round
+  /// is still open.
+  Money close_market();
+
+  AuctionServer& server() { return *server_; }
+  const AuctionServer& server() const { return *server_; }
+  EventQueue& queue() { return queue_; }
+  MessageBus& bus() { return *bus_; }
+  IdentityRegistry& registry() { return registry_; }
+  CashLedger& cash() { return cash_; }
+  GoodsLedger& goods() { return goods_; }
+  EscrowService& escrow() { return *escrow_; }
+  AuditLog& audit() { return audit_; }
+  const std::deque<std::unique_ptr<TradingClient>>& traders() const {
+    return traders_;
+  }
+
+ private:
+  ExchangeConfig config_;
+  EventQueue queue_;
+  std::unique_ptr<MessageBus> bus_;
+  IdentityRegistry registry_;
+  CashLedger cash_;
+  GoodsLedger goods_;
+  std::unique_ptr<EscrowService> escrow_;
+  std::unique_ptr<SettlementEngine> settlement_;
+  AuditLog audit_;
+  std::unique_ptr<AuctionServer> server_;
+  std::deque<std::unique_ptr<TradingClient>> traders_;
+  std::uint64_t next_client_ = 0;
+};
+
+}  // namespace fnda

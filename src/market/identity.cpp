@@ -1,0 +1,34 @@
+#include "market/identity.h"
+
+#include <stdexcept>
+
+namespace fnda {
+
+AccountId IdentityRegistry::create_account() {
+  return AccountId{next_account_++};
+}
+
+IdentityId IdentityRegistry::register_identity(AccountId account) {
+  const IdentityId identity{next_identity_++};
+  owners_.emplace(identity, account);
+  return identity;
+}
+
+AccountId IdentityRegistry::owner(IdentityId identity) const {
+  auto it = owners_.find(identity);
+  if (it == owners_.end()) {
+    throw std::out_of_range("IdentityRegistry::owner: unknown identity");
+  }
+  return it->second;
+}
+
+std::vector<IdentityId> IdentityRegistry::identities_of(
+    AccountId account) const {
+  std::vector<IdentityId> result;
+  for (const auto& [identity, owner] : owners_) {
+    if (owner == account) result.push_back(identity);
+  }
+  return result;
+}
+
+}  // namespace fnda

@@ -1,0 +1,47 @@
+// Account and identity management.
+//
+// The paper's threat model in one class: accounts are real economic
+// actors, identities are names minted at will.  The auction server never
+// queries the account behind an identity (that is the whole point of a
+// false-name bid); only settlement — physical delivery — pierces the veil,
+// via owner(), which models "the fact that s_y is a false-name bid is
+// brought to light".
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace fnda {
+
+class IdentityRegistry {
+ public:
+  /// Reserved account for the exchange/auctioneer itself.
+  static constexpr AccountId exchange_account() { return AccountId{0}; }
+
+  /// Opens a fresh trader account.
+  AccountId create_account();
+
+  /// Mints a new identity owned by `account`.  Unlimited and cheap —
+  /// identifying participants on the Internet is "virtually impossible".
+  IdentityId register_identity(AccountId account);
+
+  /// The account behind an identity.  Settlement-time only.
+  /// Throws std::out_of_range for unknown identities.
+  AccountId owner(IdentityId identity) const;
+
+  /// All identities minted by one account (audit views).
+  std::vector<IdentityId> identities_of(AccountId account) const;
+
+  std::size_t account_count() const { return next_account_ - 1; }
+  std::size_t identity_count() const { return owners_.size(); }
+
+ private:
+  std::unordered_map<IdentityId, AccountId> owners_;
+  std::uint64_t next_account_ = 1;  // 0 is the exchange
+  std::uint64_t next_identity_ = 0;
+};
+
+}  // namespace fnda

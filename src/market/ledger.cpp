@@ -1,0 +1,48 @@
+#include "market/ledger.h"
+
+namespace fnda {
+
+void CashLedger::grant(AccountId account, Money amount) {
+  balances_[account] += amount;
+}
+
+void CashLedger::transfer(AccountId from, AccountId to, Money amount) {
+  balances_[from] -= amount;
+  balances_[to] += amount;
+}
+
+Money CashLedger::balance(AccountId account) const {
+  auto it = balances_.find(account);
+  return it == balances_.end() ? Money{} : it->second;
+}
+
+Money CashLedger::total() const {
+  Money sum;
+  for (const auto& [account, balance] : balances_) sum += balance;
+  return sum;
+}
+
+void GoodsLedger::grant(AccountId account, std::size_t units) {
+  units_[account] += units;
+}
+
+bool GoodsLedger::transfer_unit(AccountId from, AccountId to) {
+  auto it = units_.find(from);
+  if (it == units_.end() || it->second == 0) return false;
+  --it->second;
+  ++units_[to];
+  return true;
+}
+
+std::size_t GoodsLedger::units(AccountId account) const {
+  auto it = units_.find(account);
+  return it == units_.end() ? 0 : it->second;
+}
+
+std::size_t GoodsLedger::total() const {
+  std::size_t sum = 0;
+  for (const auto& [account, units] : units_) sum += units;
+  return sum;
+}
+
+}  // namespace fnda

@@ -1,0 +1,52 @@
+// Cash and goods ledgers.
+//
+// Settlement moves real balances: buyers' cash to the exchange, the
+// exchange's cash to sellers, and one unit of the good per delivered
+// trade.  Both ledgers are conservation-checked: money and goods are
+// created only by explicit grants.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/money.h"
+
+namespace fnda {
+
+/// Account cash balances.  Balances may go negative (the simulator's
+/// traders have credit); conservation is the invariant that matters:
+/// the sum of all balances never changes except through grant().
+class CashLedger {
+ public:
+  /// Creates money (initial endowments only).
+  void grant(AccountId account, Money amount);
+
+  /// Moves `amount` from one account to another.
+  void transfer(AccountId from, AccountId to, Money amount);
+
+  Money balance(AccountId account) const;
+
+  /// Sum over all accounts; constant across transfers.
+  Money total() const;
+
+ private:
+  std::unordered_map<AccountId, Money> balances_;
+};
+
+/// Units of the (single) traded good held per account.
+class GoodsLedger {
+ public:
+  void grant(AccountId account, std::size_t units);
+
+  /// Moves one unit; returns false (and moves nothing) if `from` has none.
+  bool transfer_unit(AccountId from, AccountId to);
+
+  std::size_t units(AccountId account) const;
+  std::size_t total() const;
+
+ private:
+  std::unordered_map<AccountId, std::size_t> units_;
+};
+
+}  // namespace fnda

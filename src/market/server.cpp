@@ -1,0 +1,209 @@
+#include "market/server.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/validation.h"
+
+namespace fnda {
+namespace {
+
+/// Streams every argument into a string (audit-log detail lines).
+template <typename... Parts>
+std::string fmt(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace
+
+AuctionServer::AuctionServer(std::string address, EventQueue& queue,
+                             MessageBus& bus,
+                             const DoubleAuctionProtocol& protocol,
+                             EscrowService& escrow,
+                             SettlementEngine& settlement, AuditLog& audit,
+                             Rng rng, ServerConfig config)
+    : address_(std::move(address)),
+      queue_(queue),
+      bus_(bus),
+      protocol_(&protocol),
+      escrow_(escrow),
+      settlement_(settlement),
+      audit_(audit),
+      rng_(rng),
+      config_(config) {
+  bus_.attach(address_, *this);
+}
+
+void AuctionServer::subscribe(const std::string& address) {
+  subscribers_.push_back(address);
+}
+
+void AuctionServer::set_protocol(const DoubleAuctionProtocol& protocol) {
+  if (open_round_.has_value()) {
+    throw std::logic_error(
+        "AuctionServer::set_protocol: a round is open; the protocol in "
+        "force at open_round() clears it");
+  }
+  protocol_ = &protocol;
+}
+
+RoundId AuctionServer::open_round(SimTime open_for) {
+  if (open_round_.has_value()) {
+    throw std::logic_error("AuctionServer: a round is already open");
+  }
+  const RoundId id{next_round_++};
+  const SimTime close_at = queue_.now() + open_for;
+  open_round_.emplace(OpenRound{id, close_at, OrderBook(config_.domain),
+                                rng_(), {}});
+  audit_.append(queue_.now(), id, AuditKind::kRoundOpened, "");
+
+  announce_round(*open_round_);
+  schedule_announcements(id);
+  queue_.schedule_at(close_at, [this, id] {
+    // Guard against stale closures if the round set ever changes shape.
+    if (open_round_.has_value() && open_round_->id == id) clear_round();
+  });
+  return id;
+}
+
+void AuctionServer::announce_round(const OpenRound& round) {
+  for (const std::string& subscriber : subscribers_) {
+    bus_.send(address_, subscriber, RoundOpenMsg{round.id, round.close_at});
+  }
+}
+
+void AuctionServer::schedule_announcements(RoundId id) {
+  if (config_.announce_interval.micros <= 0) return;
+  queue_.schedule_after(config_.announce_interval, [this, id] {
+    if (!open_round_.has_value() || open_round_->id != id) return;
+    if (queue_.now() >= open_round_->close_at) return;
+    announce_round(*open_round_);
+    schedule_announcements(id);
+  });
+}
+
+void AuctionServer::on_message(const Envelope& envelope) {
+  // At-least-once transport: duplicates share a MessageId and are ignored.
+  if (!dedup_.fresh(envelope.id)) return;
+  if (const auto* msg = std::get_if<SubmitBidMsg>(&envelope.payload)) {
+    handle_submit(envelope, *msg);
+  }
+  // Other message kinds are client-bound; a server receiving one ignores it.
+}
+
+void AuctionServer::reject(const Envelope& envelope, const SubmitBidMsg& msg,
+                           const std::string& reason) {
+  audit_.append(queue_.now(), msg.round, AuditKind::kBidRejected,
+                fmt(msg.identity, ' ', to_string(msg.side), '@', msg.value,
+                    ": ", reason));
+  bus_.send(address_, envelope.from,
+            BidAckMsg{msg.round, msg.identity, false, reason});
+}
+
+void AuctionServer::handle_submit(const Envelope& envelope,
+                                  const SubmitBidMsg& msg) {
+  if (!open_round_.has_value() || open_round_->id != msg.round) {
+    reject(envelope, msg, "round not open");
+    return;
+  }
+  OpenRound& round = *open_round_;
+  if (auto it = round.submitted.find(msg.identity);
+      it != round.submitted.end()) {
+    if (it->second.side == msg.side && it->second.value == msg.value) {
+      // Identical retransmission (at-least-once client): ack idempotently.
+      bus_.send(address_, envelope.from,
+                BidAckMsg{msg.round, msg.identity, true, ""});
+    } else {
+      reject(envelope, msg, "identity already bid this round");
+    }
+    return;
+  }
+  if (escrow_.held(msg.identity) < config_.min_deposit) {
+    reject(envelope, msg, "insufficient deposit");
+    return;
+  }
+  if (msg.value < config_.domain.lowest || msg.value > config_.domain.highest) {
+    reject(envelope, msg, "value outside domain");
+    return;
+  }
+
+  round.book.add(msg.side, msg.identity, msg.value);
+  round.submitted.emplace(msg.identity,
+                          SubmittedBid{envelope.from, msg.side, msg.value});
+  audit_.append(queue_.now(), msg.round, AuditKind::kBidAccepted,
+                fmt(msg.identity, ' ', to_string(msg.side), '@', msg.value));
+  bus_.send(address_, envelope.from,
+            BidAckMsg{msg.round, msg.identity, true, ""});
+}
+
+void AuctionServer::clear_round() {
+  OpenRound round = std::move(*open_round_);
+  open_round_.reset();
+
+  Rng clear_rng(round.clear_seed);
+  Outcome outcome = protocol_->clear(round.book, clear_rng);
+  expect_valid_outcome(round.book, outcome);
+
+  audit_.append(queue_.now(), round.id, AuditKind::kRoundCleared,
+                fmt(outcome.trade_count(), " trades, revenue ",
+                    outcome.auctioneer_revenue()));
+
+  for (const Fill& fill : outcome.fills()) {
+    auto it = round.submitted.find(fill.identity);
+    if (it == round.submitted.end()) continue;
+    bus_.send(address_, it->second.reply_to,
+              FillNoticeMsg{round.id, fill.identity, fill.side, fill.price});
+  }
+  for (const std::string& subscriber : subscribers_) {
+    bus_.send(address_, subscriber,
+              RoundClosedMsg{round.id, outcome.trade_count(),
+                             outcome.auctioneer_revenue()});
+  }
+
+  SettlementReport report = settlement_.settle(round.id, outcome);
+  for (const Delivery& delivery : report.deliveries) {
+    if (delivery.delivered) {
+      audit_.append(queue_.now(), round.id, AuditKind::kDelivery,
+                    fmt(delivery.seller, " -> ", delivery.buyer));
+      continue;
+    }
+    audit_.append(queue_.now(), round.id, AuditKind::kDeliveryFailed,
+                  fmt(delivery.seller));
+    if (delivery.confiscated > Money{}) {
+      audit_.append(queue_.now(), round.id, AuditKind::kDepositConfiscated,
+                    fmt(delivery.seller, ' ', delivery.confiscated));
+    }
+    auto it = round.submitted.find(delivery.seller);
+    if (it != round.submitted.end()) {
+      bus_.send(address_, it->second.reply_to,
+                SettlementNoticeMsg{round.id, delivery.seller, false,
+                                    delivery.confiscated});
+    }
+  }
+
+  completed_.emplace(round.id,
+                     CompletedRound{round.id, std::move(round.book),
+                                    round.clear_seed, protocol_,
+                                    std::move(outcome), std::move(report)});
+}
+
+const Outcome* AuctionServer::outcome_of(RoundId round) const {
+  auto it = completed_.find(round);
+  return it == completed_.end() ? nullptr : &it->second.outcome;
+}
+
+const SettlementReport* AuctionServer::settlement_of(RoundId round) const {
+  auto it = completed_.find(round);
+  return it == completed_.end() ? nullptr : &it->second.settlement;
+}
+
+std::optional<Outcome> AuctionServer::replay_round(RoundId round) const {
+  auto it = completed_.find(round);
+  if (it == completed_.end()) return std::nullopt;
+  Rng clear_rng(it->second.clear_seed);
+  return it->second.protocol->clear(it->second.book, clear_rng);
+}
+
+}  // namespace fnda

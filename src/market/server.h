@@ -1,0 +1,129 @@
+// The call-market auction server.
+//
+// Lifecycle per round (all on the simulated clock):
+//   open_round()     broadcast RoundOpen, start accepting SubmitBid
+//   ...              validate each bid: round open, identity fresh this
+//                    round, deposit posted, value in domain; ack/nack
+//   close time       build the order book, clear with the configured
+//                    protocol, validate invariants, notify fills,
+//                    broadcast RoundClosed, settle (deliveries, penalty
+//                    confiscations), notify settled sellers
+//
+// The server sees identities only; it never consults the identity
+// registry for ownership — that happens inside settlement, exactly as in
+// the paper's model.  Every round stores its book and clearing seed, so
+// any outcome can be replayed bit-for-bit for audit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/protocol.h"
+#include "market/audit.h"
+#include "market/bus.h"
+#include "market/settlement.h"
+
+namespace fnda {
+
+struct ServerConfig {
+  /// Minimum escrowed deposit for an identity's bid to be accepted.
+  Money min_deposit = Money::from_units(10);
+  /// Valuation domain enforced on declarations.
+  ValueDomain domain{};
+  /// Re-broadcast the round-open announcement at this interval while the
+  /// round is accepting bids (zero disables).  Lossy transports drop the
+  /// first announcement for some clients; the heartbeat reaches them, and
+  /// clients deduplicate rounds they have already bid in.
+  SimTime announce_interval{0};
+};
+
+class AuctionServer : public Endpoint {
+ public:
+  AuctionServer(std::string address, EventQueue& queue, MessageBus& bus,
+                const DoubleAuctionProtocol& protocol, EscrowService& escrow,
+                SettlementEngine& settlement, AuditLog& audit, Rng rng,
+                ServerConfig config = {});
+
+  /// Registers a client address for round-open/round-closed broadcasts.
+  void subscribe(const std::string& address);
+
+  /// Swaps the clearing protocol for subsequent rounds (e.g. a TPD with a
+  /// re-tuned threshold).  `protocol` must outlive the server.  Throws
+  /// std::logic_error while a round is open — the protocol in force when
+  /// a round opened is the one that clears it.
+  void set_protocol(const DoubleAuctionProtocol& protocol);
+
+  /// Opens a new round that closes `open_for` from now.  Only one round
+  /// may be open at a time (throws std::logic_error otherwise).
+  RoundId open_round(SimTime open_for);
+
+  void on_message(const Envelope& envelope) override;
+
+  const std::string& address() const { return address_; }
+
+  /// Completed-round views (nullptr/nullopt for unknown or open rounds).
+  const Outcome* outcome_of(RoundId round) const;
+  const SettlementReport* settlement_of(RoundId round) const;
+
+  /// Re-clears a completed round from its stored book and seed; returns
+  /// the recomputed outcome for comparison against the stored one.
+  std::optional<Outcome> replay_round(RoundId round) const;
+
+  std::size_t rounds_completed() const { return completed_.size(); }
+  bool round_open() const { return open_round_.has_value(); }
+
+ private:
+  struct SubmittedBid {
+    std::string reply_to;
+    Side side;
+    Money value;
+  };
+  struct OpenRound {
+    RoundId id;
+    SimTime close_at;
+    OrderBook book;
+    std::uint64_t clear_seed = 0;
+    /// Accepted declaration per identity: reply address for fill notices
+    /// plus the declaration itself, so an identical retransmission can be
+    /// acked idempotently (at-least-once clients retry until acked).
+    std::unordered_map<IdentityId, SubmittedBid> submitted;
+  };
+  struct CompletedRound {
+    RoundId id;
+    OrderBook book;
+    std::uint64_t clear_seed = 0;
+    /// The protocol that cleared this round (set_protocol may have
+    /// changed the active one since); replay must use this.
+    const DoubleAuctionProtocol* protocol = nullptr;
+    Outcome outcome;
+    SettlementReport settlement;
+  };
+
+  void handle_submit(const Envelope& envelope, const SubmitBidMsg& msg);
+  void announce_round(const OpenRound& round);
+  void schedule_announcements(RoundId id);
+  void clear_round();
+  void reject(const Envelope& envelope, const SubmitBidMsg& msg,
+              const std::string& reason);
+
+  std::string address_;
+  EventQueue& queue_;
+  MessageBus& bus_;
+  const DoubleAuctionProtocol* protocol_;
+  EscrowService& escrow_;
+  SettlementEngine& settlement_;
+  AuditLog& audit_;
+  Rng rng_;
+  ServerConfig config_;
+
+  std::vector<std::string> subscribers_;
+  std::optional<OpenRound> open_round_;
+  std::unordered_map<RoundId, CompletedRound> completed_;
+  DedupFilter dedup_;
+  std::uint64_t next_round_ = 0;
+};
+
+}  // namespace fnda

@@ -1,0 +1,57 @@
+// Settlement: turning a cleared outcome into cash and goods movements.
+//
+// Trades are settled pairwise in fill order.  A seller identity whose
+// account cannot deliver a unit is a discovered false-name bid: the pair
+// is cancelled (the matched buyer pays nothing, receives nothing) and the
+// seller identity's deposit is confiscated — the Section 6 penalty.
+#pragma once
+
+#include <vector>
+
+#include "core/outcome.h"
+#include "market/escrow.h"
+#include "market/identity.h"
+#include "market/ledger.h"
+
+namespace fnda {
+
+struct Delivery {
+  IdentityId seller;
+  AccountId seller_account;
+  IdentityId buyer;
+  AccountId buyer_account;
+  Money buyer_paid;
+  Money seller_received;
+  bool delivered = false;
+  Money confiscated;
+};
+
+struct SettlementReport {
+  RoundId round;
+  std::vector<Delivery> deliveries;
+  std::size_t failed = 0;
+  Money confiscated_total;
+  /// The exchange's trading profit for the round (spread on delivered
+  /// pairs), excluding confiscations.
+  Money exchange_spread;
+};
+
+class SettlementEngine {
+ public:
+  SettlementEngine(IdentityRegistry& registry, CashLedger& cash,
+                   GoodsLedger& goods, EscrowService& escrow)
+      : registry_(registry), cash_(cash), goods_(goods), escrow_(escrow) {}
+
+  /// Settles every trade in `outcome`.  Buyer fill i is matched with
+  /// seller fill i (goods are identical, so the pairing is arbitrary but
+  /// must be deterministic).
+  SettlementReport settle(RoundId round, const Outcome& outcome);
+
+ private:
+  IdentityRegistry& registry_;
+  CashLedger& cash_;
+  GoodsLedger& goods_;
+  EscrowService& escrow_;
+};
+
+}  // namespace fnda

@@ -1,0 +1,110 @@
+#include "market/zi_traders.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fnda {
+
+ZiSessionResult run_zi_session(const SingleUnitInstance& instance, Rng& rng,
+                               const ZiSessionConfig& config) {
+  struct Trader {
+    Side side;
+    IdentityId identity;
+    Money value;
+    bool done = false;
+  };
+  std::vector<Trader> traders;
+  traders.reserve(instance.buyer_values.size() +
+                  instance.seller_values.size());
+  for (std::size_t i = 0; i < instance.buyer_values.size(); ++i) {
+    traders.push_back(
+        Trader{Side::kBuyer, IdentityId{i}, instance.buyer_values[i]});
+  }
+  for (std::size_t j = 0; j < instance.seller_values.size(); ++j) {
+    traders.push_back(Trader{Side::kSeller,
+                             IdentityId{kSellerIdentityBase + j},
+                             instance.seller_values[j]});
+  }
+
+  // True valuations for scoring.
+  const InstantiatedMarket market = instantiate_truthful(instance);
+  Rng sort_rng = rng.split();
+  const SortedBook sorted(market.book, sort_rng);
+
+  ZiSessionResult result;
+  result.efficient_surplus = efficient_surplus(sorted);
+
+  ContinuousDoubleAuction book;
+  auto by_identity = [&traders](IdentityId identity) -> Trader& {
+    for (Trader& t : traders) {
+      if (t.identity == identity) return t;
+    }
+    throw std::logic_error("run_zi_session: unknown identity");
+  };
+
+  double price_total = 0.0;
+  std::size_t active = traders.size();
+  for (std::size_t step = 0; step < config.max_steps && active > 0; ++step) {
+    ++result.steps;
+    // Pick a random still-active trader.
+    std::size_t pick = rng.below(active);
+    Trader* chosen = nullptr;
+    for (Trader& t : traders) {
+      if (t.done) continue;
+      if (pick == 0) {
+        chosen = &t;
+        break;
+      }
+      --pick;
+    }
+
+    // ZI-C quote: uniform within the budget-feasible range.
+    Money quote;
+    if (chosen->side == Side::kBuyer) {
+      if (chosen->value <= config.low) continue;  // cannot bid profitably
+      quote = rng.uniform_money(config.low, chosen->value);
+    } else {
+      if (chosen->value >= config.high) continue;
+      quote = rng.uniform_money(chosen->value, config.high);
+    }
+
+    const auto trade = book.submit(chosen->side, chosen->identity, quote,
+                                   SimTime{static_cast<std::int64_t>(step)});
+    if (trade.has_value()) {
+      Trader& buyer = by_identity(trade->buyer);
+      Trader& seller = by_identity(trade->seller);
+      buyer.done = true;
+      seller.done = true;
+      active -= 2;
+      ++result.trades;
+      price_total += trade->price.to_double();
+      result.surplus += (buyer.value - seller.value).to_double();
+      // Their resting orders are consumed/replaced by the book itself.
+    }
+
+    // Early exit: no remaining buyer value exceeds any remaining seller
+    // value -> no feasible trade can ever form.
+    if (result.trades > 0 && active > 0 && step % 50 == 49) {
+      Money best_buyer = Money::min_value();
+      Money best_seller = Money::max_value();
+      for (const Trader& t : traders) {
+        if (t.done) continue;
+        if (t.side == Side::kBuyer) best_buyer = std::max(best_buyer, t.value);
+        if (t.side == Side::kSeller) {
+          best_seller = std::min(best_seller, t.value);
+        }
+      }
+      if (best_buyer < best_seller) break;
+    }
+  }
+
+  if (result.trades > 0) {
+    result.mean_price = price_total / static_cast<double>(result.trades);
+  }
+  result.efficiency = result.efficient_surplus > 0.0
+                          ? result.surplus / result.efficient_surplus
+                          : 1.0;
+  return result;
+}
+
+}  // namespace fnda

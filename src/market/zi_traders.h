@@ -1,0 +1,45 @@
+// Zero-intelligence trading sessions on the continuous double auction.
+//
+// Gode & Sunder's classic experiment (in the double-auction literature the
+// paper cites via Friedman & Rust [1]): "ZI-C" traders submit *random*
+// offers constrained only by their budget — buyers bid U[low, value],
+// sellers ask U[cost, high] — and the CDA's matching discipline alone
+// extracts most of the available surplus.  This harness runs such
+// sessions so `bench/cda_vs_call` can compare the continuous market
+// against the paper's discrete-time protocols on identical valuations.
+#pragma once
+
+#include "common/rng.h"
+#include "core/instance.h"
+#include "market/cda.h"
+
+namespace fnda {
+
+struct ZiSessionConfig {
+  /// Re-quote attempts; a session ends early once every feasible trade
+  /// has executed.  Each step, one random still-active trader quotes.
+  std::size_t max_steps = 10'000;
+  /// Quote bounds (ZI-C budget constraint ends at the trader's value).
+  Money low = Money::from_units(0);
+  Money high = Money::from_units(100);
+};
+
+struct ZiSessionResult {
+  std::size_t trades = 0;
+  std::size_t steps = 0;
+  /// Realized surplus against true valuations.
+  double surplus = 0.0;
+  /// Pareto bound of the instance.
+  double efficient_surplus = 0.0;
+  /// surplus / efficient_surplus (1.0 when nothing was achievable).
+  double efficiency = 1.0;
+  /// Volume-weighted mean trade price (diagnostics).
+  double mean_price = 0.0;
+};
+
+/// Runs one ZI-C session over `instance`'s traders.  Traders leave the
+/// market after trading (single-unit demand/supply).
+ZiSessionResult run_zi_session(const SingleUnitInstance& instance, Rng& rng,
+                               const ZiSessionConfig& config = {});
+
+}  // namespace fnda

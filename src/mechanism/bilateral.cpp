@@ -1,0 +1,197 @@
+#include "mechanism/bilateral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mechanism/linear_feasibility.h"
+
+namespace fnda {
+namespace {
+
+void validate(const BilateralSetting& setting) {
+  auto check_side = [](const std::vector<BilateralType>& types,
+                       const char* side) {
+    if (types.empty()) {
+      throw std::invalid_argument(std::string("BilateralSetting: no ") +
+                                  side + " types");
+    }
+    double total = 0.0;
+    for (const BilateralType& type : types) {
+      if (type.probability < 0.0) {
+        throw std::invalid_argument("BilateralSetting: negative probability");
+      }
+      total += type.probability;
+    }
+    if (std::abs(total - 1.0) > 1e-6) {
+      throw std::invalid_argument(
+          std::string("BilateralSetting: ") + side +
+          " probabilities must sum to 1");
+    }
+  };
+  check_side(setting.buyer_types, "buyer");
+  check_side(setting.seller_types, "seller");
+}
+
+/// Efficient deterministic allocation: trade exactly when b > s.
+bool trades(Money buyer, Money seller) { return buyer > seller; }
+
+}  // namespace
+
+FeasibilityReport check_efficient_mechanism_exists(
+    const BilateralSetting& setting, const MechanismRequirements& requirements,
+    double eps) {
+  validate(setting);
+  const std::size_t nb = setting.buyer_types.size();
+  const std::size_t ns = setting.seller_types.size();
+  // Variables: the buyer's payment p_ij and the seller's receipt r_ij per
+  // type pair (i, j).  Under budget balance p_ij == r_ij, so the equality
+  // is substituted away into a single transfer variable — halving the
+  // dimensionality keeps Fourier-Motzkin comfortable.
+  const std::size_t per_pair = requirements.budget_balanced ? 1 : 2;
+  const std::size_t variables = per_pair * nb * ns;
+  auto var_p = [ns, per_pair](std::size_t i, std::size_t j) {
+    return per_pair * (i * ns + j);
+  };
+  auto var_r = [ns, per_pair](std::size_t i, std::size_t j) {
+    return per_pair * (i * ns + j) + (per_pair - 1);
+  };
+  auto unit = [variables](std::size_t index, double coefficient) {
+    std::vector<double> coeffs(variables, 0.0);
+    coeffs[index] = coefficient;
+    return coeffs;
+  };
+
+  std::vector<LinearConstraint> constraints;
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const double b = setting.buyer_types[i].value.to_double();
+      const double s = setting.seller_types[j].value.to_double();
+      const double q = trades(setting.buyer_types[i].value,
+                              setting.seller_types[j].value)
+                           ? 1.0
+                           : 0.0;
+      // Ex-post IR: q*b - p >= 0  and  r - q*s >= 0.
+      constraints.push_back({unit(var_p(i, j), 1.0), q * b});
+      constraints.push_back({unit(var_r(i, j), -1.0), -q * s});
+
+      if (!requirements.budget_balanced && requirements.no_subsidy) {
+        std::vector<double> diff(variables, 0.0);
+        diff[var_r(i, j)] = 1.0;
+        diff[var_p(i, j)] = -1.0;
+        constraints.push_back({std::move(diff), 0.0});
+      }
+    }
+  }
+
+  // Dominant-strategy IC for the buyer: against every seller report j,
+  // truth beats reporting any other type i'.
+  for (std::size_t j = 0; j < ns; ++j) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      const double b = setting.buyer_types[i].value.to_double();
+      const double q_true = trades(setting.buyer_types[i].value,
+                                   setting.seller_types[j].value)
+                                ? 1.0
+                                : 0.0;
+      for (std::size_t other = 0; other < nb; ++other) {
+        if (other == i) continue;
+        const double q_lie = trades(setting.buyer_types[other].value,
+                                    setting.seller_types[j].value)
+                                 ? 1.0
+                                 : 0.0;
+        // q_true*b - p(i,j) >= q_lie*b - p(other,j)
+        std::vector<double> coeffs(variables, 0.0);
+        coeffs[var_p(i, j)] = 1.0;
+        coeffs[var_p(other, j)] = -1.0;
+        constraints.push_back({std::move(coeffs), (q_true - q_lie) * b});
+      }
+    }
+  }
+  // Dominant-strategy IC for the seller.
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const double s = setting.seller_types[j].value.to_double();
+      const double q_true = trades(setting.buyer_types[i].value,
+                                   setting.seller_types[j].value)
+                                ? 1.0
+                                : 0.0;
+      for (std::size_t other = 0; other < ns; ++other) {
+        if (other == j) continue;
+        const double q_lie = trades(setting.buyer_types[i].value,
+                                    setting.seller_types[other].value)
+                                 ? 1.0
+                                 : 0.0;
+        // r(i,j) - q_true*s >= r(i,other) - q_lie*s
+        std::vector<double> coeffs(variables, 0.0);
+        coeffs[var_r(i, other)] = 1.0;
+        coeffs[var_r(i, j)] = -1.0;
+        constraints.push_back({std::move(coeffs), (q_lie - q_true) * s});
+      }
+    }
+  }
+
+  FeasibilityReport report;
+  report.variables = variables;
+  report.constraints = constraints.size();
+  report.feasible = feasible(std::move(constraints), variables, eps);
+  return report;
+}
+
+double expected_efficient_surplus(const BilateralSetting& setting) {
+  validate(setting);
+  double total = 0.0;
+  for (const BilateralType& buyer : setting.buyer_types) {
+    for (const BilateralType& seller : setting.seller_types) {
+      if (trades(buyer.value, seller.value)) {
+        total += buyer.probability * seller.probability *
+                 (buyer.value - seller.value).to_double();
+      }
+    }
+  }
+  return total;
+}
+
+double expected_posted_price_surplus(const BilateralSetting& setting,
+                                     Money price) {
+  validate(setting);
+  double total = 0.0;
+  for (const BilateralType& buyer : setting.buyer_types) {
+    if (buyer.value < price) continue;
+    for (const BilateralType& seller : setting.seller_types) {
+      if (seller.value > price) continue;
+      total += buyer.probability * seller.probability *
+               (buyer.value - seller.value).to_double();
+    }
+  }
+  return total;
+}
+
+PostedPriceResult optimal_posted_price(const BilateralSetting& setting) {
+  validate(setting);
+  std::vector<Money> candidates;
+  for (const BilateralType& type : setting.buyer_types) {
+    candidates.push_back(type.value);
+  }
+  for (const BilateralType& type : setting.seller_types) {
+    candidates.push_back(type.value);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  PostedPriceResult best;
+  best.price = candidates.front();
+  best.expected_surplus = expected_posted_price_surplus(setting, best.price);
+  for (Money candidate : candidates) {
+    const double surplus = expected_posted_price_surplus(setting, candidate);
+    if (surplus > best.expected_surplus + 1e-12) {
+      best.expected_surplus = surplus;
+      best.price = candidate;
+    }
+  }
+  const double efficient = expected_efficient_surplus(setting);
+  best.efficiency = efficient > 0.0 ? best.expected_surplus / efficient : 1.0;
+  return best;
+}
+
+}  // namespace fnda

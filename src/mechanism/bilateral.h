@@ -1,0 +1,81 @@
+// Bilateral trade and the Myerson-Satterthwaite impossibility.
+//
+// The paper's Section 2 leans on the classic result (ref [6]) that no
+// bilateral trading mechanism is simultaneously dominant-strategy
+// incentive compatible, ex-post individually rational, budget balanced,
+// and Pareto efficient when the traders' value supports overlap.  This
+// module *mechanizes* that statement for discrete type spaces: the four
+// properties are linear constraints on the mechanism's transfers, so
+// existence reduces to linear feasibility (Fourier-Motzkin).
+//
+// It also implements the mechanism that survives the impossibility —
+// the posted-price mechanism (trade at a fixed price p iff b >= p >= s),
+// which is exactly TPD restricted to one buyer and one seller — together
+// with its expected-efficiency analysis and optimal price search.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/money.h"
+
+namespace fnda {
+
+/// A discrete type: a valuation and its probability.
+struct BilateralType {
+  Money value;
+  double probability = 0.0;
+};
+
+/// One buyer, one seller, independent discrete private values.
+/// Probabilities on each side must sum to ~1 (validated by the entry
+/// points below).
+struct BilateralSetting {
+  std::vector<BilateralType> buyer_types;
+  std::vector<BilateralType> seller_types;
+};
+
+/// Which properties the sought direct mechanism must satisfy; efficiency
+/// and DSIC+IR are always imposed, budget balance is the knob that makes
+/// the difference between impossibility (true) and VCG-style subsidised
+/// mechanisms (false).
+struct MechanismRequirements {
+  /// Buyer payment equals seller receipt in every type profile.
+  bool budget_balanced = true;
+  /// The auctioneer may keep money but never injects any
+  /// (payment >= receipt).  Only meaningful when !budget_balanced.
+  bool no_subsidy = false;
+};
+
+struct FeasibilityReport {
+  bool feasible = false;
+  std::size_t variables = 0;
+  std::size_t constraints = 0;
+};
+
+/// Is there a deterministic, ex-post-efficient (trade iff b > s),
+/// dominant-strategy IC, ex-post IR direct mechanism with the given
+/// budget requirements?  Myerson-Satterthwaite (discrete form): no, when
+/// supports overlap and budget balance is required.
+FeasibilityReport check_efficient_mechanism_exists(
+    const BilateralSetting& setting, const MechanismRequirements& requirements,
+    double eps = 1e-9);
+
+/// Expected gains from trade of the efficient allocation.
+double expected_efficient_surplus(const BilateralSetting& setting);
+
+/// Expected gains from trade of the posted-price mechanism at price p
+/// (trade iff b >= p and s <= p).
+double expected_posted_price_surplus(const BilateralSetting& setting,
+                                     Money price);
+
+/// The posted price maximizing expected surplus (ties broken low); the
+/// optimum is always at one of the type values.
+struct PostedPriceResult {
+  Money price;
+  double expected_surplus = 0.0;
+  double efficiency = 0.0;  ///< ratio to the expected efficient surplus
+};
+PostedPriceResult optimal_posted_price(const BilateralSetting& setting);
+
+}  // namespace fnda

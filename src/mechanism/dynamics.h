@@ -1,0 +1,75 @@
+// Iterated best-response dynamics.
+//
+// Section 8 of the paper argues that without a dominant-strategy
+// equilibrium "each participant must deliberate to determine his/her
+// strategy ... and the result obtained by the mechanism becomes very
+// difficult to predict".  This module makes that claim measurable: start
+// every agent truthful, repeatedly let each agent best-respond (over the
+// full strategy space, including false-name declaration sets) against the
+// others' *current* strategies, and watch what happens.
+//
+// Under TPD, truth-telling is dominant, so the dynamics are a fixed point
+// at sweep one.  Under PMD/kDA/VCG with false names, agents drift away
+// from truth, the process may not converge, and realized surplus (scored
+// against true valuations) degrades — `bench/strategic_dynamics`
+// quantifies the damage.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/protocol.h"
+#include "mechanism/manipulation.h"
+
+namespace fnda {
+
+struct DynamicsConfig {
+  /// Full passes over all agents before giving up on convergence.
+  std::size_t max_sweeps = 10;
+  /// Minimum utility gain that counts as an improvement.
+  double epsilon = 1e-6;
+  /// Strategy space per best response (grid x sides x multiset size).
+  SearchConfig search{};
+  /// Model agents optimise against: the Section 6 deterrent penalty keeps
+  /// them away from strategies with failing deliveries.
+  UtilityModel utility{};
+  /// Model used to *score* profiles (truthful_surplus / final_surplus /
+  /// per-agent utility).  An agent can end up with a failing fake bid not
+  /// by choice but because later movers changed the clearing around it;
+  /// scoring that at the astronomic deterrent value would swamp every
+  /// other number, so the default charges a realistic confiscated-deposit
+  /// penalty instead.
+  UtilityModel scoring{Money::from_units(10)};
+  std::uint64_t seed = 0xd1;
+  /// Replicates per evaluation (for randomized protocols / tie-heavy books).
+  std::size_t replicates = 1;
+};
+
+/// One agent's spot in the dynamics.
+struct AgentState {
+  Side role;
+  Money true_value;
+  Strategy strategy;  // current play; starts truthful
+  double utility = 0.0;  // under the final profile
+};
+
+struct DynamicsResult {
+  bool converged = false;   // a full sweep produced no update
+  std::size_t sweeps = 0;
+  std::size_t updates = 0;  // total strategy changes
+  std::vector<AgentState> agents;
+
+  /// Realized (true-valuation) surplus of the truthful profile and of the
+  /// final profile, including the auctioneer.
+  double truthful_surplus = 0.0;
+  double final_surplus = 0.0;
+  /// Number of agents whose final strategy is not the single truthful bid.
+  std::size_t deviators = 0;
+};
+
+/// Runs the dynamics for `instance` under `protocol`.
+DynamicsResult best_response_dynamics(const DoubleAuctionProtocol& protocol,
+                                      const SingleUnitInstance& instance,
+                                      const DynamicsConfig& config = {});
+
+}  // namespace fnda

@@ -1,0 +1,157 @@
+#include "mechanism/linear_feasibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+/// Scales a constraint so its largest |coefficient| is 1 (pure-bound rows
+/// are left alone), enabling duplicate detection after combination steps.
+void normalize(LinearConstraint& c) {
+  double scale = 0.0;
+  for (double coeff : c.coeffs) scale = std::max(scale, std::abs(coeff));
+  if (scale <= 0.0) return;
+  for (double& coeff : c.coeffs) coeff /= scale;
+  c.bound /= scale;
+}
+
+/// Rounds for the dedup key; combinations produce values that differ only
+/// in the last few ulps.
+std::vector<long long> dedup_key(const LinearConstraint& c) {
+  std::vector<long long> key;
+  key.reserve(c.coeffs.size() + 1);
+  for (double coeff : c.coeffs) {
+    key.push_back(static_cast<long long>(std::llround(coeff * 1e9)));
+  }
+  key.push_back(static_cast<long long>(std::llround(c.bound * 1e9)));
+  return key;
+}
+
+/// Drops exact duplicates and, among rows with identical coefficients,
+/// keeps only the tightest bound.
+void prune(std::vector<LinearConstraint>& constraints) {
+  std::set<std::vector<long long>> seen;
+  std::vector<LinearConstraint> kept;
+  kept.reserve(constraints.size());
+  // Tightest-bound-first so the first instance of each coefficient row is
+  // the binding one.
+  std::sort(constraints.begin(), constraints.end(),
+            [](const LinearConstraint& a, const LinearConstraint& b) {
+              return a.bound < b.bound;
+            });
+  std::set<std::vector<long long>> coeff_rows;
+  for (LinearConstraint& c : constraints) {
+    auto key = dedup_key(c);
+    key.pop_back();  // coefficient row only
+    if (!coeff_rows.insert(std::move(key)).second) continue;
+    kept.push_back(std::move(c));
+  }
+  constraints = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<LinearConstraint> equality(std::vector<double> coeffs,
+                                       double bound) {
+  std::vector<double> negated(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) negated[i] = -coeffs[i];
+  return {LinearConstraint{std::move(coeffs), bound},
+          LinearConstraint{std::move(negated), -bound}};
+}
+
+bool feasible(std::vector<LinearConstraint> constraints,
+              std::size_t variables, double eps) {
+  for (const LinearConstraint& c : constraints) {
+    if (c.coeffs.size() != variables) {
+      throw std::invalid_argument("feasible: constraint arity mismatch");
+    }
+  }
+
+  std::vector<bool> eliminated(variables, false);
+  for (std::size_t round = 0; round < variables; ++round) {
+    for (LinearConstraint& c : constraints) normalize(c);
+    prune(constraints);
+
+    // Early contradiction: a pure-bound row with a negative bound.
+    for (const LinearConstraint& c : constraints) {
+      bool pure = true;
+      for (double coeff : c.coeffs) {
+        if (std::abs(coeff) > eps) {
+          pure = false;
+          break;
+        }
+      }
+      if (pure && c.bound < -eps) return false;
+    }
+
+    // Greedy pick: the variable whose elimination creates the fewest
+    // combined rows (classic Fourier-Motzkin heuristic).
+    std::size_t best_var = variables;
+    long long best_growth = 0;
+    for (std::size_t v = 0; v < variables; ++v) {
+      if (eliminated[v]) continue;
+      long long pos = 0;
+      long long neg = 0;
+      for (const LinearConstraint& c : constraints) {
+        if (c.coeffs[v] > eps) ++pos;
+        if (c.coeffs[v] < -eps) ++neg;
+      }
+      const long long growth = pos * neg - (pos + neg);
+      if (best_var == variables || growth < best_growth) {
+        best_var = v;
+        best_growth = growth;
+      }
+    }
+    if (best_var == variables) break;  // nothing left to eliminate
+    eliminated[best_var] = true;
+    const std::size_t k = best_var;
+
+    std::vector<LinearConstraint> lower;
+    std::vector<LinearConstraint> upper;
+    std::vector<LinearConstraint> next;
+    for (LinearConstraint& c : constraints) {
+      const double a = c.coeffs[k];
+      c.coeffs[k] = 0.0;
+      if (a > eps) {
+        for (double& coeff : c.coeffs) coeff /= a;
+        c.bound /= a;
+        upper.push_back(std::move(c));
+      } else if (a < -eps) {
+        for (double& coeff : c.coeffs) coeff /= -a;
+        c.bound /= -a;
+        lower.push_back(std::move(c));
+      } else {
+        next.push_back(std::move(c));
+      }
+    }
+    for (const LinearConstraint& lo : lower) {
+      for (const LinearConstraint& up : upper) {
+        LinearConstraint combined;
+        combined.coeffs.resize(variables, 0.0);
+        for (std::size_t i = 0; i < variables; ++i) {
+          combined.coeffs[i] = lo.coeffs[i] + up.coeffs[i];
+        }
+        combined.bound = lo.bound + up.bound;
+        next.push_back(std::move(combined));
+      }
+    }
+    constraints = std::move(next);
+  }
+
+  for (const LinearConstraint& c : constraints) {
+    bool pure = true;
+    for (double coeff : c.coeffs) {
+      if (std::abs(coeff) > eps) {
+        pure = false;
+        break;
+      }
+    }
+    if (pure && c.bound < -eps) return false;
+  }
+  return true;
+}
+
+}  // namespace fnda

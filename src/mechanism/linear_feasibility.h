@@ -1,0 +1,34 @@
+// Feasibility of small systems of linear inequalities, by Fourier-Motzkin
+// elimination.
+//
+// Used by the bilateral-trade module to decide whether a direct mechanism
+// with given properties (incentive compatibility, individual rationality,
+// budget balance, efficiency) exists: those properties are linear
+// constraints over the mechanism's transfers.  Fourier-Motzkin is doubly
+// exponential in the worst case, which is irrelevant at the handful of
+// variables these settings produce, and it is exact up to floating-point
+// tolerance — no LP solver dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fnda {
+
+/// One inequality: sum_i coeffs[i] * x[i] <= bound.
+struct LinearConstraint {
+  std::vector<double> coeffs;
+  double bound = 0.0;
+};
+
+/// Builds equality a.x == b as a pair of inequalities.
+std::vector<LinearConstraint> equality(std::vector<double> coeffs,
+                                       double bound);
+
+/// True if some x satisfies every constraint (each constraint's coeffs
+/// must have exactly `variables` entries).  `eps` absorbs rounding: a
+/// derived contradiction 0 <= -d only counts when d > eps.
+bool feasible(std::vector<LinearConstraint> constraints,
+              std::size_t variables, double eps = 1e-9);
+
+}  // namespace fnda

@@ -1,0 +1,184 @@
+#include "mechanism/manipulation.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+/// Builds the book where every agent except the manipulator bids
+/// truthfully and the manipulator submits `strategy`, then returns the
+/// manipulator's aggregate position after clearing.
+AccountPosition clear_and_aggregate(const DoubleAuctionProtocol& protocol,
+                                    const SingleUnitInstance& instance,
+                                    const ManipulatorSpec& manipulator,
+                                    const Strategy& strategy, Rng& rng) {
+  OrderBook book(instance.domain);
+  for (std::size_t i = 0; i < instance.buyer_values.size(); ++i) {
+    if (manipulator.role == Side::kBuyer && manipulator.index == i) continue;
+    book.add_buyer(IdentityId{i}, instance.buyer_values[i]);
+  }
+  for (std::size_t j = 0; j < instance.seller_values.size(); ++j) {
+    if (manipulator.role == Side::kSeller && manipulator.index == j) continue;
+    book.add_seller(IdentityId{kSellerIdentityBase + j},
+                    instance.seller_values[j]);
+  }
+
+  std::vector<IdentityId> own_identities;
+  own_identities.reserve(strategy.declarations.size());
+  for (std::size_t d = 0; d < strategy.declarations.size(); ++d) {
+    const IdentityId identity{kExtraIdentityBase + d};
+    own_identities.push_back(identity);
+    book.add(strategy.declarations[d].side, identity,
+             strategy.declarations[d].value);
+  }
+
+  const Outcome outcome = protocol.clear(book, rng);
+
+  AccountPosition position;
+  for (IdentityId identity : own_identities) {
+    position.bought += outcome.units_bought(identity);
+    position.sold += outcome.units_sold(identity);
+    position.paid += outcome.paid_by(identity);
+    position.received += outcome.received_by(identity);
+    position.received += outcome.rebate_of(identity);  // rebate protocols
+  }
+  return position;
+}
+
+}  // namespace
+
+DeviationEvaluator::DeviationEvaluator(const DoubleAuctionProtocol& protocol,
+                                       SingleUnitInstance instance,
+                                       ManipulatorSpec manipulator,
+                                       EvalConfig config)
+    : protocol_(protocol),
+      instance_(std::move(instance)),
+      manipulator_(manipulator),
+      config_(config) {
+  const auto& values = manipulator_.role == Side::kBuyer
+                           ? instance_.buyer_values
+                           : instance_.seller_values;
+  if (manipulator_.index >= values.size()) {
+    throw std::out_of_range("DeviationEvaluator: manipulator index");
+  }
+  true_value_ = values[manipulator_.index];
+  if (config_.replicates == 0) {
+    throw std::invalid_argument("DeviationEvaluator: replicates must be > 0");
+  }
+}
+
+double DeviationEvaluator::evaluate(const Strategy& strategy) const {
+  // Common random numbers: replicate t always uses the same stream, so
+  // strategy comparisons are not polluted by tie-breaking noise.
+  double total = 0.0;
+  for (std::size_t t = 0; t < config_.replicates; ++t) {
+    Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL * t);
+    const AccountPosition position = clear_and_aggregate(
+        protocol_, instance_, manipulator_, strategy, rng);
+    total += config_.utility.evaluate(manipulator_.role, true_value_, position);
+  }
+  return total / static_cast<double>(config_.replicates);
+}
+
+double DeviationEvaluator::truthful_utility() const {
+  return evaluate(Strategy::truthful(manipulator_.role, true_value_));
+}
+
+std::vector<Money> candidate_values(const SingleUnitInstance& instance,
+                                    Money true_value,
+                                    const std::vector<Money>& extras) {
+  std::set<Money> seeds;
+  for (Money v : instance.buyer_values) seeds.insert(v);
+  for (Money v : instance.seller_values) seeds.insert(v);
+  seeds.insert(true_value);
+  for (Money v : extras) seeds.insert(v);
+
+  const Money delta = Money::from_double(0.125);
+  std::set<Money> grid;
+  auto add = [&](Money v) {
+    grid.insert(std::clamp(v, instance.domain.lowest, instance.domain.highest));
+  };
+  Money previous;
+  bool has_previous = false;
+  for (Money v : seeds) {
+    add(v - delta);
+    add(v);
+    add(v + delta);
+    if (has_previous) add(Money::midpoint(previous, v));
+    previous = v;
+    has_previous = true;
+  }
+  add(instance.domain.lowest);
+  add(instance.domain.highest);
+  return {grid.begin(), grid.end()};
+}
+
+SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
+                                 const SearchConfig& config) {
+  const std::vector<Money> grid = candidate_values(
+      evaluator.instance(), evaluator.true_value(), config.extra_candidates);
+
+  SearchResult result;
+  result.truthful_utility = evaluator.truthful_utility();
+  result.best_utility = result.truthful_utility;
+  result.best_strategy =
+      Strategy::truthful(evaluator.role(), evaluator.true_value());
+
+  auto consider = [&](const Strategy& strategy) {
+    ++result.strategies_evaluated;
+    const double utility = evaluator.evaluate(strategy);
+    if (utility > result.best_utility) {
+      result.best_utility = utility;
+      result.best_strategy = strategy;
+    }
+  };
+  result.truncated = !enumerate_strategies(grid, config, consider);
+  return result;
+}
+
+bool enumerate_strategies(
+    const std::vector<Money>& grid, const SearchConfig& config,
+    const std::function<void(const Strategy&)>& consider) {
+  std::vector<Declaration> alphabet;
+  alphabet.reserve(grid.size() * 2);
+  for (Money v : grid) {
+    alphabet.push_back(Declaration{Side::kBuyer, v});
+    alphabet.push_back(Declaration{Side::kSeller, v});
+  }
+
+  std::size_t evaluated = 0;
+  if (config.allow_absence) {
+    consider(Strategy{});
+    ++evaluated;
+  }
+
+  // Multisets of declarations of size 1..max_declarations, enumerated as
+  // non-decreasing index tuples over the alphabet.
+  std::vector<std::size_t> indices;
+  const std::size_t n = alphabet.size();
+  for (std::size_t size = 1; size <= config.max_declarations; ++size) {
+    indices.assign(size, 0);
+    while (true) {
+      if (evaluated >= config.max_strategies) return false;
+      Strategy strategy;
+      strategy.declarations.reserve(size);
+      for (std::size_t idx : indices) {
+        strategy.declarations.push_back(alphabet[idx]);
+      }
+      consider(strategy);
+      ++evaluated;
+
+      // Advance to the next non-decreasing tuple.
+      std::size_t pos = size;
+      while (pos > 0 && indices[pos - 1] == n - 1) --pos;
+      if (pos == 0) break;
+      const std::size_t next = indices[pos - 1] + 1;
+      for (std::size_t p = pos - 1; p < size; ++p) indices[p] = next;
+    }
+  }
+  return true;
+}
+
+}  // namespace fnda

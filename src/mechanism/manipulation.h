@@ -1,0 +1,112 @@
+// Deviation evaluation and best-response search.
+//
+// This is the machinery behind the paper's Section 4 examples and the
+// empirical incentive-compatibility results: fix an instance, pick one
+// account (the manipulator), hold everyone else truthful, and ask whether
+// any alternative strategy — misreporting, abstaining, or submitting
+// false-name bids on either side — beats truth-telling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/protocol.h"
+#include "mechanism/strategy.h"
+#include "mechanism/utility.h"
+
+namespace fnda {
+
+/// Which account deviates: the `index`-th agent on `role`'s side of the
+/// instance (its truthful bid is removed and replaced by the strategy).
+struct ManipulatorSpec {
+  Side role;
+  std::size_t index;
+};
+
+/// Evaluation parameters.
+struct EvalConfig {
+  /// Outcome replicates averaged per strategy.  Protocols are deterministic
+  /// given the rng stream, and all strategies share the same streams
+  /// (common random numbers), so 1 suffices for tie-free instances; use
+  /// more for randomized protocols or books with ties.
+  std::size_t replicates = 1;
+  std::uint64_t seed = 0x5eed;
+  UtilityModel utility{};
+};
+
+/// Evaluates strategies for one (protocol, instance, manipulator) triple.
+class DeviationEvaluator {
+ public:
+  DeviationEvaluator(const DoubleAuctionProtocol& protocol,
+                     SingleUnitInstance instance, ManipulatorSpec manipulator,
+                     EvalConfig config = {});
+
+  /// Mean utility of the manipulator when it plays `strategy` and everyone
+  /// else bids truthfully.
+  double evaluate(const Strategy& strategy) const;
+
+  /// Utility of the truthful single-bid strategy.
+  double truthful_utility() const;
+
+  Money true_value() const { return true_value_; }
+  Side role() const { return manipulator_.role; }
+  const SingleUnitInstance& instance() const { return instance_; }
+
+ private:
+  const DoubleAuctionProtocol& protocol_;
+  SingleUnitInstance instance_;
+  ManipulatorSpec manipulator_;
+  EvalConfig config_;
+  Money true_value_;
+};
+
+/// Search-space parameters for find_best_deviation.
+struct SearchConfig {
+  /// Maximum number of declarations in a strategy (1 = misreports only,
+  /// 2 = one false name in addition to a primary bid, ...).
+  std::size_t max_declarations = 2;
+  /// Also consider submitting nothing at all.
+  bool allow_absence = true;
+  /// Extra candidate values appended to the instance-derived grid.
+  std::vector<Money> extra_candidates;
+  /// Hard cap on strategies evaluated (the enumeration is combinatorial).
+  std::size_t max_strategies = 250'000;
+};
+
+struct SearchResult {
+  double truthful_utility = 0.0;
+  double best_utility = 0.0;
+  Strategy best_strategy;
+  std::size_t strategies_evaluated = 0;
+  bool truncated = false;
+
+  /// True if the best deviation strictly beats truth by more than eps.
+  bool profitable(double eps = 1e-9) const {
+    return best_utility > truthful_utility + eps;
+  }
+};
+
+/// Grid of candidate declaration values derived from an instance: every
+/// agent's value, midpoints of adjacent distinct values, small offsets
+/// around each, and the domain bounds — enough to realise any outcome the
+/// (piecewise-constant) protocols can produce.
+std::vector<Money> candidate_values(const SingleUnitInstance& instance,
+                                    Money true_value,
+                                    const std::vector<Money>& extras);
+
+/// Exhaustive search over declaration multisets up to the configured size.
+SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
+                                 const SearchConfig& config = {});
+
+/// Enumerates every strategy in the configured space (optionally the empty
+/// strategy, then all declaration multisets over grid x {buyer, seller} up
+/// to config.max_declarations), calling `consider` on each.  Returns false
+/// if config.max_strategies stopped the enumeration early.  This is the
+/// engine under find_best_deviation and the best-response dynamics.
+bool enumerate_strategies(const std::vector<Money>& grid,
+                          const SearchConfig& config,
+                          const std::function<void(const Strategy&)>& consider);
+
+}  // namespace fnda

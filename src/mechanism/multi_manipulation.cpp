@@ -1,0 +1,170 @@
+#include "mechanism/multi_manipulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/instance.h"
+
+namespace fnda {
+namespace {
+
+constexpr std::uint64_t kManipulatorBase = 5'000'000;
+
+/// Sum of the `count` highest entries of a non-increasing schedule.
+double top_values(const std::vector<Money>& schedule, std::size_t count) {
+  double total = 0.0;
+  for (std::size_t l = 0; l < std::min(count, schedule.size()); ++l) {
+    total += schedule[l].to_double();
+  }
+  return total;
+}
+
+}  // namespace
+
+MultiDeviationEvaluator::MultiDeviationEvaluator(
+    const TpdMultiUnitProtocol& protocol, MultiUnitInstance instance,
+    MultiManipulatorSpec manipulator, UtilityModel penalty_model,
+    std::uint64_t seed)
+    : protocol_(protocol),
+      instance_(std::move(instance)),
+      manipulator_(manipulator),
+      penalty_model_(penalty_model),
+      seed_(seed) {
+  const auto& schedules = manipulator_.role == Side::kBuyer
+                              ? instance_.buyer_schedules
+                              : instance_.seller_schedules;
+  if (manipulator_.index >= schedules.size()) {
+    throw std::out_of_range("MultiDeviationEvaluator: manipulator index");
+  }
+  true_schedule_ = schedules[manipulator_.index];
+}
+
+double MultiDeviationEvaluator::evaluate(const MultiStrategy& strategy) const {
+  MultiUnitBook book;
+  for (std::size_t b = 0; b < instance_.buyer_schedules.size(); ++b) {
+    if (manipulator_.role == Side::kBuyer && manipulator_.index == b) continue;
+    book.add_buyer(IdentityId{b}, instance_.buyer_schedules[b]);
+  }
+  for (std::size_t s = 0; s < instance_.seller_schedules.size(); ++s) {
+    if (manipulator_.role == Side::kSeller && manipulator_.index == s) {
+      continue;
+    }
+    book.add_seller(IdentityId{kSellerIdentityBase + s},
+                    instance_.seller_schedules[s]);
+  }
+  std::vector<IdentityId> own;
+  for (std::size_t d = 0; d < strategy.declarations.size(); ++d) {
+    const IdentityId identity{kManipulatorBase + d};
+    own.push_back(identity);
+    if (strategy.declarations[d].side == Side::kBuyer) {
+      book.add_buyer(identity, strategy.declarations[d].schedule);
+    } else {
+      book.add_seller(identity, strategy.declarations[d].schedule);
+    }
+  }
+
+  Rng rng(seed_);
+  const MultiUnitOutcome outcome = protocol_.clear(book, rng);
+
+  std::size_t bought = 0;
+  std::size_t sold = 0;
+  double paid = 0.0;
+  double received = 0.0;
+  for (IdentityId identity : own) {
+    if (const auto* buyer = outcome.buyer(identity)) {
+      bought += buyer->units;
+      paid += buyer->total_paid.to_double();
+    }
+    if (const auto* seller = outcome.seller(identity)) {
+      sold += seller->units;
+      received += seller->total_received.to_double();
+    }
+  }
+
+  const std::size_t endowment =
+      manipulator_.role == Side::kSeller ? true_schedule_.size() : 0;
+  const std::size_t failed = sold > endowment ? sold - endowment : 0;
+  const std::size_t delivered = sold - failed;
+
+  // Goods value: holdings are the endowment plus purchases minus
+  // deliveries; marginal value of the h-th unit held is the schedule's
+  // h-th entry (0 beyond it).
+  const std::size_t holdings = endowment + bought - delivered;
+  const double goods_value = top_values(true_schedule_, holdings);
+  const double endowment_value = top_values(true_schedule_, endowment);
+
+  return goods_value - endowment_value - paid + received -
+         penalty_model_.penalty().to_double() * static_cast<double>(failed);
+}
+
+double MultiDeviationEvaluator::truthful_utility() const {
+  return evaluate(MultiStrategy::truthful(manipulator_.role, true_schedule_));
+}
+
+MultiSearchResult find_best_multi_deviation(
+    const MultiDeviationEvaluator& evaluator,
+    const std::vector<double>& shade_factors) {
+  MultiSearchResult result;
+  result.truthful_utility = evaluator.truthful_utility();
+  result.best_utility = result.truthful_utility;
+  result.best_strategy = MultiStrategy::truthful(
+      evaluator.role(), evaluator.true_schedule());
+
+  auto consider = [&](const MultiStrategy& strategy) {
+    ++result.strategies_evaluated;
+    const double utility = evaluator.evaluate(strategy);
+    if (utility > result.best_utility) {
+      result.best_utility = utility;
+      result.best_strategy = strategy;
+    }
+  };
+
+  // Withholding entirely.
+  consider(MultiStrategy{});
+
+  const std::vector<Money>& schedule = evaluator.true_schedule();
+  const std::size_t units = schedule.size();
+  const Side role = evaluator.role();
+
+  auto scaled = [](const std::vector<Money>& values, double factor) {
+    std::vector<Money> out;
+    out.reserve(values.size());
+    for (Money v : values) {
+      out.push_back(Money::from_micros(std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(static_cast<double>(v.micros()) *
+                                       factor))));
+    }
+    return out;
+  };
+
+  // Every assignment of the schedule's units to identities A/B (bit mask),
+  // with every shading factor pair.  Mask 0 keeps one identity (covers
+  // pure shading and unit withholding via subset masks below).
+  for (std::uint32_t mask = 0; mask < (1u << units); ++mask) {
+    std::vector<Money> a;
+    std::vector<Money> b;
+    for (std::size_t u = 0; u < units; ++u) {
+      ((mask >> u) & 1u ? b : a).push_back(schedule[u]);
+    }
+    for (double fa : shade_factors) {
+      for (double fb : shade_factors) {
+        MultiStrategy strategy;
+        if (!a.empty()) {
+          strategy.declarations.push_back(
+              MultiDeclaration{role, scaled(a, fa)});
+        }
+        if (!b.empty()) {
+          strategy.declarations.push_back(
+              MultiDeclaration{role, scaled(b, fb)});
+        }
+        if (strategy.declarations.empty()) continue;
+        consider(strategy);
+        if (b.empty()) break;  // fb is irrelevant without a B identity
+      }
+      if (a.empty()) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fnda

@@ -1,0 +1,88 @@
+#include "mechanism/properties.h"
+
+#include <algorithm>
+
+#include "core/validation.h"
+
+namespace fnda {
+
+SingleUnitInstance random_instance(const InstanceSpec& spec, Rng& rng) {
+  SingleUnitInstance instance;
+  instance.domain = spec.domain;
+  const auto buyers = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(spec.min_buyers),
+      static_cast<std::int64_t>(spec.max_buyers)));
+  const auto sellers = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(spec.min_sellers),
+      static_cast<std::int64_t>(spec.max_sellers)));
+  instance.buyer_values.reserve(buyers);
+  instance.seller_values.reserve(sellers);
+  for (std::size_t i = 0; i < buyers; ++i) {
+    instance.buyer_values.push_back(rng.uniform_money(spec.low, spec.high));
+  }
+  for (std::size_t j = 0; j < sellers; ++j) {
+    instance.seller_values.push_back(rng.uniform_money(spec.low, spec.high));
+  }
+  return instance;
+}
+
+IcCheckReport check_incentive_compatibility(
+    const DoubleAuctionProtocol& protocol, const IcCheckConfig& config) {
+  IcCheckReport report;
+  Rng rng(config.seed);
+
+  for (std::size_t run = 0; run < config.instances; ++run) {
+    const SingleUnitInstance instance =
+        random_instance(config.instance_spec, rng);
+    ++report.instances_checked;
+
+    // Candidate manipulators: every agent, in a random order, truncated.
+    std::vector<ManipulatorSpec> manipulators;
+    for (std::size_t i = 0; i < instance.buyer_values.size(); ++i) {
+      manipulators.push_back(ManipulatorSpec{Side::kBuyer, i});
+    }
+    for (std::size_t j = 0; j < instance.seller_values.size(); ++j) {
+      manipulators.push_back(ManipulatorSpec{Side::kSeller, j});
+    }
+    rng.shuffle(manipulators.begin(), manipulators.end());
+    if (manipulators.size() > config.manipulators_per_instance) {
+      manipulators.resize(config.manipulators_per_instance);
+    }
+
+    for (const ManipulatorSpec& spec : manipulators) {
+      EvalConfig eval = config.eval;
+      eval.seed = rng();  // fresh common-random-number base per search
+      const DeviationEvaluator evaluator(protocol, instance, spec, eval);
+      const SearchResult result = find_best_deviation(evaluator, config.search);
+      ++report.searches_run;
+      report.strategies_evaluated += result.strategies_evaluated;
+
+      if (result.profitable(config.epsilon)) {
+        report.violations.push_back(IcViolation{
+            instance, spec, result.best_strategy, result.truthful_utility,
+            result.best_utility});
+        if (report.violations.size() >= config.max_violations) return report;
+      }
+    }
+  }
+  return report;
+}
+
+std::optional<std::string> check_outcome_invariants(
+    const DoubleAuctionProtocol& protocol, const InstanceSpec& spec,
+    std::size_t instances, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t run = 0; run < instances; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = protocol.clear(market.book, clear_rng);
+    const ValidationErrors errors = validate_outcome(market.book, outcome);
+    if (!errors.empty()) {
+      return "instance " + std::to_string(run) + ": " + errors.front();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fnda

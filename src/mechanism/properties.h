@@ -1,0 +1,78 @@
+// Batch property checking over random instances.
+//
+// These checkers are the empirical counterpart of the paper's theorems:
+// Theorem 1 (TPD is dominant-strategy IC under false-name bids) should
+// produce zero violations; PMD should be clean without false names and
+// dirty with them (Section 4).  The same machinery validates outcome
+// invariants (feasibility, IR, budget balance) on every clearing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/protocol.h"
+#include "mechanism/manipulation.h"
+
+namespace fnda {
+
+/// Random-instance generator parameters for the checkers.
+struct InstanceSpec {
+  std::size_t min_buyers = 1;
+  std::size_t max_buyers = 6;
+  std::size_t min_sellers = 1;
+  std::size_t max_sellers = 6;
+  Money low = Money::from_units(0);
+  Money high = Money::from_units(100);
+  ValueDomain domain{};
+};
+
+/// Draws an instance: counts uniform in the configured ranges, values
+/// uniform at micro-unit resolution (ties have negligible probability).
+SingleUnitInstance random_instance(const InstanceSpec& spec, Rng& rng);
+
+/// One discovered profitable deviation.
+struct IcViolation {
+  SingleUnitInstance instance;
+  ManipulatorSpec manipulator;
+  Strategy strategy;
+  double truthful_utility = 0.0;
+  double deviant_utility = 0.0;
+};
+
+struct IcCheckConfig {
+  std::size_t instances = 50;
+  /// Agents examined per instance (all, if the instance is smaller).
+  std::size_t manipulators_per_instance = 3;
+  InstanceSpec instance_spec{};
+  SearchConfig search{};
+  EvalConfig eval{};
+  std::uint64_t seed = 0xabcdef;
+  double epsilon = 1e-6;
+  /// Stop after this many violations (they are expensive to store).
+  std::size_t max_violations = 8;
+};
+
+struct IcCheckReport {
+  std::size_t instances_checked = 0;
+  std::size_t searches_run = 0;
+  std::size_t strategies_evaluated = 0;
+  std::vector<IcViolation> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Runs the best-deviation search across random instances and manipulators.
+IcCheckReport check_incentive_compatibility(
+    const DoubleAuctionProtocol& protocol, const IcCheckConfig& config);
+
+/// Clears random instances and validates every outcome invariant
+/// (validate_outcome).  Returns the first violation description, if any.
+std::optional<std::string> check_outcome_invariants(
+    const DoubleAuctionProtocol& protocol, const InstanceSpec& spec,
+    std::size_t instances, std::uint64_t seed);
+
+}  // namespace fnda

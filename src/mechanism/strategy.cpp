@@ -1,0 +1,17 @@
+#include "mechanism/strategy.h"
+
+namespace fnda {
+
+std::string Strategy::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < declarations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fnda::to_string(declarations[i].side);
+    out += '@';
+    out += declarations[i].value.to_string();
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace fnda

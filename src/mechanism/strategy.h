@@ -1,0 +1,46 @@
+// Strategy representation for the manipulation framework.
+//
+// A strategy for one account is the multiset of declarations it submits,
+// each under a fresh identity.  Truthful play is a single declaration of
+// the account's true role and value; any other strategy is a deviation —
+// a misreport, a false-name set, or both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "core/bid.h"
+
+namespace fnda {
+
+/// One declaration: a side and a claimed value, submitted under its own
+/// (possibly fictitious) identity.
+struct Declaration {
+  Side side;
+  Money value;
+
+  friend bool operator==(const Declaration&, const Declaration&) = default;
+};
+
+/// The full action of one account in the direct revelation mechanism.
+struct Strategy {
+  std::vector<Declaration> declarations;
+
+  static Strategy truthful(Side role, Money true_value) {
+    return Strategy{{Declaration{role, true_value}}};
+  }
+
+  /// Single declaration on the account's own side with a shaded/inflated
+  /// value.
+  static Strategy misreport(Side role, Money declared) {
+    return Strategy{{Declaration{role, declared}}};
+  }
+
+  bool is_single_bid() const { return declarations.size() == 1; }
+
+  /// Human-readable form, e.g. "[buyer@7, seller@4.8]".
+  std::string to_string() const;
+};
+
+}  // namespace fnda

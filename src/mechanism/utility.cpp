@@ -1,0 +1,38 @@
+#include "mechanism/utility.h"
+
+#include <algorithm>
+
+namespace fnda {
+namespace {
+
+std::size_t endowment_of(Side role) {
+  return role == Side::kSeller ? 1 : 0;
+}
+
+}  // namespace
+
+std::size_t UtilityModel::failed_deliveries(Side role,
+                                            const AccountPosition& position) {
+  const std::size_t endowment = endowment_of(role);
+  return position.sold > endowment ? position.sold - endowment : 0;
+}
+
+double UtilityModel::evaluate(Side role, Money true_value,
+                              const AccountPosition& position) const {
+  const std::size_t endowment = endowment_of(role);
+  const std::size_t failed = failed_deliveries(role, position);
+  const std::size_t delivered = position.sold - failed;
+  const std::size_t holdings = endowment + position.bought - delivered;
+
+  // One unit is valued; extras are worthless (single-unit demand).
+  const double goods_value =
+      true_value.to_double() * static_cast<double>(std::min<std::size_t>(holdings, 1));
+  const double endowment_value =
+      true_value.to_double() * static_cast<double>(std::min<std::size_t>(endowment, 1));
+
+  return goods_value - endowment_value - position.paid.to_double() +
+         position.received.to_double() -
+         penalty_.to_double() * static_cast<double>(failed);
+}
+
+}  // namespace fnda

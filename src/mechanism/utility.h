@@ -1,0 +1,60 @@
+// Account-level utility model (Section 2's quasi-linear utilities, plus
+// the Section 6 penalty for discovered false-name sellers).
+//
+// Protocols see identities; utilities accrue to *accounts*.  An account
+// may have cleared trades through several identities; this model folds the
+// aggregate position back into a single quasi-linear utility:
+//
+//   utility = v * min(holdings, 1) - endowment_value - paid + received
+//             - penalty * failed_deliveries
+//
+// where holdings = endowment + units bought - units delivered, and a sale
+// beyond the account's endowment is a failed delivery (the paper's
+// "brought to light" case: the good does not exist, the security deposit
+// is confiscated).  Bought units cannot cover a same-round sale — the
+// paper treats any false seller bid included in the trades as discovered.
+//
+// Buyers have endowment 0 and demand one unit; sellers have endowment 1
+// and no value for additional units.  Truthful no-trade utility is 0 for
+// both sides, matching the paper's normalisation.
+#pragma once
+
+#include <cstddef>
+
+#include "common/money.h"
+#include "core/bid.h"
+
+namespace fnda {
+
+/// Aggregate cleared position of one account across all its identities.
+struct AccountPosition {
+  std::size_t bought = 0;
+  std::size_t sold = 0;
+  Money paid;
+  Money received;
+};
+
+class UtilityModel {
+ public:
+  /// `penalty` is the Section 6 "sufficiently large" fine per failed
+  /// delivery.  The default exceeds any conceivable single-round gain in
+  /// the default value domain.
+  explicit UtilityModel(Money penalty = Money::from_units(2'000'000'000))
+      : penalty_(penalty) {}
+
+  Money penalty() const { return penalty_; }
+
+  /// Utility of an account with true role `role` and true valuation
+  /// `true_value`, given its cleared position.
+  double evaluate(Side role, Money true_value,
+                  const AccountPosition& position) const;
+
+  /// Number of sales the account cannot deliver.
+  static std::size_t failed_deliveries(Side role,
+                                       const AccountPosition& position);
+
+ private:
+  Money penalty_;
+};
+
+}  // namespace fnda

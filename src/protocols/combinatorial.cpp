@@ -1,0 +1,95 @@
+#include "protocols/combinatorial.h"
+
+#include <stdexcept>
+
+namespace fnda {
+
+ReservationPriceAuction::ReservationPriceAuction(
+    std::vector<Money> reservation_prices)
+    : reservation_prices_(std::move(reservation_prices)) {
+  if (reservation_prices_.empty() || reservation_prices_.size() > 20) {
+    throw std::invalid_argument(
+        "ReservationPriceAuction: need 1..20 goods (bitmask DP)");
+  }
+}
+
+Money ReservationPriceAuction::bundle_price(Bundle bundle) const {
+  Money total;
+  for (std::size_t g = 0; g < reservation_prices_.size(); ++g) {
+    if ((bundle >> g) & 1u) total += reservation_prices_[g];
+  }
+  return total;
+}
+
+CombinatorialResult ReservationPriceAuction::run(
+    const std::vector<BundleBid>& bids) const {
+  const Bundle all = static_cast<Bundle>(
+      (1ull << reservation_prices_.size()) - 1);
+  for (const BundleBid& bid : bids) {
+    if (bid.bundle == 0 || (bid.bundle & ~all) != 0) {
+      throw std::invalid_argument(
+          "ReservationPriceAuction: bundle empty or references unknown goods");
+    }
+  }
+
+  // Eligibility: declared value covers the posted bundle price.  This is
+  // the ONLY place declared values enter the mechanism.
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (bids[i].value >= bundle_price(bids[i].bundle)) eligible.push_back(i);
+  }
+
+  // Revenue-maximising conflict-free packing of eligible bundles, by DP
+  // over the set of goods sold.  Strict improvement keeps the earliest
+  // bids on ties (deterministic).
+  const std::size_t states = static_cast<std::size_t>(all) + 1;
+  std::vector<std::int64_t> revenue(states, -1);
+  std::vector<std::int32_t> chosen_bid(states, -1);
+  std::vector<Bundle> previous(states, 0);
+  revenue[0] = 0;
+
+  for (std::size_t index : eligible) {
+    const Bundle bundle = bids[index].bundle;
+    const std::int64_t price = bundle_price(bundle).micros();
+    // Iterate masks downward so each bid is used at most once.
+    for (Bundle mask = all;; --mask) {
+      if (revenue[mask] >= 0 && (mask & bundle) == 0) {
+        const Bundle next = mask | bundle;
+        if (revenue[mask] + price > revenue[next]) {
+          revenue[next] = revenue[mask] + price;
+          chosen_bid[next] = static_cast<std::int32_t>(index);
+          previous[next] = mask;
+        }
+      }
+      if (mask == 0) break;
+    }
+  }
+
+  Bundle best_mask = 0;
+  for (Bundle mask = 0; mask <= all; ++mask) {
+    if (revenue[mask] > revenue[best_mask]) best_mask = mask;
+  }
+
+  CombinatorialResult result;
+  result.eligible_bids = eligible.size();
+  for (Bundle mask = best_mask; mask != 0; mask = previous[mask]) {
+    const BundleBid& bid = bids[static_cast<std::size_t>(chosen_bid[mask])];
+    CombinatorialResult::Award award;
+    award.identity = bid.identity;
+    award.bundle = bid.bundle;
+    award.payment = bundle_price(bid.bundle);
+    result.revenue += award.payment;
+    result.awards.push_back(award);
+  }
+  return result;
+}
+
+const CombinatorialResult::Award* CombinatorialResult::award_for(
+    IdentityId identity) const {
+  for (const Award& award : awards) {
+    if (award.identity == identity) return &award;
+  }
+  return nullptr;
+}
+
+}  // namespace fnda

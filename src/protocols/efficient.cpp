@@ -1,0 +1,25 @@
+#include "protocols/efficient.h"
+
+namespace fnda {
+
+Outcome EfficientClearing::clear(const OrderBook& book, Rng& rng) const {
+  const SortedBook sorted(book, rng);
+  return clear_sorted(sorted);
+}
+
+Outcome EfficientClearing::clear_sorted(const SortedBook& book) {
+  Outcome outcome;
+  const std::size_t k = book.efficient_trade_count();
+  if (k == 0) return outcome;
+  // Any price in [s(k), b(k)] clears all k trades; the midpoint splits the
+  // marginal pair's surplus evenly.
+  const Money price =
+      Money::midpoint(book.buyer_value(k), book.seller_value(k));
+  for (std::size_t rank = 1; rank <= k; ++rank) {
+    outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, price);
+    outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, price);
+  }
+  return outcome;
+}
+
+}  // namespace fnda

@@ -1,0 +1,25 @@
+// Pareto-efficient clearing oracle.
+//
+// Executes the efficient allocation (ranks (1)..(k) trade, k per Section 3)
+// at the uniform price (b(k) + s(k)) / 2, which is individually rational
+// and budget balanced.  This protocol is NOT incentive compatible — the
+// Myerson–Satterthwaite theorem rules that out — and exists only as the
+// denominator for the efficiency ratios the paper reports and as a test
+// oracle for allocation optimality.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace fnda {
+
+class EfficientClearing final : public DoubleAuctionProtocol {
+ public:
+  EfficientClearing() = default;
+
+  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  std::string name() const override { return "efficient"; }
+
+  static Outcome clear_sorted(const SortedBook& book);
+};
+
+}  // namespace fnda

@@ -1,0 +1,35 @@
+#include "protocols/kda.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fnda {
+
+KDoubleAuction::KDoubleAuction(double theta)
+    : theta_(std::clamp(theta, 0.0, 1.0)) {}
+
+Outcome KDoubleAuction::clear(const OrderBook& book, Rng& rng) const {
+  const SortedBook sorted(book, rng);
+  return clear_sorted(sorted, theta_);
+}
+
+Outcome KDoubleAuction::clear_sorted(const SortedBook& book, double theta) {
+  Outcome outcome;
+  const std::size_t k = book.efficient_trade_count();
+  if (k == 0) return outcome;
+
+  // p = theta * b(k) + (1 - theta) * s(k), rounded to a micro-unit.
+  // b(k) >= s(k), so p lies in [s(k), b(k)] and IR holds on both sides.
+  const double bk = static_cast<double>(book.buyer_value(k).micros());
+  const double sk = static_cast<double>(book.seller_value(k).micros());
+  const Money price = Money::from_micros(
+      static_cast<std::int64_t>(std::llround(theta * bk + (1.0 - theta) * sk)));
+
+  for (std::size_t rank = 1; rank <= k; ++rank) {
+    outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, price);
+    outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, price);
+  }
+  return outcome;
+}
+
+}  // namespace fnda

@@ -1,0 +1,259 @@
+#include "protocols/multi_unit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fnda {
+namespace {
+
+/// Assigns each identity a random key, then orders unit entries by value
+/// (direction chosen by `ascending`), identity key, unit index.  Equal
+/// values within one identity therefore never interleave with another
+/// identity's, and lower unit indices rank first — the two properties the
+/// Section 9 protocol requires of its unit ordering.
+std::vector<UnitEntry> rank_units(const std::vector<UnitEntry>& units,
+                                  bool ascending, Rng& rng) {
+  std::unordered_map<IdentityId, std::uint64_t> keys;
+  for (const UnitEntry& u : units) {
+    if (!keys.contains(u.identity)) keys.emplace(u.identity, rng());
+  }
+  std::vector<UnitEntry> ranked = units;
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const UnitEntry& a, const UnitEntry& b) {
+              if (a.value != b.value) {
+                return ascending ? a.value < b.value : a.value > b.value;
+              }
+              const auto ka = keys.at(a.identity);
+              const auto kb = keys.at(b.identity);
+              if (ka != kb) return ka < kb;
+              return a.unit_index < b.unit_index;
+            });
+  return ranked;
+}
+
+}  // namespace
+
+void MultiUnitBook::validate(const std::vector<Money>& marginal_values) {
+  if (marginal_values.empty()) {
+    throw std::invalid_argument("MultiUnitBook: empty marginal-value vector");
+  }
+  for (std::size_t i = 1; i < marginal_values.size(); ++i) {
+    if (marginal_values[i] > marginal_values[i - 1]) {
+      throw std::invalid_argument(
+          "MultiUnitBook: marginal values must be non-increasing "
+          "(Section 9 assumes decreasing marginal utility)");
+    }
+  }
+}
+
+void MultiUnitBook::add_buyer(IdentityId identity,
+                              std::vector<Money> marginal_values) {
+  validate(marginal_values);
+  buyer_units_ += marginal_values.size();
+  buyers_.push_back(MultiUnitBid{identity, std::move(marginal_values)});
+}
+
+void MultiUnitBook::add_seller(IdentityId identity,
+                               std::vector<Money> marginal_values) {
+  validate(marginal_values);
+  seller_units_ += marginal_values.size();
+  sellers_.push_back(MultiUnitBid{identity, std::move(marginal_values)});
+}
+
+std::vector<UnitEntry> MultiUnitBook::ranked_buyer_units(Rng& rng) const {
+  std::vector<UnitEntry> units;
+  units.reserve(buyer_units_);
+  for (const MultiUnitBid& bid : buyers_) {
+    for (std::size_t k = 0; k < bid.marginal_values.size(); ++k) {
+      // Buyer trade order follows the declared order: the first unit
+      // acquired is worth b_{x,1}.
+      units.push_back(UnitEntry{bid.identity, k + 1, bid.marginal_values[k]});
+    }
+  }
+  return rank_units(units, /*ascending=*/false, rng);
+}
+
+std::vector<UnitEntry> MultiUnitBook::ranked_seller_units(Rng& rng) const {
+  std::vector<UnitEntry> units;
+  units.reserve(seller_units_);
+  for (const MultiUnitBid& bid : sellers_) {
+    const std::size_t capacity = bid.marginal_values.size();
+    for (std::size_t k = 0; k < capacity; ++k) {
+      // Seller trade order is cheapest-unit-first: the first unit sold is
+      // the declared vector's last (least-valued) entry, s_{y,K}.
+      units.push_back(
+          UnitEntry{bid.identity, k + 1, bid.marginal_values[capacity - 1 - k]});
+    }
+  }
+  return rank_units(units, /*ascending=*/true, rng);
+}
+
+std::size_t MultiUnitOutcome::units_traded() const {
+  std::size_t units = 0;
+  for (const BuyerResult& b : buyers) units += b.units;
+  return units;
+}
+
+Money MultiUnitOutcome::buyer_payments() const {
+  Money total;
+  for (const BuyerResult& b : buyers) total += b.total_paid;
+  return total;
+}
+
+Money MultiUnitOutcome::seller_receipts() const {
+  Money total;
+  for (const SellerResult& s : sellers) total += s.total_received;
+  return total;
+}
+
+const MultiUnitOutcome::BuyerResult* MultiUnitOutcome::buyer(
+    IdentityId identity) const {
+  for (const BuyerResult& b : buyers) {
+    if (b.identity == identity) return &b;
+  }
+  return nullptr;
+}
+
+const MultiUnitOutcome::SellerResult* MultiUnitOutcome::seller(
+    IdentityId identity) const {
+  for (const SellerResult& s : sellers) {
+    if (s.identity == identity) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> validate_multi_outcome(
+    const MultiUnitBook& book, const MultiUnitOutcome& outcome) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](const std::string& message) {
+    errors.push_back(message);
+  };
+
+  std::unordered_map<IdentityId, const MultiUnitBid*> buyer_bids;
+  std::unordered_map<IdentityId, const MultiUnitBid*> seller_bids;
+  for (const MultiUnitBid& b : book.buyers()) buyer_bids.emplace(b.identity, &b);
+  for (const MultiUnitBid& s : book.sellers()) seller_bids.emplace(s.identity, &s);
+
+  std::size_t bought = 0;
+  std::size_t sold = 0;
+  for (const auto& b : outcome.buyers) {
+    bought += b.units;
+    auto it = buyer_bids.find(b.identity);
+    if (it == buyer_bids.end()) {
+      std::ostringstream os;
+      os << "buyer result for unknown identity " << b.identity;
+      fail(os.str());
+      continue;
+    }
+    const auto& declared = it->second->marginal_values;
+    if (b.units > declared.size()) {
+      std::ostringstream os;
+      os << "buyer " << b.identity << " awarded " << b.units
+         << " units but declared demand for " << declared.size();
+      fail(os.str());
+      continue;
+    }
+    Money declared_value;
+    for (std::size_t k = 0; k < b.units; ++k) declared_value += declared[k];
+    if (b.total_paid > declared_value) {
+      std::ostringstream os;
+      os << "buyer aggregate IR violated for " << b.identity << ": pays "
+         << b.total_paid << " for units declared worth " << declared_value;
+      fail(os.str());
+    }
+    Money sum;
+    for (Money p : b.unit_payments) sum += p;
+    if (sum != b.total_paid || b.unit_payments.size() != b.units) {
+      std::ostringstream os;
+      os << "buyer " << b.identity << " per-unit payments inconsistent";
+      fail(os.str());
+    }
+  }
+  for (const auto& s : outcome.sellers) {
+    sold += s.units;
+    auto it = seller_bids.find(s.identity);
+    if (it == seller_bids.end()) {
+      std::ostringstream os;
+      os << "seller result for unknown identity " << s.identity;
+      fail(os.str());
+      continue;
+    }
+    const auto& declared = it->second->marginal_values;
+    if (s.units > declared.size()) {
+      std::ostringstream os;
+      os << "seller " << s.identity << " sold " << s.units
+         << " units but holds only " << declared.size();
+      fail(os.str());
+      continue;
+    }
+    // A seller parting with k units gives up its k least-valued units.
+    Money declared_cost;
+    for (std::size_t k = 0; k < s.units; ++k) {
+      declared_cost += declared[declared.size() - 1 - k];
+    }
+    if (s.total_received < declared_cost) {
+      std::ostringstream os;
+      os << "seller aggregate IR violated for " << s.identity << ": receives "
+         << s.total_received << " for units declared worth " << declared_cost;
+      fail(os.str());
+    }
+    Money sum;
+    for (Money p : s.unit_receipts) sum += p;
+    if (sum != s.total_received || s.unit_receipts.size() != s.units) {
+      std::ostringstream os;
+      os << "seller " << s.identity << " per-unit receipts inconsistent";
+      fail(os.str());
+    }
+  }
+
+  if (bought != sold) {
+    std::ostringstream os;
+    os << "goods not conserved: " << bought << " bought vs " << sold << " sold";
+    fail(os.str());
+  }
+  if (outcome.auctioneer_revenue() < Money{}) {
+    std::ostringstream os;
+    os << "auctioneer subsidises the market: revenue "
+       << outcome.auctioneer_revenue();
+    fail(os.str());
+  }
+  return errors;
+}
+
+MultiUnitSurplus realized_multi_surplus(const MultiUnitOutcome& outcome,
+                                        const MultiUnitTruth& truth) {
+  MultiUnitSurplus surplus;
+  for (const auto& b : outcome.buyers) {
+    const auto& values = truth.buyer_values.at(b.identity);
+    double gained = 0.0;
+    for (std::size_t k = 0; k < b.units; ++k) gained += values.at(k).to_double();
+    surplus.except_auctioneer += gained - b.total_paid.to_double();
+  }
+  for (const auto& s : outcome.sellers) {
+    const auto& values = truth.seller_values.at(s.identity);
+    double lost = 0.0;
+    for (std::size_t k = 0; k < s.units; ++k) {
+      lost += values.at(values.size() - 1 - k).to_double();
+    }
+    surplus.except_auctioneer += s.total_received.to_double() - lost;
+  }
+  surplus.auctioneer = outcome.auctioneer_revenue().to_double();
+  surplus.total = surplus.except_auctioneer + surplus.auctioneer;
+  return surplus;
+}
+
+double efficient_multi_surplus(const MultiUnitBook& true_book, Rng& rng) {
+  const auto bids = true_book.ranked_buyer_units(rng);
+  const auto asks = true_book.ranked_seller_units(rng);
+  const std::size_t limit = std::min(bids.size(), asks.size());
+  double surplus = 0.0;
+  for (std::size_t t = 0; t < limit; ++t) {
+    if (bids[t].value < asks[t].value) break;
+    surplus += (bids[t].value - asks[t].value).to_double();
+  }
+  return surplus;
+}
+
+}  // namespace fnda

@@ -1,0 +1,136 @@
+// Multi-unit demand/supply declarations (Section 9 setting).
+//
+// A buyer declares a non-increasing vector of marginal values
+// b_{x,1} >= b_{x,2} >= ...  (value of the k-th unit acquired).  A seller
+// holding K units declares s_{y,1} >= ... >= s_{y,K}; per the paper, the
+// minimum price at which y parts with its *first* sold unit is s_{y,K}
+// (it gives up the least-valued unit first), so the seller's ask ladder is
+// the declared vector reversed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/money.h"
+#include "common/rng.h"
+#include "core/bid.h"
+#include "core/outcome.h"
+
+namespace fnda {
+
+/// One multi-unit declaration.  `marginal_values` must be non-increasing
+/// and non-empty; the constructor-free struct is validated when added to a
+/// MultiUnitBook.
+struct MultiUnitBid {
+  IdentityId identity;
+  std::vector<Money> marginal_values;
+};
+
+/// One pooled unit-level entry: the `unit_index`-th unit (1-based, in
+/// trade order) of `identity`'s declaration, at unit value `value`.
+/// For sellers, trade order is cheapest-unit-first, so unit_index 1 maps
+/// to the *last* element of the declared marginal vector.
+struct UnitEntry {
+  IdentityId identity;
+  std::size_t unit_index;
+  Money value;
+};
+
+/// Book of multi-unit declarations with unit-level order statistics.
+class MultiUnitBook {
+ public:
+  MultiUnitBook() = default;
+
+  /// Adds a declaration; throws std::invalid_argument if the marginal
+  /// vector is empty or increases anywhere (the Section 9 protocol is only
+  /// defined for non-increasing marginal utilities).
+  void add_buyer(IdentityId identity, std::vector<Money> marginal_values);
+  void add_seller(IdentityId identity, std::vector<Money> marginal_values);
+
+  const std::vector<MultiUnitBid>& buyers() const { return buyers_; }
+  const std::vector<MultiUnitBid>& sellers() const { return sellers_; }
+
+  /// Total units demanded / supplied.
+  std::size_t buyer_units() const { return buyer_units_; }
+  std::size_t seller_units() const { return seller_units_; }
+
+  /// Pooled buyer unit values, sorted descending with seeded random
+  /// tie-breaking between identities; within one identity, lower unit
+  /// indices always rank first (decreasing marginal utility guarantees
+  /// their values are >=, and equal values must not straddle a boundary).
+  std::vector<UnitEntry> ranked_buyer_units(Rng& rng) const;
+  /// Pooled seller unit asks, sorted ascending, same tie-break contract.
+  std::vector<UnitEntry> ranked_seller_units(Rng& rng) const;
+
+ private:
+  static void validate(const std::vector<Money>& marginal_values);
+
+  std::vector<MultiUnitBid> buyers_;
+  std::vector<MultiUnitBid> sellers_;
+  std::size_t buyer_units_ = 0;
+  std::size_t seller_units_ = 0;
+};
+
+/// Result of a multi-unit clearing: per-identity unit counts and totals.
+/// Aggregate individual rationality (total payment <= sum of the winning
+/// units' declared marginals) replaces the single-unit per-fill check.
+struct MultiUnitOutcome {
+  struct BuyerResult {
+    IdentityId identity;
+    std::size_t units = 0;
+    Money total_paid;
+    /// Per-unit payments in trade order (GVA terms); sums to total_paid.
+    std::vector<Money> unit_payments;
+  };
+  struct SellerResult {
+    IdentityId identity;
+    std::size_t units = 0;
+    Money total_received;
+    std::vector<Money> unit_receipts;
+  };
+
+  std::vector<BuyerResult> buyers;
+  std::vector<SellerResult> sellers;
+
+  std::size_t units_traded() const;
+  Money buyer_payments() const;
+  Money seller_receipts() const;
+  Money auctioneer_revenue() const {
+    return buyer_payments() - seller_receipts();
+  }
+
+  const BuyerResult* buyer(IdentityId identity) const;
+  const SellerResult* seller(IdentityId identity) const;
+};
+
+/// Invariants of a multi-unit outcome against its book: unit conservation,
+/// per-identity unit counts within declared capacity, aggregate IR on
+/// declared values, non-negative auctioneer revenue.  Empty means valid.
+std::vector<std::string> validate_multi_outcome(const MultiUnitBook& book,
+                                                const MultiUnitOutcome& outcome);
+
+/// True multi-unit valuations, keyed by identity.
+struct MultiUnitTruth {
+  std::unordered_map<IdentityId, std::vector<Money>> buyer_values;
+  std::unordered_map<IdentityId, std::vector<Money>> seller_values;
+};
+
+/// Realised social surplus (total / except auctioneer) of a multi-unit
+/// outcome under true marginal valuations.  A seller parting with k units
+/// loses its k cheapest units' values.
+struct MultiUnitSurplus {
+  double total = 0.0;
+  double except_auctioneer = 0.0;
+  double auctioneer = 0.0;
+};
+MultiUnitSurplus realized_multi_surplus(const MultiUnitOutcome& outcome,
+                                        const MultiUnitTruth& truth);
+
+/// Pareto-efficient surplus of a book of true values: pooled unit bids vs
+/// pooled unit asks, greedily matched while the bid meets the ask.
+double efficient_multi_surplus(const MultiUnitBook& true_book, Rng& rng);
+
+}  // namespace fnda

@@ -1,0 +1,162 @@
+#include "protocols/one_sided.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+void validate(const QuantityValuation& bid) {
+  if (bid.values.empty() || bid.values.front() != Money{}) {
+    throw std::invalid_argument(
+        "QuantityValuation: values[0] must exist and be 0");
+  }
+  for (std::size_t q = 1; q < bid.values.size(); ++q) {
+    if (bid.values[q] < bid.values[q - 1]) {
+      throw std::invalid_argument(
+          "QuantityValuation: values must be non-decreasing in quantity");
+    }
+  }
+}
+
+/// Max declared welfare allocating at most `units` among `bids`,
+/// optionally skipping one bidder.  Returns the optimum and, when
+/// `allocation` is non-null, the per-bidder quantities.
+double best_welfare(const std::vector<QuantityValuation>& bids,
+                    std::size_t units, std::size_t skip,
+                    std::vector<std::size_t>* allocation) {
+  const std::size_t n = bids.size();
+  // dp[u] = best welfare using the bidders processed so far with u units
+  // consumed; choice[i][u] = units given to bidder i at that optimum.
+  std::vector<double> dp(units + 1, 0.0);
+  std::vector<std::vector<std::size_t>> choice(
+      n, std::vector<std::size_t>(units + 1, 0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == skip) continue;
+    std::vector<double> next(units + 1, 0.0);
+    for (std::size_t used = 0; used <= units; ++used) {
+      double best = dp[used];
+      std::size_t best_q = 0;
+      const std::size_t max_q = std::min(bids[i].capacity(), used);
+      for (std::size_t q = 1; q <= max_q; ++q) {
+        const double candidate =
+            dp[used - q] + bids[i].values[q].to_double();
+        // Strict improvement keeps the allocation minimal (smaller
+        // quantities and earlier bidders win ties deterministically).
+        if (candidate > best + 1e-12) {
+          best = candidate;
+          best_q = q;
+        }
+      }
+      next[used] = best;
+      choice[i][used] = best_q;
+    }
+    dp = std::move(next);
+  }
+
+  // The best overall uses at most `units`; dp is monotone in used units.
+  double best = 0.0;
+  std::size_t best_used = 0;
+  for (std::size_t used = 0; used <= units; ++used) {
+    if (dp[used] > best + 1e-12) {
+      best = dp[used];
+      best_used = used;
+    }
+  }
+
+  if (allocation != nullptr) {
+    allocation->assign(n, 0);
+    std::size_t used = best_used;
+    for (std::size_t i = n; i-- > 0;) {
+      if (i == skip) continue;
+      const std::size_t q = choice[i][used];
+      (*allocation)[i] = q;
+      used -= q;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Money QuantityValuation::value_of(std::size_t quantity) const {
+  const std::size_t q = std::min(quantity, capacity());
+  return values[q];
+}
+
+bool QuantityValuation::has_decreasing_marginals() const {
+  for (std::size_t q = 2; q < values.size(); ++q) {
+    const Money previous = values[q - 1] - values[q - 2];
+    const Money current = values[q] - values[q - 1];
+    if (current > previous) return false;
+  }
+  return true;
+}
+
+GeneralizedVickreyAuction::GeneralizedVickreyAuction(std::size_t units)
+    : units_(units) {
+  if (units == 0) {
+    throw std::invalid_argument("GeneralizedVickreyAuction: zero units");
+  }
+}
+
+OneSidedResult GeneralizedVickreyAuction::run(
+    const std::vector<QuantityValuation>& bids) const {
+  for (const QuantityValuation& bid : bids) validate(bid);
+
+  std::vector<std::size_t> allocation;
+  const double welfare =
+      best_welfare(bids, units_, bids.size(), &allocation);
+
+  OneSidedResult result;
+  result.declared_welfare = welfare;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (allocation[i] == 0) continue;
+    const double own = bids[i].values[allocation[i]].to_double();
+    const double others_without =
+        best_welfare(bids, units_, i, nullptr);
+    const double others_with = welfare - own;
+    const double pivot = others_without - others_with;
+    OneSidedResult::Award award;
+    award.identity = bids[i].identity;
+    award.units = allocation[i];
+    award.payment = Money::from_double(pivot);
+    result.revenue += award.payment;
+    result.awards.push_back(award);
+  }
+  return result;
+}
+
+const OneSidedResult::Award* OneSidedResult::award_for(
+    IdentityId identity) const {
+  for (const Award& award : awards) {
+    if (award.identity == identity) return &award;
+  }
+  return nullptr;
+}
+
+VickreyResult run_vickrey(
+    const std::vector<std::pair<IdentityId, Money>>& bids) {
+  VickreyResult result;
+  if (bids.empty()) return result;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bids.size(); ++i) {
+    if (bids[i].second > bids[best].second) best = i;
+  }
+  Money second;
+  bool has_second = false;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (i == best) continue;
+    if (!has_second || bids[i].second > second) {
+      second = bids[i].second;
+      has_second = true;
+    }
+  }
+  result.sold = true;
+  result.winner = bids[best].first;
+  result.price = has_second ? second : Money{};
+  return result;
+}
+
+}  // namespace fnda

@@ -1,0 +1,84 @@
+// One-sided (single-seller) auctions: Vickrey and the generalized Vickrey
+// auction (GVA).
+//
+// The paper's robustness program starts here: Sakurai, Yokoo & Matsubara
+// (AAAI-99, the paper's ref [8]) showed the GVA is robust against
+// false-name bids exactly when every participant's marginal utilities
+// decrease, and manipulable otherwise; the multi-unit TPD of Section 9
+// imports that argument.  This module implements the protocols so the
+// boundary can be demonstrated:
+//
+//   - single-unit Vickrey: false-name-proof outright (extra identities
+//     can only raise your own price);
+//   - multi-unit GVA with general quantity valuations: efficient and
+//     DSIC, but an identity split beats truth once complements are in
+//     play (the classic all-or-nothing counterexample, reproduced in the
+//     tests and `bench/one_sided_lineage`).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/money.h"
+
+namespace fnda {
+
+/// A declared valuation over quantities: value(q) for q = 0..capacity,
+/// with value(0) == 0 and monotone non-decreasing.  Marginal utilities
+/// need NOT decrease — complements are expressible (that is the point).
+struct QuantityValuation {
+  IdentityId identity;
+  /// values[q] is the total value of holding q units; values[0] must be 0.
+  std::vector<Money> values;
+
+  std::size_t capacity() const { return values.size() - 1; }
+  Money value_of(std::size_t quantity) const;
+
+  /// True if marginal utilities are non-increasing (concave values).
+  bool has_decreasing_marginals() const;
+};
+
+/// Result of a one-sided multi-unit auction.
+struct OneSidedResult {
+  struct Award {
+    IdentityId identity;
+    std::size_t units = 0;
+    Money payment;
+  };
+  std::vector<Award> awards;  // winners only, in bid order
+  double declared_welfare = 0.0;
+  Money revenue;
+
+  const Award* award_for(IdentityId identity) const;
+};
+
+/// Generalized Vickrey auction for `units` identical units.
+///
+/// Allocation maximizes declared welfare (dynamic program over bidders);
+/// ties prefer earlier bidders and smaller quantities, deterministically.
+/// Winner i pays its Clarke pivot: W(-i) - (W - v_i(q_i)).
+class GeneralizedVickreyAuction {
+ public:
+  explicit GeneralizedVickreyAuction(std::size_t units);
+
+  /// Bids must have value(0) == 0 and non-decreasing values; throws
+  /// std::invalid_argument otherwise.
+  OneSidedResult run(const std::vector<QuantityValuation>& bids) const;
+
+  std::size_t units() const { return units_; }
+
+ private:
+  std::size_t units_;
+};
+
+/// Single-unit Vickrey (second-price) auction: the k = 1 special case,
+/// with the familiar interface.  Ties prefer the earlier bid.
+struct VickreyResult {
+  bool sold = false;
+  IdentityId winner;
+  Money price;  // the second-highest bid (or 0 with a single bidder)
+};
+VickreyResult run_vickrey(const std::vector<std::pair<IdentityId, Money>>& bids);
+
+}  // namespace fnda

@@ -1,0 +1,38 @@
+#include "protocols/pmd.h"
+
+namespace fnda {
+
+Outcome PmdProtocol::clear(const OrderBook& book, Rng& rng) const {
+  const SortedBook sorted(book, rng);
+  return clear_sorted(sorted);
+}
+
+Outcome PmdProtocol::clear_sorted(const SortedBook& book) {
+  Outcome outcome;
+  const std::size_t k = book.efficient_trade_count();
+  if (k == 0) return outcome;
+
+  // Sentinel ranks are valid: buyer_value(m+1) / seller_value(n+1) return
+  // the domain bounds, exactly the paper's b(m+1) / s(n+1).
+  const Money p0 =
+      Money::midpoint(book.buyer_value(k + 1), book.seller_value(k + 1));
+  const Money bk = book.buyer_value(k);
+  const Money sk = book.seller_value(k);
+
+  if (sk <= p0 && p0 <= bk) {
+    // Condition 1: all k efficient trades execute at the uniform price p0.
+    for (std::size_t rank = 1; rank <= k; ++rank) {
+      outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, p0);
+      outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, p0);
+    }
+  } else {
+    // Condition 2: the marginal pair (k) is excluded and prices the rest.
+    for (std::size_t rank = 1; rank + 1 <= k; ++rank) {
+      outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, bk);
+      outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, sk);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fnda

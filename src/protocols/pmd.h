@@ -1,0 +1,34 @@
+// PMD: Preston McAfee's dominant-strategy double auction (McAfee 1992),
+// as described in Section 3 of the paper.
+//
+// With order statistics b(1) >= ... >= b(m), s(1) <= ... <= s(n), sentinels
+// b(m+1) = lowest possible value and s(n+1) = highest possible value, and
+// k = max{ i : b(i) >= s(i) }, the candidate price is
+// p0 = (b(k+1) + s(k+1)) / 2 and the rule is:
+//
+//   1. if s(k) <= p0 <= b(k):  ranks (1)..(k) trade at p0 (budget balanced);
+//   2. otherwise:              ranks (1)..(k-1) trade; each buyer pays b(k),
+//                              each seller receives s(k); the auctioneer
+//                              keeps (k-1) * (b(k) - s(k)).
+//
+// PMD is dominant-strategy incentive compatible when false-name bids are
+// impossible, and is the baseline the paper's Section 4 examples attack.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace fnda {
+
+class PmdProtocol final : public DoubleAuctionProtocol {
+ public:
+  PmdProtocol() = default;
+
+  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  std::string name() const override { return "pmd"; }
+
+  /// Deterministic core on an already-ranked book; exposed so tests can
+  /// pin tie-breaking.
+  static Outcome clear_sorted(const SortedBook& book);
+};
+
+}  // namespace fnda

@@ -1,0 +1,36 @@
+#include "protocols/random_threshold.h"
+
+#include <algorithm>
+
+namespace fnda {
+
+RandomThresholdProtocol::RandomThresholdProtocol(Money threshold)
+    : threshold_(threshold) {}
+
+Outcome RandomThresholdProtocol::clear(const OrderBook& book, Rng& rng) const {
+  Outcome outcome;
+  const Money r = threshold_;
+
+  std::vector<const BidEntry*> eligible_buyers;
+  std::vector<const BidEntry*> eligible_sellers;
+  for (const BidEntry& e : book.buyers()) {
+    if (e.value >= r) eligible_buyers.push_back(&e);
+  }
+  for (const BidEntry& e : book.sellers()) {
+    if (e.value <= r) eligible_sellers.push_back(&e);
+  }
+
+  const std::size_t trades =
+      std::min(eligible_buyers.size(), eligible_sellers.size());
+  rng.shuffle(eligible_buyers.begin(), eligible_buyers.end());
+  rng.shuffle(eligible_sellers.begin(), eligible_sellers.end());
+
+  for (std::size_t t = 0; t < trades; ++t) {
+    outcome.add_buy(eligible_buyers[t]->id, eligible_buyers[t]->identity, r);
+    outcome.add_sell(eligible_sellers[t]->id, eligible_sellers[t]->identity,
+                     r);
+  }
+  return outcome;
+}
+
+}  // namespace fnda

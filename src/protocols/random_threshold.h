@@ -1,0 +1,32 @@
+// The naive randomized-threshold protocol discussed in Section 8.
+//
+// Fix a threshold price r; buyers with b >= r and sellers with s <= r are
+// eligible; t = min(#eligible buyers, #eligible sellers) trades execute at
+// price r between uniformly random eligible participants on each side.
+//
+// Without false-name bids this is trivially dominant-strategy incentive
+// compatible (your declaration only gates eligibility, never the price).
+// With false-name bids it is NOT: a buyer can submit many buyer bids to
+// raise the probability that one of its names is drawn — exactly the
+// lottery-stuffing attack the paper uses to motivate why robustness is a
+// non-trivial property.  The mechanism/ layer demonstrates the attack.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace fnda {
+
+class RandomThresholdProtocol final : public DoubleAuctionProtocol {
+ public:
+  explicit RandomThresholdProtocol(Money threshold);
+
+  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  std::string name() const override { return "random-threshold"; }
+
+  Money threshold() const { return threshold_; }
+
+ private:
+  Money threshold_;
+};
+
+}  // namespace fnda

@@ -1,0 +1,46 @@
+#include "protocols/tpd.h"
+
+namespace fnda {
+
+TpdProtocol::TpdProtocol(Money threshold) : threshold_(threshold) {}
+
+Outcome TpdProtocol::clear(const OrderBook& book, Rng& rng) const {
+  const SortedBook sorted(book, rng);
+  return clear_sorted(sorted, threshold_);
+}
+
+Outcome TpdProtocol::clear_sorted(const SortedBook& book, Money threshold) {
+  Outcome outcome;
+  const Money r = threshold;
+  const std::size_t i = book.buyers_at_or_above(r);
+  const std::size_t j = book.sellers_at_or_below(r);
+
+  if (i == j) {
+    // Balanced around r: everyone eligible trades at r, budget balanced.
+    for (std::size_t rank = 1; rank <= i; ++rank) {
+      outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, r);
+      outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, r);
+    }
+  } else if (i > j) {
+    // Excess demand: sellers are the short side.  The (j+1)-th buyer value
+    // prices the buyers (it is >= r because j + 1 <= i).
+    const Money buyer_price = book.buyer_value(j + 1);
+    for (std::size_t rank = 1; rank <= j; ++rank) {
+      outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity,
+                      buyer_price);
+      outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, r);
+    }
+  } else {
+    // Excess supply: buyers are the short side.  The (i+1)-th seller value
+    // prices the sellers (it is <= r because i + 1 <= j).
+    const Money seller_price = book.seller_value(i + 1);
+    for (std::size_t rank = 1; rank <= i; ++rank) {
+      outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, r);
+      outcome.add_sell(book.seller(rank).id, book.seller(rank).identity,
+                       seller_price);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fnda

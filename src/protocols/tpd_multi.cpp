@@ -1,0 +1,107 @@
+#include "protocols/tpd_multi.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace fnda {
+namespace {
+
+/// Winning unit counts per identity from the first `t` ranked units.
+std::unordered_map<IdentityId, std::size_t> winners_by_identity(
+    const std::vector<UnitEntry>& ranked, std::size_t t) {
+  std::unordered_map<IdentityId, std::size_t> counts;
+  for (std::size_t u = 0; u < t; ++u) ++counts[ranked[u].identity];
+  return counts;
+}
+
+/// The l-th largest (descending input) or l-th smallest (ascending input)
+/// unit value excluding `self`'s units; 1-based l.  When fewer than l
+/// competitor units exist the caller's max/min against r makes the value
+/// irrelevant, signalled here by std::nullopt.
+std::optional<Money> nth_excluding(const std::vector<UnitEntry>& ranked,
+                                   IdentityId self, std::size_t l) {
+  std::size_t seen = 0;
+  for (const UnitEntry& u : ranked) {
+    if (u.identity == self) continue;
+    if (++seen == l) return u.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TpdMultiUnitProtocol::TpdMultiUnitProtocol(Money threshold)
+    : threshold_(threshold) {}
+
+MultiUnitOutcome TpdMultiUnitProtocol::clear(const MultiUnitBook& book,
+                                             Rng& rng) const {
+  const Money r = threshold_;
+  const std::vector<UnitEntry> bids = book.ranked_buyer_units(rng);
+  const std::vector<UnitEntry> asks = book.ranked_seller_units(rng);
+
+  std::size_t i = 0;
+  while (i < bids.size() && bids[i].value >= r) ++i;
+  std::size_t j = 0;
+  while (j < asks.size() && asks[j].value <= r) ++j;
+
+  MultiUnitOutcome outcome;
+  const std::size_t trades = std::min(i, j);
+  if (trades == 0) return outcome;
+
+  const auto buyer_wins = winners_by_identity(bids, trades);
+  const auto seller_wins = winners_by_identity(asks, trades);
+
+  if (i == j) {
+    // Balanced: everything at the threshold price, budget balanced.
+    for (const auto& [identity, units] : buyer_wins) {
+      MultiUnitOutcome::BuyerResult result{identity, units, r * static_cast<std::int64_t>(units), {}};
+      result.unit_payments.assign(units, r);
+      outcome.buyers.push_back(std::move(result));
+    }
+    for (const auto& [identity, units] : seller_wins) {
+      MultiUnitOutcome::SellerResult result{identity, units, r * static_cast<std::int64_t>(units), {}};
+      result.unit_receipts.assign(units, r);
+      outcome.sellers.push_back(std::move(result));
+    }
+  } else if (i > j) {
+    // Excess demand: sellers all receive r; buyers pay GVA prices.
+    for (const auto& [identity, units] : seller_wins) {
+      MultiUnitOutcome::SellerResult result{identity, units, r * static_cast<std::int64_t>(units), {}};
+      result.unit_receipts.assign(units, r);
+      outcome.sellers.push_back(std::move(result));
+    }
+    for (const auto& [identity, k] : buyer_wins) {
+      MultiUnitOutcome::BuyerResult result{identity, k, Money{}, {}};
+      for (std::size_t l = j - k + 1; l <= j; ++l) {
+        const auto competitor = nth_excluding(bids, identity, l);
+        const Money term =
+            competitor.has_value() ? std::max(*competitor, r) : r;
+        result.unit_payments.push_back(term);
+        result.total_paid += term;
+      }
+      outcome.buyers.push_back(std::move(result));
+    }
+  } else {
+    // Excess supply: buyers all pay r; sellers receive GVA prices.
+    for (const auto& [identity, units] : buyer_wins) {
+      MultiUnitOutcome::BuyerResult result{identity, units, r * static_cast<std::int64_t>(units), {}};
+      result.unit_payments.assign(units, r);
+      outcome.buyers.push_back(std::move(result));
+    }
+    for (const auto& [identity, k] : seller_wins) {
+      MultiUnitOutcome::SellerResult result{identity, k, Money{}, {}};
+      for (std::size_t l = i - k + 1; l <= i; ++l) {
+        const auto competitor = nth_excluding(asks, identity, l);
+        const Money term =
+            competitor.has_value() ? std::min(*competitor, r) : r;
+        result.unit_receipts.push_back(term);
+        result.total_received += term;
+      }
+      outcome.sellers.push_back(std::move(result));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fnda

@@ -1,0 +1,42 @@
+// Multi-unit TPD: the Section 9 extension of the threshold-price protocol
+// to multi-unit demand/supply with decreasing marginal utilities.
+//
+// Pool every buyer's unit values (descending) and every seller's unit asks
+// (ascending, cheapest unit first); with i = #unit-bids >= r and
+// j = #unit-asks <= r:
+//
+//   1. i == j: the top i unit-bids and unit-asks trade at r per unit.
+//   2. i  > j: the top j unit-bids win; sellers receive r per unit; a buyer
+//              x winning k units pays sum over l = j-k+1..j of
+//              max(b^x_(l), r), where b^x_(l) is the l-th largest buyer
+//              unit value excluding x's own units (generalized-Vickrey
+//              pricing, Varian 1995); the auctioneer keeps the difference.
+//   3. i  < j: symmetric: buyers pay r per unit; a seller y selling k units
+//              receives sum over l = i-k+1..i of min(s^y_(l), r).
+//
+// Under decreasing marginal utilities this is dominant-strategy incentive
+// compatible against false-name bids (Section 9, by the argument of
+// Sakurai-Yokoo-Matsubara AAAI-99 for the GVA).
+#pragma once
+
+#include "common/money.h"
+#include "common/rng.h"
+#include "protocols/multi_unit.h"
+
+namespace fnda {
+
+class TpdMultiUnitProtocol {
+ public:
+  explicit TpdMultiUnitProtocol(Money threshold);
+
+  /// Clears the book; `rng` supplies identity tie-breaking.
+  MultiUnitOutcome clear(const MultiUnitBook& book, Rng& rng) const;
+
+  Money threshold() const { return threshold_; }
+  std::string name() const { return "tpd-multi"; }
+
+ private:
+  Money threshold_;
+};
+
+}  // namespace fnda

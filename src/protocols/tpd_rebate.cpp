@@ -1,0 +1,60 @@
+#include "protocols/tpd_rebate.h"
+
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+/// TPD auctioneer revenue of `book` with the declaration of `skip`
+/// removed.  Deterministic: uses its own fixed tie-break stream (revenue
+/// depends only on values, not on tie order).
+Money revenue_without(const OrderBook& book, IdentityId skip,
+                      Money threshold) {
+  OrderBook reduced(book.domain());
+  for (const BidEntry& entry : book.buyers()) {
+    if (entry.identity != skip) reduced.add_buyer(entry.identity, entry.value);
+  }
+  for (const BidEntry& entry : book.sellers()) {
+    if (entry.identity != skip) {
+      reduced.add_seller(entry.identity, entry.value);
+    }
+  }
+  // Revenue is a function of the declared values alone (tie order only
+  // permutes same-valued fills), so a fixed stream is safe here.
+  Rng rng(0x2eba7e);
+  const Outcome outcome = TpdProtocol(threshold).clear(reduced, rng);
+  return outcome.auctioneer_revenue();
+}
+
+}  // namespace
+
+TpdWithRebates::TpdWithRebates(Money threshold) : threshold_(threshold) {}
+
+Outcome TpdWithRebates::clear(const OrderBook& book, Rng& rng) const {
+  Outcome outcome = TpdProtocol(threshold_).clear(book, rng);
+
+  // One rebate per participating identity (an identity with several
+  // declarations would collect once per declaration — which is exactly
+  // the vulnerability this module demonstrates, since identities are
+  // free to mint).
+  std::vector<IdentityId> identities;
+  for (const BidEntry& entry : book.buyers()) {
+    identities.push_back(entry.identity);
+  }
+  for (const BidEntry& entry : book.sellers()) {
+    identities.push_back(entry.identity);
+  }
+  if (identities.empty()) return outcome;
+
+  const auto n = static_cast<std::int64_t>(identities.size());
+  for (IdentityId identity : identities) {
+    const Money reduced_revenue =
+        revenue_without(book, identity, threshold_);
+    if (reduced_revenue <= Money{}) continue;
+    outcome.add_rebate(identity,
+                       Money::from_micros(reduced_revenue.micros() / n));
+  }
+  return outcome;
+}
+
+}  // namespace fnda

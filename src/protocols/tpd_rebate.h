@@ -1,0 +1,42 @@
+// TPD with Bailey-Cavallo-style revenue rebates — a deliberate NEGATIVE
+// result.
+//
+// Section 8 names TPD's main limitation: the auctioneer's revenue "is not
+// desirable for the participants".  The textbook remedy is to rebate the
+// revenue back: pay each participant 1/N of the revenue the mechanism
+// would have collected WITHOUT that participant (so the rebate never
+// depends on one's own declaration, preserving truthfulness for a fixed
+// set of identities).
+//
+// In the false-name setting this repair is poisoned: identities are free,
+// and every extra identity collects its own rebate share.  A participant
+// can mint pseudonyms that bid nothing competitive and simply milk the
+// rebate pool.  The tests demonstrate both halves: misreport-IC is
+// preserved, false-name-proofness is destroyed — a concrete illustration
+// of why the paper keeps the revenue with the auctioneer.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace fnda {
+
+class TpdWithRebates final : public DoubleAuctionProtocol {
+ public:
+  explicit TpdWithRebates(Money threshold);
+
+  /// TPD clearing plus rebates: participant identity i receives
+  /// R(-i) / N, where R(-i) is the TPD auctioneer revenue with i's
+  /// declaration removed (same threshold) and N is the number of
+  /// participating identities.  Rebates can exceed the collected revenue
+  /// on some books, so outcomes may run a deficit — validate with
+  /// ValidationOptions{.allow_deficit = true}.
+  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  std::string name() const override { return "tpd-rebate"; }
+
+  Money threshold() const { return threshold_; }
+
+ private:
+  Money threshold_;
+};
+
+}  // namespace fnda

@@ -1,0 +1,35 @@
+#include "protocols/vcg.h"
+
+#include <algorithm>
+
+namespace fnda {
+
+Outcome VcgDoubleAuction::clear(const OrderBook& book, Rng& rng) const {
+  const SortedBook sorted(book, rng);
+  return clear_sorted(sorted);
+}
+
+Money VcgDoubleAuction::buyer_price(const SortedBook& book) {
+  const std::size_t k = book.efficient_trade_count();
+  return std::max(book.buyer_value(k + 1), book.seller_value(k));
+}
+
+Money VcgDoubleAuction::seller_price(const SortedBook& book) {
+  const std::size_t k = book.efficient_trade_count();
+  return std::min(book.seller_value(k + 1), book.buyer_value(k));
+}
+
+Outcome VcgDoubleAuction::clear_sorted(const SortedBook& book) {
+  Outcome outcome;
+  const std::size_t k = book.efficient_trade_count();
+  if (k == 0) return outcome;
+  const Money pay = buyer_price(book);
+  const Money get = seller_price(book);
+  for (std::size_t rank = 1; rank <= k; ++rank) {
+    outcome.add_buy(book.buyer(rank).id, book.buyer(rank).identity, pay);
+    outcome.add_sell(book.seller(rank).id, book.seller(rank).identity, get);
+  }
+  return outcome;
+}
+
+}  // namespace fnda

@@ -1,0 +1,45 @@
+// VCG (Vickrey-Clarke-Groves) double auction.
+//
+// The third corner of the design space the paper navigates.  VCG executes
+// the efficient allocation and charges each winner its Clarke pivot — the
+// welfare externality it imposes on everyone else:
+//
+//   buyer x at winning rank i pays   W(-x) - (W - b(i))
+//   seller y at winning rank j gets  (W - s(j) ... ) analogously,
+//
+// where W is the declared efficient welfare and W(-x) the declared
+// efficient welfare with x removed.  This is dominant-strategy incentive
+// compatible (without false names) and Pareto efficient, but it runs a
+// BUDGET DEFICIT: buyer payments fall short of seller receipts, and the
+// auctioneer must inject the difference.  That deficit is exactly why
+// McAfee-style trade reduction (PMD) and the paper's threshold pricing
+// (TPD) exist; `bench/trilemma` quantifies it.
+//
+// Outcomes from this protocol intentionally fail the budget-balance
+// invariant; validate it with ValidationOptions{.allow_deficit = true}.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace fnda {
+
+class VcgDoubleAuction final : public DoubleAuctionProtocol {
+ public:
+  VcgDoubleAuction() = default;
+
+  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  std::string name() const override { return "vcg"; }
+
+  static Outcome clear_sorted(const SortedBook& book);
+
+  /// The Clarke pivot is rank-independent in the single-unit double
+  /// auction: every winning buyer pays max(b(k+1), s(k)) and every winning
+  /// seller receives min(s(k+1), b(k)).  (Removing a winner either leaves
+  /// k trades — the next buyer b(k+1) steps in — or drops to k-1 trades —
+  /// the marginal seller s(k) exits; the externality is whichever is
+  /// larger.)  Exposed for the tests' brute-force cross-checks.
+  static Money buyer_price(const SortedBook& book);
+  static Money seller_price(const SortedBook& book);
+};
+
+}  // namespace fnda

@@ -1,0 +1,181 @@
+#include "serialize/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::vector<std::string> cells;
+    std::istringstream cell_stream(stripped);
+    std::string cell;
+    while (std::getline(cell_stream, cell, ',')) {
+      cells.push_back(trim(cell));
+    }
+    if (!stripped.empty() && stripped.back() == ',') cells.push_back("");
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+Money parse_money(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("parse_money: empty value");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno != 0) {
+    throw std::invalid_argument("parse_money: malformed value '" + text + "'");
+  }
+  return Money::from_double(value);
+}
+
+OrderBook read_book_csv(const std::string& text, ValueDomain domain) {
+  OrderBook book(domain);
+  const auto rows = parse_csv(text);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (r == 0 && !row.empty() && row[0] == "side") continue;  // header
+    if (row.size() != 3) {
+      throw std::invalid_argument("read_book_csv: row " + std::to_string(r) +
+                                  " needs side,identity,value");
+    }
+    Side side;
+    if (row[0] == "buyer") {
+      side = Side::kBuyer;
+    } else if (row[0] == "seller") {
+      side = Side::kSeller;
+    } else {
+      throw std::invalid_argument("read_book_csv: row " + std::to_string(r) +
+                                  " has unknown side '" + row[0] + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(row[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || row[1].empty() || errno != 0) {
+      throw std::invalid_argument("read_book_csv: row " + std::to_string(r) +
+                                  " has malformed identity '" + row[1] + "'");
+    }
+    book.add(side, IdentityId{id}, parse_money(row[2]));
+  }
+  return book;
+}
+
+std::string write_book_csv(const OrderBook& book) {
+  std::ostringstream os;
+  os << "side,identity,value\n";
+  for (const BidEntry& entry : book.buyers()) {
+    os << "buyer," << entry.identity.value() << ',' << entry.value << '\n';
+  }
+  for (const BidEntry& entry : book.sellers()) {
+    os << "seller," << entry.identity.value() << ',' << entry.value << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::vector<Money> parse_schedule(const std::string& text) {
+  std::vector<Money> values;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ';')) {
+    values.push_back(parse_money(part));
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("parse_schedule: empty schedule");
+  }
+  return values;
+}
+
+std::string join_prices(const std::vector<Money>& prices) {
+  std::string out;
+  for (Money price : prices) {
+    if (!out.empty()) out += ';';
+    out += price.to_string();
+  }
+  return out;
+}
+
+}  // namespace
+
+MultiUnitBook read_multi_book_csv(const std::string& text) {
+  MultiUnitBook book;
+  const auto rows = parse_csv(text);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (r == 0 && !row.empty() && row[0] == "side") continue;  // header
+    if (row.size() != 3) {
+      throw std::invalid_argument("read_multi_book_csv: row " +
+                                  std::to_string(r) +
+                                  " needs side,identity,schedule");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(row[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || row[1].empty() || errno != 0) {
+      throw std::invalid_argument("read_multi_book_csv: row " +
+                                  std::to_string(r) +
+                                  " has malformed identity '" + row[1] + "'");
+    }
+    if (row[0] == "buyer") {
+      book.add_buyer(IdentityId{id}, parse_schedule(row[2]));
+    } else if (row[0] == "seller") {
+      book.add_seller(IdentityId{id}, parse_schedule(row[2]));
+    } else {
+      throw std::invalid_argument("read_multi_book_csv: row " +
+                                  std::to_string(r) + " has unknown side '" +
+                                  row[0] + "'");
+    }
+  }
+  return book;
+}
+
+std::string write_multi_outcome_csv(const MultiUnitOutcome& outcome) {
+  std::ostringstream os;
+  os << "side,identity,units,total,per_unit\n";
+  for (const auto& buyer : outcome.buyers) {
+    os << "buyer," << buyer.identity.value() << ',' << buyer.units << ','
+       << buyer.total_paid << ',' << join_prices(buyer.unit_payments) << '\n';
+  }
+  for (const auto& seller : outcome.sellers) {
+    os << "seller," << seller.identity.value() << ',' << seller.units << ','
+       << seller.total_received << ',' << join_prices(seller.unit_receipts)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string write_outcome_csv(const Outcome& outcome) {
+  std::ostringstream os;
+  os << "side,identity,price\n";
+  for (const Fill& fill : outcome.fills()) {
+    os << to_string(fill.side) << ',' << fill.identity.value() << ','
+       << fill.price << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fnda

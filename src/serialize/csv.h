@@ -1,0 +1,50 @@
+// CSV import/export for books and outcomes.
+//
+// The CLI's interchange format.  Deliberately minimal: comma-separated,
+// `#` comments, blank lines ignored, no quoting (none of the values need
+// it).  Book rows are `side,identity,value`, e.g.
+//
+//     # side,identity,value
+//     buyer,1,9
+//     seller,11,4.5
+//
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/order_book.h"
+#include "core/outcome.h"
+#include "protocols/multi_unit.h"
+
+namespace fnda {
+
+/// Splits CSV text into rows of trimmed cells.  `#`-prefixed lines and
+/// blank lines are dropped.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// Parses a Money value ("4.5", "12", "0.000001"); throws
+/// std::invalid_argument on malformed input.
+Money parse_money(const std::string& text);
+
+/// Reads a book from CSV rows of `side,identity,value`.  A header row
+/// `side,identity,value` is skipped if present.  Throws
+/// std::invalid_argument with a row number on any malformed row.
+OrderBook read_book_csv(const std::string& text, ValueDomain domain = {});
+
+/// Book -> CSV (with header), one row per declaration.
+std::string write_book_csv(const OrderBook& book);
+
+/// Outcome -> CSV: `side,identity,price` per fill, with header.
+std::string write_outcome_csv(const Outcome& outcome);
+
+/// Multi-unit book rows are `side,identity,schedule` with the marginal
+/// values joined by ';' in non-increasing order, e.g. `buyer,1,9;8;6`.
+MultiUnitBook read_multi_book_csv(const std::string& text);
+
+/// Multi-unit outcome -> CSV: `side,identity,units,total,per_unit` where
+/// per_unit joins the unit prices with ';'.
+std::string write_multi_outcome_csv(const MultiUnitOutcome& outcome);
+
+}  // namespace fnda

@@ -1,0 +1,31 @@
+#include "sim/adaptive_threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fnda {
+
+AdaptiveThresholdPolicy::AdaptiveThresholdPolicy(Money initial,
+                                                 double smoothing)
+    : current_(initial), smoothing_(smoothing) {
+  if (!(smoothing > 0.0) || smoothing > 1.0) {
+    throw std::invalid_argument(
+        "AdaptiveThresholdPolicy: smoothing must be in (0, 1]");
+  }
+}
+
+void AdaptiveThresholdPolicy::observe(const SortedBook& book) {
+  const std::size_t k = book.efficient_trade_count();
+  if (k == 0) return;  // no crossing pair: nothing learned
+  const Money target =
+      Money::midpoint(book.buyer_value(k), book.seller_value(k));
+  const double updated =
+      (1.0 - smoothing_) * static_cast<double>(current_.micros()) +
+      smoothing_ * static_cast<double>(target.micros());
+  current_ = Money::from_micros(static_cast<std::int64_t>(
+      std::llround(updated)));
+  ++observations_;
+}
+
+}  // namespace fnda

@@ -1,0 +1,42 @@
+// Online threshold adaptation across rounds (Section 8's future work,
+// operationalised).
+//
+// The TPD auctioneer must fix r before each round's bids, but nothing
+// stops it from learning across rounds: past declarations are sunk, and
+// in the exchange model every round's identities are fresh, so a one-shot
+// bidder cannot profit by distorting today's bid to move tomorrow's
+// threshold.  (With long-lived patient bidders this assumption weakens —
+// documented, not hidden.)
+//
+// The policy tracks the *market-clearing region* of each observed book:
+// the midpoint of the marginal pair (b(k), s(k)) is where supply meets
+// demand, which for symmetric markets is exactly the surplus-maximising
+// threshold.  Exponential smoothing filters sampling noise.
+#pragma once
+
+#include "common/money.h"
+#include "core/order_book.h"
+
+namespace fnda {
+
+class AdaptiveThresholdPolicy {
+ public:
+  /// `smoothing` in (0, 1]: weight of the newest observation.
+  AdaptiveThresholdPolicy(Money initial, double smoothing = 0.25);
+
+  /// The threshold to announce for the next round.
+  Money current() const { return current_; }
+
+  /// Feeds one completed round's declared book.  Books with no crossing
+  /// pair carry no clearing-price information and are ignored.
+  void observe(const SortedBook& book);
+
+  std::size_t observations() const { return observations_; }
+
+ private:
+  Money current_;
+  double smoothing_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace fnda

@@ -1,0 +1,193 @@
+#include "sim/experiment.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace fnda {
+
+const ProtocolSummary& ComparisonResult::summary(
+    const std::string& name) const {
+  for (const ProtocolSummary& s : protocols) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("ComparisonResult::summary: unknown protocol " +
+                          name);
+}
+
+double ComparisonResult::ratio_total(const std::string& name) const {
+  const double denom = pareto.mean();
+  return denom == 0.0 ? 0.0 : summary(name).total.mean() / denom;
+}
+
+double ComparisonResult::ratio_except_auctioneer(
+    const std::string& name) const {
+  const double denom = pareto.mean();
+  return denom == 0.0 ? 0.0 : summary(name).except_auctioneer.mean() / denom;
+}
+
+namespace {
+
+/// Scores one instance into `result` (accumulators only; caller provides
+/// the rng streams so sequential and parallel paths can differ in how
+/// they derive them).
+void score_instance(const SingleUnitInstance& instance,
+                    const std::vector<const DoubleAuctionProtocol*>& protocols,
+                    const ExperimentConfig& config, Rng& pareto_rng,
+                    std::uint64_t clear_seed, ComparisonResult& result) {
+  const InstantiatedMarket market = instantiate_truthful(instance);
+  const SortedBook true_book(market.book, pareto_rng);
+  result.pareto.add(efficient_surplus(true_book));
+  result.pareto_trades.add(
+      static_cast<double>(true_book.efficient_trade_count()));
+
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    Rng clear_rng(clear_seed);
+    const Outcome outcome = protocols[p]->clear(market.book, clear_rng);
+    if (config.validate) {
+      expect_valid_outcome(market.book, outcome, config.validation);
+    }
+    const SurplusReport surplus = realized_surplus(outcome, market.truth);
+    ProtocolSummary& summary = result.protocols[p];
+    summary.total.add(surplus.total);
+    summary.except_auctioneer.add(surplus.except_auctioneer);
+    summary.auctioneer.add(surplus.auctioneer);
+    summary.trades.add(static_cast<double>(outcome.trade_count()));
+  }
+}
+
+ComparisonResult make_result_shell(
+    const std::vector<const DoubleAuctionProtocol*>& protocols) {
+  ComparisonResult result;
+  result.protocols.reserve(protocols.size());
+  for (const DoubleAuctionProtocol* protocol : protocols) {
+    ProtocolSummary summary;
+    summary.name = protocol->name();
+    result.protocols.push_back(std::move(summary));
+  }
+  return result;
+}
+
+void merge_into(ComparisonResult& into, const ComparisonResult& from) {
+  into.pareto.merge(from.pareto);
+  into.pareto_trades.merge(from.pareto_trades);
+  for (std::size_t p = 0; p < into.protocols.size(); ++p) {
+    into.protocols[p].total.merge(from.protocols[p].total);
+    into.protocols[p].except_auctioneer.merge(
+        from.protocols[p].except_auctioneer);
+    into.protocols[p].auctioneer.merge(from.protocols[p].auctioneer);
+    into.protocols[p].trades.merge(from.protocols[p].trades);
+  }
+}
+
+}  // namespace
+
+ComparisonResult run_comparison_parallel(
+    const InstanceGenerator& generator,
+    const std::vector<const DoubleAuctionProtocol*>& protocols,
+    const ExperimentConfig& config, std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // The work is partitioned into a FIXED number of blocks (independent of
+  // the thread count), each with its own accumulators; blocks are merged
+  // in index order.  Floating-point accumulation order is therefore a
+  // function of the instance count alone, making results bit-identical
+  // for every thread count.
+  const std::size_t blocks =
+      std::min<std::size_t>(std::max<std::size_t>(config.instances, 1), 64);
+  threads = std::min(threads, blocks);
+
+  std::vector<ComparisonResult> partials;
+  partials.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    partials.push_back(make_result_shell(protocols));
+  }
+  std::vector<std::exception_ptr> errors(threads);
+  std::atomic<std::size_t> next_block{0};
+
+  auto worker = [&](std::size_t thread_index) {
+    try {
+      while (true) {
+        const std::size_t block = next_block.fetch_add(1);
+        if (block >= blocks) return;
+        const std::size_t begin = config.instances * block / blocks;
+        const std::size_t end = config.instances * (block + 1) / blocks;
+        for (std::size_t run = begin; run < end; ++run) {
+          // Counter-based derivation: independent of scheduling.
+          Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (run + 1)));
+          const SingleUnitInstance instance = generator(rng);
+          Rng pareto_rng = rng.split();
+          const std::uint64_t clear_seed = rng();
+          score_instance(instance, protocols, config, pareto_rng, clear_seed,
+                         partials[block]);
+        }
+      }
+    } catch (...) {
+      errors[thread_index] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& thread : pool) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  ComparisonResult result = make_result_shell(protocols);
+  for (const ComparisonResult& partial : partials) {
+    merge_into(result, partial);
+  }
+  return result;
+}
+
+ComparisonResult run_comparison(
+    const InstanceGenerator& generator,
+    const std::vector<const DoubleAuctionProtocol*>& protocols,
+    const ExperimentConfig& config) {
+  ComparisonResult result;
+  result.protocols.reserve(protocols.size());
+  for (const DoubleAuctionProtocol* protocol : protocols) {
+    ProtocolSummary summary;
+    summary.name = protocol->name();
+    result.protocols.push_back(std::move(summary));
+  }
+
+  Rng rng(config.seed);
+  for (std::size_t run = 0; run < config.instances; ++run) {
+    const SingleUnitInstance instance = generator(rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+
+    // The Pareto benchmark uses the true-value ranking (declared == true
+    // here, since the experiment assumes no false-name bids, Section 7).
+    Rng pareto_rng = rng.split();
+    const SortedBook true_book(market.book, pareto_rng);
+    result.pareto.add(efficient_surplus(true_book));
+    result.pareto_trades.add(
+        static_cast<double>(true_book.efficient_trade_count()));
+
+    // Same tie-break stream for every protocol (common random numbers).
+    const std::uint64_t clear_seed = rng();
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      Rng clear_rng(clear_seed);
+      const Outcome outcome = protocols[p]->clear(market.book, clear_rng);
+      if (config.validate) {
+        expect_valid_outcome(market.book, outcome, config.validation);
+      }
+
+      const SurplusReport surplus = realized_surplus(outcome, market.truth);
+      ProtocolSummary& summary = result.protocols[p];
+      summary.total.add(surplus.total);
+      summary.except_auctioneer.add(surplus.except_auctioneer);
+      summary.auctioneer.add(surplus.auctioneer);
+      summary.trades.add(static_cast<double>(outcome.trade_count()));
+    }
+  }
+  return result;
+}
+
+}  // namespace fnda

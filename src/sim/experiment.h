@@ -1,0 +1,68 @@
+// Experiment runner: the Monte-Carlo loop behind Tables 1-2 and Figure 1.
+//
+// For each generated instance, every registered protocol clears the same
+// truthful book (common random numbers across protocols), the realised
+// surplus is decomposed, and the Pareto-efficient surplus of the instance
+// is recorded as the ratio denominator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "core/protocol.h"
+#include "core/validation.h"
+#include "sim/generators.h"
+
+namespace fnda {
+
+struct ExperimentConfig {
+  std::size_t instances = 1000;
+  std::uint64_t seed = 20010416;  // ICDCS-2001 vintage default
+  /// Run validate_outcome on every clearing (cheap; on by default).
+  bool validate = true;
+  /// Relaxations for deliberately invariant-breaking protocols (VCG).
+  ValidationOptions validation{};
+};
+
+/// Aggregated results for one protocol across all instances.
+struct ProtocolSummary {
+  std::string name;
+  RunningStats total;              ///< social surplus incl. auctioneer
+  RunningStats except_auctioneer;  ///< surplus kept by traders
+  RunningStats auctioneer;         ///< auctioneer revenue
+  RunningStats trades;             ///< executed trade count
+};
+
+struct ComparisonResult {
+  RunningStats pareto;        ///< efficient surplus per instance
+  RunningStats pareto_trades; ///< efficient trade count per instance
+  std::vector<ProtocolSummary> protocols;
+
+  const ProtocolSummary& summary(const std::string& name) const;
+  /// mean(total surplus) / mean(Pareto surplus) — the paper's
+  /// parenthesised percentage, as a fraction.
+  double ratio_total(const std::string& name) const;
+  double ratio_except_auctioneer(const std::string& name) const;
+};
+
+/// Runs `config.instances` draws of `generator`, clearing each with every
+/// protocol in `protocols` (non-owning pointers; all must outlive the call).
+ComparisonResult run_comparison(
+    const InstanceGenerator& generator,
+    const std::vector<const DoubleAuctionProtocol*>& protocols,
+    const ExperimentConfig& config = {});
+
+/// Parallel variant.  Each instance's randomness is derived from
+/// (config.seed, instance index) rather than one sequential stream, and
+/// per-thread accumulators are merged in index order — so the result is
+/// bit-identical for EVERY thread count (including 1), though it differs
+/// from run_comparison's draw order.  `threads` == 0 uses the hardware
+/// concurrency.  Exceptions from worker threads (e.g. validation
+/// failures) are rethrown on the calling thread.
+ComparisonResult run_comparison_parallel(
+    const InstanceGenerator& generator,
+    const std::vector<const DoubleAuctionProtocol*>& protocols,
+    const ExperimentConfig& config = {}, std::size_t threads = 0);
+
+}  // namespace fnda

@@ -1,0 +1,66 @@
+#include "sim/generators.h"
+
+namespace fnda {
+namespace {
+
+SingleUnitInstance draw(std::size_t buyers, std::size_t sellers,
+                        const ValueDistribution& values, Rng& rng) {
+  SingleUnitInstance instance;
+  instance.domain = values.domain;
+  instance.buyer_values.reserve(buyers);
+  instance.seller_values.reserve(sellers);
+  for (std::size_t i = 0; i < buyers; ++i) {
+    instance.buyer_values.push_back(rng.uniform_money(values.low, values.high));
+  }
+  for (std::size_t j = 0; j < sellers; ++j) {
+    instance.seller_values.push_back(
+        rng.uniform_money(values.low, values.high));
+  }
+  return instance;
+}
+
+}  // namespace
+
+InstanceGenerator fixed_count_generator(std::size_t buyers,
+                                        std::size_t sellers,
+                                        ValueDistribution values) {
+  return [buyers, sellers, values](Rng& rng) {
+    return draw(buyers, sellers, values, rng);
+  };
+}
+
+InstanceGenerator correlated_value_generator(std::size_t buyers,
+                                             std::size_t sellers, double rho,
+                                             ValueDistribution values) {
+  return [buyers, sellers, rho, values](Rng& rng) {
+    const double common =
+        rng.uniform_double(values.low.to_double(), values.high.to_double());
+    auto draw_value = [&] {
+      const double priv =
+          rng.uniform_double(values.low.to_double(), values.high.to_double());
+      return Money::from_double((1.0 - rho) * priv + rho * common);
+    };
+    SingleUnitInstance instance;
+    instance.domain = values.domain;
+    instance.buyer_values.reserve(buyers);
+    instance.seller_values.reserve(sellers);
+    for (std::size_t i = 0; i < buyers; ++i) {
+      instance.buyer_values.push_back(draw_value());
+    }
+    for (std::size_t j = 0; j < sellers; ++j) {
+      instance.seller_values.push_back(draw_value());
+    }
+    return instance;
+  };
+}
+
+InstanceGenerator binomial_count_generator(int trials, double p,
+                                           ValueDistribution values) {
+  return [trials, p, values](Rng& rng) {
+    const auto buyers = static_cast<std::size_t>(rng.binomial(trials, p));
+    const auto sellers = static_cast<std::size_t>(rng.binomial(trials, p));
+    return draw(buyers, sellers, values, rng);
+  };
+}
+
+}  // namespace fnda

@@ -1,0 +1,72 @@
+#include "sim/multi_experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+std::vector<Money> draw_schedule(const MultiUnitWorkload& workload, Rng& rng) {
+  const std::size_t units =
+      workload.min_units +
+      rng.below(workload.max_units - workload.min_units + 1);
+  std::vector<Money> values;
+  values.reserve(units);
+  for (std::size_t u = 0; u < units; ++u) {
+    values.push_back(rng.uniform_money(workload.low, workload.high));
+  }
+  std::sort(values.begin(), values.end(),
+            [](Money a, Money b) { return a > b; });
+  return values;
+}
+
+}  // namespace
+
+MultiUnitDraw draw_multi_instance(const MultiUnitWorkload& workload,
+                                  Rng& rng) {
+  if (workload.min_units == 0 || workload.min_units > workload.max_units) {
+    throw std::invalid_argument("draw_multi_instance: bad unit range");
+  }
+  MultiUnitDraw draw;
+  for (std::size_t b = 0; b < workload.buyers; ++b) {
+    const IdentityId identity{b};
+    auto values = draw_schedule(workload, rng);
+    draw.truth.buyer_values[identity] = values;
+    draw.book.add_buyer(identity, std::move(values));
+  }
+  for (std::size_t s = 0; s < workload.sellers; ++s) {
+    const IdentityId identity{1'000'000 + s};
+    auto values = draw_schedule(workload, rng);
+    draw.truth.seller_values[identity] = values;
+    draw.book.add_seller(identity, std::move(values));
+  }
+  return draw;
+}
+
+MultiExperimentResult run_multi_experiment(const TpdMultiUnitProtocol& protocol,
+                                           const MultiUnitWorkload& workload,
+                                           std::size_t instances,
+                                           std::uint64_t seed) {
+  MultiExperimentResult result;
+  Rng rng(seed);
+  for (std::size_t run = 0; run < instances; ++run) {
+    const MultiUnitDraw draw = draw_multi_instance(workload, rng);
+    Rng clear_rng = rng.split();
+    const MultiUnitOutcome outcome = protocol.clear(draw.book, clear_rng);
+    const auto errors = validate_multi_outcome(draw.book, outcome);
+    if (!errors.empty()) {
+      throw std::logic_error("run_multi_experiment: invalid outcome: " +
+                             errors.front());
+    }
+    const MultiUnitSurplus surplus = realized_multi_surplus(outcome, draw.truth);
+    result.total.add(surplus.total);
+    result.except_auctioneer.add(surplus.except_auctioneer);
+    result.auctioneer.add(surplus.auctioneer);
+    result.units.add(static_cast<double>(outcome.units_traded()));
+    Rng pareto_rng = rng.split();
+    result.pareto.add(efficient_multi_surplus(draw.book, pareto_rng));
+  }
+  return result;
+}
+
+}  // namespace fnda

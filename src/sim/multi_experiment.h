@@ -1,0 +1,56 @@
+// Monte-Carlo harness for the Section 9 multi-unit protocol.
+//
+// Mirrors sim/experiment.h for multi-unit books: draw random
+// decreasing-marginal schedules, clear with multi-unit TPD, score against
+// true valuations and the pooled-unit Pareto bound.
+#pragma once
+
+#include "common/statistics.h"
+#include "protocols/tpd_multi.h"
+
+namespace fnda {
+
+/// Random multi-unit market shape: every participant declares between
+/// min_units and max_units units with i.i.d. U[low, high] marginals,
+/// sorted non-increasing.
+struct MultiUnitWorkload {
+  std::size_t buyers = 10;
+  std::size_t sellers = 10;
+  std::size_t min_units = 1;
+  std::size_t max_units = 4;
+  Money low = Money::from_units(0);
+  Money high = Money::from_units(100);
+};
+
+/// One drawn instance: the truthful book plus the truth for scoring.
+struct MultiUnitDraw {
+  MultiUnitBook book;
+  MultiUnitTruth truth;
+};
+
+MultiUnitDraw draw_multi_instance(const MultiUnitWorkload& workload, Rng& rng);
+
+struct MultiExperimentResult {
+  RunningStats total;
+  RunningStats except_auctioneer;
+  RunningStats auctioneer;
+  RunningStats units;
+  RunningStats pareto;
+
+  double ratio_total() const {
+    return pareto.mean() == 0.0 ? 0.0 : total.mean() / pareto.mean();
+  }
+  double ratio_except_auctioneer() const {
+    return pareto.mean() == 0.0 ? 0.0
+                                : except_auctioneer.mean() / pareto.mean();
+  }
+};
+
+/// Runs `instances` draws; every outcome is validated against the book's
+/// invariants (throws std::logic_error on violation — a protocol bug).
+MultiExperimentResult run_multi_experiment(const TpdMultiUnitProtocol& protocol,
+                                           const MultiUnitWorkload& workload,
+                                           std::size_t instances,
+                                           std::uint64_t seed);
+
+}  // namespace fnda

@@ -1,0 +1,42 @@
+// Plain-text table and CSV rendering for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fnda {
+
+/// Column-aligned text table.  Cells are strings; numeric formatting is the
+/// caller's job (see format_* helpers below, which match the paper's
+/// "1255.9 (99.2%)" presentation).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with single-space-padded columns and a dashed header rule.
+  std::string to_string() const;
+  /// Comma-separated values (no quoting: cells in this codebase never
+  /// contain commas).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-decimal formatting, e.g. format_fixed(12738.31, 1) == "12738.3".
+std::string format_fixed(double value, int decimals);
+
+/// The paper's cell style: "value (ratio%)", e.g. "1255.9 (99.2%)".
+std::string format_with_ratio(double value, double ratio, int value_decimals = 1,
+                              int ratio_decimals = 1);
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace fnda

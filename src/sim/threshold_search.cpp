@@ -1,0 +1,94 @@
+#include "sim/threshold_search.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/tpd.h"
+#include "sim/experiment.h"
+
+namespace fnda {
+
+double expected_tpd_surplus(const InstanceGenerator& generator, Money r,
+                            ThresholdObjective objective,
+                            std::size_t instances, std::uint64_t seed) {
+  const TpdProtocol tpd(r);
+  ExperimentConfig config;
+  config.instances = instances;
+  config.seed = seed;
+  config.validate = false;  // hot loop; invariants are covered by tests
+  const ComparisonResult result = run_comparison(generator, {&tpd}, config);
+  const ProtocolSummary& summary = result.protocols.front();
+  return objective == ThresholdObjective::kTotalSurplus
+             ? summary.total.mean()
+             : summary.except_auctioneer.mean();
+}
+
+ThresholdSearchResult optimize_threshold(const InstanceGenerator& generator,
+                                         const ThresholdSearchConfig& config) {
+  if (!(config.lo < config.hi) || config.coarse_points < 2) {
+    throw std::invalid_argument("optimize_threshold: bad config");
+  }
+
+  auto evaluate = [&](Money r) {
+    // Same seed for every candidate: common random numbers.
+    return expected_tpd_surplus(generator, r, config.objective,
+                                config.instances_per_eval, config.seed);
+  };
+
+  ThresholdSearchResult result;
+  result.sweep.reserve(config.coarse_points);
+  const std::int64_t lo = config.lo.micros();
+  const std::int64_t hi = config.hi.micros();
+  std::size_t best_index = 0;
+  for (std::size_t p = 0; p < config.coarse_points; ++p) {
+    const Money r = Money::from_micros(
+        lo + (hi - lo) * static_cast<std::int64_t>(p) /
+                 static_cast<std::int64_t>(config.coarse_points - 1));
+    const double value = evaluate(r);
+    result.sweep.emplace_back(r, value);
+    if (value > result.sweep[best_index].second) best_index = p;
+  }
+
+  // Golden-section refinement on the bracket around the best coarse point.
+  const Money bracket_lo =
+      result.sweep[best_index == 0 ? 0 : best_index - 1].first;
+  const Money bracket_hi =
+      result.sweep[std::min(best_index + 1, result.sweep.size() - 1)].first;
+
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = static_cast<double>(bracket_lo.micros());
+  double b = static_cast<double>(bracket_hi.micros());
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = evaluate(Money::from_micros(static_cast<std::int64_t>(c)));
+  double fd = evaluate(Money::from_micros(static_cast<std::int64_t>(d)));
+  for (std::size_t it = 0; it < config.refine_iterations && b - a > 1.0; ++it) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = evaluate(Money::from_micros(static_cast<std::int64_t>(c)));
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = evaluate(Money::from_micros(static_cast<std::int64_t>(d)));
+    }
+  }
+
+  const Money refined = Money::from_micros(static_cast<std::int64_t>((a + b) / 2.0));
+  const double refined_value = evaluate(refined);
+  const auto& coarse_best = result.sweep[best_index];
+  if (refined_value >= coarse_best.second) {
+    result.best_threshold = refined;
+    result.best_value = refined_value;
+  } else {
+    result.best_threshold = coarse_best.first;
+    result.best_value = coarse_best.second;
+  }
+  return result;
+}
+
+}  // namespace fnda

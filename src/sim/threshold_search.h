@@ -1,0 +1,49 @@
+// Threshold-price optimisation (the "future work" of Section 8).
+//
+// The TPD auctioneer must fix r before seeing bids; its only lever is the
+// value *distribution*.  This module estimates the expected-surplus curve
+// r -> E[surplus(TPD_r)] by Monte Carlo with common random numbers (the
+// same instance set for every candidate r, so the curve is smooth and
+// comparable), then refines the best coarse grid point by golden-section
+// search.
+#pragma once
+
+#include <vector>
+
+#include "common/money.h"
+#include "sim/generators.h"
+
+namespace fnda {
+
+enum class ThresholdObjective {
+  kTotalSurplus,            ///< include the auctioneer's revenue
+  kSurplusExceptAuctioneer  ///< what the traders keep (Figure 1's lower curve)
+};
+
+struct ThresholdSearchConfig {
+  Money lo = Money::from_units(0);
+  Money hi = Money::from_units(100);
+  std::size_t coarse_points = 21;
+  std::size_t instances_per_eval = 200;
+  std::size_t refine_iterations = 24;
+  ThresholdObjective objective = ThresholdObjective::kTotalSurplus;
+  std::uint64_t seed = 7;
+};
+
+struct ThresholdSearchResult {
+  Money best_threshold;
+  double best_value = 0.0;
+  /// The coarse sweep, in threshold order (useful for plotting).
+  std::vector<std::pair<Money, double>> sweep;
+};
+
+/// Estimates E[objective] for TPD at threshold r under `generator`.
+double expected_tpd_surplus(const InstanceGenerator& generator, Money r,
+                            ThresholdObjective objective,
+                            std::size_t instances, std::uint64_t seed);
+
+/// Coarse sweep + golden-section refinement.
+ThresholdSearchResult optimize_threshold(const InstanceGenerator& generator,
+                                         const ThresholdSearchConfig& config);
+
+}  // namespace fnda

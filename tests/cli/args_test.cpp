@@ -1,0 +1,66 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TEST(ArgParserTest, CommandAndFlags) {
+  const ArgParser args({"clear", "--protocol", "tpd", "--threshold", "4.5"});
+  EXPECT_EQ(args.command(), "clear");
+  EXPECT_EQ(args.get_or("protocol", "x"), "tpd");
+  EXPECT_DOUBLE_EQ(args.get_double_or("threshold", 0.0), 4.5);
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(ArgParserTest, NoCommand) {
+  const ArgParser args({});
+  EXPECT_TRUE(args.command().empty());
+}
+
+TEST(ArgParserTest, BareFlag) {
+  const ArgParser args({"cmd", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_or("verbose", "fallback"), "");
+}
+
+TEST(ArgParserTest, DefaultsWhenMissing) {
+  const ArgParser args({"cmd"});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get_or("x", "d"), "d");
+  EXPECT_DOUBLE_EQ(args.get_double_or("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_int_or("x", 42), 42);
+  EXPECT_FALSE(args.get("x").has_value());
+}
+
+TEST(ArgParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(ArgParser({"cmd", "stray-value"}), std::invalid_argument);
+  EXPECT_THROW(ArgParser({"cmd", "--a", "1", "--a", "2"}),
+               std::invalid_argument);
+  EXPECT_THROW(ArgParser({"cmd", "--"}), std::invalid_argument);
+}
+
+TEST(ArgParserTest, RejectsNonNumericValues) {
+  const ArgParser args({"cmd", "--n", "abc", "--d", "1.2.3"});
+  EXPECT_THROW(args.get_int_or("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double_or("d", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParserTest, UnusedTracksUnconsumedFlags) {
+  const ArgParser args({"cmd", "--used", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int_or("used", 0), 1);
+  const auto leftover = args.unused();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "--typo");
+}
+
+TEST(ArgParserTest, NegativeNumbersAreValues) {
+  // "-5" does not start with "--", so it parses as a value.
+  const ArgParser args({"cmd", "--n", "-5"});
+  EXPECT_EQ(args.get_int_or("n", 0), -5);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,222 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fnda {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args,
+           const std::string& stdin_text = "") {
+  std::istringstream in(stdin_text);
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, in, out, err);
+  return CliRun{code, out.str(), err.str()};
+}
+
+const char* kExample1Book =
+    "side,identity,value\n"
+    "buyer,1,9\nbuyer,2,8\nbuyer,3,7\nbuyer,4,4\n"
+    "seller,11,2\nseller,12,3\nseller,13,4\nseller,14,5\n";
+
+TEST(CliTest, HelpByDefaultAndExplicit) {
+  EXPECT_EQ(run({}).exit_code, 0);
+  const CliRun help = run({"help"});
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("clear"), std::string::npos);
+  EXPECT_NE(help.out.find("optimize"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandIsUsageError) {
+  const CliRun result = run({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, ClearFromStdinTpd) {
+  const CliRun result =
+      run({"clear", "--protocol", "tpd", "--threshold", "4.5"},
+          kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("3 trades"), std::string::npos);
+  EXPECT_NE(result.out.find("pays 4.5"), std::string::npos);
+}
+
+TEST(CliTest, ClearJsonFormat) {
+  const CliRun result = run(
+      {"clear", "--protocol", "pmd", "--format", "json"}, kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"trades\":3"), std::string::npos);
+  EXPECT_NE(result.out.find("\"price\":4.5"), std::string::npos);
+}
+
+TEST(CliTest, ClearCsvFormat) {
+  const CliRun result = run(
+      {"clear", "--protocol", "efficient", "--format", "csv"},
+      kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_EQ(result.out.rfind("side,identity,price\n", 0), 0u);
+}
+
+TEST(CliTest, ClearVcgToleratesDeficit) {
+  const CliRun result = run({"clear", "--protocol", "vcg"}, kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("auctioneer revenue -3"), std::string::npos);
+}
+
+TEST(CliTest, ClearRejectsUnknownProtocolAndFormat) {
+  EXPECT_EQ(run({"clear", "--protocol", "nope"}, kExample1Book).exit_code, 2);
+  EXPECT_EQ(run({"clear", "--format", "xml"}, kExample1Book).exit_code, 2);
+}
+
+TEST(CliTest, ClearRejectsUnknownFlag) {
+  const CliRun result = run({"clear", "--bogus", "1"}, kExample1Book);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--bogus"), std::string::npos);
+}
+
+TEST(CliTest, ClearMalformedBookIsError) {
+  const CliRun result = run({"clear"}, "buyer,not-a-number\n");
+  EXPECT_EQ(result.exit_code, 2);  // invalid_argument -> usage error path
+}
+
+TEST(CliTest, ClearMissingFileIsRuntimeError) {
+  const CliRun result = run({"clear", "--book", "/no/such/file.csv"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, SimulateReportsEfficiency) {
+  const CliRun result = run({"simulate", "--buyers", "10", "--sellers", "10",
+                             "--instances", "50"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("efficiency:"), std::string::npos);
+  EXPECT_NE(result.out.find("social surplus"), std::string::npos);
+}
+
+TEST(CliTest, SweepEmitsCsvSeries) {
+  const CliRun result = run({"sweep", "--participants", "10", "--step", "50",
+                             "--instances", "20"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  // Header + thresholds 0, 50, 100.
+  EXPECT_EQ(result.out.rfind("threshold,surplus", 0), 0u);
+  EXPECT_EQ(std::count(result.out.begin(), result.out.end(), '\n'), 4);
+}
+
+TEST(CliTest, SweepRejectsNonPositiveStep) {
+  EXPECT_EQ(run({"sweep", "--step", "0"}).exit_code, 2);
+}
+
+TEST(CliTest, OptimizeFindsCentralThreshold) {
+  const CliRun result = run({"optimize", "--buyers", "15", "--sellers", "15",
+                             "--instances", "80"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("best threshold"), std::string::npos);
+}
+
+TEST(CliTest, ClearMultiReproducesExample5) {
+  const char* book =
+      "buyer,0,9;8\nbuyer,1,7\nbuyer,2,6\nbuyer,3,4\n"
+      "seller,10,2\nseller,11,3\nseller,12,4\nseller,13,5\nseller,14,7\n";
+  const CliRun result = run({"clear-multi", "--threshold", "4.5"}, book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("3 units traded"), std::string::npos);
+  EXPECT_NE(result.out.find("buyer 0 takes 2 unit(s) for 10.5"),
+            std::string::npos);
+}
+
+TEST(CliTest, ClearMultiCsvFormat) {
+  const CliRun result = run(
+      {"clear-multi", "--threshold", "5", "--format", "csv"},
+      "buyer,0,9\nseller,10,2\n");
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_EQ(result.out.rfind("side,identity,units,total,per_unit\n", 0), 0u);
+  EXPECT_NE(result.out.find("buyer,0,1,5,5"), std::string::npos);
+}
+
+TEST(CliTest, ClearMultiRejectsIncreasingSchedule) {
+  const CliRun result = run({"clear-multi"}, "buyer,0,3;9\n");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliTest, SimulateBinomialWorkload) {
+  const CliRun result =
+      run({"simulate", "--binomial", "20", "--instances", "40"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("B(20,0.5)"), std::string::npos);
+}
+
+TEST(CliTest, AttackFindsPmdExample1Manipulation) {
+  const CliRun result = run({"attack", "--protocol", "pmd", "--manipulator",
+                             "seller:2"},
+                            kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("VERDICT: manipulable"), std::string::npos);
+  EXPECT_NE(result.out.find("truthful utility: 0.5"), std::string::npos);
+}
+
+TEST(CliTest, AttackConfirmsTpdRobustness) {
+  const CliRun result = run({"attack", "--protocol", "tpd", "--threshold",
+                             "4.5", "--manipulator", "seller:2"},
+                            kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("VERDICT: truthful play is optimal"),
+            std::string::npos);
+}
+
+TEST(CliTest, AttackValidatesManipulatorFlag) {
+  EXPECT_EQ(run({"attack"}, kExample1Book).exit_code, 2);
+  EXPECT_EQ(run({"attack", "--manipulator", "broker:1"}, kExample1Book)
+                .exit_code,
+            2);
+  // Out-of-range index: a runtime error, not a crash.
+  EXPECT_EQ(run({"attack", "--manipulator", "seller:99"}, kExample1Book)
+                .exit_code,
+            1);
+}
+
+TEST(CliTest, SimulateParallelThreads) {
+  const CliRun result = run({"simulate", "--buyers", "20", "--sellers", "20",
+                             "--instances", "200", "--threads", "4"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("efficiency:"), std::string::npos);
+  // Thread-count invariance: same numbers with 1 vs 4 threads.
+  const CliRun single = run({"simulate", "--buyers", "20", "--sellers", "20",
+                             "--instances", "200", "--threads", "2"});
+  EXPECT_EQ(single.out, result.out);
+}
+
+TEST(CliTest, DynamicsTpdStaysTruthful) {
+  const CliRun result = run(
+      {"dynamics", "--protocol", "tpd", "--threshold", "4.5", "--sweeps",
+       "3"},
+      kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("converged: yes after 1 sweep"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("deviating from truth: 0/8"), std::string::npos);
+}
+
+TEST(CliTest, DynamicsPmdDrifts) {
+  const CliRun result = run(
+      {"dynamics", "--protocol", "pmd", "--sweeps", "2"}, kExample1Book);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_EQ(result.out.find("deviating from truth: 0/8"), std::string::npos);
+}
+
+TEST(CliTest, DeterministicGivenSeed) {
+  const CliRun a = run({"clear", "--seed", "9"}, kExample1Book);
+  const CliRun b = run({"clear", "--seed", "9"}, kExample1Book);
+  EXPECT_EQ(a.out, b.out);
+}
+
+}  // namespace
+}  // namespace fnda

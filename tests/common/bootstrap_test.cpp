@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+
+namespace fnda {
+namespace {
+
+TEST(BootstrapTest, IntervalBracketsSampleMean) {
+  std::vector<double> sample;
+  Rng data_rng(1);
+  for (int i = 0; i < 200; ++i) sample.push_back(data_rng.uniform_double(0, 10));
+  double mean = 0.0;
+  for (double x : sample) mean += x;
+  mean /= static_cast<double>(sample.size());
+
+  Rng rng(2);
+  const BootstrapInterval ci = bootstrap_mean_ci(sample, 0.95, 2000, rng);
+  EXPECT_LE(ci.lo, mean);
+  EXPECT_GE(ci.hi, mean);
+  EXPECT_GT(ci.half_width(), 0.0);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize) {
+  Rng data_rng(3);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = data_rng.uniform_double(0, 1);
+    if (i < 50) small.push_back(x);
+    large.push_back(x);
+  }
+  Rng rng(4);
+  const BootstrapInterval narrow = bootstrap_mean_ci(large, 0.95, 1000, rng);
+  const BootstrapInterval wide = bootstrap_mean_ci(small, 0.95, 1000, rng);
+  EXPECT_LT(narrow.half_width(), wide.half_width());
+}
+
+TEST(BootstrapTest, HigherConfidenceWiderInterval) {
+  Rng data_rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(data_rng.uniform_double(0, 1));
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const BootstrapInterval c90 = bootstrap_mean_ci(sample, 0.90, 1500, rng_a);
+  const BootstrapInterval c99 = bootstrap_mean_ci(sample, 0.99, 1500, rng_b);
+  EXPECT_LT(c90.half_width(), c99.half_width());
+}
+
+TEST(BootstrapTest, DegenerateSampleHasZeroWidth) {
+  std::vector<double> constant(40, 7.25);
+  Rng rng(7);
+  const BootstrapInterval ci = bootstrap_mean_ci(constant, 0.95, 500, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.25);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.25);
+}
+
+TEST(BootstrapTest, CoverageNearNominal) {
+  // Repeated experiments: the 90% interval should contain the true mean
+  // (0.5 for U[0,1]) in roughly 90% of draws.
+  Rng rng(8);
+  int covered = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> sample;
+    for (int i = 0; i < 60; ++i) sample.push_back(rng.uniform01());
+    Rng boot = rng.split();
+    const BootstrapInterval ci = bootstrap_mean_ci(sample, 0.90, 400, boot);
+    if (ci.lo <= 0.5 && 0.5 <= ci.hi) ++covered;
+  }
+  EXPECT_GT(covered, kTrials * 80 / 100);
+  EXPECT_LT(covered, kTrials * 99 / 100);
+}
+
+TEST(BootstrapTest, RejectsBadInputs) {
+  Rng rng(9);
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, 100, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 0.0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 1.0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 0.95, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,48 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace fnda {
+namespace {
+
+TEST(TypedIdTest, DefaultIsInvalid) {
+  AccountId id;
+  EXPECT_FALSE(id.is_valid());
+  EXPECT_EQ(id, AccountId::invalid());
+}
+
+TEST(TypedIdTest, ConstructedIsValid) {
+  const IdentityId id{7};
+  EXPECT_TRUE(id.is_valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(TypedIdTest, Ordering) {
+  EXPECT_LT(BidId{1}, BidId{2});
+  EXPECT_EQ(BidId{3}, BidId{3});
+  EXPECT_NE(BidId{3}, BidId{4});
+}
+
+TEST(TypedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<AccountId, IdentityId>);
+  static_assert(!std::is_convertible_v<AccountId, IdentityId>);
+}
+
+TEST(TypedIdTest, StreamsWithPrefix) {
+  std::ostringstream os;
+  os << AccountId{5} << ' ' << IdentityId{9} << ' ' << RoundId{0};
+  EXPECT_EQ(os.str(), "acct-5 id-9 round-0");
+}
+
+TEST(TypedIdTest, Hashable) {
+  std::unordered_set<IdentityId> set{IdentityId{1}, IdentityId{2},
+                                     IdentityId{1}};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fnda

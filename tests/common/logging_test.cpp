@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fnda {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = log_level();
+    set_log_sink(&sink_);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+
+  std::ostringstream sink_;
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  set_log_level(LogLevel::kInfo);
+  FNDA_LOG(kInfo) << "hello " << 42;
+  EXPECT_EQ(sink_.str(), "[INFO] hello 42\n");
+}
+
+TEST_F(LoggingTest, SuppressesBelowLevel) {
+  set_log_level(LogLevel::kWarn);
+  FNDA_LOG(kDebug) << "invisible";
+  FNDA_LOG(kInfo) << "also invisible";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, ErrorAlwaysVisibleBelowOff) {
+  set_log_level(LogLevel::kError);
+  FNDA_LOG(kError) << "boom";
+  EXPECT_EQ(sink_.str(), "[ERROR] boom\n");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  FNDA_LOG(kError) << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+}  // namespace
+}  // namespace fnda

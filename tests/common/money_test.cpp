@@ -1,0 +1,109 @@
+#include "common/money.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace fnda {
+namespace {
+
+TEST(MoneyTest, DefaultIsZero) {
+  EXPECT_EQ(Money{}.micros(), 0);
+  EXPECT_EQ(Money{}, Money::from_units(0));
+}
+
+TEST(MoneyTest, FactoriesAgree) {
+  EXPECT_EQ(Money::from_units(3), Money::from_micros(3'000'000));
+  EXPECT_EQ(Money::from_double(3.0), Money::from_units(3));
+  EXPECT_EQ(Money::from_double(4.5), Money::from_micros(4'500'000));
+  EXPECT_EQ(money(4.8), Money::from_micros(4'800'000));
+}
+
+TEST(MoneyTest, FromDoubleRoundsToNearestMicro) {
+  EXPECT_EQ(Money::from_double(0.0000014), Money::from_micros(1));
+  EXPECT_EQ(Money::from_double(0.0000016), Money::from_micros(2));
+  EXPECT_EQ(Money::from_double(-0.0000014), Money::from_micros(-1));
+}
+
+TEST(MoneyTest, Arithmetic) {
+  const Money a = money(4.5);
+  const Money b = money(2.25);
+  EXPECT_EQ(a + b, money(6.75));
+  EXPECT_EQ(a - b, money(2.25));
+  EXPECT_EQ(-b, money(-2.25));
+  EXPECT_EQ(a * 3, money(13.5));
+  EXPECT_EQ(3 * a, money(13.5));
+
+  Money c = a;
+  c += b;
+  EXPECT_EQ(c, money(6.75));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(MoneyTest, Ordering) {
+  EXPECT_LT(money(4.5), money(4.8));
+  EXPECT_GT(money(5), money(4.999999));
+  EXPECT_LE(money(5), money(5));
+  EXPECT_EQ(Money::min_value() < Money::max_value(), true);
+}
+
+TEST(MoneyTest, MidpointMatchesPaperArithmetic) {
+  // Example 1: p0 = (4 + 5) / 2 = 4.5.
+  EXPECT_EQ(Money::midpoint(money(4), money(5)), money(4.5));
+  // Example 1 after the false-name bid: (4.8 + 5) / 2 = 4.9.
+  EXPECT_EQ(Money::midpoint(money(4.8), money(5)), money(4.9));
+  // Example 2 after the false-name bid: (4 + 6) / 2 = 5.
+  EXPECT_EQ(Money::midpoint(money(4), money(6)), money(5));
+  EXPECT_EQ(Money::midpoint(money(7), money(7)), money(7));
+}
+
+TEST(MoneyTest, MidpointFloorsOddMicros) {
+  EXPECT_EQ(Money::midpoint(Money::from_micros(1), Money::from_micros(2)),
+            Money::from_micros(1));
+  EXPECT_EQ(Money::midpoint(Money::from_micros(-1), Money::from_micros(-2)),
+            Money::from_micros(-2));
+  EXPECT_EQ(Money::midpoint(Money::from_micros(-1), Money::from_micros(2)),
+            Money::from_micros(0));
+  EXPECT_EQ(Money::midpoint(Money::from_micros(-3), Money::from_micros(2)),
+            Money::from_micros(-1));
+}
+
+TEST(MoneyTest, MidpointDoesNotOverflowAtExtremes) {
+  const Money lo = Money::min_value();
+  const Money hi = Money::max_value();
+  EXPECT_EQ(Money::midpoint(lo, hi), Money::from_micros(-1));
+  EXPECT_EQ(Money::midpoint(hi, hi), hi);
+  EXPECT_EQ(Money::midpoint(lo, lo), lo);
+}
+
+TEST(MoneyTest, ToStringTrimsTrailingZeros) {
+  EXPECT_EQ(money(4.5).to_string(), "4.5");
+  EXPECT_EQ(money(4).to_string(), "4");
+  EXPECT_EQ(money(0.25).to_string(), "0.25");
+  EXPECT_EQ(Money::from_micros(1).to_string(), "0.000001");
+  EXPECT_EQ(money(-4.5).to_string(), "-4.5");
+  EXPECT_EQ(Money::from_micros(-500'000).to_string(), "-0.5");
+}
+
+TEST(MoneyTest, StreamOutput) {
+  std::ostringstream os;
+  os << money(12.75);
+  EXPECT_EQ(os.str(), "12.75");
+}
+
+TEST(MoneyTest, Hashable) {
+  std::unordered_set<Money> set{money(1), money(2), money(1)};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(MoneyTest, ToDoubleRoundTrip) {
+  EXPECT_DOUBLE_EQ(money(4.5).to_double(), 4.5);
+  EXPECT_DOUBLE_EQ(money(0).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(Money::from_units(100).to_double(), 100.0);
+}
+
+}  // namespace
+}  // namespace fnda

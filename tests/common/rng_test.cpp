@@ -1,0 +1,155 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace fnda {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 60'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(6)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [value, count] : counts) {
+    // Expected 10000 per residue; 4 sigma ~ +/- 365.
+    EXPECT_NEAR(count, kDraws / 6, 500) << "residue " << value;
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5'000; ++i) {
+    const auto x = rng.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01MeanAndRange) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformMoneyRespectsBounds) {
+  Rng rng(9);
+  const Money lo = Money::from_units(10);
+  const Money hi = Money::from_units(20);
+  for (int i = 0; i < 10'000; ++i) {
+    const Money m = rng.uniform_money(lo, hi);
+    EXPECT_GE(m, lo);
+    EXPECT_LE(m, hi);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BinomialMeanMatchesNp) {
+  Rng rng(17);
+  constexpr int kDraws = 20'000;
+  long total = 0;
+  for (int i = 0; i < kDraws; ++i) total += rng.binomial(10, 0.5);
+  // mean 5, sd of the mean ~ sqrt(2.5 / 20000) ~ 0.011.
+  EXPECT_NEAR(static_cast<double>(total) / kDraws, 5.0, 0.06);
+}
+
+TEST(RngTest, BinomialBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1'000; ++i) {
+    const int x = rng.binomial(8, 0.3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 8);
+  }
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleUniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should appear with ~equal frequency.
+  std::map<std::vector<int>, int> counts;
+  Rng rng(29);
+  constexpr int kDraws = 60'000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.shuffle(v.begin(), v.end());
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 6, 500);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent's next outputs.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,122 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.sum(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SemShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.sem(), large.sem());
+  EXPECT_NEAR(large.ci95_half_width(), 1.96 * large.sem(), 1e-15);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats sequential;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 3.0;
+    sequential.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+
+  RunningStats target;
+  target.merge(stats);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 4.0);
+}
+
+TEST(HistogramTest, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  // Interpolated quartile: position 0.25 * 4 = 1.0 exactly -> 2.0.
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.75), 7.5);
+}
+
+TEST(QuantileTest, ThrowsOnEmpty) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fnda

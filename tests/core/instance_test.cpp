@@ -1,0 +1,50 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+TEST(InstanceTest, InstantiateTruthfulWiresIdentities) {
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9), money(8)};
+  instance.seller_values = {money(2), money(3), money(4)};
+
+  const InstantiatedMarket market = instantiate_truthful(instance);
+  EXPECT_EQ(market.book.buyer_count(), 2u);
+  EXPECT_EQ(market.book.seller_count(), 3u);
+  ASSERT_EQ(market.buyer_identities.size(), 2u);
+  ASSERT_EQ(market.seller_identities.size(), 3u);
+
+  // Truth map matches declared values (everyone truthful).
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(market.truth.buyer_values.at(market.buyer_identities[i]),
+              instance.buyer_values[i]);
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(market.truth.seller_values.at(market.seller_identities[j]),
+              instance.seller_values[j]);
+  }
+}
+
+TEST(InstanceTest, BuyerAndSellerIdentitySpacesDisjoint) {
+  SingleUnitInstance instance;
+  instance.buyer_values.assign(5, money(1));
+  instance.seller_values.assign(5, money(1));
+  const InstantiatedMarket market = instantiate_truthful(instance);
+  for (IdentityId b : market.buyer_identities) {
+    for (IdentityId s : market.seller_identities) {
+      EXPECT_NE(b, s);
+    }
+  }
+}
+
+TEST(InstanceTest, EmptyInstance) {
+  const InstantiatedMarket market = instantiate_truthful(SingleUnitInstance{});
+  EXPECT_EQ(market.book.buyer_count(), 0u);
+  EXPECT_EQ(market.book.seller_count(), 0u);
+  EXPECT_TRUE(market.truth.buyer_values.empty());
+}
+
+}  // namespace
+}  // namespace fnda

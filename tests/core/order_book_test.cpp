@@ -1,0 +1,167 @@
+#include "core/order_book.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+OrderBook example1_book() {
+  // Paper Example 1: buyers 9 > 8 > 7 > 4, sellers 2 < 3 < 4 < 5.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, Money::from_units(9));
+  book.add_buyer(IdentityId{1}, Money::from_units(8));
+  book.add_buyer(IdentityId{2}, Money::from_units(7));
+  book.add_buyer(IdentityId{3}, Money::from_units(4));
+  book.add_seller(IdentityId{10}, Money::from_units(2));
+  book.add_seller(IdentityId{11}, Money::from_units(3));
+  book.add_seller(IdentityId{12}, Money::from_units(4));
+  book.add_seller(IdentityId{13}, Money::from_units(5));
+  return book;
+}
+
+TEST(OrderBookTest, AddAssignsDistinctBidIds) {
+  OrderBook book;
+  const BidId a = book.add_buyer(IdentityId{0}, Money::from_units(1));
+  const BidId b = book.add_seller(IdentityId{1}, Money::from_units(2));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(book.buyer_count(), 1u);
+  EXPECT_EQ(book.seller_count(), 1u);
+}
+
+TEST(OrderBookTest, RejectsValuesOutsideDomain) {
+  OrderBook book;
+  EXPECT_THROW(book.add_buyer(IdentityId{0}, Money::from_units(-1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      book.add_seller(IdentityId{0}, Money::from_units(2'000'000'000)),
+      std::invalid_argument);
+}
+
+TEST(OrderBookTest, RejectsDegenerateDomain) {
+  EXPECT_THROW(OrderBook(ValueDomain{Money::from_units(5), Money::from_units(5)}),
+               std::invalid_argument);
+}
+
+TEST(SortedBookTest, RanksMatchPaperConvention) {
+  OrderBook book = example1_book();
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+
+  ASSERT_EQ(sorted.buyer_count(), 4u);
+  ASSERT_EQ(sorted.seller_count(), 4u);
+  // b(1) >= b(2) >= ... (highest first).
+  EXPECT_EQ(sorted.buyer_value(1), Money::from_units(9));
+  EXPECT_EQ(sorted.buyer_value(2), Money::from_units(8));
+  EXPECT_EQ(sorted.buyer_value(3), Money::from_units(7));
+  EXPECT_EQ(sorted.buyer_value(4), Money::from_units(4));
+  // s(1) <= s(2) <= ... (lowest first).
+  EXPECT_EQ(sorted.seller_value(1), Money::from_units(2));
+  EXPECT_EQ(sorted.seller_value(2), Money::from_units(3));
+  EXPECT_EQ(sorted.seller_value(3), Money::from_units(4));
+  EXPECT_EQ(sorted.seller_value(4), Money::from_units(5));
+}
+
+TEST(SortedBookTest, SentinelRanks) {
+  OrderBook book = example1_book();
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  EXPECT_EQ(sorted.buyer_value(5), book.domain().lowest);
+  EXPECT_EQ(sorted.seller_value(5), book.domain().highest);
+}
+
+TEST(SortedBookTest, RankZeroAndBeyondSentinelThrow) {
+  OrderBook book = example1_book();
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  EXPECT_THROW(sorted.buyer_value(0), std::out_of_range);
+  EXPECT_THROW(sorted.buyer_value(6), std::out_of_range);
+  EXPECT_THROW(sorted.seller_value(0), std::out_of_range);
+  EXPECT_THROW(sorted.seller_value(6), std::out_of_range);
+  EXPECT_THROW(sorted.buyer(5), std::out_of_range);
+  EXPECT_THROW(sorted.seller(0), std::out_of_range);
+}
+
+TEST(SortedBookTest, EmptyBook) {
+  OrderBook book;
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  EXPECT_EQ(sorted.buyer_count(), 0u);
+  EXPECT_EQ(sorted.seller_count(), 0u);
+  EXPECT_EQ(sorted.efficient_trade_count(), 0u);
+  // Sentinels still work at rank 1.
+  EXPECT_EQ(sorted.buyer_value(1), book.domain().lowest);
+  EXPECT_EQ(sorted.seller_value(1), book.domain().highest);
+}
+
+TEST(SortedBookTest, CountsAtThreshold) {
+  OrderBook book = example1_book();
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  // r = 4.5: buyers {9, 8, 7} >= r; sellers {2, 3, 4} <= r.
+  EXPECT_EQ(sorted.buyers_at_or_above(money(4.5)), 3u);
+  EXPECT_EQ(sorted.sellers_at_or_below(money(4.5)), 3u);
+  // Boundary inclusion: a value equal to r counts on both sides.
+  EXPECT_EQ(sorted.buyers_at_or_above(Money::from_units(4)), 4u);
+  EXPECT_EQ(sorted.sellers_at_or_below(Money::from_units(4)), 3u);
+  EXPECT_EQ(sorted.buyers_at_or_above(Money::from_units(100)), 0u);
+  EXPECT_EQ(sorted.sellers_at_or_below(Money::from_units(0)), 0u);
+}
+
+TEST(SortedBookTest, EfficientTradeCountExample1) {
+  OrderBook book = example1_book();
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  // b(3) = 7 >= s(3) = 4 but b(4) = 4 < s(4) = 5 -> k = 3.
+  EXPECT_EQ(sorted.efficient_trade_count(), 3u);
+}
+
+TEST(SortedBookTest, EfficientTradeCountZeroWhenNoOverlap) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, Money::from_units(2));
+  book.add_seller(IdentityId{1}, Money::from_units(10));
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  EXPECT_EQ(sorted.efficient_trade_count(), 0u);
+}
+
+TEST(SortedBookTest, TieBreakingIsRandomButValueOrdered) {
+  OrderBook book;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    book.add_buyer(IdentityId{i}, Money::from_units(5));
+  }
+  // Count how often each identity lands at rank 1 across seeds.
+  std::map<std::uint64_t, int> first_counts;
+  for (std::uint64_t seed = 0; seed < 600; ++seed) {
+    Rng rng(seed);
+    const SortedBook sorted(book, rng);
+    ++first_counts[sorted.buyer(1).identity.value()];
+    for (std::size_t rank = 1; rank + 1 <= 6; ++rank) {
+      EXPECT_GE(sorted.buyer_value(rank), sorted.buyer_value(rank + 1));
+    }
+  }
+  EXPECT_EQ(first_counts.size(), 6u) << "every tied bid should sometimes win";
+  for (const auto& [identity, count] : first_counts) {
+    EXPECT_GT(count, 40) << "identity " << identity
+                         << " underrepresented at rank 1";
+  }
+}
+
+TEST(SortedBookTest, SameSeedSameOrder) {
+  OrderBook book;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    book.add_buyer(IdentityId{i}, Money::from_units(5));
+  }
+  Rng rng1(99);
+  Rng rng2(99);
+  const SortedBook a(book, rng1);
+  const SortedBook b(book, rng2);
+  for (std::size_t rank = 1; rank <= 8; ++rank) {
+    EXPECT_EQ(a.buyer(rank).identity, b.buyer(rank).identity);
+  }
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,67 @@
+#include "core/outcome.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+TEST(OutcomeTest, EmptyOutcome) {
+  Outcome outcome;
+  EXPECT_EQ(outcome.trade_count(), 0u);
+  EXPECT_EQ(outcome.buyer_payments(), Money{});
+  EXPECT_EQ(outcome.seller_receipts(), Money{});
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+  EXPECT_TRUE(outcome.fills().empty());
+}
+
+TEST(OutcomeTest, AggregatesPayments) {
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{0}, money(7));
+  outcome.add_buy(BidId{1}, IdentityId{1}, money(7));
+  outcome.add_sell(BidId{2}, IdentityId{10}, money(4));
+  outcome.add_sell(BidId{3}, IdentityId{11}, money(4));
+
+  EXPECT_EQ(outcome.trade_count(), 2u);
+  EXPECT_EQ(outcome.buyer_payments(), money(14));
+  EXPECT_EQ(outcome.seller_receipts(), money(8));
+  // The PMD condition-2 case: (k-1)(b(k) - s(k)) = 2 * 3 = 6.
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(6));
+}
+
+TEST(OutcomeTest, PerIdentityViews) {
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{5}, money(4.5));
+  outcome.add_sell(BidId{1}, IdentityId{5}, money(4.5));  // same identity
+  outcome.add_buy(BidId{2}, IdentityId{6}, money(5));
+
+  EXPECT_EQ(outcome.units_bought(IdentityId{5}), 1u);
+  EXPECT_EQ(outcome.units_sold(IdentityId{5}), 1u);
+  EXPECT_EQ(outcome.paid_by(IdentityId{5}), money(4.5));
+  EXPECT_EQ(outcome.received_by(IdentityId{5}), money(4.5));
+  EXPECT_EQ(outcome.units_bought(IdentityId{6}), 1u);
+  EXPECT_EQ(outcome.units_sold(IdentityId{6}), 0u);
+  // Unknown identity: all zero.
+  EXPECT_EQ(outcome.units_bought(IdentityId{99}), 0u);
+  EXPECT_EQ(outcome.paid_by(IdentityId{99}), Money{});
+}
+
+TEST(OutcomeTest, BidFilledLookup) {
+  Outcome outcome;
+  outcome.add_buy(BidId{7}, IdentityId{0}, money(1));
+  EXPECT_TRUE(outcome.bid_filled(BidId{7}));
+  EXPECT_FALSE(outcome.bid_filled(BidId{8}));
+}
+
+TEST(OutcomeTest, FillRecordsSideAndPrice) {
+  Outcome outcome;
+  outcome.add_sell(BidId{3}, IdentityId{2}, money(4));
+  ASSERT_EQ(outcome.fills().size(), 1u);
+  const Fill& fill = outcome.fills().front();
+  EXPECT_EQ(fill.side, Side::kSeller);
+  EXPECT_EQ(fill.bid, BidId{3});
+  EXPECT_EQ(fill.identity, IdentityId{2});
+  EXPECT_EQ(fill.price, money(4));
+}
+
+}  // namespace
+}  // namespace fnda

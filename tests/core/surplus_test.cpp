@@ -1,0 +1,128 @@
+#include "core/surplus.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TrueValuations example1_truth() {
+  TrueValuations truth;
+  truth.buyer_values = {{IdentityId{0}, money(9)},
+                        {IdentityId{1}, money(8)},
+                        {IdentityId{2}, money(7)},
+                        {IdentityId{3}, money(4)}};
+  truth.seller_values = {{IdentityId{10}, money(2)},
+                         {IdentityId{11}, money(3)},
+                         {IdentityId{12}, money(4)},
+                         {IdentityId{13}, money(5)}};
+  return truth;
+}
+
+TEST(SurplusTest, BalancedTradeAtUniformPrice) {
+  // Example 1 truthful PMD outcome: three trades at 4.5.
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{0}, money(4.5));
+  outcome.add_buy(BidId{1}, IdentityId{1}, money(4.5));
+  outcome.add_buy(BidId{2}, IdentityId{2}, money(4.5));
+  outcome.add_sell(BidId{4}, IdentityId{10}, money(4.5));
+  outcome.add_sell(BidId{5}, IdentityId{11}, money(4.5));
+  outcome.add_sell(BidId{6}, IdentityId{12}, money(4.5));
+
+  const SurplusReport report = realized_surplus(outcome, example1_truth());
+  // Buyers: (9-4.5) + (8-4.5) + (7-4.5) = 10.5.
+  EXPECT_DOUBLE_EQ(report.buyers, 10.5);
+  // Sellers: (4.5-2) + (4.5-3) + (4.5-4) = 4.5.
+  EXPECT_DOUBLE_EQ(report.sellers, 4.5);
+  EXPECT_DOUBLE_EQ(report.auctioneer, 0.0);
+  EXPECT_DOUBLE_EQ(report.except_auctioneer, 15.0);
+  // Total equals sum over trades of (b* - s*): (9-2)+(8-3)+(7-4) = 15.
+  EXPECT_DOUBLE_EQ(report.total, 15.0);
+}
+
+TEST(SurplusTest, AuctioneerKeepsSpread) {
+  // Example 2 truthful PMD outcome: two trades, buyers pay 7, sellers get 4.
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{0}, money(7));
+  outcome.add_buy(BidId{1}, IdentityId{1}, money(7));
+  outcome.add_sell(BidId{2}, IdentityId{10}, money(4));
+  outcome.add_sell(BidId{3}, IdentityId{11}, money(4));
+
+  const SurplusReport report = realized_surplus(outcome, example1_truth());
+  EXPECT_DOUBLE_EQ(report.buyers, (9 - 7) + (8 - 7));
+  EXPECT_DOUBLE_EQ(report.sellers, (4 - 2) + (4 - 3));
+  EXPECT_DOUBLE_EQ(report.auctioneer, 2 * (7 - 4));
+  EXPECT_DOUBLE_EQ(report.total, (9 - 2) + (8 - 3));
+  EXPECT_DOUBLE_EQ(report.except_auctioneer, report.total - 6.0);
+}
+
+TEST(SurplusTest, EmptyOutcomeZeroSurplus) {
+  const SurplusReport report = realized_surplus(Outcome{}, example1_truth());
+  EXPECT_DOUBLE_EQ(report.total, 0.0);
+  EXPECT_DOUBLE_EQ(report.except_auctioneer, 0.0);
+  EXPECT_DOUBLE_EQ(report.auctioneer, 0.0);
+}
+
+TEST(SurplusTest, RebatesShiftSurplusFromAuctioneerToTraders) {
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{0}, money(7));
+  outcome.add_buy(BidId{1}, IdentityId{1}, money(7));
+  outcome.add_sell(BidId{2}, IdentityId{10}, money(4));
+  outcome.add_sell(BidId{3}, IdentityId{11}, money(4));
+  // Rebate 1 of the 6 collected back to two participants.
+  outcome.add_rebate(IdentityId{0}, money(0.5));
+  outcome.add_rebate(IdentityId{13}, money(0.5));  // a non-trader
+
+  const SurplusReport report = realized_surplus(outcome, example1_truth());
+  EXPECT_DOUBLE_EQ(report.auctioneer, 5.0);  // 6 collected - 1 rebated
+  // Traders' surplus includes the rebates; total is unchanged by the
+  // transfer: (9-2) + (8-3) = 12.
+  EXPECT_DOUBLE_EQ(report.except_auctioneer, (9 - 7) + (8 - 7) + (4 - 2) +
+                                                 (4 - 3) + 1.0);
+  EXPECT_DOUBLE_EQ(report.total, 12.0);
+  EXPECT_EQ(outcome.rebate_of(IdentityId{0}), money(0.5));
+  EXPECT_EQ(outcome.rebate_of(IdentityId{99}), Money{});
+}
+
+TEST(SurplusTest, MissingValuationThrows) {
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{42}, money(1));
+  EXPECT_THROW(realized_surplus(outcome, example1_truth()), std::out_of_range);
+}
+
+TEST(EfficientSurplusTest, Example1) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_buyer(IdentityId{3}, money(4));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  book.add_seller(IdentityId{12}, money(4));
+  book.add_seller(IdentityId{13}, money(5));
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  // k = 3: (9-2) + (8-3) + (7-4) = 15.
+  EXPECT_DOUBLE_EQ(efficient_surplus(sorted), 15.0);
+}
+
+TEST(EfficientSurplusTest, NoTradePossible) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(1));
+  book.add_seller(IdentityId{1}, money(9));
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  EXPECT_DOUBLE_EQ(efficient_surplus(sorted), 0.0);
+}
+
+TEST(EfficientSurplusTest, OneSidedBookIsZero) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(10));
+  Rng rng(1);
+  const SortedBook sorted(book, rng);
+  EXPECT_DOUBLE_EQ(efficient_surplus(sorted), 0.0);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,138 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+struct Fixture {
+  OrderBook book;
+  BidId buy_high, buy_low, sell_low, sell_high;
+
+  Fixture() {
+    buy_high = book.add_buyer(IdentityId{0}, money(9));
+    buy_low = book.add_buyer(IdentityId{1}, money(4));
+    sell_low = book.add_seller(IdentityId{10}, money(2));
+    sell_high = book.add_seller(IdentityId{11}, money(8));
+  }
+};
+
+TEST(ValidationTest, CleanOutcomePasses) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_high, IdentityId{0}, money(5));
+  outcome.add_sell(f.sell_low, IdentityId{10}, money(5));
+  EXPECT_TRUE(validate_outcome(f.book, outcome).empty());
+  EXPECT_NO_THROW(expect_valid_outcome(f.book, outcome));
+}
+
+TEST(ValidationTest, EmptyOutcomePasses) {
+  Fixture f;
+  EXPECT_TRUE(validate_outcome(f.book, Outcome{}).empty());
+}
+
+TEST(ValidationTest, DetectsUnbalancedUnits) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_high, IdentityId{0}, money(5));
+  const auto errors = validate_outcome(f.book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("goods not conserved"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsUnknownBid) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(BidId{999}, IdentityId{0}, money(5));
+  outcome.add_sell(f.sell_low, IdentityId{10}, money(5));
+  const auto errors = validate_outcome(f.book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("unknown"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsWrongSideFill) {
+  Fixture f;
+  Outcome outcome;
+  // A seller bid appearing as a buy fill.
+  outcome.add_buy(f.sell_low, IdentityId{10}, money(5));
+  outcome.add_sell(f.sell_high, IdentityId{11}, money(8));
+  const auto errors = validate_outcome(f.book, outcome);
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(ValidationTest, DetectsBuyerIrViolation) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_low, IdentityId{1}, money(6));  // declared 4, pays 6
+  outcome.add_sell(f.sell_low, IdentityId{10}, money(2));
+  const auto errors = validate_outcome(f.book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("buyer IR violated"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsSellerIrViolation) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_high, IdentityId{0}, money(9));
+  outcome.add_sell(f.sell_high, IdentityId{11}, money(3));  // declared 8
+  const auto errors = validate_outcome(f.book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("seller IR violated"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsDoubleFill) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_high, IdentityId{0}, money(5));
+  outcome.add_buy(f.buy_high, IdentityId{0}, money(5));
+  outcome.add_sell(f.sell_low, IdentityId{10}, money(5));
+  outcome.add_sell(f.sell_high, IdentityId{11}, money(8));
+  const auto errors = validate_outcome(f.book, outcome);
+  bool found = false;
+  for (const auto& e : errors) {
+    found |= e.find("filled more than once") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidationTest, DetectsIdentityMismatch) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_high, IdentityId{77}, money(5));
+  outcome.add_sell(f.sell_low, IdentityId{10}, money(5));
+  const auto errors = validate_outcome(f.book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("does not match"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsAuctioneerSubsidy) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_high, IdentityId{0}, money(3));
+  outcome.add_sell(f.sell_high, IdentityId{11}, money(9));
+  const auto errors = validate_outcome(f.book, outcome);
+  bool found = false;
+  for (const auto& e : errors) {
+    found |= e.find("subsidises") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidationTest, ExpectValidThrowsWithAllViolations) {
+  Fixture f;
+  Outcome outcome;
+  outcome.add_buy(f.buy_low, IdentityId{1}, money(6));
+  try {
+    expect_valid_outcome(f.book, outcome);
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("violation"), std::string::npos);
+    EXPECT_NE(what.find("buyer IR"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fnda

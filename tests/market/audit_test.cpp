@@ -1,0 +1,46 @@
+#include "market/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+TEST(AuditLogTest, AppendsAndCounts) {
+  AuditLog log;
+  log.append(SimTime{10}, RoundId{0}, AuditKind::kRoundOpened, "");
+  log.append(SimTime{20}, RoundId{0}, AuditKind::kBidAccepted, "id-1 buyer@9");
+  log.append(SimTime{20}, RoundId{0}, AuditKind::kBidAccepted, "id-2 seller@4");
+  log.append(SimTime{30}, RoundId{0}, AuditKind::kRoundCleared, "1 trades");
+
+  EXPECT_EQ(log.records().size(), 4u);
+  EXPECT_EQ(log.count(AuditKind::kBidAccepted), 2u);
+  EXPECT_EQ(log.count(AuditKind::kDepositConfiscated), 0u);
+}
+
+TEST(AuditLogTest, FiltersByRound) {
+  AuditLog log;
+  log.append(SimTime{1}, RoundId{0}, AuditKind::kRoundOpened, "");
+  log.append(SimTime{2}, RoundId{1}, AuditKind::kRoundOpened, "");
+  log.append(SimTime{3}, RoundId{1}, AuditKind::kRoundCleared, "");
+  EXPECT_EQ(log.for_round(RoundId{0}).size(), 1u);
+  EXPECT_EQ(log.for_round(RoundId{1}).size(), 2u);
+  EXPECT_TRUE(log.for_round(RoundId{7}).empty());
+}
+
+TEST(AuditLogTest, DumpFormat) {
+  AuditLog log;
+  log.append(SimTime{12000}, RoundId{0}, AuditKind::kBidAccepted,
+             "id-3 buyer@9");
+  const std::string dump = log.dump();
+  EXPECT_EQ(dump, "t=12000 round-0 bid-accepted id-3 buyer@9\n");
+}
+
+TEST(AuditLogTest, KindNames) {
+  EXPECT_STREQ(to_string(AuditKind::kDeliveryFailed), "delivery-failed");
+  EXPECT_STREQ(to_string(AuditKind::kDepositConfiscated),
+               "deposit-confiscated");
+  EXPECT_STREQ(to_string(AuditKind::kDepositRefunded), "deposit-refunded");
+}
+
+}  // namespace
+}  // namespace fnda

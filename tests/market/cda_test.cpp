@@ -1,0 +1,167 @@
+#include "market/cda.h"
+
+#include <gtest/gtest.h>
+
+#include "mechanism/properties.h"
+#include "market/zi_traders.h"
+
+namespace fnda {
+namespace {
+
+TEST(CdaTest, RestingOrderThenCross) {
+  ContinuousDoubleAuction book;
+  EXPECT_FALSE(book.submit(Side::kSeller, IdentityId{1}, money(5), SimTime{0})
+                   .has_value());
+  EXPECT_EQ(book.best_ask(), money(5));
+  EXPECT_FALSE(book.best_bid().has_value());
+
+  const auto trade =
+      book.submit(Side::kBuyer, IdentityId{2}, money(7), SimTime{1});
+  ASSERT_TRUE(trade.has_value());
+  // Trades at the RESTING order's price, not the aggressive limit.
+  EXPECT_EQ(trade->price, money(5));
+  EXPECT_EQ(trade->buyer, IdentityId{2});
+  EXPECT_EQ(trade->seller, IdentityId{1});
+  EXPECT_EQ(book.open_asks(), 0u);
+  EXPECT_EQ(book.trades().size(), 1u);
+}
+
+TEST(CdaTest, NonCrossingOrdersRest) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kBuyer, IdentityId{1}, money(4), SimTime{0});
+  book.submit(Side::kSeller, IdentityId{2}, money(6), SimTime{1});
+  EXPECT_EQ(book.open_bids(), 1u);
+  EXPECT_EQ(book.open_asks(), 1u);
+  EXPECT_EQ(book.best_bid(), money(4));
+  EXPECT_EQ(book.best_ask(), money(6));
+  EXPECT_FALSE(book.crossed());
+  EXPECT_TRUE(book.trades().empty());
+}
+
+TEST(CdaTest, PricePriority) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kSeller, IdentityId{1}, money(6), SimTime{0});
+  book.submit(Side::kSeller, IdentityId{2}, money(4), SimTime{1});
+  const auto trade =
+      book.submit(Side::kBuyer, IdentityId{3}, money(10), SimTime{2});
+  ASSERT_TRUE(trade.has_value());
+  EXPECT_EQ(trade->seller, IdentityId{2});  // cheaper ask wins
+  EXPECT_EQ(trade->price, money(4));
+}
+
+TEST(CdaTest, TimePriorityWithinPriceLevel) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kSeller, IdentityId{1}, money(5), SimTime{0});
+  book.submit(Side::kSeller, IdentityId{2}, money(5), SimTime{1});
+  const auto trade =
+      book.submit(Side::kBuyer, IdentityId{3}, money(5), SimTime{2});
+  ASSERT_TRUE(trade.has_value());
+  EXPECT_EQ(trade->seller, IdentityId{1});  // first in, first matched
+}
+
+TEST(CdaTest, ResubmitLosesTimePriority) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kSeller, IdentityId{1}, money(5), SimTime{0});
+  book.submit(Side::kSeller, IdentityId{2}, money(5), SimTime{1});
+  // Identity 1 re-quotes at the same price: goes to the back of the queue.
+  book.submit(Side::kSeller, IdentityId{1}, money(5), SimTime{2});
+  EXPECT_EQ(book.open_asks(), 2u);
+  const auto trade =
+      book.submit(Side::kBuyer, IdentityId{3}, money(9), SimTime{3});
+  ASSERT_TRUE(trade.has_value());
+  EXPECT_EQ(trade->seller, IdentityId{2});
+}
+
+TEST(CdaTest, CancelRemovesOrder) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kBuyer, IdentityId{1}, money(5), SimTime{0});
+  EXPECT_TRUE(book.cancel(IdentityId{1}));
+  EXPECT_EQ(book.open_bids(), 0u);
+  EXPECT_FALSE(book.cancel(IdentityId{1}));
+  EXPECT_FALSE(book.cancel(IdentityId{99}));
+}
+
+TEST(CdaTest, SellerHittingRestingBidTradesAtBidPrice) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kBuyer, IdentityId{1}, money(8), SimTime{0});
+  const auto trade =
+      book.submit(Side::kSeller, IdentityId{2}, money(3), SimTime{1});
+  ASSERT_TRUE(trade.has_value());
+  EXPECT_EQ(trade->price, money(8));
+  EXPECT_EQ(trade->buyer, IdentityId{1});
+}
+
+TEST(CdaTest, ExactPriceTouchTrades) {
+  ContinuousDoubleAuction book;
+  book.submit(Side::kSeller, IdentityId{1}, money(5), SimTime{0});
+  const auto trade =
+      book.submit(Side::kBuyer, IdentityId{2}, money(5), SimTime{1});
+  EXPECT_TRUE(trade.has_value());
+}
+
+TEST(ZiSessionTest, ExtractsMostOfTheSurplus) {
+  // Gode-Sunder: budget-constrained zero-intelligence traders in a CDA
+  // reach high allocative efficiency.  Average over instances.
+  InstanceSpec spec;
+  spec.min_buyers = 10;
+  spec.max_buyers = 10;
+  spec.min_sellers = 10;
+  spec.max_sellers = 10;
+  Rng rng(0x21c);
+  double total_efficiency = 0.0;
+  int counted = 0;
+  for (int run = 0; run < 60; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    Rng session_rng = rng.split();
+    const ZiSessionResult result = run_zi_session(instance, session_rng);
+    if (result.efficient_surplus <= 0.0) continue;
+    total_efficiency += result.efficiency;
+    ++counted;
+    EXPECT_GE(result.surplus, -1e-9);
+    EXPECT_LE(result.surplus, result.efficient_surplus + 1e-9);
+  }
+  ASSERT_GT(counted, 30);
+  EXPECT_GT(total_efficiency / counted, 0.85);
+}
+
+TEST(ZiSessionTest, NoFeasibleTradeMeansNoTrades) {
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(10), money(20)};
+  instance.seller_values = {money(80), money(90)};
+  Rng rng(3);
+  const ZiSessionResult result = run_zi_session(instance, rng);
+  EXPECT_EQ(result.trades, 0u);
+  EXPECT_DOUBLE_EQ(result.surplus, 0.0);
+  EXPECT_DOUBLE_EQ(result.efficiency, 1.0);  // nothing achievable
+}
+
+TEST(ZiSessionTest, TradesNeverLoseMoney) {
+  // ZI-C's budget constraint: every executed trade has buyer value >=
+  // price >= seller value, so per-trade surplus is non-negative.
+  InstanceSpec spec;
+  spec.max_buyers = 8;
+  spec.max_sellers = 8;
+  Rng rng(0x21d);
+  for (int run = 0; run < 40; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    Rng session_rng = rng.split();
+    const ZiSessionResult result = run_zi_session(instance, session_rng);
+    EXPECT_GE(result.surplus, -1e-9);
+  }
+}
+
+TEST(ZiSessionTest, DeterministicGivenSeed) {
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(60), money(70), money(80)};
+  instance.seller_values = {money(20), money(30), money(40)};
+  Rng a(5);
+  Rng b(5);
+  const ZiSessionResult ra = run_zi_session(instance, a);
+  const ZiSessionResult rb = run_zi_session(instance, b);
+  EXPECT_EQ(ra.trades, rb.trades);
+  EXPECT_DOUBLE_EQ(ra.surplus, rb.surplus);
+  EXPECT_DOUBLE_EQ(ra.mean_price, rb.mean_price);
+}
+
+}  // namespace
+}  // namespace fnda

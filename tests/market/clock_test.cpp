@@ -1,0 +1,92 @@
+#include "market/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fnda {
+namespace {
+
+TEST(SimTimeTest, ArithmeticAndFactories) {
+  EXPECT_EQ(SimTime::millis(2).micros, 2000);
+  EXPECT_EQ(SimTime::seconds(1).micros, 1'000'000);
+  EXPECT_EQ((SimTime{3} + SimTime{4}).micros, 7);
+  EXPECT_EQ((SimTime{9} - SimTime{4}).micros, 5);
+  EXPECT_LT(SimTime{1}, SimTime{2});
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+  queue.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  queue.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), SimTime{30});
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(SimTime{100}, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  SimTime observed{-1};
+  queue.schedule_at(SimTime{50}, [&] {
+    queue.schedule_after(SimTime{25}, [&] { observed = queue.now(); });
+  });
+  queue.run();
+  EXPECT_EQ(observed, SimTime{75});
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue queue;
+  bool ran = false;
+  queue.schedule_at(SimTime{100}, [&] {
+    queue.schedule_at(SimTime{10}, [&] {
+      ran = true;
+      EXPECT_EQ(queue.now(), SimTime{100});
+    });
+  });
+  queue.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.schedule_at(SimTime{1}, [] {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int count = 0;
+  queue.schedule_at(SimTime{10}, [&] { ++count; });
+  queue.schedule_at(SimTime{20}, [&] { ++count; });
+  queue.schedule_at(SimTime{30}, [&] { ++count; });
+  EXPECT_EQ(queue.run_until(SimTime{20}), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunCapGuardsAgainstLoops) {
+  EventQueue queue;
+  std::function<void()> reschedule = [&] {
+    queue.schedule_after(SimTime{1}, reschedule);
+  };
+  queue.schedule_at(SimTime{0}, reschedule);
+  EXPECT_EQ(queue.run(100), 100u);
+  EXPECT_GE(queue.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace fnda

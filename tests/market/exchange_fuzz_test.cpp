@@ -1,0 +1,112 @@
+// Exchange-level fuzz: random populations playing random (possibly
+// hostile) strategies over a lossy, duplicating bus must never violate
+// the substrate's conservation and coherence invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "market/exchange.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+Strategy random_strategy(Side role, Money true_value, Rng& rng) {
+  Strategy strategy;
+  const std::size_t declarations = rng.below(3);  // 0, 1 or 2
+  for (std::size_t d = 0; d < declarations; ++d) {
+    const Side side = rng.bernoulli(0.5) ? Side::kBuyer : Side::kSeller;
+    // Around the true value, sometimes wild.
+    const Money value = rng.bernoulli(0.3)
+                            ? rng.uniform_money(money(0), money(100))
+                            : rng.uniform_money(
+                                  std::max(money(0), true_value - money(10)),
+                                  std::min(money(100), true_value + money(10)));
+    strategy.declarations.push_back(Declaration{side, value});
+  }
+  if (strategy.declarations.empty()) {
+    strategy = Strategy::truthful(role, true_value);
+  }
+  return strategy;
+}
+
+class ExchangeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExchangeFuzzTest, ConservationAndCoherenceUnderChaos) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const DoubleAuctionProtocol& protocol =
+      rng.bernoulli(0.5) ? static_cast<const DoubleAuctionProtocol&>(tpd)
+                         : static_cast<const DoubleAuctionProtocol&>(pmd);
+
+  ExchangeConfig config;
+  config.seed = seed * 31 + 7;
+  config.bus.drop_probability = rng.uniform_double(0.0, 0.3);
+  config.bus.duplicate_probability = rng.uniform_double(0.0, 0.3);
+  config.bus.jitter = SimTime{rng.uniform_int(0, 3000)};
+  config.client.retry_interval = SimTime::millis(rng.uniform_int(0, 8));
+  config.server.announce_interval = SimTime::millis(10);
+  ExchangeSimulation exchange(protocol, config);
+
+  const std::size_t traders = 4 + rng.below(10);
+  for (std::size_t t = 0; t < traders; ++t) {
+    const Side role = rng.bernoulli(0.5) ? Side::kBuyer : Side::kSeller;
+    const Money value = rng.uniform_money(money(0), money(100));
+    TradingClient& client = exchange.add_trader(role, value);
+    client.set_strategy(random_strategy(role, value, rng));
+  }
+
+  const std::size_t goods_before = exchange.goods().total();
+  const Money cash_before = exchange.cash().total();
+
+  const std::size_t rounds = 1 + rng.below(3);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const RoundId round = exchange.run_round(SimTime::millis(60));
+    const Outcome* outcome = exchange.server().outcome_of(round);
+    ASSERT_NE(outcome, nullptr);
+    // Goods and cash are conserved after every settled round.
+    EXPECT_EQ(exchange.goods().total(), goods_before);
+    EXPECT_EQ(exchange.cash().total(), cash_before);
+    // The audit log saw exactly one open and one clear per round.
+    EXPECT_EQ(exchange.audit().count(AuditKind::kRoundOpened), r + 1);
+    EXPECT_EQ(exchange.audit().count(AuditKind::kRoundCleared), r + 1);
+    // Replay reproduces the stored outcome.
+    const auto replayed = exchange.server().replay_round(round);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(replayed->fills(), outcome->fills());
+  }
+
+  // Closing the market refunds every unconfiscated deposit; escrow empty.
+  exchange.close_market();
+  EXPECT_EQ(exchange.escrow().total_held(), Money{});
+  EXPECT_EQ(exchange.cash().total(), cash_before);
+
+  // No trader's settled wealth moved unless the ledgers say so: the sum
+  // of all settled utilities equals realized trade surplus minus
+  // confiscations going to the exchange (checked via cash identity).
+  double total_utility = 0.0;
+  for (const auto& trader : exchange.traders()) {
+    total_utility += exchange.settled_utility(*trader);
+  }
+  const double exchange_take =
+      exchange.cash()
+          .balance(IdentityRegistry::exchange_account())
+          .to_double();
+  // Traders' net cash change + exchange take = 0 (transfers), so total
+  // utility = goods-value reshuffling - exchange take.  The invariant we
+  // can assert without re-deriving valuations: utilities are finite and
+  // the exchange never loses money.
+  EXPECT_GE(exchange_take, -1e-9);
+  EXPECT_TRUE(std::isfinite(total_utility));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "market/escrow.h"
+#include "market/identity.h"
+
+namespace fnda {
+namespace {
+
+TEST(IdentityRegistryTest, AccountsAreSequentialAndDistinctFromExchange) {
+  IdentityRegistry registry;
+  const AccountId a = registry.create_account();
+  const AccountId b = registry.create_account();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, IdentityRegistry::exchange_account());
+  EXPECT_EQ(registry.account_count(), 2u);
+}
+
+TEST(IdentityRegistryTest, IdentitiesMapToOwners) {
+  IdentityRegistry registry;
+  const AccountId account = registry.create_account();
+  const IdentityId id1 = registry.register_identity(account);
+  const IdentityId id2 = registry.register_identity(account);
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(registry.owner(id1), account);
+  EXPECT_EQ(registry.owner(id2), account);
+  EXPECT_EQ(registry.identity_count(), 2u);
+}
+
+TEST(IdentityRegistryTest, UnknownIdentityThrows) {
+  IdentityRegistry registry;
+  EXPECT_THROW(registry.owner(IdentityId{99}), std::out_of_range);
+}
+
+TEST(IdentityRegistryTest, IdentitiesOfListsAllPseudonyms) {
+  IdentityRegistry registry;
+  const AccountId honest = registry.create_account();
+  const AccountId cheat = registry.create_account();
+  registry.register_identity(honest);
+  const IdentityId fake1 = registry.register_identity(cheat);
+  const IdentityId fake2 = registry.register_identity(cheat);
+  const auto fakes = registry.identities_of(cheat);
+  EXPECT_EQ(fakes.size(), 2u);
+  EXPECT_NE(std::find(fakes.begin(), fakes.end(), fake1), fakes.end());
+  EXPECT_NE(std::find(fakes.begin(), fakes.end(), fake2), fakes.end());
+}
+
+class EscrowTest : public ::testing::Test {
+ protected:
+  CashLedger cash_;
+  EscrowService escrow_{cash_};
+  IdentityRegistry registry_;
+  AccountId trader_ = registry_.create_account();
+  AccountId exchange_ = IdentityRegistry::exchange_account();
+  IdentityId identity_ = registry_.register_identity(trader_);
+
+  void SetUp() override { cash_.grant(trader_, money(100)); }
+};
+
+TEST_F(EscrowTest, PostMovesCashIntoEscrow) {
+  escrow_.post(identity_, trader_, money(10));
+  EXPECT_EQ(escrow_.held(identity_), money(10));
+  EXPECT_EQ(cash_.balance(trader_), money(90));
+  EXPECT_EQ(cash_.total(), money(100));  // conservation
+}
+
+TEST_F(EscrowTest, PostsAccumulate) {
+  escrow_.post(identity_, trader_, money(10));
+  escrow_.post(identity_, trader_, money(5));
+  EXPECT_EQ(escrow_.held(identity_), money(15));
+  EXPECT_EQ(escrow_.total_held(), money(15));
+}
+
+TEST_F(EscrowTest, RefundRestoresCash) {
+  escrow_.post(identity_, trader_, money(10));
+  escrow_.refund(identity_, trader_);
+  EXPECT_EQ(escrow_.held(identity_), Money{});
+  EXPECT_EQ(cash_.balance(trader_), money(100));
+}
+
+TEST_F(EscrowTest, ConfiscateGoesToExchange) {
+  escrow_.post(identity_, trader_, money(10));
+  const Money seized = escrow_.confiscate(identity_, exchange_);
+  EXPECT_EQ(seized, money(10));
+  EXPECT_EQ(escrow_.held(identity_), Money{});
+  EXPECT_EQ(cash_.balance(exchange_), money(10));
+  EXPECT_EQ(cash_.balance(trader_), money(90));
+}
+
+TEST_F(EscrowTest, ConfiscateEmptyIsNoop) {
+  EXPECT_EQ(escrow_.confiscate(identity_, exchange_), Money{});
+  EXPECT_EQ(cash_.balance(exchange_), Money{});
+}
+
+TEST_F(EscrowTest, RefundEmptyIsNoop) {
+  escrow_.refund(identity_, trader_);
+  EXPECT_EQ(cash_.balance(trader_), money(100));
+}
+
+TEST_F(EscrowTest, DoubleConfiscateSeizesOnce) {
+  escrow_.post(identity_, trader_, money(10));
+  EXPECT_EQ(escrow_.confiscate(identity_, exchange_), money(10));
+  EXPECT_EQ(escrow_.confiscate(identity_, exchange_), Money{});
+  EXPECT_EQ(cash_.balance(exchange_), money(10));
+}
+
+}  // namespace
+}  // namespace fnda

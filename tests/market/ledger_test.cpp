@@ -1,0 +1,61 @@
+#include "market/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+TEST(CashLedgerTest, GrantAndBalance) {
+  CashLedger cash;
+  EXPECT_EQ(cash.balance(AccountId{1}), Money{});
+  cash.grant(AccountId{1}, money(100));
+  EXPECT_EQ(cash.balance(AccountId{1}), money(100));
+  cash.grant(AccountId{1}, money(50));
+  EXPECT_EQ(cash.balance(AccountId{1}), money(150));
+}
+
+TEST(CashLedgerTest, TransferConservesTotal) {
+  CashLedger cash;
+  cash.grant(AccountId{1}, money(100));
+  cash.grant(AccountId{2}, money(30));
+  const Money before = cash.total();
+  cash.transfer(AccountId{1}, AccountId{2}, money(45));
+  EXPECT_EQ(cash.balance(AccountId{1}), money(55));
+  EXPECT_EQ(cash.balance(AccountId{2}), money(75));
+  EXPECT_EQ(cash.total(), before);
+}
+
+TEST(CashLedgerTest, BalancesMayGoNegative) {
+  CashLedger cash;
+  cash.transfer(AccountId{1}, AccountId{2}, money(10));
+  EXPECT_EQ(cash.balance(AccountId{1}), money(-10));
+  EXPECT_EQ(cash.total(), Money{});
+}
+
+TEST(GoodsLedgerTest, GrantAndTransfer) {
+  GoodsLedger goods;
+  goods.grant(AccountId{1}, 2);
+  EXPECT_EQ(goods.units(AccountId{1}), 2u);
+  EXPECT_TRUE(goods.transfer_unit(AccountId{1}, AccountId{2}));
+  EXPECT_EQ(goods.units(AccountId{1}), 1u);
+  EXPECT_EQ(goods.units(AccountId{2}), 1u);
+  EXPECT_EQ(goods.total(), 2u);
+}
+
+TEST(GoodsLedgerTest, TransferFailsWhenEmpty) {
+  GoodsLedger goods;
+  EXPECT_FALSE(goods.transfer_unit(AccountId{1}, AccountId{2}));
+  goods.grant(AccountId{1}, 1);
+  EXPECT_TRUE(goods.transfer_unit(AccountId{1}, AccountId{2}));
+  EXPECT_FALSE(goods.transfer_unit(AccountId{1}, AccountId{2}));
+  EXPECT_EQ(goods.total(), 1u);
+}
+
+TEST(GoodsLedgerTest, UnknownAccountHoldsNothing) {
+  GoodsLedger goods;
+  EXPECT_EQ(goods.units(AccountId{42}), 0u);
+  EXPECT_EQ(goods.total(), 0u);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,134 @@
+#include "mechanism/bilateral.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+/// The canonical overlapping-support example: b in {1, 3}, s in {0, 2},
+/// uniform.  Gains from trade exist for (1,0), (3,0), (3,2) but not (1,2).
+BilateralSetting overlapping() {
+  BilateralSetting setting;
+  setting.buyer_types = {{money(1), 0.5}, {money(3), 0.5}};
+  setting.seller_types = {{money(0), 0.5}, {money(2), 0.5}};
+  return setting;
+}
+
+/// Disjoint supports: the buyer always values the good above the seller.
+BilateralSetting disjoint() {
+  BilateralSetting setting;
+  setting.buyer_types = {{money(5), 0.5}, {money(6), 0.5}};
+  setting.seller_types = {{money(1), 0.5}, {money(2), 0.5}};
+  return setting;
+}
+
+TEST(BilateralTest, MyersonSatterthwaiteImpossibility) {
+  // With overlapping supports there is NO efficient, DSIC, ex-post IR,
+  // budget-balanced mechanism — the discrete form of the theorem the
+  // paper's Section 2 cites, decided by exact linear feasibility.
+  const FeasibilityReport report = check_efficient_mechanism_exists(
+      overlapping(), MechanismRequirements{/*budget_balanced=*/true});
+  EXPECT_FALSE(report.feasible);
+  // Budget balance is substituted away: one transfer variable per type
+  // pair; 8 IR + 4 buyer-DSIC + 4 seller-DSIC constraints.
+  EXPECT_EQ(report.variables, 4u);
+  EXPECT_EQ(report.constraints, 16u);
+}
+
+TEST(BilateralTest, SubsidyRestoresPossibility) {
+  // Dropping budget balance (VCG-style, auctioneer may inject money)
+  // makes the efficient DSIC IR mechanism exist.
+  MechanismRequirements requirements;
+  requirements.budget_balanced = false;
+  requirements.no_subsidy = false;
+  const FeasibilityReport report =
+      check_efficient_mechanism_exists(overlapping(), requirements);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(BilateralTest, NoSubsidyAloneIsStillImpossible) {
+  // Requiring only payment >= receipt (the auctioneer never pays) keeps
+  // the overlapping case impossible: the deficit is intrinsic.
+  MechanismRequirements requirements;
+  requirements.budget_balanced = false;
+  requirements.no_subsidy = true;
+  const FeasibilityReport report =
+      check_efficient_mechanism_exists(overlapping(), requirements);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(BilateralTest, DisjointSupportsAreFeasible) {
+  // Trade is always efficient; a posted price between the supports is
+  // DSIC, IR, budget balanced and efficient.
+  const FeasibilityReport report = check_efficient_mechanism_exists(
+      disjoint(), MechanismRequirements{/*budget_balanced=*/true});
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(BilateralTest, NeverTradeIsTriviallyFeasible) {
+  BilateralSetting setting;
+  setting.buyer_types = {{money(1), 1.0}};
+  setting.seller_types = {{money(9), 1.0}};
+  const FeasibilityReport report = check_efficient_mechanism_exists(
+      setting, MechanismRequirements{true});
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(BilateralTest, ExpectedEfficientSurplus) {
+  // (1,0): 1, (3,0): 3, (3,2): 1, each w.p. 0.25 -> 1.25.
+  EXPECT_NEAR(expected_efficient_surplus(overlapping()), 1.25, 1e-12);
+  // Disjoint: all four pairs trade: (4+3+5+4)/4 = 4.
+  EXPECT_NEAR(expected_efficient_surplus(disjoint()), 4.0, 1e-12);
+}
+
+TEST(BilateralTest, PostedPriceSurplusByPrice) {
+  const BilateralSetting setting = overlapping();
+  // p = 0: only seller 0 participates; buyers 1 and 3 both >= 0.
+  // Trades: (1,0) and (3,0), each w.p. 0.25 -> 1.0.
+  EXPECT_NEAR(expected_posted_price_surplus(setting, money(0)), 1.0, 1e-12);
+  // p = 2: buyer 3 only; sellers 0 and 2 -> (3-0)+(3-2) each 0.25 -> 1.0.
+  EXPECT_NEAR(expected_posted_price_surplus(setting, money(2)), 1.0, 1e-12);
+  // p = 1: buyers {1,3}, sellers {0} -> (1-0)+(3-0) -> 1.0.
+  EXPECT_NEAR(expected_posted_price_surplus(setting, money(1)), 1.0, 1e-12);
+  // p = 5: no buyer participates.
+  EXPECT_NEAR(expected_posted_price_surplus(setting, money(5)), 0.0, 1e-12);
+}
+
+TEST(BilateralTest, OptimalPostedPrice) {
+  const PostedPriceResult result = optimal_posted_price(overlapping());
+  // Every price in {0, 1, 2} yields 1.0 here; ties break low.
+  EXPECT_EQ(result.price, money(0));
+  EXPECT_NEAR(result.expected_surplus, 1.0, 1e-12);
+  EXPECT_NEAR(result.efficiency, 1.0 / 1.25, 1e-12);
+}
+
+TEST(BilateralTest, OptimalPostedPriceOnDisjointSupportIsFullyEfficient) {
+  const PostedPriceResult result = optimal_posted_price(disjoint());
+  EXPECT_NEAR(result.efficiency, 1.0, 1e-12);
+  // Price 2 admits both sellers and both buyers.
+  EXPECT_EQ(result.price, money(2));
+}
+
+TEST(BilateralTest, ValidatesProbabilities) {
+  BilateralSetting bad;
+  bad.buyer_types = {{money(1), 0.7}};  // sums to 0.7
+  bad.seller_types = {{money(0), 1.0}};
+  EXPECT_THROW(expected_efficient_surplus(bad), std::invalid_argument);
+  BilateralSetting empty;
+  empty.seller_types = {{money(0), 1.0}};
+  EXPECT_THROW(optimal_posted_price(empty), std::invalid_argument);
+}
+
+TEST(BilateralTest, ThreeTypeOverlapStillImpossible) {
+  BilateralSetting setting;
+  setting.buyer_types = {{money(1), 0.4}, {money(2.5), 0.3}, {money(4), 0.3}};
+  setting.seller_types = {{money(0.5), 0.5}, {money(3), 0.5}};
+  const FeasibilityReport report = check_efficient_mechanism_exists(
+      setting, MechanismRequirements{true});
+  EXPECT_FALSE(report.feasible);
+}
+
+}  // namespace
+}  // namespace fnda

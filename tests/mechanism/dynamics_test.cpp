@@ -1,0 +1,114 @@
+#include "mechanism/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/kda.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+SingleUnitInstance example1_instance() {
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9), money(8), money(7), money(4)};
+  instance.seller_values = {money(2), money(3), money(4), money(5)};
+  return instance;
+}
+
+DynamicsConfig fast_config() {
+  DynamicsConfig config;
+  config.max_sweeps = 4;
+  config.search.max_declarations = 2;
+  return config;
+}
+
+TEST(DynamicsTest, TpdIsAFixedPointAtTruth) {
+  // Dominant-strategy IC => nobody moves; the dynamics converge in one
+  // sweep with zero updates and full efficiency is retained.
+  const TpdProtocol tpd(money(4.5));
+  const DynamicsResult result =
+      best_response_dynamics(tpd, example1_instance(), fast_config());
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.sweeps, 1u);
+  EXPECT_EQ(result.updates, 0u);
+  EXPECT_EQ(result.deviators, 0u);
+  EXPECT_DOUBLE_EQ(result.final_surplus, result.truthful_surplus);
+}
+
+TEST(DynamicsTest, PmdDriftsUnderFalseNameCapableAgents) {
+  // With false-name strategies available, PMD's truthful profile is not
+  // an equilibrium (Section 4): somebody updates.
+  const PmdProtocol pmd;
+  const DynamicsResult result =
+      best_response_dynamics(pmd, example1_instance(), fast_config());
+  EXPECT_GT(result.updates, 0u);
+  EXPECT_GT(result.deviators, 0u);
+}
+
+TEST(DynamicsTest, PmdStableWithoutFalseNames) {
+  // Restricted to single declarations, PMD is DSIC: truth stays put.
+  const PmdProtocol pmd;
+  DynamicsConfig config = fast_config();
+  config.search.max_declarations = 1;
+  config.search.allow_absence = false;
+
+  // Single *wrong-side* declarations are still in the space; they are
+  // never strictly profitable (a lone wrong-side bid can only lose money
+  // or trigger the penalty), so truth remains a fixed point.
+  const DynamicsResult result =
+      best_response_dynamics(pmd, example1_instance(), config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.updates, 0u);
+}
+
+TEST(DynamicsTest, KdaShadingEquilibriumLosesSurplus) {
+  // kDA agents shade; the resulting profile typically destroys trades.
+  const KDoubleAuction kda(0.5);
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9), money(7)};
+  instance.seller_values = {money(2), money(3)};
+  DynamicsConfig config = fast_config();
+  config.search.max_declarations = 1;  // classic misreport game
+  config.search.allow_absence = false;
+  const DynamicsResult result =
+      best_response_dynamics(kda, instance, config);
+  EXPECT_GT(result.updates, 0u);
+  // Truthful surplus is fully efficient: (9-2) + (7-3) = 11.
+  EXPECT_DOUBLE_EQ(result.truthful_surplus, 11.0);
+  EXPECT_LE(result.final_surplus, result.truthful_surplus);
+}
+
+TEST(DynamicsTest, ReportsPerAgentStateCoherently) {
+  const TpdProtocol tpd(money(4.5));
+  const SingleUnitInstance instance = example1_instance();
+  const DynamicsResult result =
+      best_response_dynamics(tpd, instance, fast_config());
+  ASSERT_EQ(result.agents.size(), 8u);
+  // Buyers come first, in instance order, then sellers.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.agents[i].role, Side::kBuyer);
+    EXPECT_EQ(result.agents[i].true_value, instance.buyer_values[i]);
+    EXPECT_EQ(result.agents[i + 4].role, Side::kSeller);
+  }
+  // Utilities at a truthful TPD fixed point are the Example 3 utilities.
+  EXPECT_NEAR(result.agents[0].utility, 9.0 - 4.5, 1e-9);   // buyer 9
+  EXPECT_NEAR(result.agents[3].utility, 0.0, 1e-9);         // buyer 4
+  EXPECT_NEAR(result.agents[4].utility, 4.5 - 2.0, 1e-9);   // seller 2
+  EXPECT_NEAR(result.agents[7].utility, 0.0, 1e-9);         // seller 5
+}
+
+TEST(DynamicsTest, DeterministicGivenSeed) {
+  const PmdProtocol pmd;
+  DynamicsConfig config = fast_config();
+  config.seed = 321;
+  const DynamicsResult a =
+      best_response_dynamics(pmd, example1_instance(), config);
+  const DynamicsResult b =
+      best_response_dynamics(pmd, example1_instance(), config);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_DOUBLE_EQ(a.final_surplus, b.final_surplus);
+}
+
+}  // namespace
+}  // namespace fnda

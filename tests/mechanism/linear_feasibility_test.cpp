@@ -1,0 +1,77 @@
+#include "mechanism/linear_feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TEST(LinearFeasibilityTest, EmptySystemIsFeasible) {
+  EXPECT_TRUE(feasible({}, 0));
+  EXPECT_TRUE(feasible({}, 3));
+}
+
+TEST(LinearFeasibilityTest, SingleVariableBox) {
+  // 1 <= x <= 2.
+  std::vector<LinearConstraint> ok = {{{1.0}, 2.0}, {{-1.0}, -1.0}};
+  EXPECT_TRUE(feasible(ok, 1));
+  // 2 <= x <= 1: empty.
+  std::vector<LinearConstraint> bad = {{{1.0}, 1.0}, {{-1.0}, -2.0}};
+  EXPECT_FALSE(feasible(bad, 1));
+}
+
+TEST(LinearFeasibilityTest, UnboundedDirectionsAreFine) {
+  // x <= 5 only: feasible (x can be arbitrarily negative).
+  EXPECT_TRUE(feasible({{{1.0}, 5.0}}, 1));
+  EXPECT_TRUE(feasible({{{-1.0}, 5.0}}, 1));
+}
+
+TEST(LinearFeasibilityTest, TwoVariableSystem) {
+  // x + y <= 1, x >= 0, y >= 0: feasible triangle.
+  std::vector<LinearConstraint> triangle = {
+      {{1.0, 1.0}, 1.0}, {{-1.0, 0.0}, 0.0}, {{0.0, -1.0}, 0.0}};
+  EXPECT_TRUE(feasible(triangle, 2));
+  // Add x + y >= 2: infeasible.
+  triangle.push_back({{-1.0, -1.0}, -2.0});
+  EXPECT_FALSE(feasible(triangle, 2));
+}
+
+TEST(LinearFeasibilityTest, EqualityHelper) {
+  // x + y == 3 with x <= 1, y <= 1: infeasible.
+  auto constraints = equality({1.0, 1.0}, 3.0);
+  constraints.push_back({{1.0, 0.0}, 1.0});
+  constraints.push_back({{0.0, 1.0}, 1.0});
+  EXPECT_FALSE(feasible(constraints, 2));
+  // Relax y <= 2.5: feasible (x=0.5, y=2.5).
+  auto relaxed = equality({1.0, 1.0}, 3.0);
+  relaxed.push_back({{1.0, 0.0}, 1.0});
+  relaxed.push_back({{0.0, 1.0}, 2.5});
+  EXPECT_TRUE(feasible(relaxed, 2));
+}
+
+TEST(LinearFeasibilityTest, DegenerateZeroRow) {
+  // 0*x <= -1 is an immediate contradiction; 0*x <= 1 is vacuous.
+  EXPECT_FALSE(feasible({{{0.0}, -1.0}}, 1));
+  EXPECT_TRUE(feasible({{{0.0}, 1.0}}, 1));
+}
+
+TEST(LinearFeasibilityTest, ThreeVariableChain) {
+  // x <= y <= z <= x - 1: a cycle that forces x <= x - 1: infeasible.
+  std::vector<LinearConstraint> cycle = {
+      {{1.0, -1.0, 0.0}, 0.0},   // x - y <= 0
+      {{0.0, 1.0, -1.0}, 0.0},   // y - z <= 0
+      {{-1.0, 0.0, 1.0}, -1.0},  // z - x <= -1
+  };
+  EXPECT_FALSE(feasible(cycle, 3));
+  // Make the last link z <= x + 1: feasible.
+  cycle[2] = {{-1.0, 0.0, 1.0}, 1.0};
+  EXPECT_TRUE(feasible(cycle, 3));
+}
+
+TEST(LinearFeasibilityTest, ArityMismatchThrows) {
+  EXPECT_THROW(feasible({{{1.0, 2.0}, 0.0}}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fnda

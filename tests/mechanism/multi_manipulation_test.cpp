@@ -1,0 +1,129 @@
+#include "mechanism/multi_manipulation.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+// Example 5's population as the true state of the world.
+MultiUnitInstance example5_instance() {
+  MultiUnitInstance instance;
+  instance.buyer_schedules = {{money(9), money(8)}, {money(7)}, {money(6)},
+                              {money(4)}};
+  instance.seller_schedules = {{money(2)}, {money(3)}, {money(4)},
+                               {money(5)}, {money(7)}};
+  return instance;
+}
+
+TEST(MultiDeviationTest, TruthfulUtilityMatchesExample5) {
+  const TpdMultiUnitProtocol protocol(money(4.5));
+  // Buyer x {9, 8} wins 2 units for 10.5: utility 9 + 8 - 10.5 = 6.5.
+  const MultiDeviationEvaluator evaluator(protocol, example5_instance(),
+                                          {Side::kBuyer, 0});
+  EXPECT_NEAR(evaluator.truthful_utility(), 6.5, 1e-9);
+}
+
+TEST(MultiDeviationTest, SplittingTheScheduleDoesNotHelpBuyerX) {
+  // Section 9's central claim, on the paper's own example: splitting
+  // {9, 8} across two pseudonyms (or shading) never beats truth.
+  const TpdMultiUnitProtocol protocol(money(4.5));
+  const MultiDeviationEvaluator evaluator(protocol, example5_instance(),
+                                          {Side::kBuyer, 0});
+  const MultiSearchResult result = find_best_multi_deviation(evaluator);
+  EXPECT_FALSE(result.profitable(1e-9))
+      << "split/shade beat truth: " << result.best_utility << " vs "
+      << result.truthful_utility;
+  EXPECT_GT(result.strategies_evaluated, 20u);
+}
+
+TEST(MultiDeviationTest, ExplicitSplitCostsExactlyTheBundleDiscount) {
+  // Splitting {9, 8} into {9} + {8}: each pseudonym pays GVA prices
+  // computed against the *other* pseudonym's bid as competition, which
+  // can only raise the total (10.5 -> 6 + 6 = 12 here).
+  const TpdMultiUnitProtocol protocol(money(4.5));
+  const MultiDeviationEvaluator evaluator(protocol, example5_instance(),
+                                          {Side::kBuyer, 0});
+  MultiStrategy split;
+  split.declarations = {MultiDeclaration{Side::kBuyer, {money(9)}},
+                        MultiDeclaration{Side::kBuyer, {money(8)}}};
+  const double split_utility = evaluator.evaluate(split);
+  EXPECT_NEAR(split_utility, 9.0 + 8.0 - 12.0, 1e-9);
+  EXPECT_LT(split_utility, evaluator.truthful_utility());
+}
+
+TEST(MultiDeviationTest, WithholdingAUnitDoesNotHelp) {
+  const TpdMultiUnitProtocol protocol(money(4.5));
+  const MultiDeviationEvaluator evaluator(protocol, example5_instance(),
+                                          {Side::kBuyer, 0});
+  MultiStrategy withhold;
+  withhold.declarations = {MultiDeclaration{Side::kBuyer, {money(9)}}};
+  EXPECT_LE(evaluator.evaluate(withhold), evaluator.truthful_utility() + 1e-9);
+  EXPECT_NEAR(evaluator.evaluate(MultiStrategy{}), 0.0, 1e-9);
+}
+
+TEST(MultiDeviationTest, SellerSplittingDoesNotHelp) {
+  MultiUnitInstance instance;
+  instance.buyer_schedules = {{money(9)}, {money(8)}, {money(6)}};
+  instance.seller_schedules = {{money(7), money(5), money(2)}, {money(3)}};
+  const TpdMultiUnitProtocol protocol(money(5.5));
+  const MultiDeviationEvaluator evaluator(protocol, instance,
+                                          {Side::kSeller, 0});
+  const MultiSearchResult result = find_best_multi_deviation(evaluator);
+  EXPECT_FALSE(result.profitable(1e-9))
+      << "seller split beat truth: " << result.best_utility << " vs "
+      << result.truthful_utility;
+}
+
+TEST(MultiDeviationTest, RandomInstancesRobust) {
+  // Randomized Section 9 sweep: decreasing-marginal schedules, every
+  // participant probed with the split/shade search.
+  const TpdMultiUnitProtocol protocol(money(50));
+  Rng rng(0x5ec9);
+  for (int run = 0; run < 25; ++run) {
+    MultiUnitInstance instance;
+    auto draw_schedule = [&rng] {
+      std::vector<Money> values;
+      const std::size_t units = 1 + rng.below(3);
+      for (std::size_t u = 0; u < units; ++u) {
+        values.push_back(
+            rng.uniform_money(Money::from_units(0), Money::from_units(100)));
+      }
+      std::sort(values.begin(), values.end(),
+                [](Money a, Money b) { return a > b; });
+      return values;
+    };
+    const std::size_t buyers = 2 + rng.below(3);
+    const std::size_t sellers = 2 + rng.below(3);
+    for (std::size_t b = 0; b < buyers; ++b) {
+      instance.buyer_schedules.push_back(draw_schedule());
+    }
+    for (std::size_t s = 0; s < sellers; ++s) {
+      instance.seller_schedules.push_back(draw_schedule());
+    }
+
+    for (Side role : {Side::kBuyer, Side::kSeller}) {
+      const std::size_t count = role == Side::kBuyer ? buyers : sellers;
+      for (std::size_t index = 0; index < count; ++index) {
+        const MultiDeviationEvaluator evaluator(protocol, instance,
+                                                {role, index},
+                                                UtilityModel{}, rng());
+        const MultiSearchResult result =
+            find_best_multi_deviation(evaluator);
+        EXPECT_FALSE(result.profitable(1e-6))
+            << "run " << run << ' ' << to_string(role) << ' ' << index
+            << ": " << result.truthful_utility << " -> "
+            << result.best_utility;
+      }
+    }
+  }
+}
+
+TEST(MultiDeviationTest, RejectsBadIndex) {
+  const TpdMultiUnitProtocol protocol(money(50));
+  EXPECT_THROW(MultiDeviationEvaluator(protocol, example5_instance(),
+                                       {Side::kBuyer, 99}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,97 @@
+#include "mechanism/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+const UtilityModel kModel{};
+
+TEST(UtilityModelTest, NoTradeIsZeroForBothRoles) {
+  EXPECT_DOUBLE_EQ(kModel.evaluate(Side::kBuyer, money(9), {}), 0.0);
+  EXPECT_DOUBLE_EQ(kModel.evaluate(Side::kSeller, money(4), {}), 0.0);
+}
+
+TEST(UtilityModelTest, BuyerGainsValueMinusPrice) {
+  AccountPosition position;
+  position.bought = 1;
+  position.paid = money(4.5);
+  EXPECT_DOUBLE_EQ(kModel.evaluate(Side::kBuyer, money(7), position), 2.5);
+}
+
+TEST(UtilityModelTest, SellerGainsPriceMinusValue) {
+  AccountPosition position;
+  position.sold = 1;
+  position.received = money(4.5);
+  EXPECT_DOUBLE_EQ(kModel.evaluate(Side::kSeller, money(3), position), 1.5);
+}
+
+TEST(UtilityModelTest, SecondUnitIsWorthless) {
+  AccountPosition position;
+  position.bought = 2;
+  position.paid = money(10);
+  // One unit valued at 7; the second adds nothing; paid 10 total.
+  EXPECT_DOUBLE_EQ(kModel.evaluate(Side::kBuyer, money(7), position), -3.0);
+}
+
+TEST(UtilityModelTest, SellerBuyingOwnGoodBackNetsPriceDifference) {
+  // The paper's seller-as-fake-buyer case: sells at 4.5, buys at 4.9.
+  AccountPosition position;
+  position.sold = 1;
+  position.received = money(4.5);
+  position.bought = 1;
+  position.paid = money(4.9);
+  const double utility = kModel.evaluate(Side::kSeller, money(4), position);
+  EXPECT_NEAR(utility, 4.5 - 4.9, 1e-12);
+}
+
+TEST(UtilityModelTest, BuyerSellingIsAFailedDelivery) {
+  AccountPosition position;
+  position.sold = 1;
+  position.received = money(100);
+  EXPECT_EQ(UtilityModel::failed_deliveries(Side::kBuyer, position), 1u);
+  const double utility = kModel.evaluate(Side::kBuyer, money(7), position);
+  EXPECT_LT(utility, -1e6);  // penalty dominates any receipt
+}
+
+TEST(UtilityModelTest, SellerDoubleSaleIsOneFailedDelivery) {
+  AccountPosition position;
+  position.sold = 2;
+  position.received = money(20);
+  EXPECT_EQ(UtilityModel::failed_deliveries(Side::kSeller, position), 1u);
+  const double utility = kModel.evaluate(Side::kSeller, money(4), position);
+  EXPECT_LT(utility, -1e6);
+}
+
+TEST(UtilityModelTest, SellerSingleSaleDeliversFine) {
+  AccountPosition position;
+  position.sold = 1;
+  position.received = money(6);
+  EXPECT_EQ(UtilityModel::failed_deliveries(Side::kSeller, position), 0u);
+}
+
+TEST(UtilityModelTest, PenaltyIsConfigurable) {
+  const UtilityModel lenient{Money::from_units(1)};
+  AccountPosition position;
+  position.sold = 1;
+  position.received = money(10);
+  // Buyer with a failed delivery: 10 received - 1 penalty = 9.
+  EXPECT_DOUBLE_EQ(lenient.evaluate(Side::kBuyer, money(7), position), 9.0);
+  EXPECT_EQ(lenient.penalty(), Money::from_units(1));
+}
+
+TEST(UtilityModelTest, BuyerBuyAndFailedSellKeepsUnitValue) {
+  // Bought one unit (valued), failed to deliver a fake sale: holdings stay
+  // at 1, penalty applies once.
+  const UtilityModel lenient{Money::from_units(0)};
+  AccountPosition position;
+  position.bought = 1;
+  position.paid = money(5);
+  position.sold = 1;
+  position.received = money(6);
+  EXPECT_DOUBLE_EQ(lenient.evaluate(Side::kBuyer, money(7), position),
+                   7.0 - 5.0 + 6.0);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,154 @@
+// Differential tests of the two dynamic-programming allocators against
+// brute-force enumeration on small random instances.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "protocols/combinatorial.h"
+#include "protocols/one_sided.h"
+
+namespace fnda {
+namespace {
+
+// ---------- GVA welfare vs exhaustive quantity assignment ----------
+
+double brute_force_welfare(const std::vector<QuantityValuation>& bids,
+                           std::size_t units) {
+  double best = 0.0;
+  std::function<void(std::size_t, std::size_t, double)> recurse =
+      [&](std::size_t index, std::size_t remaining, double welfare) {
+        if (index == bids.size()) {
+          best = std::max(best, welfare);
+          return;
+        }
+        const std::size_t cap = std::min(bids[index].capacity(), remaining);
+        for (std::size_t q = 0; q <= cap; ++q) {
+          recurse(index + 1, remaining - q,
+                  welfare + bids[index].values[q].to_double());
+        }
+      };
+  recurse(0, units, 0.0);
+  return best;
+}
+
+QuantityValuation random_valuation(std::uint64_t id, Rng& rng,
+                                   bool allow_complements) {
+  QuantityValuation bid;
+  bid.identity = IdentityId{id};
+  bid.values.push_back(Money{});
+  const std::size_t capacity = 1 + rng.below(3);
+  Money total;
+  Money previous_marginal = Money::from_units(1'000);
+  for (std::size_t q = 0; q < capacity; ++q) {
+    Money marginal = rng.uniform_money(money(0), money(50));
+    if (!allow_complements && marginal > previous_marginal) {
+      marginal = previous_marginal;
+    }
+    previous_marginal = marginal;
+    total += marginal;
+    bid.values.push_back(total);
+  }
+  return bid;
+}
+
+TEST(AllocationOracleTest, GvaWelfareMatchesBruteForce) {
+  Rng rng(0x07ac1e);
+  for (int run = 0; run < 200; ++run) {
+    const std::size_t units = 1 + rng.below(4);
+    const std::size_t bidders = 1 + rng.below(4);
+    std::vector<QuantityValuation> bids;
+    for (std::size_t b = 0; b < bidders; ++b) {
+      bids.push_back(random_valuation(b, rng, /*allow_complements=*/true));
+    }
+    const GeneralizedVickreyAuction gva(units);
+    const OneSidedResult result = gva.run(bids);
+    EXPECT_NEAR(result.declared_welfare, brute_force_welfare(bids, units),
+                1e-9)
+        << "run " << run;
+    // Awards are consistent with the welfare: units within capacity and
+    // total units within supply.
+    std::size_t total_units = 0;
+    for (const auto& award : result.awards) {
+      total_units += award.units;
+      EXPECT_GE(award.payment, Money{});  // pivots are never negative
+    }
+    EXPECT_LE(total_units, units);
+  }
+}
+
+TEST(AllocationOracleTest, GvaPaymentsNeverExceedDeclaredValue) {
+  // IR on declared values: pivot <= value of the awarded quantity.
+  Rng rng(0x07ac2e);
+  for (int run = 0; run < 200; ++run) {
+    const std::size_t units = 1 + rng.below(4);
+    std::vector<QuantityValuation> bids;
+    const std::size_t bidders = 2 + rng.below(3);
+    for (std::size_t b = 0; b < bidders; ++b) {
+      bids.push_back(random_valuation(b, rng, true));
+    }
+    const OneSidedResult result = GeneralizedVickreyAuction(units).run(bids);
+    for (const auto& award : result.awards) {
+      const auto& bid = bids[award.identity.value()];
+      EXPECT_LE(award.payment.to_double(),
+                bid.values[award.units].to_double() + 1e-9)
+          << "run " << run;
+    }
+  }
+}
+
+// ---------- Reservation-price packing vs exhaustive subsets ----------
+
+TEST(AllocationOracleTest, PackingRevenueMatchesBruteForce) {
+  Rng rng(0x07ac3e);
+  for (int run = 0; run < 200; ++run) {
+    const std::size_t goods = 2 + rng.below(4);  // 2..5 goods
+    std::vector<Money> reservations;
+    for (std::size_t g = 0; g < goods; ++g) {
+      reservations.push_back(rng.uniform_money(money(1), money(20)));
+    }
+    const ReservationPriceAuction auction(reservations);
+
+    const std::size_t bid_count = 1 + rng.below(6);
+    std::vector<BundleBid> bids;
+    for (std::size_t b = 0; b < bid_count; ++b) {
+      const Bundle bundle =
+          1 + static_cast<Bundle>(rng.below((1u << goods) - 1));
+      bids.push_back(BundleBid{IdentityId{b}, bundle,
+                               rng.uniform_money(money(0), money(80))});
+    }
+    const CombinatorialResult result = auction.run(bids);
+
+    // Brute force: every subset of bids, keep conflict-free eligible ones.
+    Money best;
+    for (std::uint32_t subset = 0; subset < (1u << bid_count); ++subset) {
+      Bundle used = 0;
+      Money revenue;
+      bool valid = true;
+      for (std::size_t b = 0; b < bid_count && valid; ++b) {
+        if (!((subset >> b) & 1u)) continue;
+        if (bids[b].value < auction.bundle_price(bids[b].bundle)) {
+          valid = false;  // ineligible
+        } else if ((used & bids[b].bundle) != 0) {
+          valid = false;  // conflict
+        } else {
+          used |= bids[b].bundle;
+          revenue += auction.bundle_price(bids[b].bundle);
+        }
+      }
+      if (valid && revenue > best) best = revenue;
+    }
+    EXPECT_EQ(result.revenue, best) << "run " << run;
+
+    // Winners are conflict-free and each paid its posted price.
+    Bundle used = 0;
+    for (const auto& award : result.awards) {
+      EXPECT_EQ(used & award.bundle, 0u);
+      used |= award.bundle;
+      EXPECT_EQ(award.payment, auction.bundle_price(award.bundle));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fnda

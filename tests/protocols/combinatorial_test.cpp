@@ -1,0 +1,216 @@
+#include "protocols/combinatorial.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+// Goods: A = bit 0, B = bit 1, C = bit 2.
+constexpr Bundle A = 1, B = 2, C = 4;
+
+ReservationPriceAuction tens() {
+  return ReservationPriceAuction({money(10), money(10), money(10)});
+}
+
+TEST(ReservationAuctionTest, ValidatesConstruction) {
+  EXPECT_THROW(ReservationPriceAuction{{}}, std::invalid_argument);
+  const std::vector<Money> too_many(21, money(1));
+  EXPECT_THROW(ReservationPriceAuction{too_many}, std::invalid_argument);
+}
+
+TEST(ReservationAuctionTest, BundlePriceSums) {
+  ReservationPriceAuction auction({money(10), money(20), money(5)});
+  EXPECT_EQ(auction.bundle_price(A), money(10));
+  EXPECT_EQ(auction.bundle_price(A | B), money(30));
+  EXPECT_EQ(auction.bundle_price(A | B | C), money(35));
+}
+
+TEST(ReservationAuctionTest, RejectsBadBundles) {
+  auto auction = tens();
+  EXPECT_THROW(auction.run({{IdentityId{1}, 0, money(50)}}),
+               std::invalid_argument);
+  EXPECT_THROW(auction.run({{IdentityId{1}, 1u << 5, money(50)}}),
+               std::invalid_argument);
+}
+
+TEST(ReservationAuctionTest, IneligibleBidsNeverWin) {
+  auto auction = tens();
+  // Value 15 < reservation sum 20 for {A,B}: ineligible.
+  const CombinatorialResult result =
+      auction.run({{IdentityId{1}, A | B, money(15)}});
+  EXPECT_TRUE(result.awards.empty());
+  EXPECT_EQ(result.eligible_bids, 0u);
+}
+
+TEST(ReservationAuctionTest, WinnerPaysReservationSumNotDeclaredValue) {
+  auto auction = tens();
+  const CombinatorialResult result =
+      auction.run({{IdentityId{1}, A | B, money(95)}});
+  ASSERT_EQ(result.awards.size(), 1u);
+  EXPECT_EQ(result.awards[0].payment, money(20));  // not 95
+  EXPECT_EQ(result.revenue, money(20));
+}
+
+TEST(ReservationAuctionTest, RevenueMaximisingPacking) {
+  auto auction = tens();
+  // Revenue depends only on the goods covered: {A,B}+{C} and
+  // {A}+{B}+{C} both sell everything for 30; the earlier bundle bid
+  // keeps its slot on the tie.
+  const CombinatorialResult result = auction.run({
+      {IdentityId{1}, A | B, money(50)},
+      {IdentityId{2}, A, money(12)},
+      {IdentityId{3}, B, money(12)},
+      {IdentityId{4}, C, money(12)},
+  });
+  EXPECT_EQ(result.revenue, money(30));
+  EXPECT_NE(result.award_for(IdentityId{1}), nullptr);
+  EXPECT_EQ(result.award_for(IdentityId{2}), nullptr);
+  EXPECT_EQ(result.award_for(IdentityId{3}), nullptr);
+  EXPECT_NE(result.award_for(IdentityId{4}), nullptr);
+}
+
+TEST(ReservationAuctionTest, PartialCoverageLosesToFullCoverage) {
+  auto auction = tens();
+  // The bundle {A,B} is ineligible (value 15 < 20); the singles cover
+  // {B, C} for revenue 20 — the only feasible packing.
+  const CombinatorialResult result = auction.run({
+      {IdentityId{1}, A | B, money(15)},  // ineligible
+      {IdentityId{3}, B, money(12)},
+      {IdentityId{4}, C, money(12)},
+  });
+  EXPECT_EQ(result.revenue, money(20));
+  EXPECT_EQ(result.award_for(IdentityId{1}), nullptr);
+  EXPECT_NE(result.award_for(IdentityId{3}), nullptr);
+  EXPECT_NE(result.award_for(IdentityId{4}), nullptr);
+}
+
+TEST(ReservationAuctionTest, DeclaredValueCannotBuyPriority) {
+  auto auction = tens();
+  // Both want {A}; the EARLIER bid wins regardless of declared values.
+  const CombinatorialResult result = auction.run({
+      {IdentityId{1}, A, money(11)},
+      {IdentityId{2}, A, money(99)},
+  });
+  ASSERT_EQ(result.awards.size(), 1u);
+  EXPECT_EQ(result.awards[0].identity, IdentityId{1});
+}
+
+TEST(ReservationAuctionTest, OverReportingToWinIsALoss) {
+  // A bidder whose true value (15) is below its bundle's posted price
+  // (20) can become eligible by over-reporting — and then pays 20 for a
+  // bundle worth 15: utility -5 versus 0 for truth-telling.
+  auto auction = tens();
+  const CombinatorialResult lied =
+      auction.run({{IdentityId{1}, A | B, money(25)}});
+  ASSERT_EQ(lied.awards.size(), 1u);
+  const double utility = 15.0 - lied.awards[0].payment.to_double();
+  EXPECT_LT(utility, 0.0);
+}
+
+TEST(ReservationAuctionTest, FalseNameSplitPaysTheSameTotal) {
+  // Splitting {A,B} across two identities covers the same goods at the
+  // same posted prices: total payment is identical, nothing gained.
+  auto auction = tens();
+  const CombinatorialResult whole =
+      auction.run({{IdentityId{1}, A | B, money(50)}});
+  const CombinatorialResult split = auction.run({
+      {IdentityId{1}, A, money(25)},
+      {IdentityId{2}, B, money(25)},
+  });
+  Money whole_paid = whole.awards[0].payment;
+  Money split_paid;
+  for (const auto& award : split.awards) split_paid += award.payment;
+  EXPECT_EQ(whole_paid, split_paid);
+}
+
+TEST(ReservationAuctionTest, FakeBidToFlipThePackingBackfires) {
+  // Rival wants {A,B}; the attacker truly wants only {A} (worth 15).
+  // Without help, the rival's bundle wins (covers both goods first).
+  // The attacker adds a fake {B} bid so that {A}+{B} also covers both
+  // goods — but the rival submitted first and strict improvement keeps
+  // it; and even when the attacker submits first, winning means paying
+  // the posted price for B, which it does not value: never profitable.
+  auto auction = tens();
+  const CombinatorialResult honest = auction.run({
+      {IdentityId{9}, A | B, money(40)},  // rival first
+      {IdentityId{1}, A, money(15)},
+  });
+  EXPECT_EQ(honest.award_for(IdentityId{1}), nullptr);
+
+  const CombinatorialResult attacked = auction.run({
+      {IdentityId{9}, A | B, money(40)},
+      {IdentityId{1}, A, money(15)},
+      {IdentityId{2}, B, money(15)},  // attacker's false name
+  });
+  // Tie on revenue (20 either way): the earlier rival still wins.
+  EXPECT_EQ(attacked.award_for(IdentityId{1}), nullptr);
+  EXPECT_EQ(attacked.award_for(IdentityId{2}), nullptr);
+
+  // Attacker-first ordering: it wins A and its fake wins B — and the
+  // position nets 15 - 10 - 10 < 0.  Posted prices make packing games
+  // unprofitable.
+  const CombinatorialResult attacker_first = auction.run({
+      {IdentityId{1}, A, money(15)},
+      {IdentityId{2}, B, money(15)},
+      {IdentityId{9}, A | B, money(40)},
+  });
+  ASSERT_NE(attacker_first.award_for(IdentityId{1}), nullptr);
+  ASSERT_NE(attacker_first.award_for(IdentityId{2}), nullptr);
+  const double net = 15.0 - 10.0 - 10.0;
+  EXPECT_LT(net, 0.0);
+}
+
+TEST(ReservationAuctionTest, ExhaustiveDeviationsNeverBeatTruthWhenEligible) {
+  // A small exhaustive search over the attacker's strategy space: any
+  // subset of {own bundle, sub-bundles, unrelated goods} with values in
+  // {just-eligible, inflated}.  The attacker truly values {A,B} at 35
+  // (posted price 20): truthful utility 15 when it wins.
+  ReservationPriceAuction auction({money(10), money(10), money(30)});
+  const std::vector<BundleBid> rivals = {
+      {IdentityId{9}, B | C, money(45)},
+  };
+  const double true_value = 35.0;
+  const Bundle want = A | B;
+
+  auto utility_of = [&](const std::vector<BundleBid>& own) {
+    std::vector<BundleBid> bids = rivals;
+    for (const BundleBid& bid : own) bids.push_back(bid);
+    const CombinatorialResult result = auction.run(bids);
+    Bundle got = 0;
+    double paid = 0.0;
+    for (const auto& award : result.awards) {
+      if (award.identity.value() >= 100) {
+        got |= award.bundle;
+        paid += award.payment.to_double();
+      }
+    }
+    // The attacker values only the full {A,B} package at 35 (single-
+    // minded); partial coverage is worth 0.
+    const double value = (got & want) == want ? true_value : 0.0;
+    return value - paid;
+  };
+
+  const double truthful =
+      utility_of({{IdentityId{100}, want, money(true_value)}});
+  const Bundle candidates[] = {A, B, C, A | B, A | C, B | C, A | B | C};
+  double best = truthful;
+  for (Bundle first : candidates) {
+    for (double v1 : {20.0, 60.0}) {
+      best = std::max(best, utility_of({{IdentityId{100}, first, money(v1)}}));
+      for (Bundle second : candidates) {
+        for (double v2 : {20.0, 60.0}) {
+          best = std::max(
+              best, utility_of({{IdentityId{100}, first, money(v1)},
+                                {IdentityId{101}, second, money(v2)}}));
+        }
+      }
+    }
+  }
+  EXPECT_LE(best, truthful + 1e-9)
+      << "a deviation beat truth in the reservation-price auction";
+}
+
+}  // namespace
+}  // namespace fnda

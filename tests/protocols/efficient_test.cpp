@@ -1,0 +1,73 @@
+#include "protocols/efficient.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "core/surplus.h"
+#include "core/validation.h"
+
+namespace fnda {
+namespace {
+
+TEST(EfficientTest, ExecutesAllEfficientTrades) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_buyer(IdentityId{3}, money(4));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  book.add_seller(IdentityId{12}, money(4));
+  book.add_seller(IdentityId{13}, money(5));
+  Rng rng(1);
+  const Outcome outcome = EfficientClearing().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  // Uniform price (b(3) + s(3)) / 2 = (7 + 4) / 2 = 5.5; budget balanced.
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(5.5));
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+}
+
+TEST(EfficientTest, RealizedSurplusEqualsEfficientSurplus) {
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9), money(8), money(7), money(4)};
+  instance.seller_values = {money(2), money(3), money(4), money(5)};
+  const InstantiatedMarket market = instantiate_truthful(instance);
+
+  Rng rng_clear(1);
+  const Outcome outcome = EfficientClearing().clear(market.book, rng_clear);
+  const SurplusReport report = realized_surplus(outcome, market.truth);
+
+  Rng rng_sort(2);
+  const SortedBook sorted(market.book, rng_sort);
+  EXPECT_DOUBLE_EQ(report.total, efficient_surplus(sorted));
+  EXPECT_DOUBLE_EQ(report.total, 15.0);
+  EXPECT_DOUBLE_EQ(report.except_auctioneer, report.total);
+}
+
+TEST(EfficientTest, EmptyAndNoOverlap) {
+  OrderBook empty;
+  Rng rng(1);
+  EXPECT_EQ(EfficientClearing().clear(empty, rng).trade_count(), 0u);
+
+  OrderBook no_overlap;
+  no_overlap.add_buyer(IdentityId{0}, money(1));
+  no_overlap.add_seller(IdentityId{1}, money(2));
+  EXPECT_EQ(EfficientClearing().clear(no_overlap, rng).trade_count(), 0u);
+}
+
+TEST(EfficientTest, DegenerateEqualPairTradesAtThatValue) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(5));
+  book.add_seller(IdentityId{1}, money(5));
+  Rng rng(1);
+  const Outcome outcome = EfficientClearing().clear(book, rng);
+  ASSERT_EQ(outcome.trade_count(), 1u);
+  EXPECT_EQ(outcome.fills().front().price, money(5));
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,179 @@
+#include "protocols/multi_unit.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TEST(MultiUnitBookTest, RejectsEmptyOrIncreasingMarginals) {
+  MultiUnitBook book;
+  EXPECT_THROW(book.add_buyer(IdentityId{0}, {}), std::invalid_argument);
+  EXPECT_THROW(book.add_buyer(IdentityId{0}, {money(3), money(5)}),
+               std::invalid_argument);
+  EXPECT_THROW(book.add_seller(IdentityId{0}, {money(2), money(4)}),
+               std::invalid_argument);
+  // Non-increasing (with equality) is fine.
+  EXPECT_NO_THROW(book.add_buyer(IdentityId{1}, {money(5), money(5), money(3)}));
+}
+
+TEST(MultiUnitBookTest, UnitCounts) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9), money(8)});
+  book.add_buyer(IdentityId{1}, {money(7)});
+  book.add_seller(IdentityId{10}, {money(5), money(4), money(2)});
+  EXPECT_EQ(book.buyer_units(), 3u);
+  EXPECT_EQ(book.seller_units(), 3u);
+}
+
+TEST(MultiUnitBookTest, BuyerUnitsRankedDescending) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9), money(6)});
+  book.add_buyer(IdentityId{1}, {money(8), money(7)});
+  Rng rng(1);
+  const auto units = book.ranked_buyer_units(rng);
+  ASSERT_EQ(units.size(), 4u);
+  EXPECT_EQ(units[0].value, money(9));
+  EXPECT_EQ(units[1].value, money(8));
+  EXPECT_EQ(units[2].value, money(7));
+  EXPECT_EQ(units[3].value, money(6));
+  // Unit indices reflect trade order within an identity.
+  EXPECT_EQ(units[0].unit_index, 1u);
+  EXPECT_EQ(units[3].identity, IdentityId{0});
+  EXPECT_EQ(units[3].unit_index, 2u);
+}
+
+TEST(MultiUnitBookTest, SellerAsksAreReversedMarginals) {
+  // Paper Section 9: a seller holding three units parts with the first at
+  // s_{y,3}, so the ask ladder is the marginal vector reversed.
+  MultiUnitBook book;
+  book.add_seller(IdentityId{10}, {money(7), money(5), money(2)});
+  Rng rng(1);
+  const auto asks = book.ranked_seller_units(rng);
+  ASSERT_EQ(asks.size(), 3u);
+  EXPECT_EQ(asks[0].value, money(2));
+  EXPECT_EQ(asks[0].unit_index, 1u);
+  EXPECT_EQ(asks[1].value, money(5));
+  EXPECT_EQ(asks[2].value, money(7));
+}
+
+TEST(MultiUnitBookTest, EqualValuesNeverSplitOneIdentitysRun) {
+  // Two buyers each declaring {5, 5}: whatever the tie-break, one buyer's
+  // unit 1 must precede its unit 2, and the two units of one identity that
+  // are ranked adjacent to the boundary must not interleave such that
+  // unit 2 wins while unit 1 loses.
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(5), money(5)});
+  book.add_buyer(IdentityId{1}, {money(5), money(5)});
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng(seed);
+    const auto units = book.ranked_buyer_units(rng);
+    std::map<std::uint64_t, std::size_t> last_seen;
+    for (const auto& u : units) {
+      auto it = last_seen.find(u.identity.value());
+      if (it != last_seen.end()) {
+        EXPECT_EQ(u.unit_index, it->second + 1)
+            << "identity run interleaved at seed " << seed;
+      }
+      last_seen[u.identity.value()] = u.unit_index;
+    }
+  }
+}
+
+TEST(MultiUnitOutcomeTest, AggregatesAndLookups) {
+  MultiUnitOutcome outcome;
+  outcome.buyers.push_back(
+      {IdentityId{0}, 2, money(10.5), {money(6), money(4.5)}});
+  outcome.sellers.push_back(
+      {IdentityId{10}, 2, money(9), {money(4.5), money(4.5)}});
+  EXPECT_EQ(outcome.units_traded(), 2u);
+  EXPECT_EQ(outcome.buyer_payments(), money(10.5));
+  EXPECT_EQ(outcome.seller_receipts(), money(9));
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(1.5));
+  ASSERT_NE(outcome.buyer(IdentityId{0}), nullptr);
+  EXPECT_EQ(outcome.buyer(IdentityId{0})->units, 2u);
+  EXPECT_EQ(outcome.buyer(IdentityId{1}), nullptr);
+  ASSERT_NE(outcome.seller(IdentityId{10}), nullptr);
+  EXPECT_EQ(outcome.seller(IdentityId{99}), nullptr);
+}
+
+TEST(MultiUnitValidationTest, CleanOutcomePasses) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9), money(8)});
+  book.add_seller(IdentityId{10}, {money(3), money(2)});
+  MultiUnitOutcome outcome;
+  outcome.buyers.push_back({IdentityId{0}, 2, money(9), {money(4.5), money(4.5)}});
+  outcome.sellers.push_back({IdentityId{10}, 2, money(9), {money(4.5), money(4.5)}});
+  EXPECT_TRUE(validate_multi_outcome(book, outcome).empty());
+}
+
+TEST(MultiUnitValidationTest, DetectsOverAward) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9)});
+  book.add_seller(IdentityId{10}, {money(3), money(2)});
+  MultiUnitOutcome outcome;
+  outcome.buyers.push_back({IdentityId{0}, 2, money(8), {money(4), money(4)}});
+  outcome.sellers.push_back({IdentityId{10}, 2, money(8), {money(4), money(4)}});
+  const auto errors = validate_multi_outcome(book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("declared demand"), std::string::npos);
+}
+
+TEST(MultiUnitValidationTest, DetectsAggregateIrViolation) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(5), money(4)});
+  book.add_seller(IdentityId{10}, {money(3), money(2)});
+  MultiUnitOutcome outcome;
+  // Pays 10 for units declared worth 9.
+  outcome.buyers.push_back({IdentityId{0}, 2, money(10), {money(5), money(5)}});
+  outcome.sellers.push_back({IdentityId{10}, 2, money(10), {money(5), money(5)}});
+  const auto errors = validate_multi_outcome(book, outcome);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("aggregate IR"), std::string::npos);
+}
+
+TEST(MultiUnitValidationTest, DetectsUnitConservation) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(5)});
+  book.add_seller(IdentityId{10}, {money(2)});
+  MultiUnitOutcome outcome;
+  outcome.buyers.push_back({IdentityId{0}, 1, money(3), {money(3)}});
+  const auto errors = validate_multi_outcome(book, outcome);
+  bool found = false;
+  for (const auto& e : errors) {
+    found |= e.find("not conserved") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MultiUnitSurplusTest, SellerLosesCheapestUnitsFirst) {
+  MultiUnitTruth truth;
+  truth.buyer_values[IdentityId{0}] = {money(9), money(8)};
+  truth.seller_values[IdentityId{10}] = {money(7), money(5), money(2)};
+
+  MultiUnitOutcome outcome;
+  outcome.buyers.push_back({IdentityId{0}, 2, money(9), {money(4.5), money(4.5)}});
+  outcome.sellers.push_back({IdentityId{10}, 2, money(9), {money(4.5), money(4.5)}});
+
+  const MultiUnitSurplus s = realized_multi_surplus(outcome, truth);
+  // Buyer: 9 + 8 - 9 = 8.  Seller: 9 - (2 + 5) = 2.  Auctioneer: 0.
+  EXPECT_DOUBLE_EQ(s.except_auctioneer, 10.0);
+  EXPECT_DOUBLE_EQ(s.auctioneer, 0.0);
+  EXPECT_DOUBLE_EQ(s.total, 10.0);
+}
+
+TEST(MultiUnitSurplusTest, EfficientSurplusGreedyMatch) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9), money(6)});
+  book.add_buyer(IdentityId{1}, {money(7)});
+  book.add_seller(IdentityId{10}, {money(8), money(3)});
+  book.add_seller(IdentityId{11}, {money(5)});
+  Rng rng(1);
+  // Bids: 9, 7, 6; asks: 3, 5, 8.  Matches: (9,3), (7,5); (6,8) fails.
+  EXPECT_DOUBLE_EQ(efficient_multi_surplus(book, rng), (9 - 3) + (7 - 5));
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,241 @@
+#include "protocols/one_sided.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace fnda {
+namespace {
+
+QuantityValuation concave(std::uint64_t id, std::vector<double> marginals) {
+  QuantityValuation bid;
+  bid.identity = IdentityId{id};
+  bid.values.push_back(Money{});
+  Money total;
+  for (double m : marginals) {
+    total += money(m);
+    bid.values.push_back(total);
+  }
+  return bid;
+}
+
+TEST(VickreyTest, WinnerPaysSecondPrice) {
+  const VickreyResult result = run_vickrey(
+      {{IdentityId{1}, money(10)}, {IdentityId{2}, money(7)},
+       {IdentityId{3}, money(4)}});
+  EXPECT_TRUE(result.sold);
+  EXPECT_EQ(result.winner, IdentityId{1});
+  EXPECT_EQ(result.price, money(7));
+}
+
+TEST(VickreyTest, SingleBidderPaysZeroReserve) {
+  const VickreyResult result = run_vickrey({{IdentityId{1}, money(10)}});
+  EXPECT_TRUE(result.sold);
+  EXPECT_EQ(result.price, Money{});
+}
+
+TEST(VickreyTest, EmptyAuctionDoesNotSell) {
+  EXPECT_FALSE(run_vickrey({}).sold);
+}
+
+TEST(VickreyTest, TieGoesToEarlierBid) {
+  const VickreyResult result = run_vickrey(
+      {{IdentityId{1}, money(9)}, {IdentityId{2}, money(9)}});
+  EXPECT_EQ(result.winner, IdentityId{1});
+  EXPECT_EQ(result.price, money(9));
+}
+
+TEST(VickreyTest, FalseNameBidsNeverHelpSingleUnitDemand) {
+  // Extra identities from the same account can only become competing
+  // bids: the winner's price is the best *other* bid, so adding your own
+  // fake can only raise it or change nothing.
+  const std::vector<std::pair<IdentityId, Money>> base = {
+      {IdentityId{1}, money(10)}, {IdentityId{2}, money(7)}};
+  const VickreyResult honest = run_vickrey(base);
+  EXPECT_EQ(honest.price, money(7));
+  // Bidder 1 adds a fake at 9:
+  auto attacked = base;
+  attacked.push_back({IdentityId{99}, money(9)});
+  const VickreyResult with_fake = run_vickrey(attacked);
+  EXPECT_EQ(with_fake.winner, IdentityId{1});
+  EXPECT_EQ(with_fake.price, money(9));  // strictly worse for the attacker
+}
+
+TEST(GvaTest, ValidatesBids) {
+  GeneralizedVickreyAuction gva(2);
+  QuantityValuation bad;
+  bad.identity = IdentityId{0};
+  bad.values = {money(1), money(2)};  // values[0] != 0
+  EXPECT_THROW(gva.run({bad}), std::invalid_argument);
+  bad.values = {money(0), money(5), money(3)};  // decreasing total
+  EXPECT_THROW(gva.run({bad}), std::invalid_argument);
+  EXPECT_THROW(GeneralizedVickreyAuction(0), std::invalid_argument);
+}
+
+TEST(GvaTest, SingleUnitMatchesVickrey) {
+  GeneralizedVickreyAuction gva(1);
+  const OneSidedResult result = gva.run({concave(1, {10}), concave(2, {7}),
+                                         concave(3, {4})});
+  ASSERT_EQ(result.awards.size(), 1u);
+  EXPECT_EQ(result.awards[0].identity, IdentityId{1});
+  EXPECT_EQ(result.awards[0].units, 1u);
+  EXPECT_EQ(result.awards[0].payment, money(7));
+}
+
+TEST(GvaTest, EfficientAllocationTwoUnits) {
+  GeneralizedVickreyAuction gva(2);
+  // Bidder 1 marginals {9, 2}; bidder 2 marginals {7}.
+  const OneSidedResult result = gva.run({concave(1, {9, 2}),
+                                         concave(2, {7})});
+  // Efficient: 1 unit each (9 + 7 = 16 > 9 + 2 = 11).
+  const auto* first = result.award_for(IdentityId{1});
+  const auto* second = result.award_for(IdentityId{2});
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->units, 1u);
+  EXPECT_EQ(second->units, 1u);
+  // Pivots: without 1, bidder 2 still takes 1 unit (7): pays 7 - 7 = 0?
+  // No: without bidder 1, bidder 2 takes only 1 unit (its capacity), so
+  // others_without = 7, others_with = 7 -> bidder 1 pays 0.  Without
+  // bidder 2, bidder 1 takes both units (11): bidder 2 pays 11 - 9 = 2.
+  EXPECT_EQ(first->payment, money(0));
+  EXPECT_EQ(second->payment, money(2));
+  EXPECT_EQ(result.revenue, money(2));
+  EXPECT_DOUBLE_EQ(result.declared_welfare, 16.0);
+}
+
+TEST(GvaTest, ComplementsAllocatedCorrectly) {
+  GeneralizedVickreyAuction gva(2);
+  QuantityValuation all_or_nothing;
+  all_or_nothing.identity = IdentityId{1};
+  all_or_nothing.values = {money(0), money(0), money(100)};
+  const OneSidedResult result =
+      gva.run({all_or_nothing, concave(2, {70})});
+  // 100 > 70: the package bidder takes both units, paying the displaced
+  // 70.
+  ASSERT_EQ(result.awards.size(), 1u);
+  EXPECT_EQ(result.awards[0].identity, IdentityId{1});
+  EXPECT_EQ(result.awards[0].units, 2u);
+  EXPECT_EQ(result.awards[0].payment, money(70));
+}
+
+TEST(GvaTest, Sym99FalseNameAttackWithComplements) {
+  // The Sakurai-Yokoo-Matsubara boundary, reproduced: bidder 1 wants the
+  // PAIR for 100 (increasing marginals); bidder 2 wants one unit at 70.
+  // Truthful: bidder 2 loses, utility 0.
+  GeneralizedVickreyAuction gva(2);
+  QuantityValuation package;
+  package.identity = IdentityId{1};
+  package.values = {money(0), money(0), money(100)};
+
+  const OneSidedResult honest = gva.run({package, concave(2, {70})});
+  EXPECT_EQ(honest.award_for(IdentityId{2}), nullptr);
+
+  // Attack: bidder 2 splits into two identities bidding 70 for one unit
+  // each.  Combined they displace the package (140 > 100); each pays the
+  // pivot 100 - 70 = 30.  Bidder 2 holds two units (values only one at
+  // 70) and paid 60: utility 70 - 60 = 10 > 0.  GVA is NOT false-name
+  // proof once any participant has increasing marginal utilities.
+  const OneSidedResult attacked =
+      gva.run({package, concave(2, {70}), concave(99, {70})});
+  EXPECT_EQ(attacked.award_for(IdentityId{1}), nullptr);
+  const auto* real = attacked.award_for(IdentityId{2});
+  const auto* fake = attacked.award_for(IdentityId{99});
+  ASSERT_NE(real, nullptr);
+  ASSERT_NE(fake, nullptr);
+  EXPECT_EQ(real->payment, money(30));
+  EXPECT_EQ(fake->payment, money(30));
+  const double attack_utility = 70.0 - 30.0 - 30.0;
+  EXPECT_GT(attack_utility, 0.0);
+}
+
+TEST(GvaTest, DecreasingMarginalsSplitNeverHelps) {
+  // With concave valuations (the Section 9 precondition), splitting a
+  // demand across identities never lowers total GVA payments.
+  Rng rng(0x6a5);
+  GeneralizedVickreyAuction gva(4);
+  for (int run = 0; run < 120; ++run) {
+    // Manipulator: two-unit concave demand m1 >= m2.
+    double m1 = rng.uniform_double(10, 100);
+    double m2 = rng.uniform_double(0, m1);
+    // Two concave rivals.
+    auto rival = [&rng](std::uint64_t id) {
+      double r1 = rng.uniform_double(0, 100);
+      double r2 = rng.uniform_double(0, r1);
+      return concave(id, {r1, r2});
+    };
+    const QuantityValuation rival1 = rival(10);
+    const QuantityValuation rival2 = rival(11);
+
+    auto utility = [&](const OneSidedResult& result,
+                       std::initializer_list<std::uint64_t> ids) {
+      std::size_t units = 0;
+      double paid = 0.0;
+      for (std::uint64_t id : ids) {
+        if (const auto* award = result.award_for(IdentityId{id})) {
+          units += award->units;
+          paid += award->payment.to_double();
+        }
+      }
+      const double value = units >= 2 ? m1 + m2 : (units == 1 ? m1 : 0.0);
+      return value - paid;
+    };
+
+    const OneSidedResult truthful =
+        gva.run({concave(1, {m1, m2}), rival1, rival2});
+    const OneSidedResult split =
+        gva.run({concave(1, {m1}), concave(2, {m2}), rival1, rival2});
+
+    EXPECT_LE(utility(split, {1, 2}), utility(truthful, {1}) + 1e-9)
+        << "run " << run << " m1=" << m1 << " m2=" << m2;
+  }
+}
+
+TEST(GvaTest, MisreportNeverHelpsOnRandomConcaveInstances) {
+  // Dominant-strategy IC spot check: uniform scaling misreports of the
+  // whole valuation never beat truth.
+  Rng rng(0x6a6);
+  GeneralizedVickreyAuction gva(3);
+  for (int run = 0; run < 80; ++run) {
+    double m1 = rng.uniform_double(10, 100);
+    double m2 = rng.uniform_double(0, m1);
+    auto rival = [&rng](std::uint64_t id) {
+      double r1 = rng.uniform_double(0, 100);
+      double r2 = rng.uniform_double(0, r1);
+      return concave(id, {r1, r2});
+    };
+    const QuantityValuation rival1 = rival(10);
+    const QuantityValuation rival2 = rival(11);
+
+    auto utility_of = [&](double scale) {
+      const OneSidedResult result =
+          gva.run({concave(1, {m1 * scale, m2 * scale}), rival1, rival2});
+      const auto* award = result.award_for(IdentityId{1});
+      if (award == nullptr) return 0.0;
+      const double value = award->units >= 2 ? m1 + m2 : m1;
+      return value - award->payment.to_double();
+    };
+    const double truthful = utility_of(1.0);
+    for (double scale : {0.0, 0.25, 0.5, 0.8, 1.25, 2.0, 5.0}) {
+      EXPECT_LE(utility_of(scale), truthful + 1e-9)
+          << "run " << run << " scale " << scale;
+    }
+  }
+}
+
+TEST(QuantityValuationTest, MarginalsClassification) {
+  EXPECT_TRUE(concave(1, {9, 5, 2}).has_decreasing_marginals());
+  EXPECT_TRUE(concave(1, {5, 5, 5}).has_decreasing_marginals());
+  QuantityValuation complements;
+  complements.identity = IdentityId{1};
+  complements.values = {money(0), money(0), money(100)};
+  EXPECT_FALSE(complements.has_decreasing_marginals());
+  EXPECT_EQ(complements.value_of(1), money(0));
+  EXPECT_EQ(complements.value_of(2), money(100));
+  EXPECT_EQ(complements.value_of(99), money(100));  // clamps to capacity
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,175 @@
+#include "protocols/pmd.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+
+namespace fnda {
+namespace {
+
+// Paper Example 1: buyers 9 > 8 > 7 > 4, sellers 2 < 3 < 4 < 5.
+OrderBook example1() {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_buyer(IdentityId{3}, money(4));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  book.add_seller(IdentityId{12}, money(4));
+  book.add_seller(IdentityId{13}, money(5));
+  return book;
+}
+
+// Paper Example 2: buyers 9 > 8 > 7 > 4, sellers 2 < 3 < 4 < 12.
+OrderBook example2() {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_buyer(IdentityId{3}, money(4));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  book.add_seller(IdentityId{12}, money(4));
+  book.add_seller(IdentityId{13}, money(12));
+  return book;
+}
+
+TEST(PmdTest, Example1TruthfulCondition1) {
+  OrderBook book = example1();
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  // k = 3, p0 = (4 + 5) / 2 = 4.5, s(3)=4 <= 4.5 <= b(3)=7: condition 1.
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(4.5));
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+  // The marginal pair (buyer 4, seller 5) does not trade.
+  EXPECT_EQ(outcome.units_bought(IdentityId{3}), 0u);
+  EXPECT_EQ(outcome.units_sold(IdentityId{13}), 0u);
+}
+
+TEST(PmdTest, Example1FalseNameRaisesPrice) {
+  // Section 4: a seller adds a false buyer bid of 4.8; p0 becomes 4.9.
+  OrderBook book = example1();
+  book.add_buyer(IdentityId{99}, money(4.8));
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(4.9));
+  }
+  // The fake buyer does not win a unit.
+  EXPECT_EQ(outcome.units_bought(IdentityId{99}), 0u);
+}
+
+TEST(PmdTest, Example2TruthfulCondition2) {
+  OrderBook book = example2();
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  // k = 3 but p0 = (4 + 12) / 2 = 8 > b(3) = 7: condition 2.
+  // Buyers (1)-(2) pay b(3) = 7; sellers (1)-(2) get s(3) = 4.
+  EXPECT_EQ(outcome.trade_count(), 2u);
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kBuyer) {
+      EXPECT_EQ(fill.price, money(7));
+    } else {
+      EXPECT_EQ(fill.price, money(4));
+    }
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(6));  // (k-1)(7-4)
+  EXPECT_EQ(outcome.units_sold(IdentityId{12}), 0u);  // seller (3) excluded
+}
+
+TEST(PmdTest, Example2FalseNameSellerGainsTrade) {
+  // Section 4: seller (3) (value 4) adds a false seller bid of 6.
+  // Now condition 1 holds with p0 = (4 + 6) / 2 = 5 and three trades.
+  OrderBook book = example2();
+  book.add_seller(IdentityId{99}, money(6));
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(5));
+  }
+  // Seller (3) now trades: utility 5 - 4 = 1 instead of 0.
+  EXPECT_EQ(outcome.units_sold(IdentityId{12}), 1u);
+  EXPECT_EQ(outcome.received_by(IdentityId{12}), money(5));
+  // The false-name bid itself is not in the trades.
+  EXPECT_EQ(outcome.units_sold(IdentityId{99}), 0u);
+}
+
+TEST(PmdTest, EmptyBookClearsEmpty) {
+  OrderBook book;
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  EXPECT_EQ(outcome.trade_count(), 0u);
+}
+
+TEST(PmdTest, NoOverlapNoTrades) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(3));
+  book.add_seller(IdentityId{1}, money(10));
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  EXPECT_EQ(outcome.trade_count(), 0u);
+}
+
+TEST(PmdTest, SingleCrossingPairUsesSentinels) {
+  // One buyer at 10, one seller at 4: k = 1, p0 = (b(2) + s(2)) / 2 =
+  // (domain.lowest + domain.highest) / 2 = 500000000 by default, which is
+  // outside [s(1), b(1)], so condition 2 fires and k - 1 = 0 trades happen.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(10));
+  book.add_seller(IdentityId{1}, money(4));
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+  EXPECT_EQ(outcome.trade_count(), 0u);
+}
+
+TEST(PmdTest, BilateralTradeWithTightDomain) {
+  // With a tight domain the sentinel midpoint can fall inside [s(1), b(1)]
+  // and the single pair trades at p0.
+  OrderBook book(ValueDomain{money(0), money(10)});
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_seller(IdentityId{1}, money(1));
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  expect_valid_outcome(book, outcome);
+  // p0 = (0 + 10) / 2 = 5; 1 <= 5 <= 9.
+  ASSERT_EQ(outcome.trade_count(), 1u);
+  EXPECT_EQ(outcome.fills().front().price, money(5));
+}
+
+TEST(PmdTest, Condition2WhenKEquals1LeavesNoRevenue) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(10));
+  book.add_seller(IdentityId{1}, money(4));
+  Rng rng(1);
+  const Outcome outcome = PmdProtocol().clear(book, rng);
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+}
+
+TEST(PmdTest, DeterministicGivenSeed) {
+  OrderBook book = example1();
+  Rng rng1(7);
+  Rng rng2(7);
+  const Outcome a = PmdProtocol().clear(book, rng1);
+  const Outcome b = PmdProtocol().clear(book, rng2);
+  EXPECT_EQ(a.fills(), b.fills());
+}
+
+TEST(PmdTest, NameIsStable) { EXPECT_EQ(PmdProtocol().name(), "pmd"); }
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,157 @@
+// Property tests shared by every protocol: outcome invariants on random
+// books, plus cross-protocol dominance facts (efficient clearing realises
+// at least as much surplus as PMD/TPD on every instance).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/surplus.h"
+#include "core/validation.h"
+#include "mechanism/properties.h"
+#include "protocols/efficient.h"
+#include "protocols/pmd.h"
+#include "protocols/random_threshold.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+ProtocolPtr make_protocol(const std::string& name) {
+  if (name == "pmd") return std::make_unique<PmdProtocol>();
+  if (name == "tpd") return std::make_unique<TpdProtocol>(money(50));
+  if (name == "efficient") return std::make_unique<EfficientClearing>();
+  if (name == "random-threshold") {
+    return std::make_unique<RandomThresholdProtocol>(money(50));
+  }
+  throw std::invalid_argument("unknown protocol " + name);
+}
+
+class ProtocolInvariantsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProtocolInvariantsTest, RandomBooksSatisfyAllInvariants) {
+  const ProtocolPtr protocol = make_protocol(GetParam());
+  InstanceSpec spec;
+  spec.max_buyers = 12;
+  spec.max_sellers = 12;
+  const auto violation =
+      check_outcome_invariants(*protocol, spec, /*instances=*/400,
+                               /*seed=*/0xbeef);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST_P(ProtocolInvariantsTest, DegenerateBooksSatisfyInvariants) {
+  const ProtocolPtr protocol = make_protocol(GetParam());
+  // Extremes: empty sides, all-identical values, single participants.
+  InstanceSpec spec;
+  spec.min_buyers = 0;
+  spec.max_buyers = 2;
+  spec.min_sellers = 0;
+  spec.max_sellers = 2;
+  spec.low = Money::from_units(50);
+  spec.high = Money::from_units(50);  // every value identical: max ties
+  const auto violation =
+      check_outcome_invariants(*protocol, spec, /*instances=*/200,
+                               /*seed=*/0xcafe);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST_P(ProtocolInvariantsTest, SurplusNeverExceedsEfficient) {
+  const ProtocolPtr protocol = make_protocol(GetParam());
+  InstanceSpec spec;
+  spec.max_buyers = 10;
+  spec.max_sellers = 10;
+  Rng rng(0xdead);
+  for (int run = 0; run < 300; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = protocol->clear(market.book, clear_rng);
+    const SurplusReport report = realized_surplus(outcome, market.truth);
+
+    Rng sort_rng = rng.split();
+    const SortedBook sorted(market.book, sort_rng);
+    const double bound = efficient_surplus(sorted);
+    EXPECT_LE(report.total, bound + 1e-9)
+        << GetParam() << " exceeded the Pareto bound on run " << run;
+    EXPECT_LE(report.except_auctioneer, report.total + 1e-9);
+    EXPECT_GE(report.auctioneer, -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolInvariantsTest,
+                         ::testing::Values("pmd", "tpd", "efficient",
+                                           "random-threshold"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CrossProtocolTest, EfficientWeaklyDominatesEveryProtocolOnSurplus) {
+  InstanceSpec spec;
+  spec.max_buyers = 8;
+  spec.max_sellers = 8;
+  const PmdProtocol pmd;
+  const TpdProtocol tpd(money(50));
+  const EfficientClearing efficient;
+  Rng rng(0xfeed);
+  for (int run = 0; run < 200; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    const std::uint64_t seed = rng();
+    auto total = [&](const DoubleAuctionProtocol& protocol) {
+      Rng clear_rng(seed);
+      const Outcome outcome = protocol.clear(market.book, clear_rng);
+      return realized_surplus(outcome, market.truth).total;
+    };
+    const double best = total(efficient);
+    EXPECT_GE(best + 1e-9, total(pmd));
+    EXPECT_GE(best + 1e-9, total(tpd));
+  }
+}
+
+TEST(CrossProtocolTest, PmdLosesAtMostTheMarginalTrade) {
+  // PMD executes k or k-1 of the k efficient trades; its surplus shortfall
+  // is at most the value of the k-th efficient pair.
+  InstanceSpec spec;
+  spec.max_buyers = 10;
+  spec.max_sellers = 10;
+  const PmdProtocol pmd;
+  Rng rng(0xabc);
+  for (int run = 0; run < 300; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = pmd.clear(market.book, clear_rng);
+    Rng sort_rng = rng.split();
+    const SortedBook sorted(market.book, sort_rng);
+    const std::size_t k = sorted.efficient_trade_count();
+    ASSERT_GE(outcome.trade_count() + 1, k);
+    ASSERT_LE(outcome.trade_count(), k);
+  }
+}
+
+TEST(CrossProtocolTest, TpdTradeCountIsMinOfEligibleSides) {
+  InstanceSpec spec;
+  spec.max_buyers = 10;
+  spec.max_sellers = 10;
+  const Money r = money(50);
+  const TpdProtocol tpd(r);
+  Rng rng(0x123);
+  for (int run = 0; run < 300; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = tpd.clear(market.book, clear_rng);
+    Rng sort_rng = rng.split();
+    const SortedBook sorted(market.book, sort_rng);
+    const std::size_t expected = std::min(sorted.buyers_at_or_above(r),
+                                          sorted.sellers_at_or_below(r));
+    EXPECT_EQ(outcome.trade_count(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace fnda

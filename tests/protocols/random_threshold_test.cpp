@@ -1,0 +1,124 @@
+#include "protocols/random_threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/validation.h"
+
+namespace fnda {
+namespace {
+
+TEST(RandomThresholdTest, AllTradesAtThresholdPrice) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(7));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  Rng rng(1);
+  const Outcome outcome = RandomThresholdProtocol(money(5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+  EXPECT_EQ(outcome.trade_count(), 2u);
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(5));
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+}
+
+TEST(RandomThresholdTest, TradesMinOfEligibleSides) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_seller(IdentityId{10}, money(2));
+  Rng rng(1);
+  const Outcome outcome = RandomThresholdProtocol(money(5)).clear(book, rng);
+  EXPECT_EQ(outcome.trade_count(), 1u);
+}
+
+TEST(RandomThresholdTest, IneligibleNeverTrade) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(4));   // below r: ineligible
+  book.add_buyer(IdentityId{1}, money(9));
+  book.add_seller(IdentityId{10}, money(6));  // above r: ineligible
+  book.add_seller(IdentityId{11}, money(2));
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const Outcome outcome = RandomThresholdProtocol(money(5)).clear(book, rng);
+    EXPECT_EQ(outcome.trade_count(), 1u);
+    EXPECT_EQ(outcome.units_bought(IdentityId{0}), 0u);
+    EXPECT_EQ(outcome.units_sold(IdentityId{10}), 0u);
+  }
+}
+
+TEST(RandomThresholdTest, SelectionIsUniformAcrossEligible) {
+  // 3 eligible buyers for 1 unit: each should win about 1/3 of the time.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_seller(IdentityId{10}, money(2));
+
+  std::map<std::uint64_t, int> wins;
+  constexpr int kRounds = 3000;
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(static_cast<std::uint64_t>(round));
+    const Outcome outcome = RandomThresholdProtocol(money(5)).clear(book, rng);
+    for (const Fill& fill : outcome.fills()) {
+      if (fill.side == Side::kBuyer) ++wins[fill.identity.value()];
+    }
+  }
+  ASSERT_EQ(wins.size(), 3u);
+  for (const auto& [identity, count] : wins) {
+    EXPECT_NEAR(count, kRounds / 3, 150) << "identity " << identity;
+  }
+}
+
+TEST(RandomThresholdTest, LotteryStuffingRaisesWinProbability) {
+  // Section 8's attack: a buyer submitting 3 names instead of 1 wins the
+  // single unit far more often — the protocol is not false-name-proof.
+  int single_wins = 0;
+  int stuffed_wins = 0;
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      OrderBook book;
+      book.add_buyer(IdentityId{0}, money(9));   // the attacker
+      book.add_buyer(IdentityId{1}, money(8));   // honest rival
+      book.add_seller(IdentityId{10}, money(2));
+      Rng rng(static_cast<std::uint64_t>(round));
+      const Outcome outcome =
+          RandomThresholdProtocol(money(5)).clear(book, rng);
+      single_wins += outcome.units_bought(IdentityId{0}) > 0 ? 1 : 0;
+    }
+    {
+      OrderBook book;
+      book.add_buyer(IdentityId{0}, money(9));
+      book.add_buyer(IdentityId{100}, money(9));  // attacker's false names
+      book.add_buyer(IdentityId{101}, money(9));
+      book.add_buyer(IdentityId{1}, money(8));
+      book.add_seller(IdentityId{10}, money(2));
+      Rng rng(static_cast<std::uint64_t>(round));
+      const Outcome outcome =
+          RandomThresholdProtocol(money(5)).clear(book, rng);
+      const bool won = outcome.units_bought(IdentityId{0}) > 0 ||
+                       outcome.units_bought(IdentityId{100}) > 0 ||
+                       outcome.units_bought(IdentityId{101}) > 0;
+      stuffed_wins += won ? 1 : 0;
+    }
+  }
+  // ~50% vs ~75%.
+  EXPECT_NEAR(single_wins, kRounds / 2, 150);
+  EXPECT_NEAR(stuffed_wins, kRounds * 3 / 4, 150);
+  EXPECT_GT(stuffed_wins, single_wins + kRounds / 10);
+}
+
+TEST(RandomThresholdTest, EmptyBook) {
+  OrderBook book;
+  Rng rng(1);
+  EXPECT_EQ(RandomThresholdProtocol(money(5)).clear(book, rng).trade_count(),
+            0u);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,103 @@
+// Parameterized property sweeps: TPD across the threshold axis and kDA
+// across the theta axis — every protocol parameter value must satisfy the
+// same invariants.
+#include <gtest/gtest.h>
+
+#include "core/surplus.h"
+#include "core/validation.h"
+#include "mechanism/properties.h"
+#include "protocols/kda.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+class TpdThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpdThresholdSweep, InvariantsAndPricingStructure) {
+  const Money r = Money::from_units(GetParam());
+  const TpdProtocol tpd(r);
+  InstanceSpec spec;
+  spec.max_buyers = 12;
+  spec.max_sellers = 12;
+  Rng rng(0x5eed0 + static_cast<std::uint64_t>(GetParam()));
+
+  for (int run = 0; run < 100; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = tpd.clear(market.book, clear_rng);
+    expect_valid_outcome(market.book, outcome);
+
+    Rng sort_rng = rng.split();
+    const SortedBook sorted(market.book, sort_rng);
+    const std::size_t i = sorted.buyers_at_or_above(r);
+    const std::size_t j = sorted.sellers_at_or_below(r);
+    ASSERT_EQ(outcome.trade_count(), std::min(i, j));
+
+    // Price structure per Section 5.1: the short side's price is pinned.
+    for (const Fill& fill : outcome.fills()) {
+      if (i == j) {
+        EXPECT_EQ(fill.price, r);
+      } else if (i > j && fill.side == Side::kSeller) {
+        EXPECT_EQ(fill.price, r);
+      } else if (i < j && fill.side == Side::kBuyer) {
+        EXPECT_EQ(fill.price, r);
+      }
+      // Traded buyers are all >= r, traded sellers <= r.
+      if (fill.side == Side::kBuyer) {
+        EXPECT_GE(market.truth.buyer_values.at(fill.identity), r);
+      } else {
+        EXPECT_LE(market.truth.seller_values.at(fill.identity), r);
+      }
+    }
+  }
+}
+
+TEST_P(TpdThresholdSweep, RobustAgainstOneFalseNameOnSmallInstances) {
+  const Money r = Money::from_units(GetParam());
+  const TpdProtocol tpd(r);
+  IcCheckConfig config;
+  config.instances = 8;
+  config.manipulators_per_instance = 2;
+  config.instance_spec.max_buyers = 4;
+  config.instance_spec.max_sellers = 4;
+  config.search.max_declarations = 2;
+  config.seed = 0xab0 + static_cast<std::uint64_t>(GetParam());
+  const IcCheckReport report = check_incentive_compatibility(tpd, config);
+  EXPECT_TRUE(report.clean())
+      << "threshold " << GetParam() << ": "
+      << report.violations.front().strategy.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TpdThresholdSweep,
+                         ::testing::Values(0, 10, 25, 40, 50, 60, 75, 90,
+                                           100));
+
+class KdaThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KdaThetaSweep, EfficientBalancedAndIrAtEveryTheta) {
+  const KDoubleAuction kda(GetParam());
+  InstanceSpec spec;
+  spec.max_buyers = 10;
+  spec.max_sellers = 10;
+  Rng rng(0x7e7a);
+  for (int run = 0; run < 100; ++run) {
+    const SingleUnitInstance instance = random_instance(spec, rng);
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    Rng clear_rng = rng.split();
+    const Outcome outcome = kda.clear(market.book, clear_rng);
+    EXPECT_TRUE(validate_outcome(market.book, outcome).empty());
+    EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+
+    Rng sort_rng = rng.split();
+    const SortedBook sorted(market.book, sort_rng);
+    EXPECT_EQ(outcome.trade_count(), sorted.efficient_trade_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, KdaThetaSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace fnda

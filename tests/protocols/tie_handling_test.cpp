@@ -1,0 +1,121 @@
+// Tie-handling semantics (paper footnote 5: random tie-breaking, and
+// footnote 7: tied marginal traders are indifferent because their utility
+// is zero either way).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/surplus.h"
+#include "core/validation.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+TEST(TieHandlingTest, TpdTiedBuyersAtThresholdRotateFairly) {
+  // Three buyers at exactly r compete for two seller slots: each should
+  // be excluded roughly 1/3 of the time, and whoever trades pays r —
+  // zero utility, the footnote-7 indifference.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(50));
+  book.add_buyer(IdentityId{1}, money(50));
+  book.add_buyer(IdentityId{2}, money(50));
+  book.add_seller(IdentityId{10}, money(10));
+  book.add_seller(IdentityId{11}, money(20));
+
+  std::map<std::uint64_t, int> wins;
+  constexpr int kRounds = 3000;
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(static_cast<std::uint64_t>(round));
+    const Outcome outcome = TpdProtocol(money(50)).clear(book, rng);
+    expect_valid_outcome(book, outcome);
+    ASSERT_EQ(outcome.trade_count(), 2u);  // i=3 > j=2: case 2
+    for (const Fill& fill : outcome.fills()) {
+      if (fill.side == Side::kBuyer) {
+        // Case 2 buyer price is b(3) = 50 = r: zero utility.
+        EXPECT_EQ(fill.price, money(50));
+        ++wins[fill.identity.value()];
+      }
+    }
+  }
+  ASSERT_EQ(wins.size(), 3u);
+  for (const auto& [identity, count] : wins) {
+    EXPECT_NEAR(count, 2 * kRounds / 3, 150) << "identity " << identity;
+  }
+}
+
+TEST(TieHandlingTest, TpdTiedMarginalUtilityIsZeroEitherWay) {
+  // The excluded tied buyer earns 0; the included ones also earn 0 (pay
+  // exactly their value) — so no realization of the tie-break changes
+  // anyone's utility, which is why the IC proof tolerates random ties.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(50));
+  book.add_buyer(IdentityId{1}, money(50));
+  book.add_seller(IdentityId{10}, money(10));
+  TrueValuations truth;
+  truth.buyer_values = {{IdentityId{0}, money(50)}, {IdentityId{1}, money(50)}};
+  truth.seller_values = {{IdentityId{10}, money(10)}};
+
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    const Outcome outcome = TpdProtocol(money(50)).clear(book, rng);
+    const SurplusReport report = realized_surplus(outcome, truth);
+    EXPECT_NEAR(report.buyers, 0.0, 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(TieHandlingTest, PmdTiedAtKBoundary) {
+  // b(k) == s(k): the marginal pair has zero surplus; whichever way the
+  // protocol resolves, the outcome stays valid and surplus-equal.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(5));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(5));
+  TrueValuations truth;
+  truth.buyer_values = {{IdentityId{0}, money(9)}, {IdentityId{1}, money(5)}};
+  truth.seller_values = {{IdentityId{10}, money(2)},
+                         {IdentityId{11}, money(5)}};
+
+  double first_surplus = -1.0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    const Outcome outcome = PmdProtocol().clear(book, rng);
+    expect_valid_outcome(book, outcome);
+    const double surplus = realized_surplus(outcome, truth).total;
+    if (first_surplus < 0.0) first_surplus = surplus;
+    EXPECT_DOUBLE_EQ(surplus, first_surplus) << "seed " << seed;
+  }
+}
+
+TEST(TieHandlingTest, IdenticalSellersShareTradesUnderPmd) {
+  // b = [9, 8], s = [3, 3]: PMD condition 2 fires with one trade; the
+  // trading seller is the rank-1 of two tied asks.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_seller(IdentityId{10}, money(3));
+  book.add_seller(IdentityId{11}, money(3));
+
+  std::map<std::uint64_t, int> sales;
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(static_cast<std::uint64_t>(round));
+    const Outcome outcome = PmdProtocol().clear(book, rng);
+    for (const Fill& fill : outcome.fills()) {
+      if (fill.side == Side::kSeller) ++sales[fill.identity.value()];
+    }
+  }
+  // Whatever PMD does with this book, the two identical sellers must be
+  // treated symmetrically across tie-break draws.
+  if (!sales.empty()) {
+    ASSERT_EQ(sales.size(), 2u);
+    const int a = sales.begin()->second;
+    const int b = std::next(sales.begin())->second;
+    EXPECT_NEAR(a, b, (a + b) / 8 + 100);
+  }
+}
+
+}  // namespace
+}  // namespace fnda

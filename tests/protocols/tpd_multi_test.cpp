@@ -1,0 +1,189 @@
+#include "protocols/tpd_multi.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+// Paper Example 5: buyer unit values 9 > 8 > 7 > 6 > 4 where buyer x
+// declares {9, 8}; seller unit asks 2 < 3 < 4 < 5 < 7; threshold r = 4.5.
+struct Example5 {
+  MultiUnitBook book;
+  const IdentityId x{0};
+  const IdentityId b7{1}, b6{2}, b4{3};
+  const IdentityId s2{10}, s3{11}, s4{12}, s5{13}, s7{14};
+
+  Example5() {
+    book.add_buyer(x, {money(9), money(8)});
+    book.add_buyer(b7, {money(7)});
+    book.add_buyer(b6, {money(6)});
+    book.add_buyer(b4, {money(4)});
+    book.add_seller(s2, {money(2)});
+    book.add_seller(s3, {money(3)});
+    book.add_seller(s4, {money(4)});
+    book.add_seller(s5, {money(5)});
+    book.add_seller(s7, {money(7)});
+  }
+};
+
+TEST(TpdMultiTest, Example5PaymentsMatchPaper) {
+  Example5 fixture;
+  Rng rng(1);
+  const MultiUnitOutcome outcome =
+      TpdMultiUnitProtocol(money(4.5)).clear(fixture.book, rng);
+  EXPECT_TRUE(validate_multi_outcome(fixture.book, outcome).empty());
+
+  // i = 4 unit-bids >= 4.5 (9, 8, 7, 6); j = 3 unit-asks <= 4.5 (2, 3, 4).
+  // Case 2: three units trade.
+  EXPECT_EQ(outcome.units_traded(), 3u);
+
+  // Sellers each receive the threshold 4.5.
+  for (const auto& seller : outcome.sellers) {
+    ASSERT_EQ(seller.units, 1u);
+    EXPECT_EQ(seller.total_received, money(4.5));
+  }
+  // Buyer x wins 2 units and pays max(6, 4.5) + max(4, 4.5) = 10.5.
+  const auto* x = outcome.buyer(fixture.x);
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->units, 2u);
+  EXPECT_EQ(x->total_paid, money(10.5));
+  ASSERT_EQ(x->unit_payments.size(), 2u);
+  EXPECT_EQ(x->unit_payments[0], money(6));
+  EXPECT_EQ(x->unit_payments[1], money(4.5));
+
+  // The buyer declaring 7 wins 1 unit and pays the third-highest value
+  // excluding its own, i.e. 6.
+  const auto* b7 = outcome.buyer(fixture.b7);
+  ASSERT_NE(b7, nullptr);
+  EXPECT_EQ(b7->units, 1u);
+  EXPECT_EQ(b7->total_paid, money(6));
+
+  // Losing buyers get nothing.
+  EXPECT_EQ(outcome.buyer(fixture.b6), nullptr);
+  EXPECT_EQ(outcome.buyer(fixture.b4), nullptr);
+  // The 5- and 7-ask units do not trade.
+  EXPECT_EQ(outcome.seller(fixture.s5), nullptr);
+  EXPECT_EQ(outcome.seller(fixture.s7), nullptr);
+
+  // Auctioneer: payments (10.5 + 6) - receipts (3 * 4.5) = 3.
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(3));
+}
+
+TEST(TpdMultiTest, BalancedCaseAllAtThreshold) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9), money(6)});
+  book.add_seller(IdentityId{10}, {money(3), money(2)});
+  Rng rng(1);
+  // Bids >= 5: {9, 6} (i=2); asks <= 5: {2, 3} (j=2) -> case 1.
+  const MultiUnitOutcome outcome =
+      TpdMultiUnitProtocol(money(5)).clear(book, rng);
+  EXPECT_TRUE(validate_multi_outcome(book, outcome).empty());
+  EXPECT_EQ(outcome.units_traded(), 2u);
+  EXPECT_EQ(outcome.buyer_payments(), money(10));
+  EXPECT_EQ(outcome.seller_receipts(), money(10));
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+}
+
+TEST(TpdMultiTest, ExcessSupplySellersGetGvaPrices) {
+  // Mirror image of the Example 5 situation.
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9)});
+  book.add_buyer(IdentityId{1}, {money(8)});
+  book.add_seller(IdentityId{10}, {money(4), money(2)});  // asks 2, 4
+  book.add_seller(IdentityId{11}, {money(3)});
+  book.add_seller(IdentityId{12}, {money(5)});
+  Rng rng(1);
+  // r = 6: i = 2 (bids 9, 8); asks <= 6: {2, 3, 4, 5} (j=4) -> case 3.
+  const MultiUnitOutcome outcome =
+      TpdMultiUnitProtocol(money(6)).clear(book, rng);
+  EXPECT_TRUE(validate_multi_outcome(book, outcome).empty());
+  EXPECT_EQ(outcome.units_traded(), 2u);
+
+  // Buyers pay r = 6 each.
+  for (const auto& buyer : outcome.buyers) {
+    EXPECT_EQ(buyer.total_paid, money(6) * static_cast<std::int64_t>(buyer.units));
+  }
+  // Winning asks are 2 (seller 10) and 3 (seller 11).
+  // Seller 10 sells 1 unit: receives min(s^y_(2), 6) excluding own = asks
+  // of others are {3, 5}: s^y_(2) = 5 -> min(5, 6) = 5.
+  const auto* s10 = outcome.seller(IdentityId{10});
+  ASSERT_NE(s10, nullptr);
+  EXPECT_EQ(s10->units, 1u);
+  EXPECT_EQ(s10->total_received, money(5));
+  // Seller 11 sells 1 unit: others' asks {2, 4, 5}: s^y_(2) = 4 -> 4.
+  const auto* s11 = outcome.seller(IdentityId{11});
+  ASSERT_NE(s11, nullptr);
+  EXPECT_EQ(s11->total_received, money(4));
+  EXPECT_EQ(outcome.seller(IdentityId{12}), nullptr);
+}
+
+TEST(TpdMultiTest, NoEligibleUnitsNoTrade) {
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(3)});
+  book.add_seller(IdentityId{10}, {money(8)});
+  Rng rng(1);
+  const MultiUnitOutcome outcome =
+      TpdMultiUnitProtocol(money(5)).clear(book, rng);
+  EXPECT_EQ(outcome.units_traded(), 0u);
+}
+
+TEST(TpdMultiTest, EmptyBook) {
+  MultiUnitBook book;
+  Rng rng(1);
+  EXPECT_EQ(TpdMultiUnitProtocol(money(5)).clear(book, rng).units_traded(), 0u);
+}
+
+TEST(TpdMultiTest, SingleUnitDeclarationsMatchSingleUnitTpd) {
+  // With every declaration a single unit, the multi-unit protocol must
+  // reproduce the single-unit TPD outcome (prices and trade count).
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9)});
+  book.add_buyer(IdentityId{1}, {money(8)});
+  book.add_buyer(IdentityId{2}, {money(7)});
+  book.add_buyer(IdentityId{3}, {money(4)});
+  book.add_seller(IdentityId{10}, {money(2)});
+  book.add_seller(IdentityId{11}, {money(3)});
+  book.add_seller(IdentityId{12}, {money(4)});
+  book.add_seller(IdentityId{13}, {money(5)});
+  Rng rng(1);
+  const MultiUnitOutcome outcome =
+      TpdMultiUnitProtocol(money(4.5)).clear(book, rng);
+  // Example 3: case 1, three trades at 4.5 on both sides.
+  EXPECT_EQ(outcome.units_traded(), 3u);
+  EXPECT_EQ(outcome.buyer_payments(), money(13.5));
+  EXPECT_EQ(outcome.seller_receipts(), money(13.5));
+}
+
+TEST(TpdMultiTest, WinningBuyerWithAllUnitsAboveEveryoneUsesThresholdFloor) {
+  // A buyer so strong that competitors run out: missing competitor ranks
+  // price at the threshold floor r.
+  MultiUnitBook book;
+  book.add_buyer(IdentityId{0}, {money(9), money(9), money(9)});
+  book.add_seller(IdentityId{10}, {money(1)});
+  book.add_seller(IdentityId{11}, {money(2)});
+  book.add_seller(IdentityId{12}, {money(3)});
+  Rng rng(1);
+  // i = 3, j = 3 at r = 5?  asks {1,2,3} <= 5 -> j = 3; bids {9,9,9} -> i=3.
+  // Balanced case: everything trades at r.
+  const MultiUnitOutcome balanced =
+      TpdMultiUnitProtocol(money(5)).clear(book, rng);
+  EXPECT_EQ(balanced.units_traded(), 3u);
+  EXPECT_EQ(balanced.buyer_payments(), money(15));
+
+  // Add a low extra bid to force case 2 (i > j): the buyer's GVA terms
+  // all fall back to max(competitor-or-nothing, r).
+  book.add_buyer(IdentityId{1}, {money(6)});
+  Rng rng2(1);
+  const MultiUnitOutcome excess =
+      TpdMultiUnitProtocol(money(5)).clear(book, rng2);
+  EXPECT_TRUE(validate_multi_outcome(book, excess).empty());
+  EXPECT_EQ(excess.units_traded(), 3u);
+  const auto* strong = excess.buyer(IdentityId{0});
+  ASSERT_NE(strong, nullptr);
+  EXPECT_EQ(strong->units, 3u);
+  // Only competitor value is 6: terms l=1..3 are max(6,5), r, r = 6+5+5.
+  EXPECT_EQ(strong->total_paid, money(16));
+}
+
+}  // namespace
+}  // namespace fnda

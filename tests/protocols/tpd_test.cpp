@@ -1,0 +1,212 @@
+#include "protocols/tpd.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+
+namespace fnda {
+namespace {
+
+// Examples 3/4 reuse the valuations of Examples 1/2.
+OrderBook example3() {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_buyer(IdentityId{3}, money(4));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  book.add_seller(IdentityId{12}, money(4));
+  book.add_seller(IdentityId{13}, money(5));
+  return book;
+}
+
+OrderBook example4() {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(7));
+  book.add_buyer(IdentityId{3}, money(4));
+  book.add_seller(IdentityId{10}, money(2));
+  book.add_seller(IdentityId{11}, money(3));
+  book.add_seller(IdentityId{12}, money(4));
+  book.add_seller(IdentityId{13}, money(12));
+  return book;
+}
+
+TEST(TpdTest, Example3BalancedCaseTradesAtThreshold) {
+  OrderBook book = example3();
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(4.5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  // r = 4.5: i = 3 buyers above, j = 3 sellers below -> case 1.
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(4.5));
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+}
+
+TEST(TpdTest, Example3FalseNameBuyerBidIsUseless) {
+  // A seller adds a fake buyer bid at 4.8: i = 4 > j = 3 -> case 2.
+  // Sellers still receive exactly the threshold 4.5; buyers now pay
+  // b(j+1) = b(4) = 4.8, and the spread goes to the auctioneer.
+  OrderBook book = example3();
+  book.add_buyer(IdentityId{99}, money(4.8));
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(4.5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kSeller) {
+      EXPECT_EQ(fill.price, money(4.5));  // unchanged for sellers
+    } else {
+      EXPECT_EQ(fill.price, money(4.8));
+    }
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(0.9));  // 3 * (4.8 - 4.5)
+  EXPECT_EQ(outcome.units_bought(IdentityId{99}), 0u);
+}
+
+TEST(TpdTest, Example4ThresholdSixBalanced) {
+  OrderBook book = example4();
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(6)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  // r = 6: buyers {9,8,7}, sellers {2,3,4} -> case 1 at price 6.
+  EXPECT_EQ(outcome.trade_count(), 3u);
+  for (const Fill& fill : outcome.fills()) {
+    EXPECT_EQ(fill.price, money(6));
+  }
+}
+
+TEST(TpdTest, Example4ThresholdSevenPointFiveExcessSupply) {
+  OrderBook book = example4();
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(7.5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  // r = 7.5: i = 2 buyers (9, 8); j = 3 sellers (2, 3, 4) -> case 3.
+  // Buyers pay r = 7.5; sellers get s(i+1) = s(3) = 4.
+  EXPECT_EQ(outcome.trade_count(), 2u);
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kBuyer) {
+      EXPECT_EQ(fill.price, money(7.5));
+    } else {
+      EXPECT_EQ(fill.price, money(4));
+    }
+  }
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(7));  // 2 * (7.5 - 4)
+  // Seller (3) (value 4) is excluded even though 4 < r.
+  EXPECT_EQ(outcome.units_sold(IdentityId{12}), 0u);
+}
+
+TEST(TpdTest, Example4FalseNameSellerBidStillExcluded) {
+  // Seller (3) adds a fake seller bid at 6 (the Example 2 attack).  Under
+  // TPD with r = 7.5 the fake bid changes nothing for the attacker: j
+  // rises to 4, i = 2, and the traded sellers are still ranks (1)-(2).
+  OrderBook book = example4();
+  book.add_seller(IdentityId{99}, money(6));
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(7.5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  EXPECT_EQ(outcome.trade_count(), 2u);
+  EXPECT_EQ(outcome.units_sold(IdentityId{12}), 0u);
+  EXPECT_EQ(outcome.units_sold(IdentityId{99}), 0u);
+  // Sellers now get s(i+1) = s(3) = 4 (unchanged).
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kSeller) {
+      EXPECT_EQ(fill.price, money(4));
+    }
+  }
+}
+
+TEST(TpdTest, CaseTwoBuyersPayNextBuyerValue) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(10));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_buyer(IdentityId{2}, money(6));
+  book.add_seller(IdentityId{10}, money(1));
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+
+  // i = 3, j = 1 -> 1 trade; buyer pays b(2) = 8; seller gets r = 5.
+  ASSERT_EQ(outcome.trade_count(), 1u);
+  EXPECT_EQ(outcome.paid_by(IdentityId{0}), money(8));
+  EXPECT_EQ(outcome.received_by(IdentityId{10}), money(5));
+  EXPECT_EQ(outcome.auctioneer_revenue(), money(3));
+}
+
+TEST(TpdTest, ValueExactlyAtThresholdCountsBothSides) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(5));
+  book.add_seller(IdentityId{1}, money(5));
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(5)).clear(book, rng);
+  expect_valid_outcome(book, outcome);
+  // b = r and s = r: i = j = 1, trade at r with zero utility for both.
+  ASSERT_EQ(outcome.trade_count(), 1u);
+  EXPECT_EQ(outcome.fills().front().price, money(5));
+}
+
+TEST(TpdTest, NoEligibleParticipantsNoTrades) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(3));
+  book.add_seller(IdentityId{1}, money(8));
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(5)).clear(book, rng);
+  EXPECT_EQ(outcome.trade_count(), 0u);
+}
+
+TEST(TpdTest, OnlyBuyersEligibleNoTrades) {
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(9));
+  book.add_buyer(IdentityId{1}, money(8));
+  book.add_seller(IdentityId{2}, money(20));
+  Rng rng(1);
+  // i = 2, j = 0 -> case 2 with zero trades.
+  const Outcome outcome = TpdProtocol(money(5)).clear(book, rng);
+  EXPECT_EQ(outcome.trade_count(), 0u);
+  EXPECT_EQ(outcome.auctioneer_revenue(), Money{});
+}
+
+TEST(TpdTest, EmptyBook) {
+  OrderBook book;
+  Rng rng(1);
+  EXPECT_EQ(TpdProtocol(money(50)).clear(book, rng).trade_count(), 0u);
+}
+
+TEST(TpdTest, SellersAlwaysPaidExactlyThresholdInCase2) {
+  // Property highlighted by Example 3's discussion: in case 2 the seller
+  // price is pinned to r regardless of buyer-side manipulation.
+  OrderBook book;
+  book.add_buyer(IdentityId{0}, money(90));
+  book.add_buyer(IdentityId{1}, money(80));
+  book.add_buyer(IdentityId{2}, money(70));
+  book.add_seller(IdentityId{10}, money(10));
+  book.add_seller(IdentityId{11}, money(20));
+  Rng rng(1);
+  const Outcome outcome = TpdProtocol(money(50)).clear(book, rng);
+  ASSERT_EQ(outcome.trade_count(), 2u);
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kSeller) {
+      EXPECT_EQ(fill.price, money(50));
+    } else {
+      EXPECT_EQ(fill.price, money(70));
+    }
+  }
+}
+
+TEST(TpdTest, ThresholdAccessorAndName) {
+  const TpdProtocol tpd(money(42));
+  EXPECT_EQ(tpd.threshold(), money(42));
+  EXPECT_EQ(tpd.name(), "tpd");
+}
+
+}  // namespace
+}  // namespace fnda

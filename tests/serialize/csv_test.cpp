@@ -1,0 +1,128 @@
+#include "serialize/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TEST(ParseCsvTest, SplitsRowsAndCells) {
+  const auto rows = parse_csv("a,b,c\n1, 2 ,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsvTest, SkipsCommentsAndBlanks) {
+  const auto rows = parse_csv("# comment\n\n  \nx,y\n# another\nz,w\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "x");
+  EXPECT_EQ(rows[1][1], "w");
+}
+
+TEST(ParseCsvTest, TrailingCommaYieldsEmptyCell) {
+  const auto rows = parse_csv("a,b,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][2], "");
+}
+
+TEST(ParseMoneyTest, ParsesDecimals) {
+  EXPECT_EQ(parse_money("4.5"), money(4.5));
+  EXPECT_EQ(parse_money("12"), money(12));
+  EXPECT_EQ(parse_money("0.000001"), Money::from_micros(1));
+  EXPECT_EQ(parse_money("1e2"), money(100));
+}
+
+TEST(ParseMoneyTest, RejectsGarbage) {
+  EXPECT_THROW(parse_money(""), std::invalid_argument);
+  EXPECT_THROW(parse_money("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_money("4.5x"), std::invalid_argument);
+}
+
+TEST(ReadBookCsvTest, ParsesWithAndWithoutHeader) {
+  const char* with_header =
+      "side,identity,value\nbuyer,1,9\nseller,11,4.5\n";
+  const OrderBook a = read_book_csv(with_header);
+  EXPECT_EQ(a.buyer_count(), 1u);
+  EXPECT_EQ(a.seller_count(), 1u);
+  EXPECT_EQ(a.buyers()[0].identity, IdentityId{1});
+  EXPECT_EQ(a.buyers()[0].value, money(9));
+  EXPECT_EQ(a.sellers()[0].value, money(4.5));
+
+  const OrderBook b = read_book_csv("buyer,1,9\nseller,11,4.5\n");
+  EXPECT_EQ(b.buyer_count(), 1u);
+  EXPECT_EQ(b.seller_count(), 1u);
+}
+
+TEST(ReadBookCsvTest, RejectsMalformedRows) {
+  EXPECT_THROW(read_book_csv("buyer,1\n"), std::invalid_argument);
+  EXPECT_THROW(read_book_csv("broker,1,9\n"), std::invalid_argument);
+  EXPECT_THROW(read_book_csv("buyer,x,9\n"), std::invalid_argument);
+  EXPECT_THROW(read_book_csv("buyer,1,nine\n"), std::invalid_argument);
+}
+
+TEST(ReadBookCsvTest, ErrorsNameTheRow) {
+  try {
+    read_book_csv("buyer,1,9\nseller,2,oops\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'oops'"), std::string::npos);
+  }
+}
+
+TEST(BookCsvRoundTripTest, WriteThenReadPreservesBook) {
+  OrderBook book;
+  book.add_buyer(IdentityId{1}, money(9));
+  book.add_buyer(IdentityId{2}, money(4.25));
+  book.add_seller(IdentityId{11}, money(0.5));
+
+  const OrderBook round_trip = read_book_csv(write_book_csv(book));
+  ASSERT_EQ(round_trip.buyer_count(), 2u);
+  ASSERT_EQ(round_trip.seller_count(), 1u);
+  EXPECT_EQ(round_trip.buyers()[1].value, money(4.25));
+  EXPECT_EQ(round_trip.sellers()[0].identity, IdentityId{11});
+}
+
+TEST(MultiBookCsvTest, ParsesSchedules) {
+  const MultiUnitBook book = read_multi_book_csv(
+      "side,identity,schedule\nbuyer,1,9;8;6\nseller,11,7;5;2\n");
+  ASSERT_EQ(book.buyers().size(), 1u);
+  ASSERT_EQ(book.sellers().size(), 1u);
+  EXPECT_EQ(book.buyers()[0].identity, IdentityId{1});
+  EXPECT_EQ(book.buyers()[0].marginal_values,
+            (std::vector<Money>{money(9), money(8), money(6)}));
+  EXPECT_EQ(book.buyer_units(), 3u);
+  EXPECT_EQ(book.seller_units(), 3u);
+}
+
+TEST(MultiBookCsvTest, RejectsBadSchedules) {
+  EXPECT_THROW(read_multi_book_csv("buyer,1,\n"), std::invalid_argument);
+  EXPECT_THROW(read_multi_book_csv("buyer,1,3;9\n"),  // increasing
+               std::invalid_argument);
+  EXPECT_THROW(read_multi_book_csv("broker,1,5\n"), std::invalid_argument);
+  EXPECT_THROW(read_multi_book_csv("buyer,x,5\n"), std::invalid_argument);
+}
+
+TEST(MultiOutcomeCsvTest, EmitsUnitsAndPrices) {
+  MultiUnitOutcome outcome;
+  outcome.buyers.push_back(
+      {IdentityId{0}, 2, money(10.5), {money(6), money(4.5)}});
+  outcome.sellers.push_back({IdentityId{10}, 1, money(4.5), {money(4.5)}});
+  EXPECT_EQ(write_multi_outcome_csv(outcome),
+            "side,identity,units,total,per_unit\n"
+            "buyer,0,2,10.5,6;4.5\n"
+            "seller,10,1,4.5,4.5\n");
+}
+
+TEST(WriteOutcomeCsvTest, EmitsOneRowPerFill) {
+  Outcome outcome;
+  outcome.add_buy(BidId{0}, IdentityId{1}, money(4.5));
+  outcome.add_sell(BidId{1}, IdentityId{11}, money(4.5));
+  EXPECT_EQ(write_outcome_csv(outcome),
+            "side,identity,price\nbuyer,1,4.5\nseller,11,4.5\n");
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,96 @@
+#include "sim/adaptive_threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/generators.h"
+
+namespace fnda {
+namespace {
+
+// SortedBook copies the book's entries, so returning it by value from a
+// local OrderBook is safe.
+SortedBook sorted_from(const SingleUnitInstance& instance, std::uint64_t seed) {
+  OrderBook book(instance.domain);
+  for (std::size_t i = 0; i < instance.buyer_values.size(); ++i) {
+    book.add_buyer(IdentityId{i}, instance.buyer_values[i]);
+  }
+  for (std::size_t j = 0; j < instance.seller_values.size(); ++j) {
+    book.add_seller(IdentityId{1000 + j}, instance.seller_values[j]);
+  }
+  Rng rng(seed);
+  return SortedBook(book, rng);
+}
+
+TEST(AdaptiveThresholdTest, StartsAtInitial) {
+  const AdaptiveThresholdPolicy policy(money(10));
+  EXPECT_EQ(policy.current(), money(10));
+  EXPECT_EQ(policy.observations(), 0u);
+}
+
+TEST(AdaptiveThresholdTest, RejectsBadSmoothing) {
+  EXPECT_THROW(AdaptiveThresholdPolicy(money(50), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveThresholdPolicy(money(50), 1.5),
+               std::invalid_argument);
+  EXPECT_NO_THROW(AdaptiveThresholdPolicy(money(50), 1.0));
+}
+
+TEST(AdaptiveThresholdTest, MovesTowardClearingMidpoint) {
+  AdaptiveThresholdPolicy policy(money(10), 1.0);  // full weight on newest
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9), money(8), money(7), money(4)};
+  instance.seller_values = {money(2), money(3), money(4), money(5)};
+  policy.observe(sorted_from(instance, 1));
+  // k = 3: midpoint(b(3)=7, s(3)=4) = 5.5.
+  EXPECT_EQ(policy.current(), money(5.5));
+  EXPECT_EQ(policy.observations(), 1u);
+}
+
+TEST(AdaptiveThresholdTest, SmoothingBlends) {
+  AdaptiveThresholdPolicy policy(money(10), 0.5);
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9)};
+  instance.seller_values = {money(3)};
+  policy.observe(sorted_from(instance, 1));
+  // Target = midpoint(9, 3) = 6; blended: 0.5*10 + 0.5*6 = 8.
+  EXPECT_EQ(policy.current(), money(8));
+}
+
+TEST(AdaptiveThresholdTest, IgnoresBooksWithoutCrossing) {
+  AdaptiveThresholdPolicy policy(money(42), 1.0);
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(1)};
+  instance.seller_values = {money(9)};
+  policy.observe(sorted_from(instance, 1));
+  EXPECT_EQ(policy.current(), money(42));
+  EXPECT_EQ(policy.observations(), 0u);
+}
+
+TEST(AdaptiveThresholdTest, ConvergesToFiftyOnUniformMarkets) {
+  // Start far off (r = 5); after observing dozens of U[0,100] books the
+  // policy should sit near the true optimum 50.
+  AdaptiveThresholdPolicy policy(money(5), 0.25);
+  const InstanceGenerator gen = fixed_count_generator(50, 50);
+  Rng rng(0xada);
+  for (int round = 0; round < 80; ++round) {
+    const SingleUnitInstance instance = gen(rng);
+    policy.observe(sorted_from(instance, rng()));
+  }
+  EXPECT_NEAR(policy.current().to_double(), 50.0, 5.0);
+}
+
+TEST(AdaptiveThresholdTest, TracksShiftedDistributions) {
+  // The whole point: no hand-tuning when the value distribution moves.
+  AdaptiveThresholdPolicy policy(money(50), 0.3);
+  const ValueDistribution low_market{money(0), money(40), ValueDomain{}};
+  const InstanceGenerator gen = fixed_count_generator(40, 40, low_market);
+  Rng rng(0xadb);
+  for (int round = 0; round < 80; ++round) {
+    const SingleUnitInstance instance = gen(rng);
+    policy.observe(sorted_from(instance, rng()));
+  }
+  EXPECT_NEAR(policy.current().to_double(), 20.0, 4.0);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,119 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/efficient.h"
+#include "protocols/pmd.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+TEST(ExperimentTest, RunsRequestedInstances) {
+  const TpdProtocol tpd(money(50));
+  ExperimentConfig config;
+  config.instances = 25;
+  const ComparisonResult result =
+      run_comparison(fixed_count_generator(5, 5), {&tpd}, config);
+  EXPECT_EQ(result.pareto.count(), 25u);
+  ASSERT_EQ(result.protocols.size(), 1u);
+  EXPECT_EQ(result.protocols[0].total.count(), 25u);
+  EXPECT_EQ(result.protocols[0].name, "tpd");
+}
+
+TEST(ExperimentTest, SummaryLookupByName) {
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  ExperimentConfig config;
+  config.instances = 10;
+  const ComparisonResult result =
+      run_comparison(fixed_count_generator(5, 5), {&tpd, &pmd}, config);
+  EXPECT_EQ(result.summary("pmd").name, "pmd");
+  EXPECT_EQ(result.summary("tpd").name, "tpd");
+  EXPECT_THROW(result.summary("nope"), std::out_of_range);
+}
+
+TEST(ExperimentTest, RatiosBoundedByOne) {
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const EfficientClearing efficient;
+  ExperimentConfig config;
+  config.instances = 200;
+  const ComparisonResult result = run_comparison(
+      fixed_count_generator(10, 10), {&tpd, &pmd, &efficient}, config);
+
+  for (const char* name : {"tpd", "pmd", "efficient"}) {
+    EXPECT_GT(result.ratio_total(name), 0.0) << name;
+    EXPECT_LE(result.ratio_total(name), 1.0 + 1e-9) << name;
+    EXPECT_LE(result.ratio_except_auctioneer(name),
+              result.ratio_total(name) + 1e-12)
+        << name;
+  }
+  // The efficient oracle achieves the bound exactly.
+  EXPECT_NEAR(result.ratio_total("efficient"), 1.0, 1e-12);
+}
+
+TEST(ExperimentTest, PaperTrendTpdApproachesParetoWithScale) {
+  // Table 1's qualitative claim: TPD efficiency rises toward 100% as the
+  // market grows.
+  const TpdProtocol tpd(money(50));
+  ExperimentConfig config;
+  config.instances = 300;
+  const ComparisonResult small =
+      run_comparison(fixed_count_generator(5, 5), {&tpd}, config);
+  const ComparisonResult large =
+      run_comparison(fixed_count_generator(100, 100), {&tpd}, config);
+  EXPECT_GT(large.ratio_total("tpd"), small.ratio_total("tpd"));
+  EXPECT_GT(large.ratio_total("tpd"), 0.98);
+  EXPECT_GT(small.ratio_total("tpd"), 0.85);
+}
+
+TEST(ExperimentTest, PmdBeatsOrMatchesTpdOnTradersSurplus) {
+  // Table 1: PMD's "except auctioneer" column dominates TPD's (PMD hands
+  // almost nothing to the auctioneer).
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  ExperimentConfig config;
+  config.instances = 300;
+  const ComparisonResult result =
+      run_comparison(fixed_count_generator(25, 25), {&tpd, &pmd}, config);
+  EXPECT_GT(result.ratio_except_auctioneer("pmd"),
+            result.ratio_except_auctioneer("tpd"));
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  const TpdProtocol tpd(money(50));
+  ExperimentConfig config;
+  config.instances = 50;
+  config.seed = 123;
+  const ComparisonResult a =
+      run_comparison(fixed_count_generator(8, 8), {&tpd}, config);
+  const ComparisonResult b =
+      run_comparison(fixed_count_generator(8, 8), {&tpd}, config);
+  EXPECT_DOUBLE_EQ(a.protocols[0].total.mean(), b.protocols[0].total.mean());
+  EXPECT_DOUBLE_EQ(a.pareto.mean(), b.pareto.mean());
+}
+
+TEST(ExperimentTest, TradeCountsTracked) {
+  const EfficientClearing efficient;
+  ExperimentConfig config;
+  config.instances = 100;
+  const ComparisonResult result =
+      run_comparison(fixed_count_generator(20, 20), {&efficient}, config);
+  EXPECT_DOUBLE_EQ(result.summary("efficient").trades.mean(),
+                   result.pareto_trades.mean());
+  EXPECT_GT(result.pareto_trades.mean(), 5.0);
+}
+
+TEST(ExperimentTest, EmptyMarketsYieldZeroSurplus) {
+  const TpdProtocol tpd(money(50));
+  ExperimentConfig config;
+  config.instances = 5;
+  const ComparisonResult result =
+      run_comparison(fixed_count_generator(0, 0), {&tpd}, config);
+  EXPECT_DOUBLE_EQ(result.pareto.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.ratio_total("tpd"), 0.0);  // guarded division
+}
+
+}  // namespace
+}  // namespace fnda

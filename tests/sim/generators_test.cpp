@@ -1,0 +1,140 @@
+#include "sim/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/statistics.h"
+
+namespace fnda {
+namespace {
+
+TEST(GeneratorsTest, FixedCountProducesExactCounts) {
+  const InstanceGenerator gen = fixed_count_generator(7, 3);
+  Rng rng(1);
+  for (int run = 0; run < 20; ++run) {
+    const SingleUnitInstance instance = gen(rng);
+    EXPECT_EQ(instance.buyer_values.size(), 7u);
+    EXPECT_EQ(instance.seller_values.size(), 3u);
+  }
+}
+
+TEST(GeneratorsTest, ValuesWithinDistributionBounds) {
+  ValueDistribution values;
+  values.low = money(10);
+  values.high = money(30);
+  const InstanceGenerator gen = fixed_count_generator(50, 50, values);
+  Rng rng(2);
+  const SingleUnitInstance instance = gen(rng);
+  for (Money v : instance.buyer_values) {
+    EXPECT_GE(v, money(10));
+    EXPECT_LE(v, money(30));
+  }
+  for (Money v : instance.seller_values) {
+    EXPECT_GE(v, money(10));
+    EXPECT_LE(v, money(30));
+  }
+}
+
+TEST(GeneratorsTest, ValuesApproximatelyUniform) {
+  const InstanceGenerator gen = fixed_count_generator(1000, 1000);
+  Rng rng(3);
+  const SingleUnitInstance instance = gen(rng);
+  double sum = 0.0;
+  for (Money v : instance.buyer_values) sum += v.to_double();
+  // U[0,100]: mean 50, sd of mean ~ 0.91.
+  EXPECT_NEAR(sum / 1000.0, 50.0, 4.0);
+}
+
+TEST(GeneratorsTest, BinomialCountsHaveMeanNOverTwo) {
+  const InstanceGenerator gen = binomial_count_generator(100);
+  Rng rng(4);
+  double buyer_total = 0.0;
+  constexpr int kDraws = 400;
+  for (int run = 0; run < kDraws; ++run) {
+    const SingleUnitInstance instance = gen(rng);
+    buyer_total += static_cast<double>(instance.buyer_values.size());
+    EXPECT_LE(instance.buyer_values.size(), 100u);
+  }
+  // mean 50, sd 5, sem 0.25.
+  EXPECT_NEAR(buyer_total / kDraws, 50.0, 1.5);
+}
+
+TEST(GeneratorsTest, BinomialSidesIndependent) {
+  const InstanceGenerator gen = binomial_count_generator(40);
+  Rng rng(5);
+  int different = 0;
+  for (int run = 0; run < 100; ++run) {
+    const SingleUnitInstance instance = gen(rng);
+    if (instance.buyer_values.size() != instance.seller_values.size()) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 50);  // equal counts would be the exception
+}
+
+TEST(GeneratorsTest, CorrelatedRhoZeroMatchesIndependentStatistics) {
+  const InstanceGenerator gen = correlated_value_generator(400, 400, 0.0);
+  Rng rng(6);
+  const SingleUnitInstance instance = gen(rng);
+  // Spread of an i.i.d. U[0,100] sample: near-full range.
+  Money lo = Money::max_value();
+  Money hi = Money::min_value();
+  for (Money v : instance.buyer_values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, money(5));
+  EXPECT_GT(hi, money(95));
+}
+
+TEST(GeneratorsTest, CorrelatedHighRhoCompressesWithinInstance) {
+  // rho = 0.9: within one instance all values cluster near the common
+  // component; across instances the cluster moves.
+  const InstanceGenerator gen = correlated_value_generator(100, 100, 0.9);
+  Rng rng(7);
+  double spread_total = 0.0;
+  RunningStats instance_means;
+  for (int run = 0; run < 50; ++run) {
+    const SingleUnitInstance instance = gen(rng);
+    double lo = 1e18;
+    double hi = -1e18;
+    double sum = 0.0;
+    for (Money v : instance.buyer_values) {
+      lo = std::min(lo, v.to_double());
+      hi = std::max(hi, v.to_double());
+      sum += v.to_double();
+    }
+    spread_total += hi - lo;
+    instance_means.add(sum / 100.0);
+  }
+  // Within-instance spread ~ 10% of the range; across-instance means vary
+  // far more than an i.i.d. sample's would.
+  EXPECT_LT(spread_total / 50.0, 25.0);
+  EXPECT_GT(instance_means.stddev(), 10.0);
+}
+
+TEST(GeneratorsTest, CorrelatedValuesRespectConvexCombination) {
+  const InstanceGenerator gen = correlated_value_generator(50, 50, 0.5);
+  Rng rng(8);
+  for (int run = 0; run < 20; ++run) {
+    const SingleUnitInstance instance = gen(rng);
+    for (Money v : instance.buyer_values) {
+      EXPECT_GE(v, money(0));
+      EXPECT_LE(v, money(100));
+    }
+  }
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  const InstanceGenerator gen = binomial_count_generator(20);
+  Rng rng1(7);
+  Rng rng2(7);
+  const SingleUnitInstance a = gen(rng1);
+  const SingleUnitInstance b = gen(rng2);
+  EXPECT_EQ(a.buyer_values, b.buyer_values);
+  EXPECT_EQ(a.seller_values, b.seller_values);
+}
+
+}  // namespace
+}  // namespace fnda

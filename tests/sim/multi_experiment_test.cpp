@@ -1,0 +1,81 @@
+#include "sim/multi_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace fnda {
+namespace {
+
+TEST(MultiExperimentTest, DrawRespectsWorkloadShape) {
+  MultiUnitWorkload workload;
+  workload.buyers = 7;
+  workload.sellers = 3;
+  workload.min_units = 2;
+  workload.max_units = 5;
+  Rng rng(1);
+  const MultiUnitDraw draw = draw_multi_instance(workload, rng);
+  EXPECT_EQ(draw.book.buyers().size(), 7u);
+  EXPECT_EQ(draw.book.sellers().size(), 3u);
+  for (const MultiUnitBid& bid : draw.book.buyers()) {
+    EXPECT_GE(bid.marginal_values.size(), 2u);
+    EXPECT_LE(bid.marginal_values.size(), 5u);
+    for (std::size_t u = 1; u < bid.marginal_values.size(); ++u) {
+      EXPECT_LE(bid.marginal_values[u], bid.marginal_values[u - 1]);
+    }
+  }
+  EXPECT_EQ(draw.truth.buyer_values.size(), 7u);
+  EXPECT_EQ(draw.truth.seller_values.size(), 3u);
+}
+
+TEST(MultiExperimentTest, RejectsBadUnitRange) {
+  MultiUnitWorkload workload;
+  workload.min_units = 0;
+  Rng rng(1);
+  EXPECT_THROW(draw_multi_instance(workload, rng), std::invalid_argument);
+  workload.min_units = 5;
+  workload.max_units = 2;
+  EXPECT_THROW(draw_multi_instance(workload, rng), std::invalid_argument);
+}
+
+TEST(MultiExperimentTest, RunsAndBoundsRatios) {
+  const TpdMultiUnitProtocol protocol(money(50));
+  MultiUnitWorkload workload;
+  workload.buyers = 12;
+  workload.sellers = 12;
+  const MultiExperimentResult result =
+      run_multi_experiment(protocol, workload, 100, 77);
+  EXPECT_EQ(result.total.count(), 100u);
+  EXPECT_GT(result.ratio_total(), 0.9);
+  EXPECT_LE(result.ratio_total(), 1.0 + 1e-9);
+  EXPECT_LE(result.ratio_except_auctioneer(), result.ratio_total());
+  EXPECT_GE(result.auctioneer.min(), -1e-9);
+  EXPECT_GT(result.units.mean(), 1.0);
+}
+
+TEST(MultiExperimentTest, DeterministicGivenSeed) {
+  const TpdMultiUnitProtocol protocol(money(50));
+  MultiUnitWorkload workload;
+  const MultiExperimentResult a =
+      run_multi_experiment(protocol, workload, 50, 5);
+  const MultiExperimentResult b =
+      run_multi_experiment(protocol, workload, 50, 5);
+  EXPECT_DOUBLE_EQ(a.total.mean(), b.total.mean());
+  EXPECT_DOUBLE_EQ(a.pareto.mean(), b.pareto.mean());
+}
+
+TEST(MultiExperimentTest, EfficiencyRisesWithMarketSize) {
+  const TpdMultiUnitProtocol protocol(money(50));
+  MultiUnitWorkload small;
+  small.buyers = 4;
+  small.sellers = 4;
+  MultiUnitWorkload large;
+  large.buyers = 50;
+  large.sellers = 50;
+  const MultiExperimentResult a =
+      run_multi_experiment(protocol, small, 200, 9);
+  const MultiExperimentResult b =
+      run_multi_experiment(protocol, large, 200, 9);
+  EXPECT_GT(b.ratio_total(), a.ratio_total());
+}
+
+}  // namespace
+}  // namespace fnda

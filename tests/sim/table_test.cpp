@@ -1,0 +1,66 @@
+#include "sim/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fnda {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"n", "TPD", "PMD"});
+  table.add_row({"5", "103.4 (92.4%)", "105.9 (94.6%)"});
+  table.add_row({"500", "12738.3 (99.9%)", "12745.5 (100.0%)"});
+  const std::string out = table.to_string();
+
+  std::istringstream lines(out);
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find('n'), 0u);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  EXPECT_NE(row2.find("12738.3 (99.9%)"), std::string::npos);
+  // Columns align: "TPD" starts where the TPD cells start.
+  EXPECT_EQ(header.find("TPD"), row1.find("103.4"));
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, StreamInsertion) {
+  TextTable table({"x"});
+  table.add_row({"y"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.to_string());
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(FormatTest, FixedDecimals) {
+  EXPECT_EQ(format_fixed(12738.31, 1), "12738.3");
+  EXPECT_EQ(format_fixed(0.999, 1), "1.0");
+  EXPECT_EQ(format_fixed(-3.14159, 2), "-3.14");
+  EXPECT_EQ(format_fixed(5.0, 0), "5");
+}
+
+TEST(FormatTest, WithRatioMatchesPaperStyle) {
+  EXPECT_EQ(format_with_ratio(103.4, 0.924), "103.4 (92.4%)");
+  EXPECT_EQ(format_with_ratio(12745.5, 1.0), "12745.5 (100.0%)");
+  EXPECT_EQ(format_with_ratio(84.4, 0.754), "84.4 (75.4%)");
+}
+
+}  // namespace
+}  // namespace fnda

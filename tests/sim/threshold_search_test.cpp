@@ -1,0 +1,98 @@
+#include "sim/threshold_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fnda {
+namespace {
+
+TEST(ThresholdSearchTest, ExpectedSurplusIsDeterministic) {
+  const InstanceGenerator gen = fixed_count_generator(20, 20);
+  const double a = expected_tpd_surplus(gen, money(50),
+                                        ThresholdObjective::kTotalSurplus,
+                                        50, 42);
+  const double b = expected_tpd_surplus(gen, money(50),
+                                        ThresholdObjective::kTotalSurplus,
+                                        50, 42);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(ThresholdSearchTest, CenterBeatsExtremesForUniformValues) {
+  // Figure 1: the surplus curve peaks near 50 for U[0,100] valuations.
+  const InstanceGenerator gen = fixed_count_generator(30, 30);
+  auto value_at = [&](double r) {
+    return expected_tpd_surplus(gen, money(r),
+                                ThresholdObjective::kTotalSurplus, 150, 7);
+  };
+  const double center = value_at(50);
+  EXPECT_GT(center, value_at(10));
+  EXPECT_GT(center, value_at(90));
+  EXPECT_GT(center, value_at(30));
+  EXPECT_GT(center, value_at(70));
+}
+
+TEST(ThresholdSearchTest, OptimizerFindsNearFifty) {
+  ThresholdSearchConfig config;
+  config.instances_per_eval = 150;
+  config.coarse_points = 11;
+  const ThresholdSearchResult result =
+      optimize_threshold(fixed_count_generator(30, 30), config);
+  EXPECT_NEAR(result.best_threshold.to_double(), 50.0, 8.0);
+  EXPECT_GT(result.best_value, 0.0);
+  EXPECT_EQ(result.sweep.size(), 11u);
+}
+
+TEST(ThresholdSearchTest, SweepCoversRequestedRange) {
+  ThresholdSearchConfig config;
+  config.lo = money(20);
+  config.hi = money(80);
+  config.coarse_points = 7;
+  config.instances_per_eval = 30;
+  const ThresholdSearchResult result =
+      optimize_threshold(fixed_count_generator(10, 10), config);
+  ASSERT_EQ(result.sweep.size(), 7u);
+  EXPECT_EQ(result.sweep.front().first, money(20));
+  EXPECT_EQ(result.sweep.back().first, money(80));
+  for (std::size_t p = 1; p < result.sweep.size(); ++p) {
+    EXPECT_LT(result.sweep[p - 1].first, result.sweep[p].first);
+  }
+}
+
+TEST(ThresholdSearchTest, BestValueIsSweepMaximumOrBetter) {
+  ThresholdSearchConfig config;
+  config.instances_per_eval = 60;
+  config.coarse_points = 9;
+  const ThresholdSearchResult result =
+      optimize_threshold(fixed_count_generator(15, 15), config);
+  for (const auto& [r, value] : result.sweep) {
+    EXPECT_GE(result.best_value, value);
+  }
+}
+
+TEST(ThresholdSearchTest, ExceptAuctioneerObjectivePeaksNearCenterToo) {
+  ThresholdSearchConfig config;
+  config.objective = ThresholdObjective::kSurplusExceptAuctioneer;
+  config.instances_per_eval = 100;
+  config.coarse_points = 11;
+  const ThresholdSearchResult result =
+      optimize_threshold(fixed_count_generator(30, 30), config);
+  EXPECT_NEAR(result.best_threshold.to_double(), 50.0, 10.0);
+}
+
+TEST(ThresholdSearchTest, RejectsBadConfig) {
+  ThresholdSearchConfig config;
+  config.lo = money(60);
+  config.hi = money(40);
+  EXPECT_THROW(optimize_threshold(fixed_count_generator(5, 5), config),
+               std::invalid_argument);
+  config.lo = money(0);
+  config.hi = money(100);
+  config.coarse_points = 1;
+  EXPECT_THROW(optimize_threshold(fixed_count_generator(5, 5), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fnda

@@ -1,0 +1,14 @@
+// fnda command-line tool.  All logic lives in src/cli (testable); this is
+// only the process shell.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return fnda::run_cli(args, std::cin, std::cout, std::cerr);
+}
