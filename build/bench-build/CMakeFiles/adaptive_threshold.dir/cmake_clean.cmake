@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adaptive_threshold"
+  "../bench/adaptive_threshold.pdb"
+  "CMakeFiles/adaptive_threshold.dir/adaptive_threshold.cpp.o"
+  "CMakeFiles/adaptive_threshold.dir/adaptive_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bilateral_impossibility"
+  "../bench/bilateral_impossibility.pdb"
+  "CMakeFiles/bilateral_impossibility.dir/bilateral_impossibility.cpp.o"
+  "CMakeFiles/bilateral_impossibility.dir/bilateral_impossibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilateral_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

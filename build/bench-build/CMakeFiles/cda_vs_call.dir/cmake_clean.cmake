@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cda_vs_call"
+  "../bench/cda_vs_call.pdb"
+  "CMakeFiles/cda_vs_call.dir/cda_vs_call.cpp.o"
+  "CMakeFiles/cda_vs_call.dir/cda_vs_call.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cda_vs_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

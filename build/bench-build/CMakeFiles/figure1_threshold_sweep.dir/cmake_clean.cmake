@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure1_threshold_sweep"
+  "../bench/figure1_threshold_sweep.pdb"
+  "CMakeFiles/figure1_threshold_sweep.dir/figure1_threshold_sweep.cpp.o"
+  "CMakeFiles/figure1_threshold_sweep.dir/figure1_threshold_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

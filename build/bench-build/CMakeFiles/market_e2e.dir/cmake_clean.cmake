@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/market_e2e"
+  "../bench/market_e2e.pdb"
+  "CMakeFiles/market_e2e.dir/market_e2e.cpp.o"
+  "CMakeFiles/market_e2e.dir/market_e2e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multiunit_surplus"
+  "../bench/multiunit_surplus.pdb"
+  "CMakeFiles/multiunit_surplus.dir/multiunit_surplus.cpp.o"
+  "CMakeFiles/multiunit_surplus.dir/multiunit_surplus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiunit_surplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiunit_surplus.
+# This may be replaced when dependencies are built.

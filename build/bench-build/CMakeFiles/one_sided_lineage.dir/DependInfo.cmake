@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/one_sided_lineage.cpp" "bench-build/CMakeFiles/one_sided_lineage.dir/one_sided_lineage.cpp.o" "gcc" "bench-build/CMakeFiles/one_sided_lineage.dir/one_sided_lineage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/fnda_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fnda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/fnda_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/fnda_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

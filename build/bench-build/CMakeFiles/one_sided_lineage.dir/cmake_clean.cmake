@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/one_sided_lineage"
+  "../bench/one_sided_lineage.pdb"
+  "CMakeFiles/one_sided_lineage.dir/one_sided_lineage.cpp.o"
+  "CMakeFiles/one_sided_lineage.dir/one_sided_lineage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_sided_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/protocol_perf"
+  "../bench/protocol_perf.pdb"
+  "CMakeFiles/protocol_perf.dir/protocol_perf.cpp.o"
+  "CMakeFiles/protocol_perf.dir/protocol_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_attacks"
+  "../bench/robustness_attacks.pdb"
+  "CMakeFiles/robustness_attacks.dir/robustness_attacks.cpp.o"
+  "CMakeFiles/robustness_attacks.dir/robustness_attacks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

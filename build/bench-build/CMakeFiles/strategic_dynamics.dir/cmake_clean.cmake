@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/strategic_dynamics"
+  "../bench/strategic_dynamics.pdb"
+  "CMakeFiles/strategic_dynamics.dir/strategic_dynamics.cpp.o"
+  "CMakeFiles/strategic_dynamics.dir/strategic_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategic_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_surplus"
+  "../bench/table1_surplus.pdb"
+  "CMakeFiles/table1_surplus.dir/table1_surplus.cpp.o"
+  "CMakeFiles/table1_surplus.dir/table1_surplus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_surplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_binomial"
+  "../bench/table2_binomial.pdb"
+  "CMakeFiles/table2_binomial.dir/table2_binomial.cpp.o"
+  "CMakeFiles/table2_binomial.dir/table2_binomial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/threshold_optimizer"
+  "../bench/threshold_optimizer.pdb"
+  "CMakeFiles/threshold_optimizer.dir/threshold_optimizer.cpp.o"
+  "CMakeFiles/threshold_optimizer.dir/threshold_optimizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/trilemma"
+  "../bench/trilemma.pdb"
+  "CMakeFiles/trilemma.dir/trilemma.cpp.o"
+  "CMakeFiles/trilemma.dir/trilemma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trilemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_exchange.dir/adaptive_exchange.cpp.o"
+  "CMakeFiles/adaptive_exchange.dir/adaptive_exchange.cpp.o.d"
+  "adaptive_exchange"
+  "adaptive_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cda_session.dir/cda_session.cpp.o"
+  "CMakeFiles/cda_session.dir/cda_session.cpp.o.d"
+  "cda_session"
+  "cda_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cda_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

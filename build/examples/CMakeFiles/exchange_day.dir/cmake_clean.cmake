@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_day.dir/exchange_day.cpp.o"
+  "CMakeFiles/exchange_day.dir/exchange_day.cpp.o.d"
+  "exchange_day"
+  "exchange_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

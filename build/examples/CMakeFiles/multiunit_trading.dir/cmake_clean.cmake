@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiunit_trading.dir/multiunit_trading.cpp.o"
+  "CMakeFiles/multiunit_trading.dir/multiunit_trading.cpp.o.d"
+  "multiunit_trading"
+  "multiunit_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiunit_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

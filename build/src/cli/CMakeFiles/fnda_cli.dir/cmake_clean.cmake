@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_cli.dir/args.cpp.o"
+  "CMakeFiles/fnda_cli.dir/args.cpp.o.d"
+  "CMakeFiles/fnda_cli.dir/commands.cpp.o"
+  "CMakeFiles/fnda_cli.dir/commands.cpp.o.d"
+  "libfnda_cli.a"
+  "libfnda_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

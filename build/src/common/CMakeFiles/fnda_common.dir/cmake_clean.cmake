@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_common.dir/logging.cpp.o"
+  "CMakeFiles/fnda_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fnda_common.dir/money.cpp.o"
+  "CMakeFiles/fnda_common.dir/money.cpp.o.d"
+  "CMakeFiles/fnda_common.dir/rng.cpp.o"
+  "CMakeFiles/fnda_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fnda_common.dir/statistics.cpp.o"
+  "CMakeFiles/fnda_common.dir/statistics.cpp.o.d"
+  "libfnda_common.a"
+  "libfnda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

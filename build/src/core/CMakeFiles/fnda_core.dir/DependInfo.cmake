@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/fnda_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/fnda_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/order_book.cpp" "src/core/CMakeFiles/fnda_core.dir/order_book.cpp.o" "gcc" "src/core/CMakeFiles/fnda_core.dir/order_book.cpp.o.d"
+  "/root/repo/src/core/outcome.cpp" "src/core/CMakeFiles/fnda_core.dir/outcome.cpp.o" "gcc" "src/core/CMakeFiles/fnda_core.dir/outcome.cpp.o.d"
+  "/root/repo/src/core/surplus.cpp" "src/core/CMakeFiles/fnda_core.dir/surplus.cpp.o" "gcc" "src/core/CMakeFiles/fnda_core.dir/surplus.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/fnda_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/fnda_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_core.dir/instance.cpp.o"
+  "CMakeFiles/fnda_core.dir/instance.cpp.o.d"
+  "CMakeFiles/fnda_core.dir/order_book.cpp.o"
+  "CMakeFiles/fnda_core.dir/order_book.cpp.o.d"
+  "CMakeFiles/fnda_core.dir/outcome.cpp.o"
+  "CMakeFiles/fnda_core.dir/outcome.cpp.o.d"
+  "CMakeFiles/fnda_core.dir/surplus.cpp.o"
+  "CMakeFiles/fnda_core.dir/surplus.cpp.o.d"
+  "CMakeFiles/fnda_core.dir/validation.cpp.o"
+  "CMakeFiles/fnda_core.dir/validation.cpp.o.d"
+  "libfnda_core.a"
+  "libfnda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/audit.cpp" "src/market/CMakeFiles/fnda_market.dir/audit.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/audit.cpp.o.d"
+  "/root/repo/src/market/bus.cpp" "src/market/CMakeFiles/fnda_market.dir/bus.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/bus.cpp.o.d"
+  "/root/repo/src/market/cda.cpp" "src/market/CMakeFiles/fnda_market.dir/cda.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/cda.cpp.o.d"
+  "/root/repo/src/market/client.cpp" "src/market/CMakeFiles/fnda_market.dir/client.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/client.cpp.o.d"
+  "/root/repo/src/market/clock.cpp" "src/market/CMakeFiles/fnda_market.dir/clock.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/clock.cpp.o.d"
+  "/root/repo/src/market/escrow.cpp" "src/market/CMakeFiles/fnda_market.dir/escrow.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/escrow.cpp.o.d"
+  "/root/repo/src/market/exchange.cpp" "src/market/CMakeFiles/fnda_market.dir/exchange.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/exchange.cpp.o.d"
+  "/root/repo/src/market/identity.cpp" "src/market/CMakeFiles/fnda_market.dir/identity.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/identity.cpp.o.d"
+  "/root/repo/src/market/ledger.cpp" "src/market/CMakeFiles/fnda_market.dir/ledger.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/ledger.cpp.o.d"
+  "/root/repo/src/market/server.cpp" "src/market/CMakeFiles/fnda_market.dir/server.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/server.cpp.o.d"
+  "/root/repo/src/market/settlement.cpp" "src/market/CMakeFiles/fnda_market.dir/settlement.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/settlement.cpp.o.d"
+  "/root/repo/src/market/zi_traders.cpp" "src/market/CMakeFiles/fnda_market.dir/zi_traders.cpp.o" "gcc" "src/market/CMakeFiles/fnda_market.dir/zi_traders.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mechanism/CMakeFiles/fnda_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/fnda_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_market.dir/audit.cpp.o"
+  "CMakeFiles/fnda_market.dir/audit.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/bus.cpp.o"
+  "CMakeFiles/fnda_market.dir/bus.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/cda.cpp.o"
+  "CMakeFiles/fnda_market.dir/cda.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/client.cpp.o"
+  "CMakeFiles/fnda_market.dir/client.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/clock.cpp.o"
+  "CMakeFiles/fnda_market.dir/clock.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/escrow.cpp.o"
+  "CMakeFiles/fnda_market.dir/escrow.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/exchange.cpp.o"
+  "CMakeFiles/fnda_market.dir/exchange.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/identity.cpp.o"
+  "CMakeFiles/fnda_market.dir/identity.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/ledger.cpp.o"
+  "CMakeFiles/fnda_market.dir/ledger.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/server.cpp.o"
+  "CMakeFiles/fnda_market.dir/server.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/settlement.cpp.o"
+  "CMakeFiles/fnda_market.dir/settlement.cpp.o.d"
+  "CMakeFiles/fnda_market.dir/zi_traders.cpp.o"
+  "CMakeFiles/fnda_market.dir/zi_traders.cpp.o.d"
+  "libfnda_market.a"
+  "libfnda_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

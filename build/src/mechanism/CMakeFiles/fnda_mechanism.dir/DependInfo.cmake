@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanism/bilateral.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/bilateral.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/bilateral.cpp.o.d"
+  "/root/repo/src/mechanism/dynamics.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/dynamics.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/dynamics.cpp.o.d"
+  "/root/repo/src/mechanism/linear_feasibility.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/linear_feasibility.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/linear_feasibility.cpp.o.d"
+  "/root/repo/src/mechanism/manipulation.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/manipulation.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/manipulation.cpp.o.d"
+  "/root/repo/src/mechanism/multi_manipulation.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/multi_manipulation.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/multi_manipulation.cpp.o.d"
+  "/root/repo/src/mechanism/properties.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/properties.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/properties.cpp.o.d"
+  "/root/repo/src/mechanism/strategy.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/strategy.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/strategy.cpp.o.d"
+  "/root/repo/src/mechanism/utility.cpp" "src/mechanism/CMakeFiles/fnda_mechanism.dir/utility.cpp.o" "gcc" "src/mechanism/CMakeFiles/fnda_mechanism.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/fnda_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_mechanism.dir/bilateral.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/bilateral.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/dynamics.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/dynamics.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/linear_feasibility.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/linear_feasibility.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/manipulation.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/manipulation.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/multi_manipulation.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/multi_manipulation.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/properties.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/properties.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/strategy.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/strategy.cpp.o.d"
+  "CMakeFiles/fnda_mechanism.dir/utility.cpp.o"
+  "CMakeFiles/fnda_mechanism.dir/utility.cpp.o.d"
+  "libfnda_mechanism.a"
+  "libfnda_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/combinatorial.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/combinatorial.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/combinatorial.cpp.o.d"
+  "/root/repo/src/protocols/efficient.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/efficient.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/efficient.cpp.o.d"
+  "/root/repo/src/protocols/kda.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/kda.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/kda.cpp.o.d"
+  "/root/repo/src/protocols/multi_unit.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/multi_unit.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/multi_unit.cpp.o.d"
+  "/root/repo/src/protocols/one_sided.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/one_sided.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/one_sided.cpp.o.d"
+  "/root/repo/src/protocols/pmd.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/pmd.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/pmd.cpp.o.d"
+  "/root/repo/src/protocols/random_threshold.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/random_threshold.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/random_threshold.cpp.o.d"
+  "/root/repo/src/protocols/tpd.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/tpd.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/tpd.cpp.o.d"
+  "/root/repo/src/protocols/tpd_multi.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/tpd_multi.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/tpd_multi.cpp.o.d"
+  "/root/repo/src/protocols/tpd_rebate.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/tpd_rebate.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/tpd_rebate.cpp.o.d"
+  "/root/repo/src/protocols/vcg.cpp" "src/protocols/CMakeFiles/fnda_protocols.dir/vcg.cpp.o" "gcc" "src/protocols/CMakeFiles/fnda_protocols.dir/vcg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

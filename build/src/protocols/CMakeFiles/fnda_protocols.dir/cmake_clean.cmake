@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_protocols.dir/combinatorial.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/combinatorial.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/efficient.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/efficient.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/kda.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/kda.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/multi_unit.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/multi_unit.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/one_sided.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/one_sided.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/pmd.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/pmd.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/random_threshold.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/random_threshold.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/tpd.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/tpd.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/tpd_multi.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/tpd_multi.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/tpd_rebate.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/tpd_rebate.cpp.o.d"
+  "CMakeFiles/fnda_protocols.dir/vcg.cpp.o"
+  "CMakeFiles/fnda_protocols.dir/vcg.cpp.o.d"
+  "libfnda_protocols.a"
+  "libfnda_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

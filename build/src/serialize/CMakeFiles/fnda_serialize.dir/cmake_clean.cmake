@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_serialize.dir/csv.cpp.o"
+  "CMakeFiles/fnda_serialize.dir/csv.cpp.o.d"
+  "CMakeFiles/fnda_serialize.dir/json.cpp.o"
+  "CMakeFiles/fnda_serialize.dir/json.cpp.o.d"
+  "libfnda_serialize.a"
+  "libfnda_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

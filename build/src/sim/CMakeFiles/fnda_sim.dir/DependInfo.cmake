@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adaptive_threshold.cpp" "src/sim/CMakeFiles/fnda_sim.dir/adaptive_threshold.cpp.o" "gcc" "src/sim/CMakeFiles/fnda_sim.dir/adaptive_threshold.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/fnda_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/fnda_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/generators.cpp" "src/sim/CMakeFiles/fnda_sim.dir/generators.cpp.o" "gcc" "src/sim/CMakeFiles/fnda_sim.dir/generators.cpp.o.d"
+  "/root/repo/src/sim/multi_experiment.cpp" "src/sim/CMakeFiles/fnda_sim.dir/multi_experiment.cpp.o" "gcc" "src/sim/CMakeFiles/fnda_sim.dir/multi_experiment.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/fnda_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/fnda_sim.dir/table.cpp.o.d"
+  "/root/repo/src/sim/threshold_search.cpp" "src/sim/CMakeFiles/fnda_sim.dir/threshold_search.cpp.o" "gcc" "src/sim/CMakeFiles/fnda_sim.dir/threshold_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/fnda_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

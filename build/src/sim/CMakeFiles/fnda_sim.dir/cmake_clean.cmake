@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_sim.dir/adaptive_threshold.cpp.o"
+  "CMakeFiles/fnda_sim.dir/adaptive_threshold.cpp.o.d"
+  "CMakeFiles/fnda_sim.dir/experiment.cpp.o"
+  "CMakeFiles/fnda_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/fnda_sim.dir/generators.cpp.o"
+  "CMakeFiles/fnda_sim.dir/generators.cpp.o.d"
+  "CMakeFiles/fnda_sim.dir/multi_experiment.cpp.o"
+  "CMakeFiles/fnda_sim.dir/multi_experiment.cpp.o.d"
+  "CMakeFiles/fnda_sim.dir/table.cpp.o"
+  "CMakeFiles/fnda_sim.dir/table.cpp.o.d"
+  "CMakeFiles/fnda_sim.dir/threshold_search.cpp.o"
+  "CMakeFiles/fnda_sim.dir/threshold_search.cpp.o.d"
+  "libfnda_sim.a"
+  "libfnda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

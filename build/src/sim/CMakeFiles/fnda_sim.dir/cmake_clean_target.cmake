@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfnda_sim.a"
+)

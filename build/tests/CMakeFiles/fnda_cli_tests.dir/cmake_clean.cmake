@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_cli_tests.dir/cli/args_test.cpp.o"
+  "CMakeFiles/fnda_cli_tests.dir/cli/args_test.cpp.o.d"
+  "CMakeFiles/fnda_cli_tests.dir/cli/commands_test.cpp.o"
+  "CMakeFiles/fnda_cli_tests.dir/cli/commands_test.cpp.o.d"
+  "fnda_cli_tests"
+  "fnda_cli_tests.pdb"
+  "fnda_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_common_tests.dir/common/bootstrap_test.cpp.o"
+  "CMakeFiles/fnda_common_tests.dir/common/bootstrap_test.cpp.o.d"
+  "CMakeFiles/fnda_common_tests.dir/common/ids_test.cpp.o"
+  "CMakeFiles/fnda_common_tests.dir/common/ids_test.cpp.o.d"
+  "CMakeFiles/fnda_common_tests.dir/common/logging_test.cpp.o"
+  "CMakeFiles/fnda_common_tests.dir/common/logging_test.cpp.o.d"
+  "CMakeFiles/fnda_common_tests.dir/common/money_test.cpp.o"
+  "CMakeFiles/fnda_common_tests.dir/common/money_test.cpp.o.d"
+  "CMakeFiles/fnda_common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/fnda_common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/fnda_common_tests.dir/common/statistics_test.cpp.o"
+  "CMakeFiles/fnda_common_tests.dir/common/statistics_test.cpp.o.d"
+  "fnda_common_tests"
+  "fnda_common_tests.pdb"
+  "fnda_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_core_tests.dir/core/instance_test.cpp.o"
+  "CMakeFiles/fnda_core_tests.dir/core/instance_test.cpp.o.d"
+  "CMakeFiles/fnda_core_tests.dir/core/order_book_test.cpp.o"
+  "CMakeFiles/fnda_core_tests.dir/core/order_book_test.cpp.o.d"
+  "CMakeFiles/fnda_core_tests.dir/core/outcome_test.cpp.o"
+  "CMakeFiles/fnda_core_tests.dir/core/outcome_test.cpp.o.d"
+  "CMakeFiles/fnda_core_tests.dir/core/surplus_test.cpp.o"
+  "CMakeFiles/fnda_core_tests.dir/core/surplus_test.cpp.o.d"
+  "CMakeFiles/fnda_core_tests.dir/core/validation_test.cpp.o"
+  "CMakeFiles/fnda_core_tests.dir/core/validation_test.cpp.o.d"
+  "fnda_core_tests"
+  "fnda_core_tests.pdb"
+  "fnda_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/market/audit_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/audit_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/audit_test.cpp.o.d"
+  "/root/repo/tests/market/bus_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/bus_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/bus_test.cpp.o.d"
+  "/root/repo/tests/market/cda_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/cda_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/cda_test.cpp.o.d"
+  "/root/repo/tests/market/clock_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/clock_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/clock_test.cpp.o.d"
+  "/root/repo/tests/market/exchange_fuzz_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/exchange_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/exchange_fuzz_test.cpp.o.d"
+  "/root/repo/tests/market/exchange_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/exchange_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/exchange_test.cpp.o.d"
+  "/root/repo/tests/market/identity_escrow_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/identity_escrow_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/identity_escrow_test.cpp.o.d"
+  "/root/repo/tests/market/ledger_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/ledger_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/ledger_test.cpp.o.d"
+  "/root/repo/tests/market/reliability_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/reliability_test.cpp.o.d"
+  "/root/repo/tests/market/server_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/server_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/server_test.cpp.o.d"
+  "/root/repo/tests/market/settlement_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/settlement_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/settlement_test.cpp.o.d"
+  "/root/repo/tests/market/soak_test.cpp" "tests/CMakeFiles/fnda_market_tests.dir/market/soak_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_market_tests.dir/market/soak_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/fnda_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fnda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/fnda_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/fnda_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

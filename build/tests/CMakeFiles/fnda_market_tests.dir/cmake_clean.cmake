@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_market_tests.dir/market/audit_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/audit_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/bus_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/bus_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/cda_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/cda_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/clock_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/clock_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/exchange_fuzz_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/exchange_fuzz_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/exchange_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/exchange_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/identity_escrow_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/identity_escrow_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/ledger_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/ledger_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/reliability_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/reliability_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/server_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/server_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/settlement_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/settlement_test.cpp.o.d"
+  "CMakeFiles/fnda_market_tests.dir/market/soak_test.cpp.o"
+  "CMakeFiles/fnda_market_tests.dir/market/soak_test.cpp.o.d"
+  "fnda_market_tests"
+  "fnda_market_tests.pdb"
+  "fnda_market_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_market_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

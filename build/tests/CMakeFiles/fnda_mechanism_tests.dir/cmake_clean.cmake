@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/bilateral_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/bilateral_test.cpp.o.d"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/dynamics_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/dynamics_test.cpp.o.d"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/linear_feasibility_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/linear_feasibility_test.cpp.o.d"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/manipulation_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/manipulation_test.cpp.o.d"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/multi_manipulation_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/multi_manipulation_test.cpp.o.d"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/properties_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/properties_test.cpp.o.d"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/utility_test.cpp.o"
+  "CMakeFiles/fnda_mechanism_tests.dir/mechanism/utility_test.cpp.o.d"
+  "fnda_mechanism_tests"
+  "fnda_mechanism_tests.pdb"
+  "fnda_mechanism_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_mechanism_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

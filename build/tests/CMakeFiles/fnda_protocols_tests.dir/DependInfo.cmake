@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/allocation_oracle_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/allocation_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/allocation_oracle_test.cpp.o.d"
+  "/root/repo/tests/protocols/combinatorial_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/combinatorial_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/combinatorial_test.cpp.o.d"
+  "/root/repo/tests/protocols/efficient_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/efficient_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/efficient_test.cpp.o.d"
+  "/root/repo/tests/protocols/fuzz_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/fuzz_test.cpp.o.d"
+  "/root/repo/tests/protocols/kda_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/kda_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/kda_test.cpp.o.d"
+  "/root/repo/tests/protocols/multi_unit_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/multi_unit_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/multi_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/one_sided_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/one_sided_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/one_sided_test.cpp.o.d"
+  "/root/repo/tests/protocols/pmd_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/pmd_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/pmd_test.cpp.o.d"
+  "/root/repo/tests/protocols/protocol_properties_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/protocol_properties_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/protocol_properties_test.cpp.o.d"
+  "/root/repo/tests/protocols/random_threshold_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/random_threshold_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/random_threshold_test.cpp.o.d"
+  "/root/repo/tests/protocols/threshold_sweep_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/threshold_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/threshold_sweep_test.cpp.o.d"
+  "/root/repo/tests/protocols/tie_handling_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tie_handling_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tie_handling_test.cpp.o.d"
+  "/root/repo/tests/protocols/tpd_multi_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tpd_multi_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tpd_multi_test.cpp.o.d"
+  "/root/repo/tests/protocols/tpd_rebate_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tpd_rebate_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tpd_rebate_test.cpp.o.d"
+  "/root/repo/tests/protocols/tpd_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tpd_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/tpd_test.cpp.o.d"
+  "/root/repo/tests/protocols/vcg_test.cpp" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/vcg_test.cpp.o" "gcc" "tests/CMakeFiles/fnda_protocols_tests.dir/protocols/vcg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/fnda_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fnda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanism/CMakeFiles/fnda_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/fnda_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fnda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fnda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

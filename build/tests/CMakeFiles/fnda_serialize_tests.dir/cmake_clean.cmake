@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_serialize_tests.dir/serialize/csv_test.cpp.o"
+  "CMakeFiles/fnda_serialize_tests.dir/serialize/csv_test.cpp.o.d"
+  "CMakeFiles/fnda_serialize_tests.dir/serialize/json_test.cpp.o"
+  "CMakeFiles/fnda_serialize_tests.dir/serialize/json_test.cpp.o.d"
+  "fnda_serialize_tests"
+  "fnda_serialize_tests.pdb"
+  "fnda_serialize_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_serialize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda_sim_tests.dir/sim/adaptive_threshold_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/adaptive_threshold_test.cpp.o.d"
+  "CMakeFiles/fnda_sim_tests.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/fnda_sim_tests.dir/sim/generators_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/generators_test.cpp.o.d"
+  "CMakeFiles/fnda_sim_tests.dir/sim/multi_experiment_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/multi_experiment_test.cpp.o.d"
+  "CMakeFiles/fnda_sim_tests.dir/sim/parallel_experiment_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/parallel_experiment_test.cpp.o.d"
+  "CMakeFiles/fnda_sim_tests.dir/sim/table_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/table_test.cpp.o.d"
+  "CMakeFiles/fnda_sim_tests.dir/sim/threshold_search_test.cpp.o"
+  "CMakeFiles/fnda_sim_tests.dir/sim/threshold_search_test.cpp.o.d"
+  "fnda_sim_tests"
+  "fnda_sim_tests.pdb"
+  "fnda_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fnda_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_mechanism_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_serialize_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_market_tests[1]_include.cmake")
+include("/root/repo/build/tests/fnda_protocols_tests[1]_include.cmake")

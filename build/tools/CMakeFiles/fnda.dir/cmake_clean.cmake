@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnda.dir/fnda_cli.cpp.o"
+  "CMakeFiles/fnda.dir/fnda_cli.cpp.o.d"
+  "fnda"
+  "fnda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
