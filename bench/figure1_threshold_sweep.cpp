@@ -7,6 +7,7 @@
 // total-surplus curve is flat near the peak while the except-auctioneer
 // curve falls off roughly linearly as |r - 50| grows.
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 #include "protocols/tpd.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
+#include "sim/threshold_search.h"
 
 int main() {
   using namespace fnda;
@@ -80,6 +82,58 @@ int main() {
     line[static_cast<std::size_t>(std::max(0, total_col))] = '#';
     std::cout << (thresholds[p] < 10 ? "  " : thresholds[p] < 100 ? " " : "")
               << thresholds[p] << " |" << line << "|\n";
+  }
+
+  // Timing: the same coarse sweep (21 thresholds x 200 instances) through
+  // three pipelines.  "legacy" re-sorts per protocol (the original
+  // pipeline), "shared" sorts once per instance and fans out clear_sorted,
+  // "kernel" ranks + prefix-sums once per instance and answers each
+  // threshold with two binary searches.  All three agree on the curve
+  // (the sim tests check exactness); only the work differs.
+  {
+    std::cout << "\n== Sweep timing: 21 thresholds x 200 instances, n = m = "
+              << kParticipants << " ==\n";
+    const InstanceGenerator gen =
+        fixed_count_generator(kParticipants, kParticipants);
+    ExperimentConfig sweep_config;
+    sweep_config.instances = 200;
+    sweep_config.seed = 31337;
+    auto time_ms = [](auto&& body) {
+      const auto start = std::chrono::steady_clock::now();
+      body();
+      const auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(stop - start).count();
+    };
+
+    sweep_config.shared_sort = false;
+    const double legacy_ms = time_ms([&] {
+      const ComparisonResult r = run_comparison(gen, pointers, sweep_config);
+      volatile double sink = r.pareto.mean();
+      (void)sink;
+    });
+    sweep_config.shared_sort = true;
+    const double shared_ms = time_ms([&] {
+      const ComparisonResult r = run_comparison(gen, pointers, sweep_config);
+      volatile double sink = r.pareto.mean();
+      (void)sink;
+    });
+    const double kernel_ms = time_ms([&] {
+      const std::vector<TpdSweepBook> books =
+          prepare_tpd_sweep(gen, 200, 31337);
+      double sink = 0.0;
+      for (int r = 0; r <= 100; r += kStep) {
+        sink += mean_tpd_objective(books, money(r),
+                                   ThresholdObjective::kTotalSurplus);
+      }
+      volatile double keep = sink;
+      (void)keep;
+    });
+    std::cout << "legacy (per-protocol sort): " << format_fixed(legacy_ms, 1)
+              << " ms\n"
+              << "shared sort-once:           " << format_fixed(shared_ms, 1)
+              << " ms  (" << format_fixed(legacy_ms / shared_ms, 1) << "x)\n"
+              << "sweep kernel:               " << format_fixed(kernel_ms, 1)
+              << " ms  (" << format_fixed(legacy_ms / kernel_ms, 1) << "x)\n";
   }
   return 0;
 }

@@ -5,15 +5,20 @@
 // vs PMD's k search vs the multi-unit GVA payments).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/instance.h"
 #include "protocols/efficient.h"
+#include "protocols/kda.h"
 #include "protocols/pmd.h"
 #include "protocols/random_threshold.h"
 #include "protocols/tpd.h"
 #include "protocols/tpd_multi.h"
 #include "market/bus.h"
 #include "market/zi_traders.h"
+#include "sim/experiment.h"
 #include "sim/generators.h"
+#include "sim/threshold_search.h"
 
 namespace {
 
@@ -78,6 +83,118 @@ void BM_TpdMultiClear(benchmark::State& state) {
     const MultiUnitOutcome outcome = protocol.clear(book, rng);
     benchmark::DoNotOptimize(outcome.units_traded());
   }
+}
+
+/// The Table-1 inner loop, old style: P = 4 protocols each re-rank the
+/// same book before clearing (one sort per protocol per instance).
+/// Baseline for BM_SharedSortClear; items are protocol-clears x book size
+/// in both, so items/sec ratios compare directly.
+void BM_LegacyFourProtocolClear(benchmark::State& state) {
+  const auto per_side = static_cast<std::size_t>(state.range(0));
+  const OrderBook book = make_book(per_side, 42);
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const EfficientClearing efficient;
+  const KDoubleAuction kda(0.5);
+  const std::vector<const DoubleAuctionProtocol*> protocols = {
+      &tpd, &pmd, &efficient, &kda};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    for (const DoubleAuctionProtocol* protocol : protocols) {
+      Rng rng(seed);  // common random numbers across protocols
+      const Outcome outcome = protocol->clear(book, rng);
+      benchmark::DoNotOptimize(outcome.trade_count());
+    }
+    ++seed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(protocols.size()) *
+                          static_cast<std::int64_t>(2 * per_side));
+}
+
+/// The sort-once fast path: rank the book ONCE per instance (reusing the
+/// scratch SortedBook's buffers) and hand the shared ranking to every
+/// protocol's clear_sorted.
+void BM_SharedSortClear(benchmark::State& state) {
+  const auto per_side = static_cast<std::size_t>(state.range(0));
+  const OrderBook book = make_book(per_side, 42);
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const EfficientClearing efficient;
+  const KDoubleAuction kda(0.5);
+  const std::vector<const DoubleAuctionProtocol*> protocols = {
+      &tpd, &pmd, &efficient, &kda};
+  SortedBook scratch;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng sort_rng(seed);
+    scratch.rebuild(book, sort_rng);
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      Rng clear_rng(seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+      const Outcome outcome = protocols[p]->clear_sorted(scratch, clear_rng);
+      benchmark::DoNotOptimize(outcome.trade_count());
+    }
+    ++seed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(protocols.size()) *
+                          static_cast<std::int64_t>(2 * per_side));
+}
+
+/// Figure-1 coarse sweep, old style: 21 TpdProtocol instances pushed
+/// through run_comparison on the legacy per-protocol-sort path (the
+/// original pipeline).  Items are threshold-evaluations (21 x instances)
+/// in all three Figure1Sweep benches.
+void figure1_sweep_comparison(benchmark::State& state, bool shared_sort) {
+  const auto per_side = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kInstances = 200;
+  std::vector<std::unique_ptr<TpdProtocol>> protocols;
+  std::vector<const DoubleAuctionProtocol*> pointers;
+  for (int r = 0; r <= 100; r += 5) {
+    protocols.push_back(std::make_unique<TpdProtocol>(money(r)));
+    pointers.push_back(protocols.back().get());
+  }
+  const InstanceGenerator gen = fixed_count_generator(per_side, per_side);
+  ExperimentConfig config;
+  config.instances = kInstances;
+  config.seed = 31337;
+  config.shared_sort = shared_sort;
+  for (auto _ : state) {
+    const ComparisonResult result = run_comparison(gen, pointers, config);
+    benchmark::DoNotOptimize(result.pareto.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pointers.size()) *
+                          static_cast<std::int64_t>(kInstances));
+}
+
+void BM_Figure1SweepLegacy(benchmark::State& state) {
+  figure1_sweep_comparison(state, /*shared_sort=*/false);
+}
+void BM_Figure1SweepShared(benchmark::State& state) {
+  figure1_sweep_comparison(state, /*shared_sort=*/true);
+}
+
+/// Figure-1 coarse sweep through the incremental kernel: each instance is
+/// ranked and prefix-summed once, then every threshold costs two binary
+/// searches (O(N(n log n + T log n)) total).
+void BM_Figure1SweepKernel(benchmark::State& state) {
+  const auto per_side = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kInstances = 200;
+  std::vector<Money> thresholds;
+  for (int r = 0; r <= 100; r += 5) thresholds.push_back(money(r));
+  const InstanceGenerator gen = fixed_count_generator(per_side, per_side);
+  for (auto _ : state) {
+    const std::vector<TpdSweepBook> books =
+        prepare_tpd_sweep(gen, kInstances, 31337);
+    for (Money r : thresholds) {
+      benchmark::DoNotOptimize(
+          mean_tpd_objective(books, r, ThresholdObjective::kTotalSurplus));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(thresholds.size()) *
+                          static_cast<std::int64_t>(kInstances));
 }
 
 void BM_SortedBookConstruction(benchmark::State& state) {
@@ -156,5 +273,13 @@ BENCHMARK(BM_EfficientClear)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_RandomThresholdClear)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK(BM_TpdMultiClear)->Arg(10)->Arg(100)->Arg(500);
 BENCHMARK(BM_SortedBookConstruction)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_LegacyFourProtocolClear)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_SharedSortClear)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_Figure1SweepLegacy)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Figure1SweepShared)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Figure1SweepKernel)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

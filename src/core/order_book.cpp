@@ -1,6 +1,7 @@
 #include "core/order_book.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace fnda {
@@ -21,8 +22,14 @@ BidId OrderBook::add(Side side, IdentityId identity, Money value) {
   return id;
 }
 
-SortedBook::SortedBook(const OrderBook& book, Rng& rng)
-    : domain_(book.domain()), buyers_(book.buyers()), sellers_(book.sellers()) {
+SortedBook::SortedBook(const OrderBook& book, Rng& rng) {
+  rebuild(book, rng);
+}
+
+void SortedBook::rebuild(const OrderBook& book, Rng& rng) {
+  domain_ = book.domain();
+  buyers_.assign(book.buyers().begin(), book.buyers().end());
+  sellers_.assign(book.sellers().begin(), book.sellers().end());
   // Random tie-breaking (paper footnote 5): shuffle first, then stable-sort
   // by value only.  Equal-valued bids end up in the shuffled order.
   rng.shuffle(buyers_.begin(), buyers_.end());
@@ -35,6 +42,24 @@ SortedBook::SortedBook(const OrderBook& book, Rng& rng)
                    [](const BidEntry& a, const BidEntry& b) {
                      return a.value < b.value;
                    });
+}
+
+SortedBook SortedBook::from_ranked(const ValueDomain& domain,
+                                   std::vector<BidEntry> buyers_descending,
+                                   std::vector<BidEntry> sellers_ascending) {
+  assert(std::is_sorted(buyers_descending.begin(), buyers_descending.end(),
+                        [](const BidEntry& a, const BidEntry& b) {
+                          return a.value > b.value;
+                        }));
+  assert(std::is_sorted(sellers_ascending.begin(), sellers_ascending.end(),
+                        [](const BidEntry& a, const BidEntry& b) {
+                          return a.value < b.value;
+                        }));
+  SortedBook book;
+  book.domain_ = domain;
+  book.buyers_ = std::move(buyers_descending);
+  book.sellers_ = std::move(sellers_ascending);
+  return book;
 }
 
 Money SortedBook::buyer_value(std::size_t rank) const {

@@ -67,9 +67,27 @@ class OrderBook {
 /// ranks m+1 / n+1, so protocol code reads like the paper's definitions.
 class SortedBook {
  public:
+  /// An empty ranking over the default domain; populate with `rebuild`.
+  /// Exists so hot loops can keep one SortedBook per thread and recycle
+  /// its buffers across instances.
+  SortedBook() = default;
+
   /// Sorts with random tie-breaking drawn from `rng`.  The same book and
   /// rng state always produce the same ranking (deterministic replay).
   SortedBook(const OrderBook& book, Rng& rng);
+
+  /// Re-ranks `book` in place, reusing this object's buffers (no
+  /// allocation once capacity has grown to the workload's book size).
+  /// Equivalent to assigning a freshly constructed SortedBook.
+  void rebuild(const OrderBook& book, Rng& rng);
+
+  /// Adopts vectors that are ALREADY ranked (buyers descending, sellers
+  /// ascending, ties in the desired order).  The caller vouches for the
+  /// ordering; debug builds assert it.  Used by callers that maintain a
+  /// ranked view incrementally instead of re-sorting from scratch.
+  static SortedBook from_ranked(const ValueDomain& domain,
+                                std::vector<BidEntry> buyers_descending,
+                                std::vector<BidEntry> sellers_ascending);
 
   std::size_t buyer_count() const { return buyers_.size(); }   // m
   std::size_t seller_count() const { return sellers_.size(); }  // n

@@ -40,6 +40,11 @@ class Outcome {
   void add_buy(BidId bid, IdentityId identity, Money price);
   void add_sell(BidId bid, IdentityId identity, Money price);
 
+  /// Pre-sizes the fill vector for `trades` buyer+seller fill pairs.
+  /// Protocols that know their trade count up front call this so the hot
+  /// Monte-Carlo loops do not grow the container incrementally.
+  void reserve(std::size_t trades);
+
   const std::vector<Fill>& fills() const { return fills_; }
 
   /// Number of units traded (buyer-side fills; equal to seller-side fills
@@ -83,13 +88,23 @@ class Outcome {
     Money received;
   };
 
+  /// The per-identity / per-bid lookup tables are derived views over
+  /// `fills_`, built lazily on the first query (and invalidated by later
+  /// add_buy/add_sell).  The Monte-Carlo hot loops never query them —
+  /// surplus and validation both iterate `fills()` directly — so clearing
+  /// stays a plain vector append with no hashing.  Lazy build is not
+  /// thread-safe; outcomes are per-thread values everywhere in this
+  /// codebase.
+  void ensure_aggregates() const;
+
   std::vector<Fill> fills_;
   std::size_t buy_count_ = 0;
   std::size_t sell_count_ = 0;
   Money buyer_payments_;
   Money seller_receipts_;
-  std::unordered_map<IdentityId, PerIdentity> per_identity_;
-  std::unordered_map<BidId, std::size_t> fills_per_bid_;
+  mutable bool aggregates_built_ = false;
+  mutable std::unordered_map<IdentityId, PerIdentity> per_identity_;
+  mutable std::unordered_map<BidId, std::size_t> fills_per_bid_;
   std::unordered_map<IdentityId, Money> rebates_;
   Money rebates_total_;
 };

@@ -7,44 +7,26 @@
 namespace fnda {
 namespace {
 
-/// Builds the book where every agent except the manipulator bids
-/// truthfully and the manipulator submits `strategy`, then returns the
-/// manipulator's aggregate position after clearing.
-AccountPosition clear_and_aggregate(const DoubleAuctionProtocol& protocol,
-                                    const SingleUnitInstance& instance,
-                                    const ManipulatorSpec& manipulator,
-                                    const Strategy& strategy, Rng& rng) {
-  OrderBook book(instance.domain);
-  for (std::size_t i = 0; i < instance.buyer_values.size(); ++i) {
-    if (manipulator.role == Side::kBuyer && manipulator.index == i) continue;
-    book.add_buyer(IdentityId{i}, instance.buyer_values[i]);
-  }
-  for (std::size_t j = 0; j < instance.seller_values.size(); ++j) {
-    if (manipulator.role == Side::kSeller && manipulator.index == j) continue;
-    book.add_seller(IdentityId{kSellerIdentityBase + j},
-                    instance.seller_values[j]);
-  }
+constexpr std::uint64_t kReplicateGamma = 0x9e3779b97f4a7c15ULL;
 
-  std::vector<IdentityId> own_identities;
-  own_identities.reserve(strategy.declarations.size());
-  for (std::size_t d = 0; d < strategy.declarations.size(); ++d) {
-    const IdentityId identity{kExtraIdentityBase + d};
-    own_identities.push_back(identity);
-    book.add(strategy.declarations[d].side, identity,
-             strategy.declarations[d].value);
-  }
-
-  const Outcome outcome = protocol.clear(book, rng);
-
-  AccountPosition position;
-  for (IdentityId identity : own_identities) {
-    position.bought += outcome.units_bought(identity);
-    position.sold += outcome.units_sold(identity);
-    position.paid += outcome.paid_by(identity);
-    position.received += outcome.received_by(identity);
-    position.received += outcome.rebate_of(identity);  // rebate protocols
-  }
-  return position;
+/// Inserts `entry` into a ranked vector at a uniformly random position
+/// within its equal-value run (the only positions that keep the ordering
+/// valid).  Sequential uniform insertion of each own entry yields a
+/// uniform interleaving with the residual ties, matching the footnote-5
+/// "shuffle then stable sort" semantics conditioned on the residual order.
+template <typename Compare>
+void insert_with_random_tie(std::vector<BidEntry>& ranked,
+                            const BidEntry& entry, Compare value_before,
+                            Rng& rng) {
+  const auto lo = std::lower_bound(
+      ranked.begin(), ranked.end(), entry.value,
+      [&](const BidEntry& e, Money v) { return value_before(e.value, v); });
+  const auto hi = std::upper_bound(
+      lo, ranked.end(), entry.value,
+      [&](Money v, const BidEntry& e) { return value_before(v, e.value); });
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  const auto offset = static_cast<std::ptrdiff_t>(rng.below(span + 1));
+  ranked.insert(lo + offset, entry);
 }
 
 }  // namespace
@@ -67,16 +49,91 @@ DeviationEvaluator::DeviationEvaluator(const DoubleAuctionProtocol& protocol,
   if (config_.replicates == 0) {
     throw std::invalid_argument("DeviationEvaluator: replicates must be > 0");
   }
+
+  // Rank the residual book (everyone but the manipulator) once per
+  // replicate.  Every strategy evaluation reuses these rankings; only the
+  // manipulator's own declarations are merged in per strategy.
+  OrderBook residual(instance_.domain);
+  for (std::size_t i = 0; i < instance_.buyer_values.size(); ++i) {
+    if (manipulator_.role == Side::kBuyer && manipulator_.index == i) continue;
+    residual.add_buyer(IdentityId{i}, instance_.buyer_values[i]);
+  }
+  for (std::size_t j = 0; j < instance_.seller_values.size(); ++j) {
+    if (manipulator_.role == Side::kSeller && manipulator_.index == j) continue;
+    residual.add_seller(IdentityId{kSellerIdentityBase + j},
+                        instance_.seller_values[j]);
+  }
+
+  replicates_.reserve(config_.replicates);
+  for (std::size_t t = 0; t < config_.replicates; ++t) {
+    Rng rng(config_.seed + kReplicateGamma * t);
+    ResidualRanking ranking;
+    const SortedBook sorted(residual, rng);
+    ranking.buyers = sorted.buyers();
+    ranking.sellers = sorted.sellers();
+    ranking.insert_seed = rng();
+    ranking.clear_seed = rng();
+    replicates_.push_back(std::move(ranking));
+  }
+}
+
+AccountPosition DeviationEvaluator::clear_with(const ResidualRanking& residual,
+                                               const Strategy& strategy) const {
+  merged_buyers_.assign(residual.buyers.begin(), residual.buyers.end());
+  merged_sellers_.assign(residual.sellers.begin(), residual.sellers.end());
+
+  // BidIds in the residual ranking are 0..residual_total-1 (OrderBook
+  // insertion order); own declarations continue the sequence.
+  const std::uint64_t bid_base =
+      static_cast<std::uint64_t>(residual.buyers.size() +
+                                 residual.sellers.size());
+  Rng insert_rng(residual.insert_seed);
+  std::vector<IdentityId> own_identities;
+  own_identities.reserve(strategy.declarations.size());
+  for (std::size_t d = 0; d < strategy.declarations.size(); ++d) {
+    const Declaration& decl = strategy.declarations[d];
+    if (decl.value < instance_.domain.lowest ||
+        decl.value > instance_.domain.highest) {
+      throw std::invalid_argument(
+          "DeviationEvaluator: declaration outside the value domain");
+    }
+    const BidEntry entry{BidId{bid_base + d}, IdentityId{kExtraIdentityBase + d},
+                         decl.value};
+    own_identities.push_back(entry.identity);
+    if (decl.side == Side::kBuyer) {
+      insert_with_random_tie(merged_buyers_, entry,
+                             [](Money a, Money b) { return a > b; },
+                             insert_rng);
+    } else {
+      insert_with_random_tie(merged_sellers_, entry,
+                             [](Money a, Money b) { return a < b; },
+                             insert_rng);
+    }
+  }
+
+  const SortedBook book = SortedBook::from_ranked(
+      instance_.domain, std::move(merged_buyers_), std::move(merged_sellers_));
+  Rng clear_rng(residual.clear_seed);
+  const Outcome outcome = protocol_.clear_sorted(book, clear_rng);
+
+  AccountPosition position;
+  for (IdentityId identity : own_identities) {
+    position.bought += outcome.units_bought(identity);
+    position.sold += outcome.units_sold(identity);
+    position.paid += outcome.paid_by(identity);
+    position.received += outcome.received_by(identity);
+    position.received += outcome.rebate_of(identity);  // rebate protocols
+  }
+  return position;
 }
 
 double DeviationEvaluator::evaluate(const Strategy& strategy) const {
-  // Common random numbers: replicate t always uses the same stream, so
-  // strategy comparisons are not polluted by tie-breaking noise.
+  // Common random numbers: replicate t always uses the same residual
+  // ranking and the same insertion/clearing streams, so strategy
+  // comparisons are not polluted by tie-breaking noise.
   double total = 0.0;
-  for (std::size_t t = 0; t < config_.replicates; ++t) {
-    Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL * t);
-    const AccountPosition position = clear_and_aggregate(
-        protocol_, instance_, manipulator_, strategy, rng);
+  for (const ResidualRanking& residual : replicates_) {
+    const AccountPosition position = clear_with(residual, strategy);
     total += config_.utility.evaluate(manipulator_.role, true_value_, position);
   }
   return total / static_cast<double>(config_.replicates);

@@ -37,6 +37,17 @@ struct EvalConfig {
 };
 
 /// Evaluates strategies for one (protocol, instance, manipulator) triple.
+///
+/// Sort-once: the residual book (everyone except the manipulator, all
+/// truthful) is identical for every strategy, so its random-tie ranking is
+/// computed ONCE per replicate at construction.  Evaluating a strategy
+/// then merge-inserts the manipulator's declarations into a copy of that
+/// ranking — each at a uniformly random position within its equal-value
+/// run, reproducing the paper's footnote-5 tie semantics — and hands the
+/// already-ranked book to `clear_sorted`.  Per strategy that is O(n)
+/// instead of the naive O(n log n) rebuild-and-sort.
+///
+/// Not thread-safe: evaluate() reuses internal scratch buffers.
 class DeviationEvaluator {
  public:
   DeviationEvaluator(const DoubleAuctionProtocol& protocol,
@@ -55,11 +66,28 @@ class DeviationEvaluator {
   const SingleUnitInstance& instance() const { return instance_; }
 
  private:
+  /// One replicate's frozen view of the non-manipulator market: ranked
+  /// residual entries plus the seeds for the strategy-insertion and
+  /// protocol-internal randomness streams (fixed per replicate, so all
+  /// strategies share them — common random numbers).
+  struct ResidualRanking {
+    std::vector<BidEntry> buyers;   // descending, ties in replicate order
+    std::vector<BidEntry> sellers;  // ascending, ties in replicate order
+    std::uint64_t insert_seed = 0;
+    std::uint64_t clear_seed = 0;
+  };
+
+  AccountPosition clear_with(const ResidualRanking& residual,
+                             const Strategy& strategy) const;
+
   const DoubleAuctionProtocol& protocol_;
   SingleUnitInstance instance_;
   ManipulatorSpec manipulator_;
   EvalConfig config_;
   Money true_value_;
+  std::vector<ResidualRanking> replicates_;
+  mutable std::vector<BidEntry> merged_buyers_;   // scratch
+  mutable std::vector<BidEntry> merged_sellers_;  // scratch
 };
 
 /// Search-space parameters for find_best_deviation.

@@ -2,15 +2,15 @@
 
 namespace fnda {
 
-Outcome EfficientClearing::clear(const OrderBook& book, Rng& rng) const {
-  const SortedBook sorted(book, rng);
-  return clear_sorted(sorted);
+Outcome EfficientClearing::clear_sorted(const SortedBook& book, Rng&) const {
+  return clear_sorted(book);
 }
 
 Outcome EfficientClearing::clear_sorted(const SortedBook& book) {
   Outcome outcome;
   const std::size_t k = book.efficient_trade_count();
   if (k == 0) return outcome;
+  outcome.reserve(k);
   // Any price in [s(k), b(k)] clears all k trades; the midpoint splits the
   // marginal pair's surplus evenly.
   const Money price =

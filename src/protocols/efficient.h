@@ -16,7 +16,9 @@ class EfficientClearing final : public DoubleAuctionProtocol {
  public:
   EfficientClearing() = default;
 
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// Sort-once fast path; `clear` is the inherited sort-and-forward
+  /// wrapper.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "efficient"; }
 
   static Outcome clear_sorted(const SortedBook& book);

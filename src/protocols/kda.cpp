@@ -8,15 +8,15 @@ namespace fnda {
 KDoubleAuction::KDoubleAuction(double theta)
     : theta_(std::clamp(theta, 0.0, 1.0)) {}
 
-Outcome KDoubleAuction::clear(const OrderBook& book, Rng& rng) const {
-  const SortedBook sorted(book, rng);
-  return clear_sorted(sorted, theta_);
+Outcome KDoubleAuction::clear_sorted(const SortedBook& book, Rng&) const {
+  return clear_sorted(book, theta_);
 }
 
 Outcome KDoubleAuction::clear_sorted(const SortedBook& book, double theta) {
   Outcome outcome;
   const std::size_t k = book.efficient_trade_count();
   if (k == 0) return outcome;
+  outcome.reserve(k);
 
   // p = theta * b(k) + (1 - theta) * s(k), rounded to a micro-unit.
   // b(k) >= s(k), so p lies in [s(k), b(k)] and IR holds on both sides.

@@ -21,7 +21,9 @@ class KDoubleAuction final : public DoubleAuctionProtocol {
   /// clamped to [0, 1].  theta = 0.5 is the split-the-difference auction.
   explicit KDoubleAuction(double theta = 0.5);
 
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// Sort-once fast path; `clear` is the inherited sort-and-forward
+  /// wrapper.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "kda"; }
 
   double theta() const { return theta_; }

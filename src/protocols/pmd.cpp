@@ -2,15 +2,15 @@
 
 namespace fnda {
 
-Outcome PmdProtocol::clear(const OrderBook& book, Rng& rng) const {
-  const SortedBook sorted(book, rng);
-  return clear_sorted(sorted);
+Outcome PmdProtocol::clear_sorted(const SortedBook& book, Rng&) const {
+  return clear_sorted(book);
 }
 
 Outcome PmdProtocol::clear_sorted(const SortedBook& book) {
   Outcome outcome;
   const std::size_t k = book.efficient_trade_count();
   if (k == 0) return outcome;
+  outcome.reserve(k);
 
   // Sentinel ranks are valid: buyer_value(m+1) / seller_value(n+1) return
   // the domain bounds, exactly the paper's b(m+1) / s(n+1).

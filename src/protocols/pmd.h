@@ -23,7 +23,9 @@ class PmdProtocol final : public DoubleAuctionProtocol {
  public:
   PmdProtocol() = default;
 
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// Sort-once fast path; `clear` is the inherited sort-and-forward
+  /// wrapper.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "pmd"; }
 
   /// Deterministic core on an already-ranked book; exposed so tests can

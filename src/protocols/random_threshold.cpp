@@ -7,24 +7,32 @@ namespace fnda {
 RandomThresholdProtocol::RandomThresholdProtocol(Money threshold)
     : threshold_(threshold) {}
 
-Outcome RandomThresholdProtocol::clear(const OrderBook& book, Rng& rng) const {
+Outcome RandomThresholdProtocol::clear_sorted(const SortedBook& book,
+                                              Rng& rng) const {
   Outcome outcome;
   const Money r = threshold_;
 
+  // The ranking puts every eligible buyer in ranks 1..i and every
+  // eligible seller in ranks 1..j, so eligibility needs no scan.
+  const std::size_t i = book.buyers_at_or_above(r);
+  const std::size_t j = book.sellers_at_or_below(r);
+
   std::vector<const BidEntry*> eligible_buyers;
   std::vector<const BidEntry*> eligible_sellers;
-  for (const BidEntry& e : book.buyers()) {
-    if (e.value >= r) eligible_buyers.push_back(&e);
+  eligible_buyers.reserve(i);
+  eligible_sellers.reserve(j);
+  for (std::size_t rank = 1; rank <= i; ++rank) {
+    eligible_buyers.push_back(&book.buyer(rank));
   }
-  for (const BidEntry& e : book.sellers()) {
-    if (e.value <= r) eligible_sellers.push_back(&e);
+  for (std::size_t rank = 1; rank <= j; ++rank) {
+    eligible_sellers.push_back(&book.seller(rank));
   }
 
-  const std::size_t trades =
-      std::min(eligible_buyers.size(), eligible_sellers.size());
+  const std::size_t trades = std::min(i, j);
   rng.shuffle(eligible_buyers.begin(), eligible_buyers.end());
   rng.shuffle(eligible_sellers.begin(), eligible_sellers.end());
 
+  outcome.reserve(trades);
   for (std::size_t t = 0; t < trades; ++t) {
     outcome.add_buy(eligible_buyers[t]->id, eligible_buyers[t]->identity, r);
     outcome.add_sell(eligible_sellers[t]->id, eligible_sellers[t]->identity,

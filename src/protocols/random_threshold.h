@@ -20,7 +20,12 @@ class RandomThresholdProtocol final : public DoubleAuctionProtocol {
  public:
   explicit RandomThresholdProtocol(Money threshold);
 
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// Sort-once fast path: the eligible sets are exactly the top
+  /// `buyers_at_or_above(r)` / `sellers_at_or_below(r)` ranks, so the
+  /// lottery draws directly from rank prefixes.  `rng` supplies the
+  /// lottery only (tie-breaking is frozen into the ranking); `clear` is
+  /// the inherited sort-and-forward wrapper.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "random-threshold"; }
 
   Money threshold() const { return threshold_; }

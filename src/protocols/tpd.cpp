@@ -1,12 +1,13 @@
 #include "protocols/tpd.h"
 
+#include <algorithm>
+
 namespace fnda {
 
 TpdProtocol::TpdProtocol(Money threshold) : threshold_(threshold) {}
 
-Outcome TpdProtocol::clear(const OrderBook& book, Rng& rng) const {
-  const SortedBook sorted(book, rng);
-  return clear_sorted(sorted, threshold_);
+Outcome TpdProtocol::clear_sorted(const SortedBook& book, Rng&) const {
+  return clear_sorted(book, threshold_);
 }
 
 Outcome TpdProtocol::clear_sorted(const SortedBook& book, Money threshold) {
@@ -14,6 +15,7 @@ Outcome TpdProtocol::clear_sorted(const SortedBook& book, Money threshold) {
   const Money r = threshold;
   const std::size_t i = book.buyers_at_or_above(r);
   const std::size_t j = book.sellers_at_or_below(r);
+  outcome.reserve(std::min(i, j));
 
   if (i == j) {
     // Balanced around r: everyone eligible trades at r, budget balanced.

@@ -25,7 +25,10 @@ class TpdProtocol final : public DoubleAuctionProtocol {
   /// the declarations; this class simply holds the chosen value.
   explicit TpdProtocol(Money threshold);
 
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// Sort-once fast path: TPD is a pure function of the ranking, so the
+  /// inherited `clear` wrapper (sort, then forward here) is the raw-book
+  /// entry point.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "tpd"; }
 
   Money threshold() const { return threshold_; }

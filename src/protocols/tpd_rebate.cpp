@@ -8,7 +8,7 @@ namespace {
 /// TPD auctioneer revenue of `book` with the declaration of `skip`
 /// removed.  Deterministic: uses its own fixed tie-break stream (revenue
 /// depends only on values, not on tie order).
-Money revenue_without(const OrderBook& book, IdentityId skip,
+Money revenue_without(const SortedBook& book, IdentityId skip,
                       Money threshold) {
   OrderBook reduced(book.domain());
   for (const BidEntry& entry : book.buyers()) {
@@ -30,14 +30,15 @@ Money revenue_without(const OrderBook& book, IdentityId skip,
 
 TpdWithRebates::TpdWithRebates(Money threshold) : threshold_(threshold) {}
 
-Outcome TpdWithRebates::clear(const OrderBook& book, Rng& rng) const {
-  Outcome outcome = TpdProtocol(threshold_).clear(book, rng);
+Outcome TpdWithRebates::clear_sorted(const SortedBook& book, Rng&) const {
+  Outcome outcome = TpdProtocol::clear_sorted(book, threshold_);
 
   // One rebate per participating identity (an identity with several
   // declarations would collect once per declaration — which is exactly
   // the vulnerability this module demonstrates, since identities are
   // free to mint).
   std::vector<IdentityId> identities;
+  identities.reserve(book.buyer_count() + book.seller_count());
   for (const BidEntry& entry : book.buyers()) {
     identities.push_back(entry.identity);
   }

@@ -29,8 +29,10 @@ class TpdWithRebates final : public DoubleAuctionProtocol {
   /// declaration removed (same threshold) and N is the number of
   /// participating identities.  Rebates can exceed the collected revenue
   /// on some books, so outcomes may run a deficit — validate with
-  /// ValidationOptions{.allow_deficit = true}.
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// ValidationOptions{.allow_deficit = true}.  Both the trades and the
+  /// rebates are functions of the ranking alone, so this rides the
+  /// sort-once fast path; `clear` is the inherited wrapper.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "tpd-rebate"; }
 
   Money threshold() const { return threshold_; }

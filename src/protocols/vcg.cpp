@@ -4,9 +4,8 @@
 
 namespace fnda {
 
-Outcome VcgDoubleAuction::clear(const OrderBook& book, Rng& rng) const {
-  const SortedBook sorted(book, rng);
-  return clear_sorted(sorted);
+Outcome VcgDoubleAuction::clear_sorted(const SortedBook& book, Rng&) const {
+  return clear_sorted(book);
 }
 
 Money VcgDoubleAuction::buyer_price(const SortedBook& book) {
@@ -23,6 +22,7 @@ Outcome VcgDoubleAuction::clear_sorted(const SortedBook& book) {
   Outcome outcome;
   const std::size_t k = book.efficient_trade_count();
   if (k == 0) return outcome;
+  outcome.reserve(k);
   const Money pay = buyer_price(book);
   const Money get = seller_price(book);
   for (std::size_t rank = 1; rank <= k; ++rank) {

@@ -27,7 +27,9 @@ class VcgDoubleAuction final : public DoubleAuctionProtocol {
  public:
   VcgDoubleAuction() = default;
 
-  Outcome clear(const OrderBook& book, Rng& rng) const override;
+  /// Sort-once fast path; `clear` is the inherited sort-and-forward
+  /// wrapper.
+  Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "vcg"; }
 
   static Outcome clear_sorted(const SortedBook& book);

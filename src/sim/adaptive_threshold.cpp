@@ -16,6 +16,11 @@ AdaptiveThresholdPolicy::AdaptiveThresholdPolicy(Money initial,
 }
 
 void AdaptiveThresholdPolicy::observe(const SortedBook& book) {
+  if (window_capacity_ > 0) {
+    window_.emplace_back(book);
+    while (window_.size() > window_capacity_) window_.pop_front();
+  }
+
   const std::size_t k = book.efficient_trade_count();
   if (k == 0) return;  // no crossing pair: nothing learned
   const Money target =
@@ -26,6 +31,31 @@ void AdaptiveThresholdPolicy::observe(const SortedBook& book) {
   current_ = Money::from_micros(static_cast<std::int64_t>(
       std::llround(updated)));
   ++observations_;
+}
+
+void AdaptiveThresholdPolicy::set_window_capacity(std::size_t capacity) {
+  window_capacity_ = capacity;
+  while (window_.size() > window_capacity_) window_.pop_front();
+}
+
+Money AdaptiveThresholdPolicy::recalibrate(std::span<const Money> candidates,
+                                           ThresholdObjective objective) {
+  if (window_.empty() || candidates.empty()) return current_;
+
+  Money best = current_;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (Money r : candidates) {
+    double value = 0.0;
+    for (const TpdSweepBook& book : window_) {
+      value += book.evaluate(r).objective(objective);
+    }
+    if (value > best_value) {
+      best_value = value;
+      best = r;
+    }
+  }
+  current_ = best;
+  return current_;
 }
 
 }  // namespace fnda

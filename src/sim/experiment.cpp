@@ -29,22 +29,46 @@ double ComparisonResult::ratio_except_auctioneer(
 
 namespace {
 
+constexpr std::uint64_t kStreamGamma = 0x9e3779b97f4a7c15ULL;
+
+/// Per-worker reusable buffers: the shared ranking is rebuilt in place
+/// each instance, so steady-state clearing allocates only the outcomes.
+struct ClearScratch {
+  SortedBook sorted;
+};
+
 /// Scores one instance into `result` (accumulators only; caller provides
 /// the rng streams so sequential and parallel paths can differ in how
 /// they derive them).
+///
+/// Shared-sort path: `market.book` is ranked once from `pareto_rng` and
+/// the resulting SortedBook feeds the Pareto surplus AND every protocol's
+/// `clear_sorted`; protocol p draws its internal randomness from a stream
+/// split off `clear_seed` by index.  Legacy path: the Pareto book is
+/// sorted from `pareto_rng` and every protocol re-sorts from an identical
+/// Rng(clear_seed) (common random numbers), exactly the original
+/// pipeline.
 void score_instance(const SingleUnitInstance& instance,
                     const std::vector<const DoubleAuctionProtocol*>& protocols,
                     const ExperimentConfig& config, Rng& pareto_rng,
-                    std::uint64_t clear_seed, ComparisonResult& result) {
+                    std::uint64_t clear_seed, ClearScratch& scratch,
+                    ComparisonResult& result) {
   const InstantiatedMarket market = instantiate_truthful(instance);
-  const SortedBook true_book(market.book, pareto_rng);
+  scratch.sorted.rebuild(market.book, pareto_rng);
+  const SortedBook& true_book = scratch.sorted;
   result.pareto.add(efficient_surplus(true_book));
   result.pareto_trades.add(
       static_cast<double>(true_book.efficient_trade_count()));
 
   for (std::size_t p = 0; p < protocols.size(); ++p) {
-    Rng clear_rng(clear_seed);
-    const Outcome outcome = protocols[p]->clear(market.book, clear_rng);
+    Outcome outcome;
+    if (config.shared_sort) {
+      Rng clear_rng(clear_seed ^ (kStreamGamma * (p + 1)));
+      outcome = protocols[p]->clear_sorted(true_book, clear_rng);
+    } else {
+      Rng clear_rng(clear_seed);
+      outcome = protocols[p]->clear(market.book, clear_rng);
+    }
     if (config.validate) {
       expect_valid_outcome(market.book, outcome, config.validation);
     }
@@ -110,6 +134,7 @@ ComparisonResult run_comparison_parallel(
 
   auto worker = [&](std::size_t thread_index) {
     try {
+      ClearScratch scratch;  // reused across every instance this thread runs
       while (true) {
         const std::size_t block = next_block.fetch_add(1);
         if (block >= blocks) return;
@@ -117,12 +142,12 @@ ComparisonResult run_comparison_parallel(
         const std::size_t end = config.instances * (block + 1) / blocks;
         for (std::size_t run = begin; run < end; ++run) {
           // Counter-based derivation: independent of scheduling.
-          Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (run + 1)));
+          Rng rng(config.seed ^ (kStreamGamma * (run + 1)));
           const SingleUnitInstance instance = generator(rng);
           Rng pareto_rng = rng.split();
           const std::uint64_t clear_seed = rng();
           score_instance(instance, protocols, config, pareto_rng, clear_seed,
-                         partials[block]);
+                         scratch, partials[block]);
         }
       }
     } catch (...) {
@@ -149,43 +174,19 @@ ComparisonResult run_comparison(
     const InstanceGenerator& generator,
     const std::vector<const DoubleAuctionProtocol*>& protocols,
     const ExperimentConfig& config) {
-  ComparisonResult result;
-  result.protocols.reserve(protocols.size());
-  for (const DoubleAuctionProtocol* protocol : protocols) {
-    ProtocolSummary summary;
-    summary.name = protocol->name();
-    result.protocols.push_back(std::move(summary));
-  }
+  ComparisonResult result = make_result_shell(protocols);
+  ClearScratch scratch;
 
   Rng rng(config.seed);
   for (std::size_t run = 0; run < config.instances; ++run) {
     const SingleUnitInstance instance = generator(rng);
-    const InstantiatedMarket market = instantiate_truthful(instance);
-
     // The Pareto benchmark uses the true-value ranking (declared == true
-    // here, since the experiment assumes no false-name bids, Section 7).
+    // here, since the experiment assumes no false-name bids, Section 7);
+    // under shared_sort the same ranking also feeds every protocol.
     Rng pareto_rng = rng.split();
-    const SortedBook true_book(market.book, pareto_rng);
-    result.pareto.add(efficient_surplus(true_book));
-    result.pareto_trades.add(
-        static_cast<double>(true_book.efficient_trade_count()));
-
-    // Same tie-break stream for every protocol (common random numbers).
     const std::uint64_t clear_seed = rng();
-    for (std::size_t p = 0; p < protocols.size(); ++p) {
-      Rng clear_rng(clear_seed);
-      const Outcome outcome = protocols[p]->clear(market.book, clear_rng);
-      if (config.validate) {
-        expect_valid_outcome(market.book, outcome, config.validation);
-      }
-
-      const SurplusReport surplus = realized_surplus(outcome, market.truth);
-      ProtocolSummary& summary = result.protocols[p];
-      summary.total.add(surplus.total);
-      summary.except_auctioneer.add(surplus.except_auctioneer);
-      summary.auctioneer.add(surplus.auctioneer);
-      summary.trades.add(static_cast<double>(outcome.trade_count()));
-    }
+    score_instance(instance, protocols, config, pareto_rng, clear_seed,
+                   scratch, result);
   }
   return result;
 }

@@ -1,26 +1,115 @@
 #include "sim/threshold_search.h"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
-#include "protocols/tpd.h"
-#include "sim/experiment.h"
+#include "common/statistics.h"
 
 namespace fnda {
+
+TpdSweepBook::TpdSweepBook(const SortedBook& book) {
+  buyers_desc_.reserve(book.buyer_count());
+  for (const BidEntry& entry : book.buyers()) {
+    buyers_desc_.push_back(entry.value);
+  }
+  sellers_asc_.reserve(book.seller_count());
+  for (const BidEntry& entry : book.sellers()) {
+    sellers_asc_.push_back(entry.value);
+  }
+  prepare();
+}
+
+TpdSweepBook::TpdSweepBook(const SingleUnitInstance& instance)
+    : buyers_desc_(instance.buyer_values),
+      sellers_asc_(instance.seller_values) {
+  std::sort(buyers_desc_.begin(), buyers_desc_.end(), std::greater<>());
+  std::sort(sellers_asc_.begin(), sellers_asc_.end());
+  prepare();
+}
+
+void TpdSweepBook::prepare() {
+  const std::size_t limit = std::min(buyers_desc_.size(), sellers_asc_.size());
+  pair_surplus_prefix_.assign(limit + 1, 0);
+  for (std::size_t t = 0; t < limit; ++t) {
+    pair_surplus_prefix_[t + 1] =
+        pair_surplus_prefix_[t] +
+        (buyers_desc_[t] - sellers_asc_[t]).micros();
+  }
+}
+
+TpdThresholdOutcome TpdSweepBook::evaluate(Money r) const {
+  // i = |{b >= r}|: buyers_desc_ is descending, so the eligible prefix
+  // ends at the first value strictly below r.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(buyers_desc_.begin(), buyers_desc_.end(), r,
+                       [](Money value, Money threshold) {
+                         return value >= threshold;
+                       }) -
+      buyers_desc_.begin());
+  // j = |{s <= r}|.
+  const std::size_t j = static_cast<std::size_t>(
+      std::lower_bound(sellers_asc_.begin(), sellers_asc_.end(), r,
+                       [](Money value, Money threshold) {
+                         return value <= threshold;
+                       }) -
+      sellers_asc_.begin());
+
+  TpdThresholdOutcome outcome;
+  outcome.trades = std::min(i, j);
+  outcome.total = Money::from_micros(pair_surplus_prefix_[outcome.trades]);
+  if (i > j) {
+    // Sellers are the short side: each buyer pays b(j+1) (>= r since
+    // j + 1 <= i), each seller receives r.
+    outcome.auctioneer =
+        static_cast<std::int64_t>(j) * (buyers_desc_[j] - r);
+  } else if (i < j) {
+    // Buyers are the short side: each buyer pays r, each seller receives
+    // s(i+1) (<= r since i + 1 <= j).
+    outcome.auctioneer =
+        static_cast<std::int64_t>(i) * (r - sellers_asc_[i]);
+  }
+  return outcome;
+}
+
+std::vector<TpdThresholdOutcome> sweep_tpd_surplus(
+    const SortedBook& book, std::span<const Money> thresholds) {
+  const TpdSweepBook prepared(book);
+  std::vector<TpdThresholdOutcome> results;
+  results.reserve(thresholds.size());
+  for (Money r : thresholds) {
+    results.push_back(prepared.evaluate(r));
+  }
+  return results;
+}
+
+std::vector<TpdSweepBook> prepare_tpd_sweep(const InstanceGenerator& generator,
+                                            std::size_t instances,
+                                            std::uint64_t seed) {
+  std::vector<TpdSweepBook> books;
+  books.reserve(instances);
+  Rng rng(seed);
+  for (std::size_t run = 0; run < instances; ++run) {
+    books.emplace_back(generator(rng));
+  }
+  return books;
+}
+
+double mean_tpd_objective(std::span<const TpdSweepBook> books, Money r,
+                          ThresholdObjective objective) {
+  RunningStats stats;
+  for (const TpdSweepBook& book : books) {
+    stats.add(book.evaluate(r).objective(objective));
+  }
+  return stats.mean();
+}
 
 double expected_tpd_surplus(const InstanceGenerator& generator, Money r,
                             ThresholdObjective objective,
                             std::size_t instances, std::uint64_t seed) {
-  const TpdProtocol tpd(r);
-  ExperimentConfig config;
-  config.instances = instances;
-  config.seed = seed;
-  config.validate = false;  // hot loop; invariants are covered by tests
-  const ComparisonResult result = run_comparison(generator, {&tpd}, config);
-  const ProtocolSummary& summary = result.protocols.front();
-  return objective == ThresholdObjective::kTotalSurplus
-             ? summary.total.mean()
-             : summary.except_auctioneer.mean();
+  const std::vector<TpdSweepBook> books =
+      prepare_tpd_sweep(generator, instances, seed);
+  return mean_tpd_objective(books, r, objective);
 }
 
 ThresholdSearchResult optimize_threshold(const InstanceGenerator& generator,
@@ -29,10 +118,12 @@ ThresholdSearchResult optimize_threshold(const InstanceGenerator& generator,
     throw std::invalid_argument("optimize_threshold: bad config");
   }
 
+  // One instance draw + one rank/prefix pass, shared by the coarse sweep
+  // AND every golden-section probe (common random numbers, sort-once).
+  const std::vector<TpdSweepBook> books =
+      prepare_tpd_sweep(generator, config.instances_per_eval, config.seed);
   auto evaluate = [&](Money r) {
-    // Same seed for every candidate: common random numbers.
-    return expected_tpd_surplus(generator, r, config.objective,
-                                config.instances_per_eval, config.seed);
+    return mean_tpd_objective(books, r, config.objective);
   };
 
   ThresholdSearchResult result;

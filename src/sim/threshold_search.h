@@ -6,11 +6,21 @@
 // same instance set for every candidate r, so the curve is smooth and
 // comparable), then refines the best coarse grid point by golden-section
 // search.
+//
+// The estimator rides an incremental sweep kernel rather than re-clearing
+// the book per candidate: TPD's outcome at threshold r depends only on
+// the counts i = |{b >= r}|, j = |{s <= r}| over ONE ranked book, so after
+// an O(n log n) preparation (rank + prefix-sum the pairwise surpluses)
+// every candidate threshold costs two binary searches.  A T-candidate
+// sweep over N instances is O(N * (n log n + T log n)) instead of the
+// naive O(T * N * n log n).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/money.h"
+#include "core/order_book.h"
 #include "sim/generators.h"
 
 namespace fnda {
@@ -19,6 +29,69 @@ enum class ThresholdObjective {
   kTotalSurplus,            ///< include the auctioneer's revenue
   kSurplusExceptAuctioneer  ///< what the traders keep (Figure 1's lower curve)
 };
+
+/// TPD's surplus decomposition at one threshold on one book, in exact
+/// fixed-point arithmetic (truthful declarations, so declared surplus is
+/// realized surplus).
+struct TpdThresholdOutcome {
+  Money total;       ///< sum of (b - s) over executed trades
+  Money auctioneer;  ///< revenue kept by the budget balancer
+  std::size_t trades = 0;
+
+  Money except_auctioneer() const { return total - auctioneer; }
+  double objective(ThresholdObjective objective) const {
+    return (objective == ThresholdObjective::kTotalSurplus
+                ? total
+                : except_auctioneer())
+        .to_double();
+  }
+};
+
+/// One instance preprocessed for O(log n)-per-threshold TPD evaluation:
+/// ranked buyer/seller values plus prefix sums of the pairwise surpluses
+/// b(t) - s(t).
+class TpdSweepBook {
+ public:
+  TpdSweepBook() = default;
+  /// From an already-ranked book (values are copied out; identities and
+  /// tie order are irrelevant to surplus).
+  explicit TpdSweepBook(const SortedBook& book);
+  /// Directly from an instance's true values (truthful declaration —
+  /// skips book instantiation entirely).
+  explicit TpdSweepBook(const SingleUnitInstance& instance);
+
+  /// TPD at threshold r on this book: two binary searches + O(1).
+  TpdThresholdOutcome evaluate(Money r) const;
+
+  std::size_t buyer_count() const { return buyers_desc_.size(); }
+  std::size_t seller_count() const { return sellers_asc_.size(); }
+
+ private:
+  void prepare();
+
+  std::vector<Money> buyers_desc_;   // b(1) >= b(2) >= ...
+  std::vector<Money> sellers_asc_;   // s(1) <= s(2) <= ...
+  /// pair_surplus_prefix_[t] = sum_{rank=1..t} (b(rank) - s(rank)) in
+  /// micros; index 0 is 0, length min(m, n) + 1.
+  std::vector<std::int64_t> pair_surplus_prefix_;
+};
+
+/// Evaluates TPD at every threshold in `thresholds` against one ranked
+/// book.  Result[t] corresponds to thresholds[t].  This is the batched
+/// kernel behind the Figure-1 sweep and `optimize_threshold`.
+std::vector<TpdThresholdOutcome> sweep_tpd_surplus(
+    const SortedBook& book, std::span<const Money> thresholds);
+
+/// Draws `instances` books from `generator` (same stream for every later
+/// threshold query — common random numbers) and preprocesses each for the
+/// sweep kernel.
+std::vector<TpdSweepBook> prepare_tpd_sweep(const InstanceGenerator& generator,
+                                            std::size_t instances,
+                                            std::uint64_t seed);
+
+/// Mean objective of TPD at threshold r over a prepared instance set.
+double mean_tpd_objective(std::span<const TpdSweepBook> books, Money r,
+                          ThresholdObjective objective);
 
 struct ThresholdSearchConfig {
   Money lo = Money::from_units(0);
@@ -42,7 +115,9 @@ double expected_tpd_surplus(const InstanceGenerator& generator, Money r,
                             ThresholdObjective objective,
                             std::size_t instances, std::uint64_t seed);
 
-/// Coarse sweep + golden-section refinement.
+/// Coarse sweep + golden-section refinement.  The instance set is drawn
+/// once and shared by every candidate evaluation (common random numbers
+/// AND a single sort per instance).
 ThresholdSearchResult optimize_threshold(const InstanceGenerator& generator,
                                          const ThresholdSearchConfig& config);
 

@@ -79,6 +79,47 @@ TEST(AdaptiveThresholdTest, ConvergesToFiftyOnUniformMarkets) {
   EXPECT_NEAR(policy.current().to_double(), 50.0, 5.0);
 }
 
+TEST(AdaptiveThresholdTest, WindowRetainsMostRecentBooks) {
+  AdaptiveThresholdPolicy policy(money(50));
+  EXPECT_EQ(policy.window_size(), 0u);
+  policy.set_window_capacity(3);
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9)};
+  instance.seller_values = {money(3)};
+  for (int round = 0; round < 5; ++round) {
+    policy.observe(sorted_from(instance, static_cast<std::uint64_t>(round)));
+  }
+  EXPECT_EQ(policy.window_size(), 3u);
+  policy.set_window_capacity(1);  // shrinking evicts immediately
+  EXPECT_EQ(policy.window_size(), 1u);
+}
+
+TEST(AdaptiveThresholdTest, RecalibrateJumpsToWindowArgmax) {
+  // One book: buyers {9, 8}, sellers {2, 3}.  Any r in [3, 8] clears both
+  // pairs for total surplus 12; r = 50 clears nothing.  The sweep must
+  // pick a candidate inside the productive band.
+  AdaptiveThresholdPolicy policy(money(50), 1.0);
+  policy.set_window_capacity(4);
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(9), money(8)};
+  instance.seller_values = {money(2), money(3)};
+  policy.observe(sorted_from(instance, 7));
+
+  const std::vector<Money> candidates = {money(50), money(5), money(90)};
+  const Money chosen = policy.recalibrate(candidates);
+  EXPECT_EQ(chosen, money(5));
+  EXPECT_EQ(policy.current(), money(5));
+
+  // An empty candidate list leaves the threshold alone.
+  EXPECT_EQ(policy.recalibrate({}), money(5));
+}
+
+TEST(AdaptiveThresholdTest, RecalibrateWithoutWindowIsANoOp) {
+  AdaptiveThresholdPolicy policy(money(42));
+  const std::vector<Money> candidates = {money(5), money(95)};
+  EXPECT_EQ(policy.recalibrate(candidates), money(42));
+}
+
 TEST(AdaptiveThresholdTest, TracksShiftedDistributions) {
   // The whole point: no hand-tuning when the value distribution moves.
   AdaptiveThresholdPolicy policy(money(50), 0.3);

@@ -1,0 +1,332 @@
+// Contract tests for the sort-once clearing fast path:
+//   * clear_sorted(SortedBook(book, rng)) must equal clear(book, rng) for
+//     every protocol (the wrapper contract of DoubleAuctionProtocol),
+//   * the incremental TPD sweep kernel must match TpdProtocol::clear
+//     EXACTLY (fixed-point equality) threshold by threshold,
+//   * run_comparison_parallel stays bit-identical across thread counts on
+//     both the shared-sort and legacy paths,
+//   * the legacy path and the shared path agree exactly on the
+//     deterministic protocols' surplus means (the Table 1/2 numbers),
+//   * validation failures inside worker threads still propagate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "protocols/efficient.h"
+#include "protocols/kda.h"
+#include "protocols/pmd.h"
+#include "protocols/random_threshold.h"
+#include "protocols/tpd.h"
+#include "protocols/tpd_rebate.h"
+#include "protocols/vcg.h"
+#include "sim/experiment.h"
+#include "sim/threshold_search.h"
+
+namespace fnda {
+namespace {
+
+/// Random book over integer values; `tie_heavy` draws from three values
+/// only, so equal-value runs are long on both sides.
+OrderBook random_book(Rng& rng, bool tie_heavy) {
+  OrderBook book;
+  const std::size_t buyers = rng.below(13);
+  const std::size_t sellers = rng.below(13);
+  auto draw = [&]() {
+    if (tie_heavy) {
+      return Money::from_units(30 + 20 * static_cast<std::int64_t>(rng.below(3)));
+    }
+    return Money::from_units(static_cast<std::int64_t>(rng.below(101)));
+  };
+  for (std::size_t i = 0; i < buyers; ++i) {
+    book.add_buyer(IdentityId{i}, draw());
+  }
+  for (std::size_t j = 0; j < sellers; ++j) {
+    book.add_seller(IdentityId{1000 + j}, draw());
+  }
+  return book;
+}
+
+void expect_same_outcome(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.fills(), b.fills());
+  EXPECT_EQ(a.buyer_payments(), b.buyer_payments());
+  EXPECT_EQ(a.seller_receipts(), b.seller_receipts());
+  EXPECT_EQ(a.rebates_total(), b.rebates_total());
+  for (const Fill& fill : a.fills()) {
+    EXPECT_EQ(a.rebate_of(fill.identity), b.rebate_of(fill.identity));
+  }
+}
+
+TEST(SharedSortTest, ClearSortedMatchesClearForEveryProtocol) {
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const EfficientClearing efficient;
+  const RandomThresholdProtocol random_threshold(money(50));
+  const KDoubleAuction kda(0.5);
+  const VcgDoubleAuction vcg;
+  const TpdWithRebates tpd_rebate(money(50));
+  const std::vector<const DoubleAuctionProtocol*> protocols = {
+      &tpd, &pmd, &efficient, &random_threshold, &kda, &vcg, &tpd_rebate};
+
+  Rng book_rng(0xc0ffee);
+  for (int trial = 0; trial < 40; ++trial) {
+    const OrderBook book = random_book(book_rng, trial % 2 == 0);
+    const std::uint64_t seed = book_rng();
+    for (const DoubleAuctionProtocol* protocol : protocols) {
+      Rng via_clear(seed);
+      const Outcome a = protocol->clear(book, via_clear);
+
+      Rng via_sorted(seed);
+      const SortedBook sorted(book, via_sorted);
+      const Outcome b = protocol->clear_sorted(sorted, via_sorted);
+
+      SCOPED_TRACE(protocol->name());
+      expect_same_outcome(a, b);
+    }
+  }
+}
+
+/// TPD surplus decomposition recomputed the slow way, straight from a
+/// cleared Outcome and the book's declared values.
+struct SlowTpd {
+  Money total;
+  Money auctioneer;
+  std::size_t trades;
+};
+
+SlowTpd slow_tpd(const SortedBook& book, Money threshold) {
+  std::unordered_map<BidId, Money> value_of;
+  for (const BidEntry& e : book.buyers()) value_of.emplace(e.id, e.value);
+  for (const BidEntry& e : book.sellers()) value_of.emplace(e.id, e.value);
+
+  const Outcome outcome = TpdProtocol::clear_sorted(book, threshold);
+  SlowTpd result{Money{}, outcome.auctioneer_revenue(), outcome.trade_count()};
+  for (const Fill& fill : outcome.fills()) {
+    if (fill.side == Side::kBuyer) {
+      result.total = result.total + value_of.at(fill.bid);
+    } else {
+      result.total = result.total - value_of.at(fill.bid);
+    }
+  }
+  return result;
+}
+
+TEST(SweepKernelTest, MatchesTpdClearExactlyOnRandomBooks) {
+  std::vector<Money> thresholds;
+  for (int r = 0; r <= 100; r += 5) thresholds.push_back(money(r));
+  thresholds.push_back(Money::from_double(49.5));  // off-grid, between values
+
+  Rng rng(0x5eed5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const bool tie_heavy = trial % 2 == 1;
+    const OrderBook raw = random_book(rng, tie_heavy);
+    const SortedBook book(raw, rng);
+
+    const std::vector<TpdThresholdOutcome> swept =
+        sweep_tpd_surplus(book, thresholds);
+    ASSERT_EQ(swept.size(), thresholds.size());
+
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+      const SlowTpd expected = slow_tpd(book, thresholds[t]);
+      SCOPED_TRACE(testing::Message()
+                   << "trial " << trial << " threshold "
+                   << thresholds[t].to_double());
+      // Exact fixed-point equality, not approximate: the kernel and the
+      // protocol must implement the same arithmetic.
+      EXPECT_EQ(swept[t].trades, expected.trades);
+      EXPECT_EQ(swept[t].total, expected.total);
+      EXPECT_EQ(swept[t].auctioneer, expected.auctioneer);
+    }
+  }
+}
+
+TEST(SweepKernelTest, InstanceAndSortedBookPreparationsAgree) {
+  Rng rng(0xabcde);
+  for (int trial = 0; trial < 20; ++trial) {
+    SingleUnitInstance instance;
+    const std::size_t m = rng.below(10);
+    const std::size_t n = rng.below(10);
+    for (std::size_t i = 0; i < m; ++i) {
+      instance.buyer_values.push_back(
+          Money::from_units(static_cast<std::int64_t>(rng.below(101))));
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      instance.seller_values.push_back(
+          Money::from_units(static_cast<std::int64_t>(rng.below(101))));
+    }
+    const InstantiatedMarket market = instantiate_truthful(instance);
+    const SortedBook sorted(market.book, rng);
+
+    const TpdSweepBook from_instance(instance);
+    const TpdSweepBook from_book(sorted);
+    for (int r = 0; r <= 100; r += 10) {
+      const TpdThresholdOutcome a = from_instance.evaluate(money(r));
+      const TpdThresholdOutcome b = from_book.evaluate(money(r));
+      EXPECT_EQ(a.trades, b.trades);
+      EXPECT_EQ(a.total, b.total);
+      EXPECT_EQ(a.auctioneer, b.auctioneer);
+    }
+  }
+}
+
+void expect_bit_identical(const ComparisonResult& a, const ComparisonResult& b,
+                          const std::vector<std::string>& names) {
+  EXPECT_DOUBLE_EQ(a.pareto.mean(), b.pareto.mean());
+  EXPECT_DOUBLE_EQ(a.pareto.variance(), b.pareto.variance());
+  for (const std::string& name : names) {
+    EXPECT_DOUBLE_EQ(a.summary(name).total.mean(), b.summary(name).total.mean());
+    EXPECT_DOUBLE_EQ(a.summary(name).total.variance(),
+                     b.summary(name).total.variance());
+    EXPECT_DOUBLE_EQ(a.summary(name).auctioneer.sum(),
+                     b.summary(name).auctioneer.sum());
+    EXPECT_DOUBLE_EQ(a.summary(name).trades.mean(),
+                     b.summary(name).trades.mean());
+  }
+}
+
+TEST(SharedSortTest, ParallelBitIdenticalAcrossThreadCounts) {
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const RandomThresholdProtocol random_threshold(money(50));
+  const std::vector<const DoubleAuctionProtocol*> protocols = {
+      &tpd, &pmd, &random_threshold};
+  const InstanceGenerator gen = fixed_count_generator(15, 15);
+  const std::vector<std::string> names = {"tpd", "pmd", "random-threshold"};
+
+  for (const bool shared : {true, false}) {
+    ExperimentConfig config;
+    config.instances = 150;  // not a multiple of the block count
+    config.seed = 42;
+    config.shared_sort = shared;
+    const ComparisonResult one =
+        run_comparison_parallel(gen, protocols, config, 1);
+    const ComparisonResult two =
+        run_comparison_parallel(gen, protocols, config, 2);
+    const ComparisonResult eight =
+        run_comparison_parallel(gen, protocols, config, 8);
+    SCOPED_TRACE(shared ? "shared-sort path" : "legacy path");
+    EXPECT_EQ(one.pareto.count(), 150u);
+    expect_bit_identical(one, two, names);
+    expect_bit_identical(one, eight, names);
+  }
+}
+
+TEST(SharedSortTest, LegacyPathMatchesSharedMeansForDeterministicProtocols) {
+  // TPD/PMD/efficient surpluses are functions of the value ranking alone,
+  // and both paths accumulate fills in rank order — so the per-instance
+  // surplus sequences (and hence the Table 1/2 means) are EXACTLY equal,
+  // not merely statistically close.
+  const TpdProtocol tpd(money(50));
+  const PmdProtocol pmd;
+  const EfficientClearing efficient;
+  const std::vector<const DoubleAuctionProtocol*> protocols = {&tpd, &pmd,
+                                                               &efficient};
+  const InstanceGenerator gen = fixed_count_generator(20, 20);
+
+  ExperimentConfig shared;
+  shared.instances = 400;
+  shared.seed = 20010416;
+  shared.shared_sort = true;
+  ExperimentConfig legacy = shared;
+  legacy.shared_sort = false;
+
+  const ComparisonResult a = run_comparison(gen, protocols, shared);
+  const ComparisonResult b = run_comparison(gen, protocols, legacy);
+  for (const std::string name : {"tpd", "pmd", "efficient"}) {
+    EXPECT_DOUBLE_EQ(a.summary(name).total.mean(), b.summary(name).total.mean())
+        << name;
+    EXPECT_DOUBLE_EQ(a.summary(name).except_auctioneer.mean(),
+                     b.summary(name).except_auctioneer.mean())
+        << name;
+    EXPECT_DOUBLE_EQ(a.summary(name).trades.mean(), b.summary(name).trades.mean())
+        << name;
+  }
+  EXPECT_DOUBLE_EQ(a.pareto.mean(), b.pareto.mean());
+}
+
+/// Old-style protocol that overrides ONLY the raw-book entry point, to
+/// exercise the inherited clear_sorted fallback (reconstitute a raw book,
+/// clear it, translate fills back to the original bid IDs).  Trades the
+/// efficient pairs at the marginal midpoint — enough structure to catch a
+/// bad ID remap.
+class LegacyOnlyProtocol final : public DoubleAuctionProtocol {
+ public:
+  Outcome clear(const OrderBook& book, Rng& rng) const override {
+    const SortedBook sorted(book, rng);
+    Outcome outcome;
+    const std::size_t k = sorted.efficient_trade_count();
+    if (k == 0) return outcome;
+    const Money price =
+        Money::midpoint(sorted.buyer_value(k), sorted.seller_value(k));
+    for (std::size_t rank = 1; rank <= k; ++rank) {
+      outcome.add_buy(sorted.buyer(rank).id, sorted.buyer(rank).identity,
+                      price);
+      outcome.add_sell(sorted.seller(rank).id, sorted.seller(rank).identity,
+                       price);
+    }
+    return outcome;
+  }
+  std::string name() const override { return "legacy-only"; }
+};
+
+TEST(SharedSortTest, FallbackPreservesOriginalBidIds) {
+  const LegacyOnlyProtocol protocol;
+  Rng book_rng(0xfa11bac);
+  for (int trial = 0; trial < 20; ++trial) {
+    const OrderBook book = random_book(book_rng, trial % 2 == 0);
+    Rng rng(trial);
+    const SortedBook sorted(book, rng);
+    const Outcome outcome = protocol.clear_sorted(sorted, rng);
+
+    // Every fill must reference a bid that exists in the ORIGINAL book,
+    // with its original identity (the raw reconstituted book assigns
+    // fresh sequential IDs; the fallback must translate them back).
+    for (const Fill& fill : outcome.fills()) {
+      const auto& lane =
+          fill.side == Side::kBuyer ? book.buyers() : book.sellers();
+      bool found = false;
+      for (const BidEntry& entry : lane) {
+        if (entry.id == fill.bid) {
+          EXPECT_EQ(entry.identity, fill.identity);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "fill references a bid id not in the book";
+    }
+    // And the outcome must pass full validation against the original book.
+    if (outcome.trade_count() > 0) {
+      EXPECT_TRUE(validate_outcome(book, outcome, {}).empty());
+    }
+  }
+}
+
+/// Deliberately broken protocol: reports a buy fill with no matching sell
+/// fill, which expect_valid_outcome rejects.
+class UnbalancedProtocol final : public DoubleAuctionProtocol {
+ public:
+  Outcome clear_sorted(const SortedBook& book, Rng&) const override {
+    Outcome outcome;
+    if (book.buyer_count() > 0) {
+      const BidEntry& top = book.buyer(1);
+      outcome.add_buy(top.id, top.identity, top.value);
+    }
+    return outcome;
+  }
+  std::string name() const override { return "unbalanced"; }
+};
+
+TEST(SharedSortTest, ValidationFailureInsideWorkerPropagates) {
+  const UnbalancedProtocol bad;
+  const InstanceGenerator gen = fixed_count_generator(5, 5);
+  ExperimentConfig config;
+  config.instances = 64;
+  ASSERT_TRUE(config.validate);  // validation is on by default
+  EXPECT_THROW(run_comparison_parallel(gen, {&bad}, config, 4),
+               std::logic_error);
+  EXPECT_THROW(run_comparison(gen, {&bad}, config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fnda
