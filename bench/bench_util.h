@@ -5,8 +5,15 @@
 // records a captured run.
 #pragma once
 
+#include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.h"
 #include "sim/table.h"
@@ -35,6 +42,64 @@ inline std::string measured_cell(const ComparisonResult& result,
 inline std::string paper_cell(double value, double ratio_percent) {
   return format_fixed(value, 1) + " (" + format_fixed(ratio_percent, 1) +
          "%)";
+}
+
+/// One benchmark record for the BENCH_*.json files.  The emitted document
+/// follows the google-benchmark JSON layout (context block + benchmarks
+/// array) so both BENCH files in the repo share one shape; records here
+/// carry only the fields the repo's reports read, plus free-form
+/// counters.
+struct JsonBenchRecord {
+  std::string name;
+  double real_time_ns = 0.0;
+  std::uint64_t iterations = 1;
+  double items_per_second = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline void write_benchmark_json(std::ostream& os,
+                                 const std::string& executable,
+                                 const std::vector<JsonBenchRecord>& records) {
+  char date[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm tm_buf{}; localtime_r(&now, &tm_buf) != nullptr) {
+    std::strftime(date, sizeof date, "%FT%T%z", &tm_buf);
+  }
+  os << "{\n  \"context\": {\n"
+     << "    \"date\": \"" << date << "\",\n"
+     << "    \"executable\": \"" << executable << "\",\n"
+     << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+#ifdef NDEBUG
+     << "    \"library_build_type\": \"release\"\n"
+#else
+     << "    \"library_build_type\": \"debug\"\n"
+#endif
+     << "  },\n  \"benchmarks\": [\n";
+  os << std::setprecision(15);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonBenchRecord& r = records[i];
+    os << "    {\n"
+       << "      \"name\": \"" << r.name << "\",\n"
+       << "      \"run_type\": \"iteration\",\n"
+       << "      \"iterations\": " << r.iterations << ",\n"
+       << "      \"real_time\": " << r.real_time_ns << ",\n"
+       << "      \"time_unit\": \"ns\",\n"
+       << "      \"items_per_second\": " << r.items_per_second;
+    for (const auto& [key, value] : r.counters) {
+      os << ",\n      \"" << key << "\": " << value;
+    }
+    os << "\n    }" << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+inline bool write_benchmark_json_file(
+    const std::string& path, const std::string& executable,
+    const std::vector<JsonBenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_benchmark_json(out, executable, records);
+  return static_cast<bool>(out);
 }
 
 /// Emits one measured-vs-paper block for a Table 1/2 style experiment.

@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "protocols/vcg.h"
 #include "serialize/csv.h"
 #include "serialize/json.h"
+#include "market/throughput.h"
 #include "mechanism/dynamics.h"
 #include "mechanism/manipulation.h"
 #include "sim/experiment.h"
@@ -376,6 +378,50 @@ int cmd_optimize(const ArgParser& args, std::ostream& out,
   return 0;
 }
 
+int cmd_market_bench(const ArgParser& args, std::ostream& out,
+                     std::ostream& err) {
+  ThroughputConfig config;
+  config.clients = static_cast<std::size_t>(args.get_int_or("clients", 1000));
+  config.rounds = static_cast<std::size_t>(args.get_int_or("rounds", 3));
+  config.shards = static_cast<std::size_t>(args.get_int_or("shards", 4));
+  config.drop_probability = args.get_double_or("drop", 0.0);
+  config.duplicate_probability = args.get_double_or("duplicate", 0.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const Money threshold = money(args.get_double_or("threshold", 50.0));
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (config.clients == 0 || config.rounds == 0 || config.shards == 0) {
+    return usage_error(err, "--clients, --rounds, --shards must be positive");
+  }
+
+  const TpdProtocol tpd(threshold);
+  const auto start = std::chrono::steady_clock::now();
+  const ThroughputResult result = run_throughput_session(tpd, config);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::size_t messages = result.bus.delivered + result.bus.dropped +
+                               result.bus.dead_lettered;
+  out << "clients: " << result.clients << "  rounds: " << result.rounds
+      << "  shards: " << result.shards << '\n'
+      << "messages: " << messages << " (sent " << result.bus.sent
+      << ", duplicated " << result.bus.duplicated << ", dropped "
+      << result.bus.dropped << ", dead-lettered " << result.bus.dead_lettered
+      << ")\n"
+      << "bids accepted: " << result.bids_accepted
+      << "  trades: " << result.trades << '\n'
+      << "sim time: " << result.sim_time.micros << " us  wall: "
+      << format_fixed(elapsed, 3) << " s\n"
+      << "throughput: "
+      << format_fixed(static_cast<double>(messages) / elapsed, 0)
+      << " msg/s, "
+      << format_fixed(static_cast<double>(result.bids_accepted) / elapsed, 0)
+      << " bids/s, "
+      << format_fixed(static_cast<double>(result.rounds) / elapsed, 2)
+      << " rounds/s\n";
+  return 0;
+}
+
 int cmd_help(std::ostream& out) {
   out << "fnda - false-name-robust double auctions (Yokoo et al., ICDCS"
          " 2001)\n\n"
@@ -400,6 +446,9 @@ int cmd_help(std::ostream& out) {
          "  optimize  find the best threshold for a workload\n"
          "            --buyers N --sellers M --lo --hi --objective "
          "total|traders\n"
+         "  market-bench  ZI-trader session on the sharded exchange\n"
+         "            --clients N --rounds R --shards S --drop P\n"
+         "            --duplicate P --threshold R --seed N\n"
          "  help      this text\n";
   return 0;
 }
@@ -417,6 +466,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "dynamics") return cmd_dynamics(parsed, in, out, err);
     if (command == "sweep") return cmd_sweep(parsed, out, err);
     if (command == "optimize") return cmd_optimize(parsed, out, err);
+    if (command == "market-bench") return cmd_market_bench(parsed, out, err);
     return usage_error(err, "unknown command '" + command + "'");
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << '\n';

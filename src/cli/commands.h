@@ -11,6 +11,8 @@
 //                    (iterated best response; Section 8's deliberation)
 //   fnda sweep    --participants 500 [--step 5] [--instances N]   (Figure 1)
 //   fnda optimize --buyers 50 --sellers 50 [--lo 0 --hi 100]
+//   fnda market-bench --clients 1000 --rounds 3 --shards 4
+//                     [--drop P --duplicate P --threshold R --seed N]
 //   fnda help
 //
 // Commands are plain functions over streams so tests can drive them
@@ -37,6 +39,8 @@ int cmd_dynamics(const ArgParser& args, std::istream& in, std::ostream& out,
                  std::ostream& err);
 int cmd_sweep(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmd_optimize(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmd_market_bench(const ArgParser& args, std::ostream& out,
+                     std::ostream& err);
 int cmd_help(std::ostream& out);
 
 /// Entry point used by tools/fnda_cli.cpp and the tests.

@@ -55,6 +55,9 @@ struct RoundTag {
 struct MessageTag {
   static constexpr const char* prefix() { return "msg-"; }
 };
+struct AddressTag {
+  static constexpr const char* prefix() { return "addr-"; }
+};
 
 /// A real economic actor (holds money, goods, and a security deposit).
 using AccountId = TypedId<AccountTag>;
@@ -66,6 +69,8 @@ using BidId = TypedId<BidTag>;
 using RoundId = TypedId<RoundTag>;
 /// A message on the simulated bus.
 using MessageId = TypedId<MessageTag>;
+/// A bus endpoint address, interned to a dense index at attach() time.
+using AddressId = TypedId<AddressTag>;
 
 }  // namespace fnda
 

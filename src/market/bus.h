@@ -4,12 +4,27 @@
 // (base + uniform jitter) and may be duplicated or dropped.  Duplicates
 // carry the original MessageId so receivers can deduplicate; the server
 // does, which the tests exercise.
+//
+// Throughput substrate: endpoint addresses are interned to dense
+// `AddressId`s at attach()/intern() time, so routing is an array index
+// rather than a string hash (string-accepting overloads remain for
+// convenience and tests).  Envelopes live in a slab (deque + free list)
+// instead of being heap-allocated per send, and in-flight deliveries are
+// lightweight (slot, destination) records batched by the EventQueue: all
+// same-instant deliveries to one endpoint arrive through a single
+// `Endpoint::on_batch` call, in send order.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "market/clock.h"
@@ -20,8 +35,8 @@ namespace fnda {
 /// A delivered message with transport metadata.
 struct Envelope {
   MessageId id;
-  std::string from;
-  std::string to;
+  AddressId from;
+  AddressId to;
   SimTime sent_at;
   SimTime delivered_at;
   Message payload;
@@ -32,6 +47,13 @@ class Endpoint {
  public:
   virtual ~Endpoint() = default;
   virtual void on_message(const Envelope& envelope) = 0;
+  /// Same-instant deliveries to this endpoint arrive as one batch, in
+  /// send order.  Overriding lets a receiver hoist per-volley work (the
+  /// server validates bid volleys this way); the default dispatches
+  /// message by message, which is always equivalent.
+  virtual void on_batch(const Envelope* const* envelopes, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) on_message(*envelopes[i]);
+  }
 };
 
 struct BusConfig {
@@ -46,44 +68,186 @@ struct BusStats {
   std::size_t delivered = 0;
   std::size_t duplicated = 0;
   std::size_t dropped = 0;
-  std::size_t dead_lettered = 0;  // receiver detached before delivery
+  /// Receiver detached — or detached and re-attached — before delivery.
+  /// Conservation: sent == delivered + dropped + dead_lettered − duplicated.
+  std::size_t dead_lettered = 0;
 };
 
-class MessageBus {
+class MessageBus : public EventQueue::DeliverySink {
  public:
   MessageBus(EventQueue& queue, BusConfig config, Rng rng);
+  ~MessageBus() override;
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Returns the dense id for `address`, creating a (detached) directory
+  /// entry on first sight.  Ids are stable for the bus's lifetime.
+  AddressId intern(const std::string& address);
+  /// The string name behind an interned id (for logs and tests).
+  const std::string& name_of(AddressId address) const;
 
   /// Attaches an endpoint at `address`; the endpoint must outlive the bus
-  /// or be detached first.  Re-attaching an address replaces the handler.
-  void attach(const std::string& address, Endpoint& endpoint);
+  /// or be detached first.  Re-attaching an address replaces the handler;
+  /// messages sent to the previous attachment that are still in flight
+  /// are dead-lettered, not delivered to the replacement.
+  AddressId attach(const std::string& address, Endpoint& endpoint);
+  void attach(AddressId address, Endpoint& endpoint);
   void detach(const std::string& address);
+  void detach(AddressId address);
 
   /// Queues a message; returns its id (shared by any duplicates).
+  MessageId send(AddressId from, AddressId to, Message payload);
   MessageId send(const std::string& from, const std::string& to,
                  Message payload);
+  /// Concrete-type fast path: assigns the alternative straight into the
+  /// pooled envelope instead of building a temporary variant and moving
+  /// it.  Behaviour (ids, RNG draws, ordering) is identical to the
+  /// Message overload.
+  template <typename M,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<M>, Message> &&
+                std::is_constructible_v<Message, M&&>>>
+  MessageId send(AddressId from, AddressId to, M&& payload) {
+    return send_impl(from, to, std::forward<M>(payload));
+  }
 
   const BusStats& stats() const { return stats_; }
 
+  /// EventQueue::DeliverySink — one call per run of same-instant
+  /// deliveries.  Keys carry the destination and the binding generation
+  /// captured at send time (see pack_key); consecutive equal keys are
+  /// dispatched to their endpoint as one batch.
+  void deliver_run(SimTime at, const EventQueue::Delivery* run,
+                   std::size_t count) override;
+
  private:
-  void schedule_delivery(Envelope envelope);
+  /// Hot per-address routing state, kept to 16 bytes so delivery touches
+  /// one cache line per four addresses; names live in a cold array.
+  struct DirectoryEntry {
+    Endpoint* endpoint = nullptr;
+    /// Bumped on every attach and detach; an envelope only delivers if
+    /// the binding it captured at send time still matches, so messages
+    /// in flight across a re-attach dead-letter instead of silently
+    /// reaching the replacement endpoint.  The binding rides in the high
+    /// half of the delivery key, so the check is one compare per batch.
+    std::uint32_t binding = 0;
+  };
+
+  static constexpr std::uint64_t pack_key(std::uint32_t to,
+                                          std::uint32_t binding) {
+    return (std::uint64_t{binding} << 32) | to;
+  }
+
+  // Envelope slab: fixed-size chunks so slot lookup is a shift and a
+  // mask (a deque would divide by its block stride) while envelope
+  // addresses stay stable when the slab grows mid-delivery.
+  static constexpr std::size_t kPoolChunkBits = 10;  // 1024 envelopes
+  static constexpr std::size_t kPoolChunkSize = std::size_t{1}
+                                                << kPoolChunkBits;
+  static constexpr std::size_t kPoolChunkMask = kPoolChunkSize - 1;
+
+  Envelope& slot_ref(std::uint32_t slot) {
+    return pool_[slot >> kPoolChunkBits][slot & kPoolChunkMask];
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) { free_.push_back(slot); }
+  void schedule_slot(std::uint32_t slot, std::uint64_t key);
+
+  /// Shared send body; `payload` may be the Message variant or any of its
+  /// alternatives (assigned directly into the pooled envelope).
+  template <typename M>
+  MessageId send_impl(AddressId from, AddressId to, M&& payload) {
+    if (to.value() >= directory_.size()) {
+      throw std::out_of_range(
+          "MessageBus::send: unknown destination AddressId");
+    }
+    const MessageId id{next_message_++};
+    ++stats_.sent;
+
+    if (rng_.bernoulli(config_.drop_probability)) {
+      ++stats_.dropped;
+      return id;
+    }
+
+    const std::uint32_t slot = acquire_slot();
+    Envelope& envelope = slot_ref(slot);
+    envelope.id = id;
+    envelope.from = from;
+    envelope.to = to;
+    envelope.sent_at = queue_.now();
+    envelope.delivered_at = SimTime{};
+    envelope.payload = std::forward<M>(payload);
+    const std::uint64_t key =
+        pack_key(to.value(), directory_[to.value()].binding);
+
+    schedule_slot(slot, key);
+    if (rng_.bernoulli(config_.duplicate_probability)) {
+      ++stats_.duplicated;
+      const std::uint32_t duplicate = acquire_slot();
+      slot_ref(duplicate) = slot_ref(slot);  // duplicates are rare
+      schedule_slot(duplicate, key);
+    }
+    return id;
+  }
+  /// One validated batch (consecutive equal keys) to one endpoint.
+  void deliver_group(SimTime at, std::uint64_t key,
+                     const EventQueue::Delivery* run, std::size_t count);
 
   EventQueue& queue_;
   BusConfig config_;
   Rng rng_;
-  std::unordered_map<std::string, Endpoint*> endpoints_;
+
+  std::vector<DirectoryEntry> directory_;        // indexed by AddressId
+  std::vector<std::string> addresses_;           // cold names, same index
+  std::unordered_map<std::string, std::uint32_t> names_;
+
+  std::vector<std::unique_ptr<Envelope[]>> pool_;  // chunked slab
+  std::size_t pool_size_ = 0;                    // slots ever created
+  std::vector<std::uint32_t> free_;              // recycled slots
+  std::vector<const Envelope*> deliver_scratch_;
+
   BusStats stats_;
   std::uint64_t next_message_ = 0;
 };
 
 /// Receiver-side duplicate filter keyed by MessageId.
+///
+/// Bounded: ids live in two generations of at most `generation_capacity`
+/// each; when the current generation fills, the oldest generation is
+/// discarded.  An id is therefore remembered for at least
+/// `generation_capacity` fresh ids after it — far longer than any
+/// retransmission window — while long sessions stay at O(capacity)
+/// memory instead of growing forever.
 class DedupFilter {
  public:
-  /// Returns true the first time an id is seen.
-  bool fresh(MessageId id) { return seen_.insert(id).second; }
-  std::size_t seen_count() const { return seen_.size(); }
+  static constexpr std::size_t kDefaultGenerationCapacity = std::size_t{1}
+                                                            << 16;
+
+  explicit DedupFilter(
+      std::size_t generation_capacity = kDefaultGenerationCapacity)
+      : capacity_(generation_capacity == 0 ? 1 : generation_capacity) {}
+
+  /// Returns true the first time an id is seen (within the retention
+  /// window).
+  bool fresh(MessageId id) {
+    if (current_.contains(id) || previous_.contains(id)) return false;
+    if (current_.size() >= capacity_) {
+      std::swap(current_, previous_);  // keep the newer generation
+      current_.clear();                // buckets are reused
+    }
+    current_.insert(id);
+    ++seen_total_;
+    return true;
+  }
+
+  /// Distinct ids ever seen (not bounded by the retention window).
+  std::size_t seen_count() const { return seen_total_; }
 
  private:
-  std::unordered_set<MessageId> seen_;
+  std::size_t capacity_;
+  std::size_t seen_total_ = 0;
+  std::unordered_set<MessageId> current_;
+  std::unordered_set<MessageId> previous_;
 };
 
 }  // namespace fnda

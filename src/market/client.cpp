@@ -15,10 +15,10 @@ TradingClient::TradingClient(std::string address, AccountId account,
       bus_(bus),
       registry_(registry),
       escrow_(escrow),
-      server_address_(std::move(server_address)),
+      server_id_(bus.intern(server_address)),
       config_(config),
       strategy_(Strategy::truthful(role, true_value)) {
-  bus_.attach(address_, *this);
+  address_id_ = bus_.attach(address_, *this);
 }
 
 void TradingClient::on_round_open(const RoundOpenMsg& msg) {
@@ -40,7 +40,7 @@ void TradingClient::on_round_open(const RoundOpenMsg& msg) {
 void TradingClient::submit_with_retry(const SubmitBidMsg& msg,
                                       SimTime deadline,
                                       std::size_t retries_left) {
-  bus_.send(address_, server_address_, msg);
+  bus_.send(address_id_, server_id_, msg);
   if (config_.retry_interval.micros <= 0 || retries_left == 0) return;
   queue_.schedule_after(config_.retry_interval, [this, msg, deadline,
                                                  retries_left] {

@@ -47,6 +47,7 @@ class TradingClient : public Endpoint {
   Side role() const { return role_; }
   Money true_value() const { return true_value_; }
   const std::string& address() const { return address_; }
+  AddressId address_id() const { return address_id_; }
 
   /// Aggregate cleared position across all of this account's identities,
   /// reconstructed from fill notices.
@@ -73,6 +74,7 @@ class TradingClient : public Endpoint {
                          std::size_t retries_left);
 
   std::string address_;
+  AddressId address_id_;
   AccountId account_;
   Side role_;
   Money true_value_;
@@ -80,7 +82,7 @@ class TradingClient : public Endpoint {
   MessageBus& bus_;
   IdentityRegistry& registry_;
   EscrowService& escrow_;
-  std::string server_address_;
+  AddressId server_id_;
   ClientConfig config_;
   Strategy strategy_;
 

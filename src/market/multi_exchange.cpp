@@ -1,0 +1,106 @@
+#include "market/multi_exchange.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace {
+
+std::string identity_detail(fnda::IdentityId identity, fnda::Money amount) {
+  std::ostringstream os;
+  os << identity << ' ' << amount;
+  return os.str();
+}
+
+}  // namespace
+
+namespace fnda {
+
+MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
+                                         MultiExchangeConfig config)
+    : config_(config) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("MultiServerExchange: shards must be >= 1");
+  }
+  Rng root(config_.seed);
+  bus_ = std::make_unique<MessageBus>(queue_, config_.bus, root.split());
+  escrow_ = std::make_unique<EscrowService>(cash_);
+  settlement_ = std::make_unique<SettlementEngine>(registry_, cash_, goods_,
+                                                   *escrow_);
+  servers_.reserve(config_.shards);
+  for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+    servers_.push_back(std::make_unique<AuctionServer>(
+        "exchange-" + std::to_string(shard), queue_, *bus_, protocol,
+        *escrow_, *settlement_, audit_, root.split(), config_.server));
+  }
+}
+
+std::size_t MultiServerExchange::shard_of(AccountId account) const {
+  // splitmix64 finalizer: a plain multiplicative hash keeps the low bits
+  // of sequential account ids, which correlates shard with creation
+  // parity (and thus with any alternating buyer/seller pattern).
+  std::uint64_t x = account.value() + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % servers_.size());
+}
+
+TradingClient& MultiServerExchange::add_trader(Side role, Money true_value) {
+  return add_trader(role, true_value, Strategy::truthful(role, true_value));
+}
+
+TradingClient& MultiServerExchange::add_trader(Side role, Money true_value,
+                                               Strategy strategy) {
+  const AccountId account = registry_.create_account();
+  cash_.grant(account, config_.initial_cash);
+  if (role == Side::kSeller) goods_.grant(account, 1);
+
+  AuctionServer& home = *servers_[shard_of(account)];
+  const std::string address = "trader-" + std::to_string(next_client_++);
+  auto client = std::make_unique<TradingClient>(
+      address, account, role, true_value, queue_, *bus_, registry_, *escrow_,
+      home.address(), config_.client);
+  client->set_strategy(std::move(strategy));
+  home.subscribe(client->address_id());
+  traders_.push_back(std::move(client));
+  return *traders_.back();
+}
+
+std::vector<RoundId> MultiServerExchange::run_round(SimTime open_for) {
+  std::vector<RoundId> rounds;
+  rounds.reserve(servers_.size());
+  for (auto& server : servers_) {
+    rounds.push_back(server->open_round(open_for));
+  }
+  // One quiescence drive covers every shard: events interleave on the
+  // shared queue exactly as they would on one wire.
+  while (queue_.run() > 0) {
+  }
+  return rounds;
+}
+
+std::size_t MultiServerExchange::rounds_completed() const {
+  std::size_t total = 0;
+  for (const auto& server : servers_) total += server->rounds_completed();
+  return total;
+}
+
+Money MultiServerExchange::close_market() {
+  for (const auto& server : servers_) {
+    if (server->round_open()) {
+      throw std::logic_error("close_market: a round is still open");
+    }
+  }
+  Money refunded;
+  for (IdentityId identity : escrow_->identities_with_deposits()) {
+    const Money amount = escrow_->held(identity);
+    escrow_->refund(identity, registry_.owner(identity));
+    refunded += amount;
+    audit_.append(queue_.now(), RoundId::invalid(),
+                  AuditKind::kDepositRefunded,
+                  identity_detail(identity, amount));
+  }
+  return refunded;
+}
+
+}  // namespace fnda

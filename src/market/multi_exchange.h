@@ -1,0 +1,89 @@
+// MultiServerExchange: a sharded deployment of the call market.
+//
+// The paper's Internet deployment target ("heavy traffic from millions of
+// users") outgrows a single auctioneer process.  This harness partitions
+// the identity space across N independent AuctionServers by owner-account
+// hash — every identity an account mints trades on that account's shard —
+// all sharing one simulated bus, queue, ledgers, and audit log.  Shards
+// never talk to each other: each runs the full open/submit/clear/settle
+// lifecycle on its own slice of traders, which is exactly how a
+// horizontally scaled call market would shard (per-round books are
+// independent; only settlement touches shared ledgers).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "market/client.h"
+#include "market/server.h"
+
+namespace fnda {
+
+struct MultiExchangeConfig {
+  /// Number of independent auction servers (≥ 1).
+  std::size_t shards = 4;
+  BusConfig bus{};
+  ServerConfig server{};
+  ClientConfig client{};
+  /// Cash granted to each trader account on creation.
+  Money initial_cash = Money::from_units(1'000);
+  std::uint64_t seed = 1;
+};
+
+class MultiServerExchange {
+ public:
+  /// `protocol` must outlive the exchange (it clears every shard).
+  explicit MultiServerExchange(const DoubleAuctionProtocol& protocol,
+                               MultiExchangeConfig config = {});
+
+  /// Adds a truthful trader on the shard its account hashes to.  Sellers
+  /// are endowed with one unit of the good.
+  TradingClient& add_trader(Side role, Money true_value);
+  TradingClient& add_trader(Side role, Money true_value, Strategy strategy);
+
+  /// The shard an account's identities trade on.
+  std::size_t shard_of(AccountId account) const;
+
+  /// Opens one round on every shard, runs the queue to quiescence, and
+  /// returns the per-shard round ids.
+  std::vector<RoundId> run_round(SimTime open_for = SimTime::millis(100));
+
+  /// Refunds every remaining deposit (see ExchangeSimulation).
+  Money close_market();
+
+  std::size_t shard_count() const { return servers_.size(); }
+  AuctionServer& server(std::size_t shard) { return *servers_[shard]; }
+  const AuctionServer& server(std::size_t shard) const {
+    return *servers_[shard];
+  }
+  /// Rounds cleared across all shards.
+  std::size_t rounds_completed() const;
+
+  EventQueue& queue() { return queue_; }
+  MessageBus& bus() { return *bus_; }
+  IdentityRegistry& registry() { return registry_; }
+  CashLedger& cash() { return cash_; }
+  GoodsLedger& goods() { return goods_; }
+  EscrowService& escrow() { return *escrow_; }
+  AuditLog& audit() { return audit_; }
+  const std::deque<std::unique_ptr<TradingClient>>& traders() const {
+    return traders_;
+  }
+
+ private:
+  MultiExchangeConfig config_;
+  EventQueue queue_;
+  std::unique_ptr<MessageBus> bus_;
+  IdentityRegistry registry_;
+  CashLedger cash_;
+  GoodsLedger goods_;
+  std::unique_ptr<EscrowService> escrow_;
+  std::unique_ptr<SettlementEngine> settlement_;
+  AuditLog audit_;
+  std::vector<std::unique_ptr<AuctionServer>> servers_;
+  std::deque<std::unique_ptr<TradingClient>> traders_;
+  std::uint64_t next_client_ = 0;
+};
+
+}  // namespace fnda

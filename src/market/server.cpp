@@ -33,10 +33,14 @@ AuctionServer::AuctionServer(std::string address, EventQueue& queue,
       audit_(audit),
       rng_(rng),
       config_(config) {
-  bus_.attach(address_, *this);
+  address_id_ = bus_.attach(address_, *this);
 }
 
 void AuctionServer::subscribe(const std::string& address) {
+  subscribers_.push_back(bus_.intern(address));
+}
+
+void AuctionServer::subscribe(AddressId address) {
   subscribers_.push_back(address);
 }
 
@@ -69,8 +73,8 @@ RoundId AuctionServer::open_round(SimTime open_for) {
 }
 
 void AuctionServer::announce_round(const OpenRound& round) {
-  for (const std::string& subscriber : subscribers_) {
-    bus_.send(address_, subscriber, RoundOpenMsg{round.id, round.close_at});
+  for (const AddressId subscriber : subscribers_) {
+    bus_.send(address_id_, subscriber, RoundOpenMsg{round.id, round.close_at});
   }
 }
 
@@ -88,9 +92,24 @@ void AuctionServer::on_message(const Envelope& envelope) {
   // At-least-once transport: duplicates share a MessageId and are ignored.
   if (!dedup_.fresh(envelope.id)) return;
   if (const auto* msg = std::get_if<SubmitBidMsg>(&envelope.payload)) {
-    handle_submit(envelope, *msg);
+    EscrowCache cache;
+    handle_submit(envelope, *msg, cache);
   }
   // Other message kinds are client-bound; a server receiving one ignores it.
+}
+
+void AuctionServer::on_batch(const Envelope* const* envelopes,
+                             std::size_t count) {
+  // Same-instant volley: the escrow cache survives across the batch, so
+  // a retransmission run from one identity probes escrow once.
+  EscrowCache cache;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Envelope& envelope = *envelopes[i];
+    if (!dedup_.fresh(envelope.id)) continue;
+    if (const auto* msg = std::get_if<SubmitBidMsg>(&envelope.payload)) {
+      handle_submit(envelope, *msg, cache);
+    }
+  }
 }
 
 void AuctionServer::reject(const Envelope& envelope, const SubmitBidMsg& msg,
@@ -98,12 +117,13 @@ void AuctionServer::reject(const Envelope& envelope, const SubmitBidMsg& msg,
   audit_.append(queue_.now(), msg.round, AuditKind::kBidRejected,
                 fmt(msg.identity, ' ', to_string(msg.side), '@', msg.value,
                     ": ", reason));
-  bus_.send(address_, envelope.from,
+  bus_.send(address_id_, envelope.from,
             BidAckMsg{msg.round, msg.identity, false, reason});
 }
 
 void AuctionServer::handle_submit(const Envelope& envelope,
-                                  const SubmitBidMsg& msg) {
+                                  const SubmitBidMsg& msg,
+                                  EscrowCache& cache) {
   if (!open_round_.has_value() || open_round_->id != msg.round) {
     reject(envelope, msg, "round not open");
     return;
@@ -113,14 +133,18 @@ void AuctionServer::handle_submit(const Envelope& envelope,
       it != round.submitted.end()) {
     if (it->second.side == msg.side && it->second.value == msg.value) {
       // Identical retransmission (at-least-once client): ack idempotently.
-      bus_.send(address_, envelope.from,
+      bus_.send(address_id_, envelope.from,
                 BidAckMsg{msg.round, msg.identity, true, ""});
     } else {
       reject(envelope, msg, "identity already bid this round");
     }
     return;
   }
-  if (escrow_.held(msg.identity) < config_.min_deposit) {
+  if (msg.identity != cache.identity) {
+    cache.identity = msg.identity;
+    cache.held = escrow_.held(msg.identity);
+  }
+  if (cache.held < config_.min_deposit) {
     reject(envelope, msg, "insufficient deposit");
     return;
   }
@@ -134,7 +158,7 @@ void AuctionServer::handle_submit(const Envelope& envelope,
                           SubmittedBid{envelope.from, msg.side, msg.value});
   audit_.append(queue_.now(), msg.round, AuditKind::kBidAccepted,
                 fmt(msg.identity, ' ', to_string(msg.side), '@', msg.value));
-  bus_.send(address_, envelope.from,
+  bus_.send(address_id_, envelope.from,
             BidAckMsg{msg.round, msg.identity, true, ""});
 }
 
@@ -153,11 +177,11 @@ void AuctionServer::clear_round() {
   for (const Fill& fill : outcome.fills()) {
     auto it = round.submitted.find(fill.identity);
     if (it == round.submitted.end()) continue;
-    bus_.send(address_, it->second.reply_to,
+    bus_.send(address_id_, it->second.reply_to,
               FillNoticeMsg{round.id, fill.identity, fill.side, fill.price});
   }
-  for (const std::string& subscriber : subscribers_) {
-    bus_.send(address_, subscriber,
+  for (const AddressId subscriber : subscribers_) {
+    bus_.send(address_id_, subscriber,
               RoundClosedMsg{round.id, outcome.trade_count(),
                              outcome.auctioneer_revenue()});
   }
@@ -177,7 +201,7 @@ void AuctionServer::clear_round() {
     }
     auto it = round.submitted.find(delivery.seller);
     if (it != round.submitted.end()) {
-      bus_.send(address_, it->second.reply_to,
+      bus_.send(address_id_, it->second.reply_to,
                 SettlementNoticeMsg{round.id, delivery.seller, false,
                                     delivery.confiscated});
     }
@@ -187,6 +211,14 @@ void AuctionServer::clear_round() {
                      CompletedRound{round.id, std::move(round.book),
                                     round.clear_seed, protocol_,
                                     std::move(outcome), std::move(report)});
+  completion_order_.push_back(round.id);
+  ++completed_count_;
+  if (config_.retained_rounds > 0) {
+    while (completion_order_.size() > config_.retained_rounds) {
+      completed_.erase(completion_order_.front());
+      completion_order_.pop_front();
+    }
+  }
 }
 
 const Outcome* AuctionServer::outcome_of(RoundId round) const {

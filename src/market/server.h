@@ -15,6 +15,7 @@
 // any outcome can be replayed bit-for-bit for audit.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,11 @@ struct ServerConfig {
   /// first announcement for some clients; the heartbeat reaches them, and
   /// clients deduplicate rounds they have already bid in.
   SimTime announce_interval{0};
+  /// Completed rounds retained for outcome_of/settlement_of/replay_round
+  /// (0 = unbounded).  Million-round sessions set this so books and
+  /// outcomes don't accumulate forever; the audit log keeps every round's
+  /// entries regardless.
+  std::size_t retained_rounds = 0;
 };
 
 class AuctionServer : public Endpoint {
@@ -49,6 +55,7 @@ class AuctionServer : public Endpoint {
 
   /// Registers a client address for round-open/round-closed broadcasts.
   void subscribe(const std::string& address);
+  void subscribe(AddressId address);
 
   /// Swaps the clearing protocol for subsequent rounds (e.g. a TPD with a
   /// re-tuned threshold).  `protocol` must outlive the server.  Throws
@@ -61,8 +68,13 @@ class AuctionServer : public Endpoint {
   RoundId open_round(SimTime open_for);
 
   void on_message(const Envelope& envelope) override;
+  /// Validates a same-instant volley of submissions in one pass: one
+  /// dedup probe per message (duplicates share ids) but escrow lookups
+  /// are reused across a retransmission run and the book grows once.
+  void on_batch(const Envelope* const* envelopes, std::size_t count) override;
 
   const std::string& address() const { return address_; }
+  AddressId address_id() const { return address_id_; }
 
   /// Completed-round views (nullptr/nullopt for unknown or open rounds).
   const Outcome* outcome_of(RoundId round) const;
@@ -72,12 +84,14 @@ class AuctionServer : public Endpoint {
   /// the recomputed outcome for comparison against the stored one.
   std::optional<Outcome> replay_round(RoundId round) const;
 
-  std::size_t rounds_completed() const { return completed_.size(); }
+  /// Rounds cleared over the server's lifetime (not capped by
+  /// retained_rounds).
+  std::size_t rounds_completed() const { return completed_count_; }
   bool round_open() const { return open_round_.has_value(); }
 
  private:
   struct SubmittedBid {
-    std::string reply_to;
+    AddressId reply_to;
     Side side;
     Money value;
   };
@@ -102,7 +116,16 @@ class AuctionServer : public Endpoint {
     SettlementReport settlement;
   };
 
-  void handle_submit(const Envelope& envelope, const SubmitBidMsg& msg);
+  /// Escrow-lookup cache shared across one delivery batch; consecutive
+  /// submissions from the same identity (a retransmission volley) probe
+  /// escrow once.
+  struct EscrowCache {
+    IdentityId identity = IdentityId::invalid();
+    Money held{};
+  };
+
+  void handle_submit(const Envelope& envelope, const SubmitBidMsg& msg,
+                     EscrowCache& cache);
   void announce_round(const OpenRound& round);
   void schedule_announcements(RoundId id);
   void clear_round();
@@ -110,6 +133,7 @@ class AuctionServer : public Endpoint {
               const std::string& reason);
 
   std::string address_;
+  AddressId address_id_;
   EventQueue& queue_;
   MessageBus& bus_;
   const DoubleAuctionProtocol* protocol_;
@@ -119,9 +143,12 @@ class AuctionServer : public Endpoint {
   Rng rng_;
   ServerConfig config_;
 
-  std::vector<std::string> subscribers_;
+  std::vector<AddressId> subscribers_;
   std::optional<OpenRound> open_round_;
   std::unordered_map<RoundId, CompletedRound> completed_;
+  /// Completion order, for retained_rounds eviction (oldest first).
+  std::deque<RoundId> completion_order_;
+  std::size_t completed_count_ = 0;
   DedupFilter dedup_;
   std::uint64_t next_round_ = 0;
 };

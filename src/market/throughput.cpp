@@ -1,0 +1,58 @@
+#include "market/throughput.h"
+
+#include "market/multi_exchange.h"
+
+namespace fnda {
+
+ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
+                                        const ThroughputConfig& config) {
+  MultiExchangeConfig mx;
+  mx.shards = config.shards;
+  mx.bus.base_latency = config.base_latency;
+  mx.bus.jitter = config.jitter;
+  mx.bus.drop_probability = config.drop_probability;
+  mx.bus.duplicate_probability = config.duplicate_probability;
+  mx.server.domain =
+      ValueDomain{Money::from_units(0), Money::from_units(config.value_high)};
+  mx.server.retained_rounds = config.retained_rounds;
+  // One fresh identity per trader per round, each posting the default
+  // deposit; endow enough cash that escrow never drives balances negative.
+  mx.initial_cash = Money::from_units(
+      static_cast<std::int64_t>(config.rounds + 1) * 10 + 1'000);
+  mx.seed = config.seed;
+
+  MultiServerExchange exchange(protocol, mx);
+  Rng values(Rng(config.seed ^ 0x5eedu).split());
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    const Side role = (i % 2 == 0) ? Side::kBuyer : Side::kSeller;
+    const Money value = Money::from_units(
+        values.uniform_int(config.value_low, config.value_high));
+    TradingClient& trader = exchange.add_trader(role, value);
+    if (role == Side::kSeller && config.rounds > 1) {
+      // Sellers re-enter every round; stock them so settlement delivers.
+      exchange.goods().grant(trader.account(), config.rounds - 1);
+    }
+  }
+
+  ThroughputResult result;
+  result.clients = config.clients;
+  result.shards = exchange.shard_count();
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    const std::vector<RoundId> rounds = exchange.run_round(config.open_for);
+    for (std::size_t shard = 0; shard < rounds.size(); ++shard) {
+      if (const Outcome* outcome = exchange.server(shard).outcome_of(
+              rounds[shard])) {
+        result.trades += outcome->trade_count();
+      }
+    }
+    ++result.rounds;
+  }
+  for (const auto& trader : exchange.traders()) {
+    result.bids_accepted += trader->bids_accepted();
+  }
+  result.sim_time = exchange.queue().now();
+  result.bus = exchange.bus().stats();
+  return result;
+}
+
+}  // namespace fnda

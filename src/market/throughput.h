@@ -1,0 +1,53 @@
+// Throughput workload: ZI-trader sessions on the sharded exchange.
+//
+// Drives `clients` zero-intelligence traders (random valuations, truthful
+// declarations — the ZI-C budget constraint) through `rounds` call-market
+// rounds on a MultiServerExchange, and reports the message/bid/trade
+// volumes the session generated.  The bench and the CLI `market-bench`
+// subcommand wrap this with wall-clock timing; keeping the workload here
+// makes the experiment reproducible from both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/protocol.h"
+#include "market/bus.h"
+#include "market/clock.h"
+
+namespace fnda {
+
+struct ThroughputConfig {
+  std::size_t clients = 10'000;
+  std::size_t rounds = 3;
+  std::size_t shards = 4;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  /// Bus latency model (jitter spreads same-round submissions over time).
+  SimTime base_latency{1'000};
+  SimTime jitter{500};
+  SimTime open_for = SimTime::millis(100);
+  /// Completed rounds retained per shard; bounds memory in long sessions.
+  std::size_t retained_rounds = 2;
+  std::uint64_t seed = 1;
+  /// ZI valuation range (units).
+  std::int64_t value_low = 1;
+  std::int64_t value_high = 100;
+};
+
+struct ThroughputResult {
+  std::size_t clients = 0;
+  std::size_t rounds = 0;
+  std::size_t shards = 0;
+  std::size_t bids_accepted = 0;
+  std::size_t trades = 0;
+  SimTime sim_time{};
+  BusStats bus{};
+};
+
+/// Runs one ZI session and returns its volumes.  Deterministic in
+/// `config.seed`.
+ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
+                                        const ThroughputConfig& config);
+
+}  // namespace fnda

@@ -218,5 +218,21 @@ TEST(CliTest, DeterministicGivenSeed) {
   EXPECT_EQ(a.out, b.out);
 }
 
+TEST(CliTest, MarketBenchReportsThroughput) {
+  const CliRun result =
+      run({"market-bench", "--clients", "100", "--rounds", "1", "--shards",
+           "2", "--drop", "0.05", "--duplicate", "0.05", "--seed", "3"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("clients: 100"), std::string::npos);
+  EXPECT_NE(result.out.find("shards: 2"), std::string::npos);
+  EXPECT_NE(result.out.find("msg/s"), std::string::npos);
+  EXPECT_NE(result.out.find("rounds/s"), std::string::npos);
+}
+
+TEST(CliTest, MarketBenchRejectsZeroClients) {
+  const CliRun result = run({"market-bench", "--clients", "0"});
+  EXPECT_EQ(result.exit_code, 2);
+}
+
 }  // namespace
 }  // namespace fnda

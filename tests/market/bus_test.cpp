@@ -32,8 +32,8 @@ TEST(MessageBusTest, DeliversAfterLatency) {
   EXPECT_TRUE(recorder.received.empty());  // not yet delivered
   queue.run();
   ASSERT_EQ(recorder.received.size(), 1u);
-  EXPECT_EQ(recorder.received[0].from, "a");
-  EXPECT_EQ(recorder.received[0].to, "b");
+  EXPECT_EQ(bus.name_of(recorder.received[0].from), "a");
+  EXPECT_EQ(bus.name_of(recorder.received[0].to), "b");
   EXPECT_EQ(recorder.received[0].sent_at, SimTime{0});
   EXPECT_EQ(recorder.received[0].delivered_at, SimTime{1000});
   EXPECT_EQ(message_kind(recorder.received[0].payload), "round-open");

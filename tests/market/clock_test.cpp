@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace fnda {
@@ -76,6 +78,37 @@ TEST(EventQueueTest, RunUntilStopsAtBoundary) {
   EXPECT_EQ(queue.run_until(SimTime{20}), 2u);
   EXPECT_EQ(count, 2);
   EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueTest, PushBehindDrainPositionStaysOrdered) {
+  // After a partial run_until, now() lags the drain position inside the
+  // current bucket.  A push landing between the two (here: at the exact
+  // instant just executed) must still fire before everything later.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  queue.schedule_at(SimTime{200}, [&] { order.push_back(3); });
+  EXPECT_EQ(queue.run_until(SimTime{50}), 1u);
+  EXPECT_EQ(queue.now(), SimTime{10});
+  queue.schedule_at(SimTime{10}, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, OrderHoldsAcrossBucketAndHorizonBoundaries) {
+  // Events straddling wheel buckets (256 us) and the wheel horizon
+  // (~262 ms) interleave back into exact time order.
+  EventQueue queue;
+  std::vector<std::int64_t> order;
+  const std::vector<std::int64_t> times = {
+      300'000'000, 255, 256, 1'000'000, 257, 262'144, 3, 262'143, 500'000'000};
+  for (const std::int64_t t : times) {
+    queue.schedule_at(SimTime{t}, [&order, t] { order.push_back(t); });
+  }
+  EXPECT_EQ(queue.run(), times.size());
+  std::vector<std::int64_t> expected = times;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(order, expected);
 }
 
 TEST(EventQueueTest, RunCapGuardsAgainstLoops) {
