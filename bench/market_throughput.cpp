@@ -11,9 +11,14 @@
 //      AuctionServers, escrow, settlement, audit) driven by ZI traders.
 // Results go to BENCH_market_throughput.json (google-benchmark shape).
 //
+// A thread-scaling table (market_session at shards x threads combos,
+// best-of---scale-reps each) is appended unless --scale 0; it is the
+// record backing the multi-core acceptance numbers in EXPERIMENTS.md.
+//
 // Usage: market_throughput [--clients N] [--rounds R] [--shards S]
-//                          [--drop P] [--duplicate P] [--seed S]
-//                          [--json PATH]
+//                          [--threads T] [--drop P] [--duplicate P]
+//                          [--seed S] [--json PATH] [--scale 0|1]
+//                          [--scale-reps N]
 
 #include <chrono>
 #include <cstdint>
@@ -292,8 +297,9 @@ RoundtripTiming run_fast_roundtrips(std::size_t clients, std::size_t rounds,
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--clients N] [--rounds R] [--shards S] [--reps N]\n"
-               "       [--drop P] [--duplicate P] [--seed S] [--json PATH]\n";
+            << " [--clients N] [--rounds R] [--shards S] [--threads T]\n"
+               "       [--reps N] [--drop P] [--duplicate P] [--seed S]\n"
+               "       [--json PATH] [--scale 0|1] [--scale-reps N]\n";
   return 2;
 }
 
@@ -303,7 +309,10 @@ int main(int argc, char** argv) {
   std::size_t clients = 10'000;
   std::size_t rounds = 5;
   std::size_t shards = 4;
+  std::size_t threads = 1;
   std::size_t reps = 5;
+  bool scale_table = true;
+  std::size_t scale_reps = 9;
   double drop = 0.0;
   double duplicate = 0.0;
   std::uint64_t seed = 1;
@@ -321,8 +330,14 @@ int main(int argc, char** argv) {
       rounds = std::stoull(value);
     } else if (arg == "--shards" && (value = next())) {
       shards = std::stoull(value);
+    } else if (arg == "--threads" && (value = next())) {
+      threads = std::stoull(value);
     } else if (arg == "--reps" && (value = next())) {
       reps = std::max<std::size_t>(1, std::stoull(value));
+    } else if (arg == "--scale" && (value = next())) {
+      scale_table = std::stoull(value) != 0;
+    } else if (arg == "--scale-reps" && (value = next())) {
+      scale_reps = std::max<std::size_t>(1, std::stoull(value));
     } else if (arg == "--drop" && (value = next())) {
       drop = std::stod(value);
     } else if (arg == "--duplicate" && (value = next())) {
@@ -377,6 +392,7 @@ int main(int argc, char** argv) {
   session.clients = clients;
   session.rounds = rounds;
   session.shards = shards;
+  session.threads = threads;
   session.drop_probability = drop;
   session.duplicate_probability = duplicate;
   session.seed = seed;
@@ -399,11 +415,60 @@ int main(int argc, char** argv) {
         {"rounds_per_second",
          static_cast<double>(result.rounds * result.shards) / elapsed},
         {"trades", static_cast<double>(result.trades)},
-        {"shards", static_cast<double>(result.shards)}}});
+        {"shards", static_cast<double>(result.shards)},
+        {"threads", static_cast<double>(result.threads)}}});
   std::cout << "full session:      " << result.bus.sent << " messages, "
             << result.bids_accepted << " bids, " << result.trades
-            << " trades across " << result.shards << " shards in " << elapsed
-            << " s  (" << messages_per_second << " msg/s)\n";
+            << " trades across " << result.shards << " shards on "
+            << result.threads << " thread(s) in " << elapsed << " s  ("
+            << messages_per_second << " msg/s)\n";
+  for (std::size_t s = 0; s < result.shard_bus.size(); ++s) {
+    const fnda::BusStats& stats = result.shard_bus[s];
+    std::cout << "  shard " << s << ": delivered " << stats.delivered
+              << ", dead-lettered " << stats.dead_lettered << ", dropped "
+              << stats.dropped << '\n';
+  }
+
+  if (scale_table) {
+    // Thread-scaling table: one-thread baseline per shard count, plus the
+    // matched shards==threads run.  Best-of-N (the workload is
+    // deterministic, so repetition only filters scheduler noise).
+    std::cout << "thread scaling (best of " << scale_reps << "):\n";
+    for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2},
+                                          std::size_t{4}, std::size_t{8}}) {
+      for (const std::size_t thread_count :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        if (thread_count > shard_count) continue;
+        if (thread_count != 1 && thread_count != shard_count) continue;
+        fnda::ThroughputConfig combo = session;
+        combo.shards = shard_count;
+        combo.threads = thread_count;
+        double best = 0.0;
+        fnda::ThroughputResult sample;
+        for (std::size_t rep = 0; rep < scale_reps; ++rep) {
+          const auto rep_start = Clock::now();
+          sample = fnda::run_throughput_session(protocol, combo);
+          const double rep_elapsed = seconds_since(rep_start);
+          const double rate = static_cast<double>(sample.bus.sent) /
+                              rep_elapsed;
+          if (rate > best) best = rate;
+        }
+        const std::string name = "market_session" + size_suffix + "/shards:" +
+                                 std::to_string(shard_count) + "/threads:" +
+                                 std::to_string(thread_count);
+        records.push_back(
+            {name,
+             static_cast<double>(sample.bus.sent) / best * 1e9,
+             1,
+             best,
+             {{"messages", static_cast<double>(sample.bus.sent)},
+              {"shards", static_cast<double>(shard_count)},
+              {"threads", static_cast<double>(thread_count)}}});
+        std::cout << "  shards " << shard_count << " threads " << thread_count
+                  << ": " << best << " msg/s\n";
+      }
+    }
+  }
 
   if (!fnda::bench::write_benchmark_json_file(json_path, argv[0], records)) {
     std::cerr << "failed to write " << json_path << '\n';

@@ -384,6 +384,7 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
   config.clients = static_cast<std::size_t>(args.get_int_or("clients", 1000));
   config.rounds = static_cast<std::size_t>(args.get_int_or("rounds", 3));
   config.shards = static_cast<std::size_t>(args.get_int_or("shards", 4));
+  config.threads = static_cast<std::size_t>(args.get_int_or("threads", 1));
   config.drop_probability = args.get_double_or("drop", 0.0);
   config.duplicate_probability = args.get_double_or("duplicate", 0.0);
   config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
@@ -391,6 +392,11 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   if (config.clients == 0 || config.rounds == 0 || config.shards == 0) {
     return usage_error(err, "--clients, --rounds, --shards must be positive");
+  }
+  if (config.threads > config.shards) {
+    return usage_error(err,
+                       "--threads must not exceed --shards (a shard is owned "
+                       "by one worker; 0 = hardware concurrency)");
   }
 
   const TpdProtocol tpd(threshold);
@@ -403,12 +409,19 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
   const std::size_t messages = result.bus.delivered + result.bus.dropped +
                                result.bus.dead_lettered;
   out << "clients: " << result.clients << "  rounds: " << result.rounds
-      << "  shards: " << result.shards << '\n'
+      << "  shards: " << result.shards << "  threads: " << result.threads
+      << '\n'
       << "messages: " << messages << " (sent " << result.bus.sent
       << ", duplicated " << result.bus.duplicated << ", dropped "
       << result.bus.dropped << ", dead-lettered " << result.bus.dead_lettered
-      << ")\n"
-      << "bids accepted: " << result.bids_accepted
+      << ", forwarded " << result.bus.forwarded << ")\n";
+  for (std::size_t s = 0; s < result.shard_bus.size(); ++s) {
+    const BusStats& shard = result.shard_bus[s];
+    out << "  shard " << s << ": delivered " << shard.delivered
+        << ", dead-lettered " << shard.dead_lettered << ", dropped "
+        << shard.dropped << '\n';
+  }
+  out << "bids accepted: " << result.bids_accepted
       << "  trades: " << result.trades << '\n'
       << "sim time: " << result.sim_time.micros << " us  wall: "
       << format_fixed(elapsed, 3) << " s\n"
@@ -447,7 +460,8 @@ int cmd_help(std::ostream& out) {
          "            --buyers N --sellers M --lo --hi --objective "
          "total|traders\n"
          "  market-bench  ZI-trader session on the sharded exchange\n"
-         "            --clients N --rounds R --shards S --drop P\n"
+         "            --clients N --rounds R --shards S --threads T\n"
+         "            (T <= S; 0 = hardware concurrency) --drop P\n"
          "            --duplicate P --threshold R --seed N\n"
          "  help      this text\n";
   return 0;

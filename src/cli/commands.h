@@ -11,8 +11,9 @@
 //                    (iterated best response; Section 8's deliberation)
 //   fnda sweep    --participants 500 [--step 5] [--instances N]   (Figure 1)
 //   fnda optimize --buyers 50 --sellers 50 [--lo 0 --hi 100]
-//   fnda market-bench --clients 1000 --rounds 3 --shards 4
+//   fnda market-bench --clients 1000 --rounds 3 --shards 4 --threads 2
 //                     [--drop P --duplicate P --threshold R --seed N]
+//                     (threads <= shards; 0 = hardware concurrency)
 //   fnda help
 //
 // Commands are plain functions over streams so tests can drive them

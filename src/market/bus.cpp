@@ -22,24 +22,37 @@ const char* message_kind(const Message& message) {
 }
 
 MessageBus::MessageBus(EventQueue& queue, BusConfig config, Rng rng)
-    : queue_(queue), config_(config), rng_(rng) {
+    : queue_(queue),
+      config_(config),
+      rng_(rng),
+      owned_space_(std::make_unique<AddressSpace>()),
+      space_(owned_space_.get()),
+      next_message_(config.first_message_id) {
+  queue_.set_delivery_sink(this);
+}
+
+MessageBus::MessageBus(EventQueue& queue, BusConfig config, Rng rng,
+                       Fabric& fabric, std::uint32_t shard)
+    : queue_(queue),
+      config_(config),
+      rng_(rng),
+      space_(&fabric.addresses()),
+      fabric_(&fabric),
+      shard_(shard),
+      next_message_(config.first_message_id) {
   queue_.set_delivery_sink(this);
 }
 
 MessageBus::~MessageBus() { queue_.set_delivery_sink(nullptr); }
 
 AddressId MessageBus::intern(const std::string& address) {
-  auto [it, inserted] = names_.try_emplace(address, 0);
-  if (inserted) {
-    it->second = static_cast<std::uint32_t>(directory_.size());
-    directory_.push_back(DirectoryEntry{});
-    addresses_.push_back(address);
-  }
-  return AddressId{it->second};
+  const AddressId id = space_->intern(address);
+  ensure_directory(id.value());
+  return id;
 }
 
 const std::string& MessageBus::name_of(AddressId address) const {
-  return addresses_.at(address.value());
+  return space_->name_of(address);
 }
 
 AddressId MessageBus::attach(const std::string& address, Endpoint& endpoint) {
@@ -49,19 +62,26 @@ AddressId MessageBus::attach(const std::string& address, Endpoint& endpoint) {
 }
 
 void MessageBus::attach(AddressId address, Endpoint& endpoint) {
-  DirectoryEntry& entry = directory_.at(address.value());
+  if (address.value() >= space_->size()) {
+    throw std::out_of_range("MessageBus::attach: unknown AddressId");
+  }
+  DirectoryEntry& entry = ensure_directory(address.value());
   entry.endpoint = &endpoint;
   ++entry.binding;
+  space_->claim(address, shard_);
 }
 
 void MessageBus::detach(const std::string& address) {
-  auto it = names_.find(address);
-  if (it == names_.end()) return;
-  detach(AddressId{it->second});
+  const std::optional<AddressId> id = space_->lookup(address);
+  if (!id.has_value()) return;
+  detach(*id);
 }
 
 void MessageBus::detach(AddressId address) {
-  DirectoryEntry& entry = directory_.at(address.value());
+  if (address.value() >= space_->size()) {
+    throw std::out_of_range("MessageBus::detach: unknown AddressId");
+  }
+  DirectoryEntry& entry = ensure_directory(address.value());
   if (entry.endpoint == nullptr) return;
   entry.endpoint = nullptr;
   ++entry.binding;
@@ -90,12 +110,67 @@ MessageId MessageBus::send(const std::string& from, const std::string& to,
   return send(from_id, to_id, std::move(payload));
 }
 
-void MessageBus::schedule_slot(std::uint32_t slot, std::uint64_t key) {
+SimTime MessageBus::draw_latency() {
   SimTime latency = config_.base_latency;
   if (config_.jitter.micros > 0) {
     latency.micros += rng_.uniform_int(0, config_.jitter.micros - 1);
   }
-  queue_.schedule_delivery(queue_.now() + latency, slot, key);
+  return latency;
+}
+
+void MessageBus::schedule_slot(std::uint32_t slot, std::uint64_t key) {
+  queue_.schedule_delivery(queue_.now() + draw_latency(), slot, key);
+}
+
+void MessageBus::forward_remote(MessageId id, AddressId from, AddressId to,
+                                std::uint32_t owner, Message payload) {
+  ++stats_.forwarded;
+  RemoteEnvelope envelope;
+  envelope.id = id;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.sent_at = queue_.now();
+  envelope.deliver_at = queue_.now() + draw_latency();
+  envelope.source_shard = shard_;
+  envelope.payload = std::move(payload);
+  // Draw order mirrors the local path: primary jitter, duplicate coin,
+  // then the duplicate's own jitter — so routing a message remotely
+  // instead of locally never shifts the RNG stream.
+  if (!rng_.bernoulli(config_.duplicate_probability)) {
+    push_remote(owner, std::move(envelope));
+    return;
+  }
+  ++stats_.duplicated;
+  RemoteEnvelope duplicate = envelope;
+  duplicate.deliver_at = queue_.now() + draw_latency();
+  push_remote(owner, std::move(envelope));
+  push_remote(owner, std::move(duplicate));
+}
+
+void MessageBus::push_remote(std::uint32_t owner, RemoteEnvelope&& envelope) {
+  envelope.sequence = next_remote_sequence_++;
+  if (!fabric_->forward(owner, std::move(envelope))) {
+    ++stats_.mailbox_overflow;
+    ++stats_.dropped;
+  }
+}
+
+void MessageBus::inject(const RemoteEnvelope& remote) {
+  const std::uint32_t slot = acquire_slot();
+  Envelope& envelope = slot_ref(slot);
+  envelope.id = remote.id;
+  envelope.from = remote.from;
+  envelope.to = remote.to;
+  envelope.sent_at = remote.sent_at;
+  envelope.delivered_at = SimTime{};
+  envelope.payload = remote.payload;
+  const std::uint64_t key = pack_key(
+      remote.to.value(), ensure_directory(remote.to.value()).binding);
+  // A deliver_at in this shard's past (possible when lookahead is tiny)
+  // clamps to now_ inside schedule_delivery — deterministically, since
+  // injection happens at a barrier when now_ is a pure function of the
+  // event history.
+  queue_.schedule_delivery(remote.deliver_at, slot, key);
 }
 
 void MessageBus::deliver_run(SimTime at, const EventQueue::Delivery* run,

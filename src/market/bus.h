@@ -28,6 +28,7 @@
 
 #include "common/rng.h"
 #include "market/clock.h"
+#include "market/fabric.h"
 #include "market/messages.h"
 
 namespace fnda {
@@ -61,6 +62,11 @@ struct BusConfig {
   SimTime jitter{500};          // uniform [0, jitter)
   double duplicate_probability = 0.0;
   double drop_probability = 0.0;
+  /// Message-id namespace: bus `s` of a sharded exchange mints ids
+  /// first_message_id, +stride, +2·stride, … so ids are globally unique
+  /// without a shared counter.  Standalone buses keep (0, 1).
+  std::uint64_t first_message_id = 0;
+  std::uint64_t message_id_stride = 1;
 };
 
 struct BusStats {
@@ -69,13 +75,39 @@ struct BusStats {
   std::size_t duplicated = 0;
   std::size_t dropped = 0;
   /// Receiver detached — or detached and re-attached — before delivery.
-  /// Conservation: sent == delivered + dropped + dead_lettered − duplicated.
   std::size_t dead_lettered = 0;
+  /// Staged to another shard's mailbox (counted by the *sender*; the
+  /// receiving shard counts the eventual delivered/dead_lettered).
+  std::size_t forwarded = 0;
+  /// Cross-shard pushes rejected by a full mailbox (also counted in
+  /// `dropped`, so conservation still holds).
+  std::size_t mailbox_overflow = 0;
+
+  /// Conservation: sent == delivered + dropped + dead_lettered −
+  /// duplicated.  For a sharded exchange this holds on the *merged*
+  /// stats (sum over shards): a forwarded message is `sent` on one shard
+  /// and `delivered` on another.
+  void merge(const BusStats& other) {
+    sent += other.sent;
+    delivered += other.delivered;
+    duplicated += other.duplicated;
+    dropped += other.dropped;
+    dead_lettered += other.dead_lettered;
+    forwarded += other.forwarded;
+    mailbox_overflow += other.mailbox_overflow;
+  }
 };
 
 class MessageBus : public EventQueue::DeliverySink {
  public:
+  /// Standalone bus: owns a private AddressSpace, never forwards.
   MessageBus(EventQueue& queue, BusConfig config, Rng rng);
+  /// Shard-local bus of a sharded exchange: names and ownership live in
+  /// the fabric's shared AddressSpace; sends whose destination is owned
+  /// by another shard are staged into that shard's mailbox instead of
+  /// the local queue.
+  MessageBus(EventQueue& queue, BusConfig config, Rng rng, Fabric& fabric,
+             std::uint32_t shard);
   ~MessageBus() override;
   MessageBus(const MessageBus&) = delete;
   MessageBus& operator=(const MessageBus&) = delete;
@@ -112,6 +144,14 @@ class MessageBus : public EventQueue::DeliverySink {
   }
 
   const BusStats& stats() const { return stats_; }
+
+  /// Schedules a mailbox envelope for local delivery.  Called by the
+  /// epoch driver at a barrier, while this shard's worker is quiescent.
+  /// The delivery binds to the destination's binding generation *at
+  /// injection time* (a message in flight across a re-attach that also
+  /// crossed a shard boundary delivers to the new attachment; same-shard
+  /// traffic keeps the stricter send-time binding).
+  void inject(const RemoteEnvelope& remote);
 
   /// EventQueue::DeliverySink — one call per run of same-instant
   /// deliveries.  Keys carry the destination and the binding generation
@@ -152,21 +192,42 @@ class MessageBus : public EventQueue::DeliverySink {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot) { free_.push_back(slot); }
   void schedule_slot(std::uint32_t slot, std::uint64_t key);
+  SimTime draw_latency();
+  /// Grows the (lazily sized) directory to cover `id`.
+  DirectoryEntry& ensure_directory(std::uint32_t id) {
+    if (id >= directory_.size()) directory_.resize(id + 1);
+    return directory_[id];
+  }
+  /// Remote leg of send_impl: jitter/duplicate draws mirror the local
+  /// path, then the envelope(s) go to `owner`'s mailbox.
+  void forward_remote(MessageId id, AddressId from, AddressId to,
+                      std::uint32_t owner, Message payload);
+  void push_remote(std::uint32_t owner, RemoteEnvelope&& envelope);
 
   /// Shared send body; `payload` may be the Message variant or any of its
   /// alternatives (assigned directly into the pooled envelope).
   template <typename M>
   MessageId send_impl(AddressId from, AddressId to, M&& payload) {
-    if (to.value() >= directory_.size()) {
+    if (to.value() >= space_->size()) {
       throw std::out_of_range(
           "MessageBus::send: unknown destination AddressId");
     }
-    const MessageId id{next_message_++};
+    const MessageId id{next_message_};
+    next_message_ += config_.message_id_stride;
     ++stats_.sent;
 
     if (rng_.bernoulli(config_.drop_probability)) {
       ++stats_.dropped;
       return id;
+    }
+
+    if (fabric_ != nullptr) {
+      const std::uint32_t owner = fabric_->addresses().owner_shard(to);
+      if (owner != shard_ && owner != AddressSpace::kUnowned) {
+        forward_remote(id, from, to, owner,
+                       Message(std::forward<M>(payload)));
+        return id;
+      }
     }
 
     const std::uint32_t slot = acquire_slot();
@@ -178,7 +239,7 @@ class MessageBus : public EventQueue::DeliverySink {
     envelope.delivered_at = SimTime{};
     envelope.payload = std::forward<M>(payload);
     const std::uint64_t key =
-        pack_key(to.value(), directory_[to.value()].binding);
+        pack_key(to.value(), ensure_directory(to.value()).binding);
 
     schedule_slot(slot, key);
     if (rng_.bernoulli(config_.duplicate_probability)) {
@@ -197,9 +258,15 @@ class MessageBus : public EventQueue::DeliverySink {
   BusConfig config_;
   Rng rng_;
 
+  // Standalone buses own a private AddressSpace; sharded buses share the
+  // fabric's.  Either way `space_` is the one source of names/ids and
+  // directory_ is lazily sized to cover the ids this bus has touched.
+  std::unique_ptr<AddressSpace> owned_space_;
+  AddressSpace* space_ = nullptr;
+  Fabric* fabric_ = nullptr;
+  std::uint32_t shard_ = 0;
+
   std::vector<DirectoryEntry> directory_;        // indexed by AddressId
-  std::vector<std::string> addresses_;           // cold names, same index
-  std::unordered_map<std::string, std::uint32_t> names_;
 
   std::vector<std::unique_ptr<Envelope[]>> pool_;  // chunked slab
   std::size_t pool_size_ = 0;                    // slots ever created
@@ -208,6 +275,7 @@ class MessageBus : public EventQueue::DeliverySink {
 
   BusStats stats_;
   std::uint64_t next_message_ = 0;
+  std::uint64_t next_remote_sequence_ = 0;
 };
 
 /// Receiver-side duplicate filter keyed by MessageId.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <utility>
 
 namespace fnda {
@@ -233,10 +234,11 @@ bool EventQueue::step() {
   return true;
 }
 
-std::size_t EventQueue::drain_ready(std::size_t budget) {
+std::size_t EventQueue::drain_ready(std::size_t budget, SimTime until) {
   std::size_t executed = 0;
   while (executed < budget) {
     if (early_pending()) {
+      if (early_[early_index_].at > until) break;
       execute_one();
       ++executed;
       continue;
@@ -245,6 +247,9 @@ std::size_t EventQueue::drain_ready(std::size_t budget) {
     seek_instant();
     std::vector<Entry>& list = instant_[instant_offset_];
     const Entry& head = list[instant_index_];
+    // Every entry in one instant list shares a timestamp, so one bound
+    // check covers the whole list.
+    if (head.at > until) break;
     if (!head.is_delivery || sink_ == nullptr) {
       execute_one();
       ++executed;
@@ -289,9 +294,10 @@ std::size_t EventQueue::drain_ready(std::size_t budget) {
 }
 
 std::size_t EventQueue::run(std::size_t max_events) {
+  constexpr SimTime kNoBound{std::numeric_limits<std::int64_t>::max()};
   std::size_t executed = 0;
   while (executed < max_events && ensure_ready()) {
-    executed += drain_ready(max_events - executed);
+    executed += drain_ready(max_events - executed, kNoBound);
   }
   return executed;
 }
@@ -299,10 +305,14 @@ std::size_t EventQueue::run(std::size_t max_events) {
 std::size_t EventQueue::run_until(SimTime until, std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events && ensure_ready() && head_at() <= until) {
-    execute_one();
-    ++executed;
+    executed += drain_ready(max_events - executed, until);
   }
   return executed;
+}
+
+std::optional<SimTime> EventQueue::next_time() {
+  if (!ensure_ready()) return std::nullopt;
+  return head_at();
 }
 
 }  // namespace fnda

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
@@ -103,6 +104,11 @@ class EventQueue {
   /// Runs all events scheduled at or before `until`.
   std::size_t run_until(SimTime until, std::size_t max_events = 1'000'000);
 
+  /// Timestamp of the earliest pending event, or nullopt when empty.
+  /// Non-const: may advance the internal cursor to find the next bucket
+  /// (a pure lookahead — nothing executes and now() is unchanged).
+  std::optional<SimTime> next_time();
+
   SimTime now() const { return now_; }
   std::size_t pending() const { return size_; }
 
@@ -149,9 +155,9 @@ class EventQueue {
   bool ensure_ready();
   /// Executes exactly one ready entry (ensure_ready must have succeeded).
   void execute_one();
-  /// Executes ready entries up to `budget`, batching deliveries; returns
-  /// the number executed.
-  std::size_t drain_ready(std::size_t budget);
+  /// Executes ready entries up to `budget` with timestamps <= `until`,
+  /// batching deliveries; returns the number executed.
+  std::size_t drain_ready(std::size_t budget, SimTime until);
   /// Moves overflow buckets that entered the horizon onto the wheel.
   void pull_overflow();
   void mark_occupied(std::size_t slot_index);

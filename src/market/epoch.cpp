@@ -1,0 +1,114 @@
+#include "market/epoch.h"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace fnda {
+
+EpochDriver::EpochDriver(Fabric& fabric, std::vector<EpochShard> shards,
+                         SimTime lookahead)
+    : fabric_(fabric),
+      shards_(std::move(shards)),
+      lookahead_(std::max(lookahead, SimTime{1})) {}
+
+void EpochDriver::advance_epoch() noexcept {
+  // Runs on exactly one thread while every other worker is parked inside
+  // the barrier, so all shard state is safe to touch; the barrier's
+  // release edge publishes the writes to every worker.
+  if (failed_.load(std::memory_order_acquire)) {
+    stop_ = true;
+    return;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    inbox_scratch_.clear();
+    RemoteEnvelope envelope;
+    while (fabric_.mailbox(s).pop(envelope)) {
+      inbox_scratch_.push_back(std::move(envelope));
+    }
+    if (inbox_scratch_.empty()) continue;
+    // Ring order depends on producer interleaving; (deliver_at,
+    // source_shard, sequence) is a total order over one epoch's traffic
+    // that does not, so injection order is canonical.
+    std::sort(inbox_scratch_.begin(), inbox_scratch_.end(),
+              [](const RemoteEnvelope& a, const RemoteEnvelope& b) {
+                if (a.deliver_at != b.deliver_at) {
+                  return a.deliver_at < b.deliver_at;
+                }
+                if (a.source_shard != b.source_shard) {
+                  return a.source_shard < b.source_shard;
+                }
+                return a.sequence < b.sequence;
+              });
+    for (const RemoteEnvelope& ready : inbox_scratch_) {
+      shards_[s].bus->inject(ready);
+    }
+    stats_.injected += inbox_scratch_.size();
+  }
+  SimTime next{std::numeric_limits<std::int64_t>::max()};
+  bool any = false;
+  for (const EpochShard& shard : shards_) {
+    if (const std::optional<SimTime> head = shard.queue->next_time()) {
+      any = true;
+      next = std::min(next, *head);
+    }
+  }
+  if (!any) {
+    stop_ = true;
+    return;
+  }
+  epoch_end_ = next + lookahead_ - SimTime{1};
+  ++stats_.epochs;
+}
+
+EpochStats EpochDriver::drive(std::size_t threads) {
+  const std::size_t shard_count = shards_.size();
+  const std::size_t workers =
+      std::clamp<std::size_t>(threads, 1, shard_count == 0 ? 1 : shard_count);
+  stop_ = false;
+  failed_.store(false, std::memory_order_relaxed);
+  stats_ = EpochStats{};
+  errors_.assign(shard_count, nullptr);
+
+  std::barrier barrier(static_cast<std::ptrdiff_t>(workers),
+                       [this]() noexcept { advance_epoch(); });
+
+  auto worker = [&](std::size_t index) {
+    for (;;) {
+      barrier.arrive_and_wait();  // completion step ran before release
+      if (stop_) return;
+      for (std::size_t s = index; s < shard_count; s += workers) {
+        if (errors_[s] != nullptr) continue;
+        try {
+          shards_[s].queue->run_until(
+              epoch_end_, std::numeric_limits<std::size_t>::max());
+        } catch (...) {
+          errors_[s] = std::current_exception();
+          failed_.store(true, std::memory_order_release);
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    worker(0);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (errors_[s] != nullptr) std::rethrow_exception(errors_[s]);
+  }
+  return stats_;
+}
+
+}  // namespace fnda

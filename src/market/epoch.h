@@ -1,0 +1,84 @@
+// Conservative epoch synchronization for the sharded exchange.
+//
+// Classic conservative parallel discrete-event execution: with every
+// cross-shard message taking at least `lookahead` of simulated time to
+// arrive, all events in the window [T, T + lookahead) are causally
+// independent across shards — a message sent at t >= T arrives at
+// t + lookahead, beyond the window.  So the driver repeatedly:
+//
+//   1. (barrier completion, single-threaded) drains every shard's inbound
+//      mailbox, sorts each inbox by (deliver_at, source_shard, sequence),
+//      injects the envelopes into the destination bus, then sets the next
+//      epoch horizon from the global minimum next-event time;
+//   2. (all workers, parallel) each worker runs its shards' queues up to
+//      the horizon, staging any cross-shard sends into mailboxes;
+//   3. workers meet at the barrier and the cycle repeats until no shard
+//      has pending events and every mailbox is empty.
+//
+// Determinism: within an epoch each shard's execution is sequential on
+// its own queue, and the only cross-thread artifact — mailbox contents —
+// is re-ordered into a canonical total order before injection.  Delivery
+// order, tie-breaking, and RNG draw order are therefore bit-identical
+// for every worker count, including 1.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <vector>
+
+#include "market/bus.h"
+#include "market/clock.h"
+#include "market/fabric.h"
+
+namespace fnda {
+
+/// One shard's event loop as seen by the driver.
+struct EpochShard {
+  EventQueue* queue = nullptr;
+  MessageBus* bus = nullptr;
+};
+
+struct EpochStats {
+  std::size_t epochs = 0;    // barrier cycles executed
+  std::size_t injected = 0;  // mailbox envelopes delivered to shard queues
+};
+
+/// Drives a set of per-shard event loops to quiescence on `threads`
+/// workers.  Stateless between drives; construct once per exchange and
+/// call drive() whenever work is pending.
+class EpochDriver {
+ public:
+  /// `lookahead` must be a lower bound on cross-shard latency (>= 1 µs).
+  EpochDriver(Fabric& fabric, std::vector<EpochShard> shards,
+              SimTime lookahead);
+
+  /// Runs until every queue and mailbox is empty.  `threads` is clamped
+  /// to [1, shard_count]; the calling thread is worker 0.  If a shard's
+  /// event handler throws, every worker stops at the next barrier and
+  /// the lowest-shard-index exception is rethrown here — no hang, no
+  /// partial epoch on other shards beyond the one in flight.
+  EpochStats drive(std::size_t threads);
+
+  SimTime lookahead() const { return lookahead_; }
+
+ private:
+  /// Barrier completion step: inject mailboxes, advance the horizon.
+  void advance_epoch() noexcept;
+
+  Fabric& fabric_;
+  std::vector<EpochShard> shards_;
+  SimTime lookahead_;
+
+  // Per-drive state, written by the barrier completion step (which runs
+  // on exactly one thread while all others are blocked at the barrier —
+  // the barrier's release edge publishes it).
+  SimTime epoch_end_{};
+  bool stop_ = false;
+  EpochStats stats_;
+  std::vector<RemoteEnvelope> inbox_scratch_;
+  std::vector<std::exception_ptr> errors_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace fnda

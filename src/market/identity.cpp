@@ -9,7 +9,8 @@ AccountId IdentityRegistry::create_account() {
 }
 
 IdentityId IdentityRegistry::register_identity(AccountId account) {
-  const IdentityId identity{next_identity_++};
+  const IdentityId identity{next_identity_};
+  next_identity_ += identity_stride_;
   owners_.emplace(identity, account);
   return identity;
 }

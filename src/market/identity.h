@@ -21,6 +21,16 @@ class IdentityRegistry {
   /// Reserved account for the exchange/auctioneer itself.
   static constexpr AccountId exchange_account() { return AccountId{0}; }
 
+  IdentityRegistry() = default;
+  /// Strided identity namespace: shard `s` of an S-shard exchange uses
+  /// (first = s, stride = S), so every shard mints globally unique
+  /// identity ids with no shared counter — and the ids a shard mints do
+  /// not depend on what other shards do, which keeps parallel runs
+  /// bit-identical.
+  IdentityRegistry(std::uint64_t first_identity, std::uint64_t identity_stride)
+      : next_identity_(first_identity),
+        identity_stride_(identity_stride == 0 ? 1 : identity_stride) {}
+
   /// Opens a fresh trader account.
   AccountId create_account();
 
@@ -42,6 +52,7 @@ class IdentityRegistry {
   std::unordered_map<IdentityId, AccountId> owners_;
   std::uint64_t next_account_ = 1;  // 0 is the exchange
   std::uint64_t next_identity_ = 0;
+  std::uint64_t identity_stride_ = 1;
 };
 
 }  // namespace fnda

@@ -1,7 +1,9 @@
 #include "market/multi_exchange.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace {
 
@@ -21,17 +23,52 @@ MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
   if (config_.shards == 0) {
     throw std::invalid_argument("MultiServerExchange: shards must be >= 1");
   }
-  Rng root(config_.seed);
-  bus_ = std::make_unique<MessageBus>(queue_, config_.bus, root.split());
-  escrow_ = std::make_unique<EscrowService>(cash_);
-  settlement_ = std::make_unique<SettlementEngine>(registry_, cash_, goods_,
-                                                   *escrow_);
-  servers_.reserve(config_.shards);
-  for (std::size_t shard = 0; shard < config_.shards; ++shard) {
-    servers_.push_back(std::make_unique<AuctionServer>(
-        "exchange-" + std::to_string(shard), queue_, *bus_, protocol,
-        *escrow_, *settlement_, audit_, root.split(), config_.server));
+  threads_ = config_.threads;
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
   }
+  threads_ = std::min(threads_, config_.shards);
+
+  fabric_ = std::make_unique<Fabric>(config_.shards, config_.mailbox_capacity);
+
+  // RNG derivation order is part of the replay contract.  The seed root
+  // hands out one stream for the bus layer, then one server stream per
+  // shard in shard order — exactly the draws the shared-queue engine
+  // made, so equal seeds reproduce the pre-sharding clearing seeds.  The
+  // bus layer stream is the single bus's RNG when shards == 1 (making
+  // that case bit-identical to ExchangeSimulation) and the parent of one
+  // sub-stream per shard bus otherwise.
+  Rng root(config_.seed);
+  Rng bus_master = root.split();
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    Shard& shard = shards_.emplace_back();
+    BusConfig bus_config = config_.bus;
+    bus_config.first_message_id = s;
+    bus_config.message_id_stride = config_.shards;
+    const Rng bus_rng =
+        config_.shards == 1 ? bus_master : bus_master.split();
+    shard.bus = std::make_unique<MessageBus>(shard.queue, bus_config, bus_rng,
+                                             *fabric_,
+                                             static_cast<std::uint32_t>(s));
+    shard.registry = IdentityRegistry(s, config_.shards);
+    shard.escrow = std::make_unique<EscrowService>(shard.cash);
+    shard.settlement = std::make_unique<SettlementEngine>(
+        shard.registry, shard.cash, shard.goods, *shard.escrow);
+    shard.server = std::make_unique<AuctionServer>(
+        "exchange-" + std::to_string(s), shard.queue, *shard.bus, protocol,
+        *shard.escrow, *shard.settlement, shard.audit, root.split(),
+        config_.server);
+  }
+
+  std::vector<EpochShard> loops;
+  loops.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    loops.push_back(EpochShard{&shard.queue, shard.bus.get()});
+  }
+  const SimTime lookahead = std::max(SimTime{1}, config_.bus.base_latency);
+  driver_ = std::make_unique<EpochDriver>(*fabric_, std::move(loops),
+                                          lookahead);
 }
 
 std::size_t MultiServerExchange::shard_of(AccountId account) const {
@@ -42,7 +79,7 @@ std::size_t MultiServerExchange::shard_of(AccountId account) const {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   x ^= x >> 31;
-  return static_cast<std::size_t>(x % servers_.size());
+  return static_cast<std::size_t>(x % shards_.size());
 }
 
 TradingClient& MultiServerExchange::add_trader(Side role, Money true_value) {
@@ -51,56 +88,149 @@ TradingClient& MultiServerExchange::add_trader(Side role, Money true_value) {
 
 TradingClient& MultiServerExchange::add_trader(Side role, Money true_value,
                                                Strategy strategy) {
-  const AccountId account = registry_.create_account();
-  cash_.grant(account, config_.initial_cash);
-  if (role == Side::kSeller) goods_.grant(account, 1);
+  // Account ids come from one exchange-level counter (matching the old
+  // shared registry), so shard_of and the account/shard assignment are
+  // unchanged; everything behind the id lives on the home shard.
+  const AccountId account{next_account_++};
+  Shard& home = shards_[shard_of(account)];
+  home.cash.grant(account, config_.initial_cash);
+  if (role == Side::kSeller) home.goods.grant(account, 1);
 
-  AuctionServer& home = *servers_[shard_of(account)];
   const std::string address = "trader-" + std::to_string(next_client_++);
   auto client = std::make_unique<TradingClient>(
-      address, account, role, true_value, queue_, *bus_, registry_, *escrow_,
-      home.address(), config_.client);
+      address, account, role, true_value, home.queue, *home.bus,
+      home.registry, *home.escrow, home.server->address(), config_.client);
   client->set_strategy(std::move(strategy));
-  home.subscribe(client->address_id());
+  home.server->subscribe(client->address_id());
   traders_.push_back(std::move(client));
   return *traders_.back();
 }
 
 std::vector<RoundId> MultiServerExchange::run_round(SimTime open_for) {
   std::vector<RoundId> rounds;
-  rounds.reserve(servers_.size());
-  for (auto& server : servers_) {
-    rounds.push_back(server->open_round(open_for));
+  rounds.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    rounds.push_back(shard.server->open_round(open_for));
   }
-  // One quiescence drive covers every shard: events interleave on the
-  // shared queue exactly as they would on one wire.
-  while (queue_.run() > 0) {
-  }
+  last_drive_ = driver_->drive(threads_);
   return rounds;
 }
 
 std::size_t MultiServerExchange::rounds_completed() const {
   std::size_t total = 0;
-  for (const auto& server : servers_) total += server->rounds_completed();
+  for (const Shard& shard : shards_) {
+    total += shard.server->rounds_completed();
+  }
   return total;
 }
 
 Money MultiServerExchange::close_market() {
-  for (const auto& server : servers_) {
-    if (server->round_open()) {
+  for (const Shard& shard : shards_) {
+    if (shard.server->round_open()) {
       throw std::logic_error("close_market: a round is still open");
     }
   }
   Money refunded;
-  for (IdentityId identity : escrow_->identities_with_deposits()) {
-    const Money amount = escrow_->held(identity);
-    escrow_->refund(identity, registry_.owner(identity));
-    refunded += amount;
-    audit_.append(queue_.now(), RoundId::invalid(),
-                  AuditKind::kDepositRefunded,
-                  identity_detail(identity, amount));
+  for (Shard& shard : shards_) {
+    for (IdentityId identity : shard.escrow->identities_with_deposits()) {
+      const Money amount = shard.escrow->held(identity);
+      shard.escrow->refund(identity, shard.registry.owner(identity));
+      refunded += amount;
+      shard.audit.append(shard.queue.now(), RoundId::invalid(),
+                         AuditKind::kDepositRefunded,
+                         identity_detail(identity, amount));
+    }
   }
   return refunded;
+}
+
+SimTime MultiServerExchange::now() const {
+  SimTime latest{};
+  for (const Shard& shard : shards_) {
+    latest = std::max(latest, shard.queue.now());
+  }
+  return latest;
+}
+
+BusStats MultiServerExchange::bus_stats() const {
+  BusStats merged;
+  for (const Shard& shard : shards_) merged.merge(shard.bus->stats());
+  return merged;
+}
+
+std::vector<BusStats> MultiServerExchange::shard_bus_stats() const {
+  std::vector<BusStats> stats;
+  stats.reserve(shards_.size());
+  for (const Shard& shard : shards_) stats.push_back(shard.bus->stats());
+  return stats;
+}
+
+std::vector<AuditRecord> MultiServerExchange::merged_audit() const {
+  std::vector<AuditRecord> merged;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.audit.records().size();
+  merged.reserve(total);
+  // Stable merge by timestamp with shard index as the tiebreak: append
+  // in shard order, then stable-sort by time.  Within one shard the log
+  // is already chronological, so the result is a canonical total order.
+  for (const Shard& shard : shards_) {
+    const auto& records = shard.audit.records();
+    merged.insert(merged.end(), records.begin(), records.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const AuditRecord& a, const AuditRecord& b) {
+                     return a.at < b.at;
+                   });
+  return merged;
+}
+
+std::size_t MultiServerExchange::audit_count(AuditKind kind) const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.audit.count(kind);
+  return total;
+}
+
+Money MultiServerExchange::cash_balance(AccountId account) const {
+  // An account's funds live on its home shard, except the exchange
+  // account (0), which every shard's settlement credits; summing covers
+  // both without special cases.
+  Money total;
+  for (const Shard& shard : shards_) {
+    total += shard.cash.balance(account);
+  }
+  return total;
+}
+
+Money MultiServerExchange::cash_total() const {
+  Money total;
+  for (const Shard& shard : shards_) total += shard.cash.total();
+  return total;
+}
+
+std::size_t MultiServerExchange::goods_units(AccountId account) const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.goods.units(account);
+  return total;
+}
+
+std::size_t MultiServerExchange::goods_total() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.goods.total();
+  return total;
+}
+
+Money MultiServerExchange::escrow_total_held() const {
+  Money total;
+  for (const Shard& shard : shards_) total += shard.escrow->total_held();
+  return total;
+}
+
+void MultiServerExchange::grant_cash(AccountId account, Money amount) {
+  shards_[shard_of(account)].cash.grant(account, amount);
+}
+
+void MultiServerExchange::grant_goods(AccountId account, std::size_t units) {
+  shards_[shard_of(account)].goods.grant(account, units);
 }
 
 }  // namespace fnda

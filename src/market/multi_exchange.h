@@ -1,14 +1,23 @@
-// MultiServerExchange: a sharded deployment of the call market.
+// MultiServerExchange: a sharded, multi-threaded deployment of the call
+// market.
 //
 // The paper's Internet deployment target ("heavy traffic from millions of
 // users") outgrows a single auctioneer process.  This harness partitions
-// the identity space across N independent AuctionServers by owner-account
-// hash — every identity an account mints trades on that account's shard —
-// all sharing one simulated bus, queue, ledgers, and audit log.  Shards
-// never talk to each other: each runs the full open/submit/clear/settle
-// lifecycle on its own slice of traders, which is exactly how a
-// horizontally scaled call market would shard (per-round books are
-// independent; only settlement touches shared ledgers).
+// the identity space across N AuctionServers by owner-account hash —
+// every identity an account mints trades on that account's shard — and,
+// unlike the PR 2 logical partition, gives each shard a *complete*
+// private world: its own EventQueue, MessageBus (envelope slab included),
+// identity registry, ledgers, escrow, settlement engine, and audit log.
+// Nothing mutable is shared on the hot path; shards are stitched together
+// by a Fabric (shared address space + per-shard MPSC mailboxes) and
+// driven to quiescence by an EpochDriver on `threads` workers.
+//
+// Determinism: results are bit-identical for every `threads` value —
+// per-shard RNG streams, strided id namespaces (messages and identities),
+// and the epoch barrier's canonical mailbox merge remove every source of
+// cross-thread nondeterminism.  With shards == 1 the exchange reproduces
+// the single-server ExchangeSimulation's output exactly, RNG draw for
+// RNG draw.
 #pragma once
 
 #include <deque>
@@ -16,13 +25,23 @@
 #include <vector>
 
 #include "market/client.h"
+#include "market/epoch.h"
+#include "market/fabric.h"
 #include "market/server.h"
 
 namespace fnda {
 
 struct MultiExchangeConfig {
-  /// Number of independent auction servers (≥ 1).
+  /// Number of independent auction servers (>= 1).
   std::size_t shards = 4;
+  /// Worker threads driving the shards: 0 = hardware concurrency; values
+  /// above `shards` are clamped (a shard is owned by one thread).  Every
+  /// setting produces bit-identical results.
+  std::size_t threads = 1;
+  /// Capacity of each shard's inbound cross-shard mailbox (rounded up to
+  /// a power of two).  A full mailbox drops the message, deterministically,
+  /// at the sender (BusStats::mailbox_overflow).
+  std::size_t mailbox_capacity = std::size_t{1} << 16;
   BusConfig bus{};
   ServerConfig server{};
   ClientConfig client{};
@@ -45,44 +64,83 @@ class MultiServerExchange {
   /// The shard an account's identities trade on.
   std::size_t shard_of(AccountId account) const;
 
-  /// Opens one round on every shard, runs the queue to quiescence, and
-  /// returns the per-shard round ids.
+  /// Opens one round on every shard, drives all shards to quiescence on
+  /// the configured worker threads, and returns the per-shard round ids.
   std::vector<RoundId> run_round(SimTime open_for = SimTime::millis(100));
 
   /// Refunds every remaining deposit (see ExchangeSimulation).
   Money close_market();
 
-  std::size_t shard_count() const { return servers_.size(); }
-  AuctionServer& server(std::size_t shard) { return *servers_[shard]; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Resolved worker count (after 0 -> hardware, clamp to shards).
+  std::size_t thread_count() const { return threads_; }
+  AuctionServer& server(std::size_t shard) { return *shards_[shard].server; }
   const AuctionServer& server(std::size_t shard) const {
-    return *servers_[shard];
+    return *shards_[shard].server;
   }
   /// Rounds cleared across all shards.
   std::size_t rounds_completed() const;
 
-  EventQueue& queue() { return queue_; }
-  MessageBus& bus() { return *bus_; }
-  IdentityRegistry& registry() { return registry_; }
-  CashLedger& cash() { return cash_; }
-  GoodsLedger& goods() { return goods_; }
-  EscrowService& escrow() { return *escrow_; }
-  AuditLog& audit() { return audit_; }
+  // --- per-shard worlds -------------------------------------------------
+  EventQueue& queue(std::size_t shard) { return shards_[shard].queue; }
+  MessageBus& bus(std::size_t shard) { return *shards_[shard].bus; }
+  IdentityRegistry& registry(std::size_t shard) {
+    return shards_[shard].registry;
+  }
+  CashLedger& cash(std::size_t shard) { return shards_[shard].cash; }
+  GoodsLedger& goods(std::size_t shard) { return shards_[shard].goods; }
+  EscrowService& escrow(std::size_t shard) { return *shards_[shard].escrow; }
+  AuditLog& audit(std::size_t shard) { return shards_[shard].audit; }
+  Fabric& fabric() { return *fabric_; }
+
+  // --- merged views (session-end reporting; never on the hot path) -----
+  /// Latest shard clock (every shard quiesces at its own last event).
+  SimTime now() const;
+  /// Per-shard transport counters merged; conservation holds here.
+  BusStats bus_stats() const;
+  std::vector<BusStats> shard_bus_stats() const;
+  /// All shards' audit records, stably merged by (timestamp, shard).
+  std::vector<AuditRecord> merged_audit() const;
+  std::size_t audit_count(AuditKind kind) const;
+  Money cash_balance(AccountId account) const;
+  Money cash_total() const;
+  std::size_t goods_units(AccountId account) const;
+  std::size_t goods_total() const;
+  Money escrow_total_held() const;
+
+  /// Routed to the account's home-shard ledgers.
+  void grant_cash(AccountId account, Money amount);
+  void grant_goods(AccountId account, std::size_t units);
+
   const std::deque<std::unique_ptr<TradingClient>>& traders() const {
     return traders_;
   }
+  /// Epoch/injection counters from the most recent drive.
+  const EpochStats& last_drive() const { return last_drive_; }
 
  private:
+  /// One shard's complete private world.  Lives in a deque so addresses
+  /// stay stable while shards are appended during construction.
+  struct Shard {
+    EventQueue queue;
+    std::unique_ptr<MessageBus> bus;
+    IdentityRegistry registry;
+    CashLedger cash;
+    GoodsLedger goods;
+    std::unique_ptr<EscrowService> escrow;
+    std::unique_ptr<SettlementEngine> settlement;
+    AuditLog audit;
+    std::unique_ptr<AuctionServer> server;
+  };
+
   MultiExchangeConfig config_;
-  EventQueue queue_;
-  std::unique_ptr<MessageBus> bus_;
-  IdentityRegistry registry_;
-  CashLedger cash_;
-  GoodsLedger goods_;
-  std::unique_ptr<EscrowService> escrow_;
-  std::unique_ptr<SettlementEngine> settlement_;
-  AuditLog audit_;
-  std::vector<std::unique_ptr<AuctionServer>> servers_;
+  std::size_t threads_ = 1;
+  std::unique_ptr<Fabric> fabric_;
+  std::deque<Shard> shards_;
+  std::unique_ptr<EpochDriver> driver_;
   std::deque<std::unique_ptr<TradingClient>> traders_;
+  EpochStats last_drive_;
+  std::uint64_t next_account_ = 1;  // 0 is the exchange
   std::uint64_t next_client_ = 0;
 };
 

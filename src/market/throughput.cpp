@@ -8,6 +8,7 @@ ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
                                         const ThroughputConfig& config) {
   MultiExchangeConfig mx;
   mx.shards = config.shards;
+  mx.threads = config.threads;
   mx.bus.base_latency = config.base_latency;
   mx.bus.jitter = config.jitter;
   mx.bus.drop_probability = config.drop_probability;
@@ -30,13 +31,14 @@ ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
     TradingClient& trader = exchange.add_trader(role, value);
     if (role == Side::kSeller && config.rounds > 1) {
       // Sellers re-enter every round; stock them so settlement delivers.
-      exchange.goods().grant(trader.account(), config.rounds - 1);
+      exchange.grant_goods(trader.account(), config.rounds - 1);
     }
   }
 
   ThroughputResult result;
   result.clients = config.clients;
   result.shards = exchange.shard_count();
+  result.threads = exchange.thread_count();
   for (std::size_t r = 0; r < config.rounds; ++r) {
     const std::vector<RoundId> rounds = exchange.run_round(config.open_for);
     for (std::size_t shard = 0; shard < rounds.size(); ++shard) {
@@ -50,8 +52,9 @@ ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
   for (const auto& trader : exchange.traders()) {
     result.bids_accepted += trader->bids_accepted();
   }
-  result.sim_time = exchange.queue().now();
-  result.bus = exchange.bus().stats();
+  result.sim_time = exchange.now();
+  result.bus = exchange.bus_stats();
+  result.shard_bus = exchange.shard_bus_stats();
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/protocol.h"
 #include "market/bus.h"
@@ -21,6 +22,9 @@ struct ThroughputConfig {
   std::size_t clients = 10'000;
   std::size_t rounds = 3;
   std::size_t shards = 4;
+  /// Worker threads driving the shards (0 = hardware concurrency,
+  /// clamped to `shards`).  Results are bit-identical for every value.
+  std::size_t threads = 1;
   double drop_probability = 0.0;
   double duplicate_probability = 0.0;
   /// Bus latency model (jitter spreads same-round submissions over time).
@@ -39,10 +43,15 @@ struct ThroughputResult {
   std::size_t clients = 0;
   std::size_t rounds = 0;
   std::size_t shards = 0;
+  /// Resolved worker count the session actually ran with.
+  std::size_t threads = 0;
   std::size_t bids_accepted = 0;
   std::size_t trades = 0;
   SimTime sim_time{};
+  /// Merged transport counters (conservation holds here)...
   BusStats bus{};
+  /// ...and the per-shard breakdown, for load-imbalance reporting.
+  std::vector<BusStats> shard_bus;
 };
 
 /// Runs one ZI session and returns its volumes.  Deterministic in

@@ -234,5 +234,43 @@ TEST(CliTest, MarketBenchRejectsZeroClients) {
   EXPECT_EQ(result.exit_code, 2);
 }
 
+TEST(CliTest, MarketBenchRejectsMoreThreadsThanShards) {
+  const CliRun result = run({"market-bench", "--clients", "100", "--rounds",
+                             "1", "--shards", "4", "--threads", "5"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--threads"), std::string::npos);
+}
+
+TEST(CliTest, MarketBenchMultiThreadedMatchesSingleThreaded) {
+  const std::vector<std::string> base = {"market-bench", "--clients", "100",
+                                         "--rounds",     "1",         "--shards",
+                                         "2",            "--seed",    "3"};
+  std::vector<std::string> one = base;
+  one.push_back("--threads");
+  one.push_back("1");
+  std::vector<std::string> two = base;
+  two.push_back("--threads");
+  two.push_back("2");
+  const CliRun run_one = run(one);
+  const CliRun run_two = run(two);
+  EXPECT_EQ(run_one.exit_code, 0) << run_one.err;
+  EXPECT_EQ(run_two.exit_code, 0) << run_two.err;
+  EXPECT_NE(run_two.out.find("threads: 2"), std::string::npos);
+  // Everything except the threads line and wall-clock rates is identical.
+  const auto digest = [](const std::string& out) {
+    std::string kept;
+    std::istringstream lines(out);
+    for (std::string line; std::getline(lines, line);) {
+      if (line.find("threads:") != std::string::npos) continue;
+      if (line.find("/s") != std::string::npos) continue;
+      if (line.find("wall") != std::string::npos) continue;
+      kept += line;
+      kept += '\n';
+    }
+    return kept;
+  };
+  EXPECT_EQ(digest(run_one.out), digest(run_two.out));
+}
+
 }  // namespace
 }  // namespace fnda

@@ -36,7 +36,7 @@ TEST(MessageBusTest, DeliversAfterLatency) {
   EXPECT_EQ(bus.name_of(recorder.received[0].to), "b");
   EXPECT_EQ(recorder.received[0].sent_at, SimTime{0});
   EXPECT_EQ(recorder.received[0].delivered_at, SimTime{1000});
-  EXPECT_EQ(message_kind(recorder.received[0].payload), "round-open");
+  EXPECT_STREQ(message_kind(recorder.received[0].payload), "round-open");
 }
 
 TEST(MessageBusTest, JitterBoundsLatency) {

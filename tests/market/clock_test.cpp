@@ -111,6 +111,36 @@ TEST(EventQueueTest, OrderHoldsAcrossBucketAndHorizonBoundaries) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(EventQueueTest, NextTimePeeksWithoutExecuting) {
+  EventQueue queue;
+  EXPECT_EQ(queue.next_time(), std::nullopt);
+  bool ran = false;
+  queue.schedule_at(SimTime{42}, [&] { ran = true; });
+  queue.schedule_at(SimTime{7}, [] {});
+  ASSERT_TRUE(queue.next_time().has_value());
+  EXPECT_EQ(queue.next_time()->micros, 7);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(queue.now(), SimTime{0});  // peeking does not advance the clock
+  EXPECT_EQ(queue.run(), 2u);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(queue.next_time(), std::nullopt);
+}
+
+TEST(EventQueueTest, RunUntilBoundsBatchedSameInstantWork) {
+  // Entries sharing a timestamp drain as one batch; the `until` bound must
+  // still cut between instants, never mid-check into the next one.
+  EventQueue queue;
+  std::vector<std::int64_t> order;
+  for (int i = 0; i < 3; ++i) {
+    queue.schedule_at(SimTime{10}, [&] { order.push_back(10); });
+  }
+  queue.schedule_at(SimTime{11}, [&] { order.push_back(11); });
+  EXPECT_EQ(queue.run_until(SimTime{10}), 3u);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{10, 10, 10}));
+  EXPECT_EQ(queue.run_until(SimTime{11}), 1u);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{10, 10, 10, 11}));
+}
+
 TEST(EventQueueTest, RunCapGuardsAgainstLoops) {
   EventQueue queue;
   std::function<void()> reschedule = [&] {

@@ -1,0 +1,536 @@
+// Regression tests for the multi-threaded sharded exchange.
+//
+// The contract under test: the parallel engine's output is a pure
+// function of (config, seed) — bit-identical for every worker-thread
+// count, equal to the pre-change engines at equal seeds — and failure
+// modes (full mailboxes, throwing handlers) stay deterministic and
+// propagate cleanly.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/epoch.h"
+#include "market/exchange.h"
+#include "market/fabric.h"
+#include "market/multi_exchange.h"
+#include "market/throughput.h"
+#include "protocols/tpd.h"
+
+namespace fnda {
+namespace {
+
+Money money(std::int64_t units) { return Money::from_units(units); }
+
+// ---------------------------------------------------------------------------
+// Golden digests of the PRE-CHANGE shared-queue MultiServerExchange
+// (captured from the engine as of the previous commit, seed 42, 4 shards,
+// 120 traders, 3 rounds, jitter 0).  Identity *numbering* changed with
+// per-shard strided registries, so the digest covers everything
+// account-level and aggregate: trades, revenue, the fill price/side
+// sequence, bus totals, audit counts, ledger totals, and the clock.
+
+struct GoldenRound {
+  std::size_t trades;
+  std::int64_t revenue_micros;
+  std::uint64_t price_hash;
+};
+
+constexpr GoldenRound kGoldenRounds[4] = {
+    {10u, 260000000ll, 9284622164738206275ull},
+    {11u, 44000000ll, 16415840471058883043ull},
+    {7u, 238000000ll, 1969116543166298083ull},
+    {13u, 52000000ll, 7248508972865565475ull},
+};
+
+MultiServerExchange make_golden_exchange(const TpdProtocol& tpd,
+                                         std::size_t threads,
+                                         std::size_t mailbox_capacity =
+                                             std::size_t{1} << 16) {
+  MultiExchangeConfig config;
+  config.shards = 4;
+  config.threads = threads;
+  config.mailbox_capacity = mailbox_capacity;
+  config.seed = 42;
+  config.bus.base_latency = SimTime{1000};
+  config.bus.jitter = SimTime{0};
+  config.server.domain = ValueDomain{money(0), money(100)};
+  MultiServerExchange exchange(tpd, config);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const Side role = (i % 2 == 0) ? Side::kBuyer : Side::kSeller;
+    const Money value =
+        money(role == Side::kBuyer
+                  ? 40 + static_cast<std::int64_t>((i * 7) % 60)
+                  : 1 + static_cast<std::int64_t>((i * 5) % 50));
+    TradingClient& trader = exchange.add_trader(role, value);
+    if (role == Side::kSeller) exchange.grant_goods(trader.account(), 2);
+  }
+  return exchange;
+}
+
+std::uint64_t fill_hash(const Outcome& outcome) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const Fill& fill : outcome.fills()) {
+    hash ^= static_cast<std::uint64_t>(fill.price.micros()) * 31 +
+            (fill.side == Side::kBuyer ? 17 : 71);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+class GoldenDigestTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenDigestTest, MatchesPreChangeEngine) {
+  const TpdProtocol tpd(money(50));
+  MultiServerExchange exchange = make_golden_exchange(tpd, GetParam());
+
+  for (std::size_t r = 0; r < 3; ++r) {
+    const std::vector<RoundId> rounds = exchange.run_round();
+    for (std::size_t s = 0; s < 4; ++s) {
+      const Outcome* outcome = exchange.server(s).outcome_of(rounds[s]);
+      ASSERT_NE(outcome, nullptr) << "round " << r << " shard " << s;
+      EXPECT_EQ(outcome->trade_count(), kGoldenRounds[s].trades);
+      EXPECT_EQ(outcome->auctioneer_revenue().micros(),
+                kGoldenRounds[s].revenue_micros);
+      EXPECT_EQ(fill_hash(*outcome), kGoldenRounds[s].price_hash);
+    }
+  }
+
+  std::size_t accepted = 0;
+  for (const auto& trader : exchange.traders()) {
+    accepted += trader->bids_accepted();
+    EXPECT_EQ(trader->bids_rejected(), 0u);
+  }
+  EXPECT_EQ(accepted, 360u);
+
+  const BusStats bus = exchange.bus_stats();
+  EXPECT_EQ(bus.sent, 1686u);
+  EXPECT_EQ(bus.delivered, 1686u);
+  EXPECT_EQ(bus.duplicated, 0u);
+  EXPECT_EQ(bus.dropped, 0u);
+  EXPECT_EQ(bus.dead_lettered, 0u);
+  EXPECT_EQ(bus.forwarded, 0u);  // account-hash routing is shard-local
+  EXPECT_EQ(exchange.now(), SimTime{303000});
+
+  EXPECT_EQ(exchange.merged_audit().size(), 507u);
+  EXPECT_EQ(exchange.audit_count(AuditKind::kRoundOpened), 12u);
+  EXPECT_EQ(exchange.audit_count(AuditKind::kBidAccepted), 360u);
+  EXPECT_EQ(exchange.audit_count(AuditKind::kRoundCleared), 12u);
+  EXPECT_EQ(exchange.audit_count(AuditKind::kDelivery), 123u);
+  EXPECT_EQ(exchange.audit_count(AuditKind::kDeliveryFailed), 0u);
+  EXPECT_EQ(exchange.audit_count(AuditKind::kDepositConfiscated), 0u);
+
+  EXPECT_EQ(exchange.cash_balance(AccountId{0}), Money::from_micros(1782000000));
+  EXPECT_EQ(exchange.cash_total(), Money::from_micros(120000000000ll));
+  EXPECT_EQ(exchange.goods_total(), 180u);
+  EXPECT_EQ(exchange.escrow_total_held(), Money::from_micros(3600000000ll));
+  EXPECT_EQ(exchange.close_market(), Money::from_micros(3600000000ll));
+}
+
+// threads > shards exercises the clamp; the engine must not care.
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, GoldenDigestTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+// ---------------------------------------------------------------------------
+// Full bit-identity across thread counts, on a lossy/jittery bus so every
+// RNG stream is consulted.  The digest is exhaustive: fill sequences with
+// identity ids, the merged audit dump (exact strings, exact order),
+// per-shard BusStats, and per-trader counters.
+
+struct SessionDigest {
+  std::vector<std::string> audit_dump;
+  std::vector<std::tuple<std::uint64_t, std::int64_t, int>> fills;
+  std::vector<std::size_t> shard_delivered;
+  std::vector<std::size_t> shard_dead_lettered;
+  std::vector<std::size_t> shard_dropped;
+  std::vector<std::size_t> shard_sent;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t retransmissions = 0;
+  std::int64_t exchange_cash = 0;
+  std::int64_t refunded = 0;
+  std::int64_t now = 0;
+
+  bool operator==(const SessionDigest&) const = default;
+};
+
+SessionDigest run_lossy_session(std::size_t threads) {
+  const TpdProtocol tpd(money(50));
+  MultiExchangeConfig config;
+  config.shards = 4;
+  config.threads = threads;
+  config.seed = 1234;
+  config.bus.jitter = SimTime{500};
+  config.bus.drop_probability = 0.02;
+  config.bus.duplicate_probability = 0.02;
+  config.client.retry_interval = SimTime::millis(20);
+  config.server.domain = ValueDomain{money(0), money(100)};
+  config.server.announce_interval = SimTime::millis(25);
+  MultiServerExchange exchange(tpd, config);
+
+  for (std::size_t i = 0; i < 160; ++i) {
+    const Side role = (i % 2 == 0) ? Side::kBuyer : Side::kSeller;
+    const Money value =
+        money(role == Side::kBuyer
+                  ? 30 + static_cast<std::int64_t>((i * 11) % 70)
+                  : 1 + static_cast<std::int64_t>((i * 13) % 60));
+    TradingClient& trader = exchange.add_trader(role, value);
+    if (role == Side::kSeller) exchange.grant_goods(trader.account(), 3);
+  }
+
+  SessionDigest digest;
+  for (std::size_t r = 0; r < 4; ++r) {
+    const std::vector<RoundId> rounds = exchange.run_round();
+    for (std::size_t s = 0; s < rounds.size(); ++s) {
+      if (const Outcome* outcome = exchange.server(s).outcome_of(rounds[s])) {
+        for (const Fill& fill : outcome->fills()) {
+          digest.fills.emplace_back(fill.identity.value(),
+                                    fill.price.micros(),
+                                    fill.side == Side::kBuyer ? 1 : 0);
+        }
+      }
+    }
+  }
+  for (const AuditRecord& record : exchange.merged_audit()) {
+    digest.audit_dump.push_back(std::to_string(record.at.micros) + "|" +
+                                std::to_string(record.round.value()) + "|" +
+                                to_string(record.kind) + "|" + record.detail);
+  }
+  for (const BusStats& stats : exchange.shard_bus_stats()) {
+    digest.shard_delivered.push_back(stats.delivered);
+    digest.shard_dead_lettered.push_back(stats.dead_lettered);
+    digest.shard_dropped.push_back(stats.dropped);
+    digest.shard_sent.push_back(stats.sent);
+  }
+  for (const auto& trader : exchange.traders()) {
+    digest.accepted += trader->bids_accepted();
+    digest.rejected += trader->bids_rejected();
+    digest.retransmissions += trader->retransmissions();
+  }
+  digest.exchange_cash = exchange.cash_balance(AccountId{0}).micros();
+  digest.now = exchange.now().micros;
+  digest.refunded = exchange.close_market().micros();
+
+  // Merged conservation must hold no matter what the bus dropped/duped.
+  const BusStats bus = exchange.bus_stats();
+  EXPECT_EQ(bus.sent + bus.duplicated,
+            bus.delivered + bus.dropped + bus.dead_lettered);
+  EXPECT_GT(digest.accepted, 0u);
+  return digest;
+}
+
+TEST(ParallelExchangeTest, LossySessionBitIdenticalAcrossThreadCounts) {
+  const SessionDigest one = run_lossy_session(1);
+  const SessionDigest two = run_lossy_session(2);
+  const SessionDigest eight = run_lossy_session(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ParallelExchangeTest, ThroughputSessionIdenticalAcrossThreadCounts) {
+  const TpdProtocol tpd(money(50));
+  ThroughputConfig config;
+  config.clients = 400;
+  config.rounds = 3;
+  config.shards = 4;
+  config.jitter = SimTime{500};
+  config.drop_probability = 0.01;
+  config.seed = 7;
+
+  ThroughputResult base;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    const ThroughputResult result = run_throughput_session(tpd, config);
+    if (threads == 1u) {
+      base = result;
+      continue;
+    }
+    EXPECT_EQ(result.bids_accepted, base.bids_accepted);
+    EXPECT_EQ(result.trades, base.trades);
+    EXPECT_EQ(result.sim_time, base.sim_time);
+    EXPECT_EQ(result.bus.sent, base.bus.sent);
+    EXPECT_EQ(result.bus.delivered, base.bus.delivered);
+    EXPECT_EQ(result.bus.dropped, base.bus.dropped);
+    EXPECT_EQ(result.bus.duplicated, base.bus.duplicated);
+    ASSERT_EQ(result.shard_bus.size(), base.shard_bus.size());
+    for (std::size_t s = 0; s < base.shard_bus.size(); ++s) {
+      EXPECT_EQ(result.shard_bus[s].sent, base.shard_bus[s].sent);
+      EXPECT_EQ(result.shard_bus[s].delivered, base.shard_bus[s].delivered);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// shards == 1 must reproduce the single-server ExchangeSimulation output
+// exactly — same RNG streams, same message ids, same audit dump — even on
+// a lossy, jittery bus.
+
+TEST(ParallelExchangeTest, SingleShardMatchesExchangeSimulation) {
+  const TpdProtocol tpd(money(50));
+
+  BusConfig bus;
+  bus.jitter = SimTime{500};
+  bus.drop_probability = 0.05;
+  bus.duplicate_probability = 0.05;
+
+  ExchangeConfig single;
+  single.bus = bus;
+  single.seed = 99;
+  single.client.retry_interval = SimTime::millis(20);
+  single.server.domain = ValueDomain{money(0), money(100)};
+  ExchangeSimulation expected(tpd, single);
+
+  MultiExchangeConfig sharded;
+  sharded.shards = 1;
+  sharded.threads = 1;
+  sharded.bus = bus;
+  sharded.seed = 99;
+  sharded.client.retry_interval = SimTime::millis(20);
+  sharded.server.domain = ValueDomain{money(0), money(100)};
+  MultiServerExchange actual(tpd, sharded);
+
+  for (std::size_t i = 0; i < 60; ++i) {
+    const Side role = (i % 2 == 0) ? Side::kBuyer : Side::kSeller;
+    const Money value = money(role == Side::kBuyer
+                                  ? 45 + static_cast<std::int64_t>(i % 50)
+                                  : 1 + static_cast<std::int64_t>(i % 40));
+    expected.add_trader(role, value);
+    actual.add_trader(role, value);
+  }
+
+  for (std::size_t r = 0; r < 3; ++r) {
+    const RoundId expected_round = expected.run_round();
+    const std::vector<RoundId> actual_rounds = actual.run_round();
+    ASSERT_EQ(actual_rounds.size(), 1u);
+    EXPECT_EQ(actual_rounds[0], expected_round);
+  }
+
+  EXPECT_EQ(actual.now(), expected.queue().now());
+  const BusStats& want = expected.bus().stats();
+  const BusStats got = actual.bus_stats();
+  EXPECT_EQ(got.sent, want.sent);
+  EXPECT_EQ(got.delivered, want.delivered);
+  EXPECT_EQ(got.duplicated, want.duplicated);
+  EXPECT_EQ(got.dropped, want.dropped);
+  EXPECT_EQ(got.dead_lettered, want.dead_lettered);
+  EXPECT_EQ(got.forwarded, 0u);
+
+  // The audit logs must match line for line — timestamps, identity ids,
+  // amounts, order.
+  EXPECT_EQ(actual.audit(0).dump(), expected.audit().dump());
+  EXPECT_EQ(actual.close_market(), expected.close_market());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard traffic: ping-pong between endpoints on different shards
+// exercises forward/inject and must be bit-identical across thread counts
+// even with latency jitter and duplicates in play.
+
+struct PingPong : Endpoint {
+  MessageBus* bus = nullptr;
+  AddressId self;
+  AddressId peer;
+  std::vector<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> log;
+
+  void on_message(const Envelope& envelope) override {
+    const auto& msg = std::get<RoundOpenMsg>(envelope.payload);
+    log.emplace_back(envelope.delivered_at.micros, envelope.id.value(),
+                     msg.round.value());
+    if (msg.round.value() > 0) {
+      bus->send(self, peer,
+                RoundOpenMsg{RoundId{msg.round.value() - 1},
+                             envelope.delivered_at});
+    }
+  }
+};
+
+struct PairDigest {
+  std::vector<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> log_a;
+  std::vector<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> log_b;
+  BusStats stats_a;
+  BusStats stats_b;
+};
+
+PairDigest run_ping_pong(std::size_t threads, std::size_t mailbox_capacity,
+                         BusConfig bus_config) {
+  Fabric fabric(2, mailbox_capacity);
+  EventQueue queue_a;
+  EventQueue queue_b;
+  BusConfig config_a = bus_config;
+  config_a.first_message_id = 0;
+  config_a.message_id_stride = 2;
+  BusConfig config_b = bus_config;
+  config_b.first_message_id = 1;
+  config_b.message_id_stride = 2;
+  MessageBus bus_a(queue_a, config_a, Rng(11), fabric, 0);
+  MessageBus bus_b(queue_b, config_b, Rng(22), fabric, 1);
+
+  PingPong a;
+  PingPong b;
+  a.bus = &bus_a;
+  b.bus = &bus_b;
+  a.self = bus_a.attach("a", a);
+  b.self = bus_b.attach("b", b);
+  a.peer = b.self;
+  b.peer = a.self;
+
+  // Two independent volleys kicked off from events on each shard.
+  queue_a.schedule_at(SimTime{10}, [&] {
+    bus_a.send(a.self, a.peer, RoundOpenMsg{RoundId{6}, SimTime{10}});
+  });
+  queue_b.schedule_at(SimTime{15}, [&] {
+    bus_b.send(b.self, b.peer, RoundOpenMsg{RoundId{5}, SimTime{15}});
+  });
+
+  EpochDriver driver(fabric, {{&queue_a, &bus_a}, {&queue_b, &bus_b}},
+                     bus_config.base_latency);
+  driver.drive(threads);
+
+  PairDigest digest;
+  digest.log_a = a.log;
+  digest.log_b = b.log;
+  digest.stats_a = bus_a.stats();
+  digest.stats_b = bus_b.stats();
+  return digest;
+}
+
+TEST(ParallelExchangeTest, CrossShardPingPongDeterministicAcrossThreads) {
+  BusConfig bus;
+  bus.jitter = SimTime{300};
+  bus.duplicate_probability = 0.1;
+
+  const PairDigest one = run_ping_pong(1, 1 << 10, bus);
+  const PairDigest two = run_ping_pong(2, 1 << 10, bus);
+
+  EXPECT_FALSE(one.log_a.empty());
+  EXPECT_FALSE(one.log_b.empty());
+  EXPECT_EQ(one.log_a, two.log_a);
+  EXPECT_EQ(one.log_b, two.log_b);
+  EXPECT_GT(one.stats_a.forwarded, 0u);
+  EXPECT_EQ(one.stats_a.forwarded, two.stats_a.forwarded);
+  EXPECT_EQ(one.stats_b.forwarded, two.stats_b.forwarded);
+  EXPECT_EQ(one.stats_a.sent, two.stats_a.sent);
+  EXPECT_EQ(one.stats_b.sent, two.stats_b.sent);
+
+  // Merged conservation with every message crossing shards.
+  for (const PairDigest* digest : {&one, &two}) {
+    const std::size_t sent = digest->stats_a.sent + digest->stats_b.sent;
+    const std::size_t duplicated =
+        digest->stats_a.duplicated + digest->stats_b.duplicated;
+    const std::size_t delivered =
+        digest->stats_a.delivered + digest->stats_b.delivered;
+    const std::size_t dropped =
+        digest->stats_a.dropped + digest->stats_b.dropped;
+    const std::size_t dead =
+        digest->stats_a.dead_lettered + digest->stats_b.dead_lettered;
+    EXPECT_EQ(sent + duplicated, delivered + dropped + dead);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: a full mailbox rejects the push and the sender accounts
+// the message dropped — the same count on every thread count.
+
+struct FloodSource : Endpoint {
+  void on_message(const Envelope&) override {}
+};
+
+TEST(ParallelExchangeTest, MailboxBackpressureDropsDeterministically) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    Fabric fabric(2, 4);  // tiny ring: 4 slots
+    EventQueue queue_a;
+    EventQueue queue_b;
+    MessageBus bus_a(queue_a, BusConfig{}, Rng(3), fabric, 0);
+    MessageBus bus_b(queue_b, BusConfig{}, Rng(4), fabric, 1);
+
+    FloodSource source;
+    FloodSource sink;
+    const AddressId from = bus_a.attach("source", source);
+    const AddressId to = bus_b.attach("sink", sink);
+
+    queue_a.schedule_at(SimTime{1}, [&] {
+      for (int i = 0; i < 10; ++i) {
+        bus_a.send(from, to, RoundOpenMsg{RoundId{0}, SimTime{1}});
+      }
+    });
+
+    EpochDriver driver(fabric, {{&queue_a, &bus_a}, {&queue_b, &bus_b}},
+                       SimTime{1000});
+    driver.drive(threads);
+
+    const BusStats& stats_a = bus_a.stats();
+    const BusStats& stats_b = bus_b.stats();
+    EXPECT_EQ(stats_a.sent, 10u) << "threads=" << threads;
+    EXPECT_EQ(stats_a.forwarded, 10u);
+    EXPECT_EQ(stats_a.mailbox_overflow, 6u);  // 4 fit, 6 rejected
+    EXPECT_EQ(stats_a.dropped, 6u);
+    EXPECT_EQ(stats_b.delivered, 4u);
+    EXPECT_EQ(stats_a.sent + stats_a.duplicated,
+              stats_b.delivered + stats_a.dropped + stats_b.dead_lettered);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torn epoch: an exception inside a shard's event handler must stop every
+// worker at the next barrier and resurface on the driving thread.
+
+TEST(ParallelExchangeTest, WorkerExceptionPropagatesCleanly) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    Fabric fabric(2, 64);
+    EventQueue queue_a;
+    EventQueue queue_b;
+    MessageBus bus_a(queue_a, BusConfig{}, Rng(5), fabric, 0);
+    MessageBus bus_b(queue_b, BusConfig{}, Rng(6), fabric, 1);
+
+    queue_a.schedule_at(SimTime{5}, [] {
+      throw std::runtime_error("torn epoch");
+    });
+    bool other_ran = false;
+    queue_b.schedule_at(SimTime{5}, [&] { other_ran = true; });
+    // Work far in the future that must never run once shard 0 failed.
+    bool late_ran = false;
+    queue_b.schedule_at(SimTime::seconds(10), [&] { late_ran = true; });
+
+    EpochDriver driver(fabric, {{&queue_a, &bus_a}, {&queue_b, &bus_b}},
+                       SimTime{1000});
+    EXPECT_THROW(driver.drive(threads), std::runtime_error)
+        << "threads=" << threads;
+    EXPECT_FALSE(late_ran);
+    EXPECT_TRUE(other_ran);  // the in-flight epoch itself completes
+  }
+}
+
+// Drive after a failed drive keeps working (errors are per-drive state).
+TEST(ParallelExchangeTest, DriverRecoversAfterFailure) {
+  Fabric fabric(1, 64);
+  EventQueue queue;
+  MessageBus bus(queue, BusConfig{}, Rng(8), fabric, 0);
+  queue.schedule_at(SimTime{1}, [] { throw std::logic_error("boom"); });
+  EpochDriver driver(fabric, {{&queue, &bus}}, SimTime{1000});
+  EXPECT_THROW(driver.drive(1), std::logic_error);
+
+  bool ran = false;
+  queue.schedule_at(SimTime{2}, [&] { ran = true; });
+  driver.drive(1);
+  EXPECT_TRUE(ran);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count validation at the session layer: 0 resolves to hardware
+// concurrency clamped to shards; the exchange reports what it ran with.
+
+TEST(ParallelExchangeTest, ThreadZeroResolvesToHardwareClampedToShards) {
+  const TpdProtocol tpd(money(50));
+  MultiExchangeConfig config;
+  config.shards = 2;
+  config.threads = 0;
+  MultiServerExchange exchange(tpd, config);
+  EXPECT_GE(exchange.thread_count(), 1u);
+  EXPECT_LE(exchange.thread_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fnda
