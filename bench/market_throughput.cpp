@@ -32,6 +32,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "core/live_book.h"
 #include "market/bus.h"
 #include "market/clock.h"
 #include "market/throughput.h"
@@ -295,11 +296,95 @@ RoundtripTiming run_fast_roundtrips(std::size_t clients, std::size_t rounds,
   return RoundtripTiming{bus.stats().sent, seconds_since(start)};
 }
 
+// ---------------------------------------------------------------------------
+// Round-clearing microbench: the close-time cost of ranking+clearing one
+// round of B bids, sort-at-close (OrderBook -> SortedBook::rebuild ->
+// clear_sorted) vs incremental (LiveBook galloping inserts during the
+// round, finalize_ties + emit + clear_sorted at close).  Both paths are
+// bit-identical in outcome; what differs is WHERE the ranking work sits:
+// the live path moves it onto the submission path and leaves zero sort
+// work at close, which is the latency-critical step of a call market.
+
+struct ClearTiming {
+  double seed_close = 0.0;   // rebuild + clear, per-round seconds summed
+  double live_submit = 0.0;  // galloping inserts, per-round seconds summed
+  double live_close = 0.0;   // finalize + emit + clear
+  std::size_t iterations = 0;
+  std::size_t trades = 0;  // sink so the clears cannot be optimized out
+  fnda::LiveBookStats book;
+};
+
+ClearTiming run_clear_microbench(const fnda::DoubleAuctionProtocol& protocol,
+                                 std::size_t bids, std::uint64_t seed) {
+  const std::size_t buyers = bids / 2;
+  const std::size_t sellers = bids - buyers;
+  fnda::Rng setup(seed ^ 0xc1ea7);
+  struct Arrival {
+    fnda::Side side;
+    fnda::IdentityId identity;
+    fnda::Money value;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(bids);
+  for (std::size_t i = 0; i < buyers; ++i) {
+    arrivals.push_back({fnda::Side::kBuyer, fnda::IdentityId{i},
+                        fnda::Money::from_units(
+                            static_cast<std::int64_t>(setup.below(100)) + 1)});
+  }
+  for (std::size_t j = 0; j < sellers; ++j) {
+    arrivals.push_back({fnda::Side::kSeller, fnda::IdentityId{1'000'000 + j},
+                        fnda::Money::from_units(
+                            static_cast<std::int64_t>(setup.below(100)) + 1)});
+  }
+  setup.shuffle(arrivals.begin(), arrivals.end());
+
+  const fnda::ValueDomain domain{fnda::Money::from_units(0),
+                                 fnda::Money::from_units(200)};
+  fnda::OrderBook raw(domain);
+  for (const Arrival& a : arrivals) raw.add(a.side, a.identity, a.value);
+
+  ClearTiming timing;
+  timing.iterations = std::max<std::size_t>(8, 65'536 / std::max<std::size_t>(
+                                                            bids, 1));
+  fnda::SortedBook sorted;   // reused: steady-state buffers on both paths
+  fnda::LiveBook live(domain);
+  for (std::size_t iter = 0; iter < timing.iterations; ++iter) {
+    const std::uint64_t round_seed = seed + iter;
+    {
+      fnda::Rng rng(round_seed);
+      const auto start = Clock::now();
+      sorted.rebuild(raw, rng);
+      const fnda::Outcome outcome = protocol.clear_sorted(sorted, rng);
+      timing.seed_close += seconds_since(start);
+      timing.trades += outcome.trade_count();
+    }
+    {
+      fnda::Rng rng(round_seed);
+      live.reset(domain);
+      const auto submit_start = Clock::now();
+      for (const Arrival& a : arrivals) live.add(a.side, a.identity, a.value);
+      const auto close_start = Clock::now();
+      timing.live_submit = timing.live_submit +
+                           std::chrono::duration<double>(close_start -
+                                                         submit_start)
+                               .count();
+      live.finalize_ties(rng);
+      live.emit(sorted);
+      const fnda::Outcome outcome = protocol.clear_sorted(sorted, rng);
+      timing.live_close += seconds_since(close_start);
+      timing.trades -= outcome.trade_count();  // identical paths -> net 0
+    }
+  }
+  timing.book = live.stats();
+  return timing;
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--clients N] [--rounds R] [--shards S] [--threads T]\n"
                "       [--reps N] [--drop P] [--duplicate P] [--seed S]\n"
-               "       [--json PATH] [--scale 0|1] [--scale-reps N]\n";
+               "       [--json PATH] [--scale 0|1] [--scale-reps N]\n"
+               "       [--bids-axis 0|1]\n";
   return 2;
 }
 
@@ -312,6 +397,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::size_t reps = 5;
   bool scale_table = true;
+  bool bids_axis = true;
   std::size_t scale_reps = 9;
   double drop = 0.0;
   double duplicate = 0.0;
@@ -336,6 +422,8 @@ int main(int argc, char** argv) {
       reps = std::max<std::size_t>(1, std::stoull(value));
     } else if (arg == "--scale" && (value = next())) {
       scale_table = std::stoull(value) != 0;
+    } else if (arg == "--bids-axis" && (value = next())) {
+      bids_axis = std::stoull(value) != 0;
     } else if (arg == "--scale-reps" && (value = next())) {
       scale_reps = std::max<std::size_t>(1, std::stoull(value));
     } else if (arg == "--drop" && (value = next())) {
@@ -427,6 +515,88 @@ int main(int argc, char** argv) {
     std::cout << "  shard " << s << ": delivered " << stats.delivered
               << ", dead-lettered " << stats.dead_lettered << ", dropped "
               << stats.dropped << '\n';
+  }
+  std::cout << "  book: " << result.book.inserts << " inserts, "
+            << result.book.entries_shifted << " entries shifted, "
+            << result.book.tie_entries_permuted << " tie-permuted, "
+            << result.book.rounds_finalized << " rounds finalized, "
+            << result.book.sorts_at_close << " sorts at close\n";
+
+  if (bids_axis) {
+    // Bids-per-round scaling axis: one shard, one thread, so the book
+    // size per round IS the client count; rounds scale inversely to keep
+    // total work comparable across sizes.
+    std::cout << "bids-per-round axis (1 shard, best of " << reps << "):\n";
+    for (const std::size_t bids :
+         {std::size_t{16}, std::size_t{256}, std::size_t{4096}}) {
+      fnda::ThroughputConfig axis = session;
+      axis.clients = bids;
+      axis.shards = 1;
+      axis.threads = 1;
+      axis.rounds = std::max<std::size_t>(2, 8192 / bids);
+      double best_rate = 0.0;
+      fnda::ThroughputResult sample;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto axis_start = Clock::now();
+        sample = fnda::run_throughput_session(protocol, axis);
+        const double axis_elapsed = seconds_since(axis_start);
+        const double rate =
+            static_cast<double>(sample.bids_accepted) / axis_elapsed;
+        if (rate > best_rate) best_rate = rate;
+      }
+      records.push_back(
+          {"market_session_bids/" + std::to_string(bids),
+           static_cast<double>(sample.bids_accepted) / best_rate * 1e9,
+           1,
+           best_rate,
+           {{"bids_per_round", static_cast<double>(bids)},
+            {"rounds", static_cast<double>(sample.rounds)},
+            {"inserts", static_cast<double>(sample.book.inserts)},
+            {"entries_shifted",
+             static_cast<double>(sample.book.entries_shifted)},
+            {"sorts_at_close",
+             static_cast<double>(sample.book.sorts_at_close)}}});
+      std::cout << "  " << bids << " bids/round x " << sample.rounds
+                << " rounds: " << best_rate << " bids/s, "
+                << (static_cast<double>(sample.book.entries_shifted) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        sample.book.inserts, 1)))
+                << " shifted/insert, sorts at close "
+                << sample.book.sorts_at_close << '\n';
+    }
+
+    // Close-time microbench: what the incremental book deletes from the
+    // round-close step, at the same three book sizes.
+    std::cout << "round-clearing microbench (close-time cost per round):\n";
+    for (const std::size_t bids :
+         {std::size_t{16}, std::size_t{256}, std::size_t{4096}}) {
+      const ClearTiming timing = run_clear_microbench(protocol, bids, seed);
+      const double iters = static_cast<double>(timing.iterations);
+      const double seed_ns = timing.seed_close / iters * 1e9;
+      const double live_ns = timing.live_close / iters * 1e9;
+      const double submit_ns = timing.live_submit / iters * 1e9;
+      records.push_back(
+          {"round_clear_sorted/" + std::to_string(bids),
+           seed_ns,
+           timing.iterations,
+           static_cast<double>(bids) * iters / timing.seed_close,
+           {{"bids_per_round", static_cast<double>(bids)}}});
+      records.push_back(
+          {"round_clear_live/" + std::to_string(bids),
+           live_ns,
+           timing.iterations,
+           static_cast<double>(bids) * iters / timing.live_close,
+           {{"bids_per_round", static_cast<double>(bids)},
+            {"submit_ns_per_round", submit_ns},
+            {"close_speedup", seed_ns / live_ns},
+            {"sorts_at_close",
+             static_cast<double>(timing.book.sorts_at_close)}}});
+      std::cout << "  " << bids << " bids: sort-at-close " << seed_ns
+                << " ns/round, live close " << live_ns
+                << " ns/round (x" << seed_ns / live_ns << "), live submit "
+                << submit_ns << " ns/round, outcome delta "
+                << timing.trades << '\n';
+    }
   }
 
   if (scale_table) {

@@ -1,0 +1,149 @@
+#include "core/live_book.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace fnda {
+
+LiveBook::LiveBook(ValueDomain domain) {
+  reset(domain);
+}
+
+void LiveBook::reset(ValueDomain domain) {
+  if (!(domain.lowest < domain.highest)) {
+    throw std::invalid_argument("LiveBook: domain must satisfy lowest < highest");
+  }
+  domain_ = domain;
+  buyers_.clear();
+  sellers_.clear();
+  buyer_arrival_.clear();
+  seller_arrival_.clear();
+  next_bid_ = 0;
+  finalized_ = false;
+}
+
+std::size_t LiveBook::gallop_slot(const std::vector<BidEntry>& lane,
+                                  Money value, bool descending) const {
+  // The slot is the partition point of "precedes": an existing entry
+  // precedes the new one when it ranks strictly better OR ties it (ties
+  // stay in arrival order, so the newcomer goes after its whole run).
+  // Ranked inserts land uniformly, so probe exponentially from the tail —
+  // the cheap end — then binary-search the bracket.
+  auto precedes = [&](const BidEntry& e) {
+    return descending ? e.value >= value : e.value <= value;
+  };
+  const std::size_t n = lane.size();
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  for (std::size_t bound = 1; bound <= n; bound <<= 1) {
+    const std::size_t probe = n - bound;
+    if (precedes(lane[probe])) {
+      lo = probe + 1;
+      break;
+    }
+    hi = probe;
+  }
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (precedes(lane[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+BidId LiveBook::add(Side side, IdentityId identity, Money value) {
+  if (finalized_) {
+    throw std::logic_error("LiveBook::add: book already finalized this round");
+  }
+  if (value < domain_.lowest || value > domain_.highest) {
+    throw std::invalid_argument("LiveBook::add: value outside the domain");
+  }
+  const BidId id{next_bid_++};
+  const bool descending = side == Side::kBuyer;
+  auto& lane = descending ? buyers_ : sellers_;
+  auto& arrival = descending ? buyer_arrival_ : seller_arrival_;
+  const std::size_t slot = gallop_slot(lane, value, descending);
+  stats_.entries_shifted += lane.size() - slot;
+  const auto arrival_index = static_cast<std::uint32_t>(arrival.size());
+  lane.insert(lane.begin() + static_cast<std::ptrdiff_t>(slot),
+              BidEntry{id, identity, value});
+  arrival.insert(arrival.begin() + static_cast<std::ptrdiff_t>(slot),
+                 arrival_index);
+  ++stats_.inserts;
+  return id;
+}
+
+void LiveBook::fix_ties(std::vector<BidEntry>& lane,
+                        std::vector<std::uint32_t>& arrival, Rng& rng) {
+  const std::size_t n = lane.size();
+  // SortedBook::rebuild's Fisher-Yates draws nothing for n < 2; match it.
+  if (n < 2) return;
+
+  // Replay rebuild's shuffle on arrival *indices* instead of 24-byte
+  // entries: perm_[p] is the arrival index sitting at shuffled position p,
+  // after exactly the below(n)..below(2) draws rebuild would have made.
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    std::swap(perm_[i - 1], perm_[j]);
+  }
+  pos_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) pos_[perm_[p]] = static_cast<std::uint32_t>(p);
+
+  // rebuild stable-sorts the shuffled array by value, so within an
+  // equal-value run entries appear in ascending shuffled position.  The
+  // lane already groups each run contiguously (same value set, arrival
+  // order); reordering each run by pos_[arrival] reproduces rebuild's
+  // ranking exactly.
+  std::size_t lo = 0;
+  while (lo < n) {
+    std::size_t hi = lo + 1;
+    while (hi < n && lane[hi].value == lane[lo].value) ++hi;
+    const std::size_t len = hi - lo;
+    if (len > 1) {
+      // Sort (shuffled position, slot) keys — positions are distinct, so
+      // plain sort suffices and stays O(len log len) on all-equal books.
+      run_keys_.resize(len);
+      for (std::size_t k = 0; k < len; ++k) {
+        run_keys_[k] = (static_cast<std::uint64_t>(pos_[arrival[lo + k]]) << 32) |
+                       (lo + k);
+      }
+      std::sort(run_keys_.begin(), run_keys_.end());
+      run_scratch_.assign(lane.begin() + static_cast<std::ptrdiff_t>(lo),
+                          lane.begin() + static_cast<std::ptrdiff_t>(hi));
+      for (std::size_t k = 0; k < len; ++k) {
+        const std::size_t src = static_cast<std::uint32_t>(run_keys_[k]) - lo;
+        lane[lo + k] = run_scratch_[src];
+      }
+      stats_.tie_entries_permuted += len;
+    }
+    lo = hi;
+  }
+}
+
+void LiveBook::finalize_ties(Rng& rng) {
+  if (finalized_) {
+    throw std::logic_error("LiveBook::finalize_ties: already finalized");
+  }
+  // Same side order as rebuild: buyers' draws first, then sellers'.
+  fix_ties(buyers_, buyer_arrival_, rng);
+  fix_ties(sellers_, seller_arrival_, rng);
+  finalized_ = true;
+  ++stats_.rounds_finalized;
+}
+
+SortedBook LiveBook::to_sorted() const {
+  return SortedBook::from_ranked(domain_, buyers_, sellers_);
+}
+
+void LiveBook::emit(SortedBook& out) const {
+  out.assign_ranked(domain_, buyers_, sellers_);
+}
+
+}  // namespace fnda

@@ -1,0 +1,129 @@
+// Incrementally ranked order book for continuously clearing markets.
+//
+// A LiveBook keeps the buyer and seller lanes in protocol rank order at
+// all times — buyers descending, sellers ascending, equal-value runs in
+// arrival order — by galloping-inserting each accepted declaration:
+// amortized O(log n) search (exponential probe from the tail, then binary
+// search inside the bracket) plus one contiguous memmove to open the slot.
+// At round close the book is already ranked, so clearing pays zero sort
+// work; only the paper's footnote-5 random tie-breaking remains, applied
+// by `finalize_ties` as per-run fixups that consume exactly the RNG draws
+// `SortedBook::rebuild` would have made.  The resulting ranking — and the
+// post-ranking RNG state handed to the protocol — are therefore
+// bit-identical to the shuffle+stable-sort path, which is the market
+// server's replay/audit contract.
+//
+// Cost model: the per-insert memmove averages half the lane, so a round
+// of m bids moves O(m^2/2) entries in total.  That is the right trade for
+// the call-market regime (hundreds to a few thousand bids per round per
+// shard, spread across message handling) because it deletes the O(m log m)
+// close-time sort plus its full-entry shuffle from the latency-critical
+// clearing step; for lanes far beyond that, rebuild a SortedBook instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/order_book.h"
+
+namespace fnda {
+
+/// Work counters for the incremental engine, cumulative across rounds.
+/// `sorts_at_close` exists to make the "zero sort work at round close"
+/// claim observable next to the shift/fixup work actually done; the
+/// incremental engine never increments it.
+struct LiveBookStats {
+  std::uint64_t inserts = 0;            ///< declarations galloping-inserted
+  std::uint64_t entries_shifted = 0;    ///< entries memmoved to open slots
+  std::uint64_t rounds_finalized = 0;   ///< finalize_ties calls
+  std::uint64_t tie_entries_permuted = 0;  ///< entries in reordered tie runs
+  std::uint64_t sorts_at_close = 0;     ///< always 0 for LiveBook
+
+  void merge(const LiveBookStats& other) {
+    inserts += other.inserts;
+    entries_shifted += other.entries_shifted;
+    rounds_finalized += other.rounds_finalized;
+    tie_entries_permuted += other.tie_entries_permuted;
+    sorts_at_close += other.sorts_at_close;
+  }
+};
+
+/// Mutable rank-ordered collection of declarations for one clearing round.
+///
+/// Drop-in replacement for the OrderBook held by an open round: `add` has
+/// the same signature, id assignment, and domain validation, but the lanes
+/// it maintains are the *ranked* lanes a SortedBook would produce (modulo
+/// tie-breaking, frozen at `finalize_ties`).  `reset` starts a new round
+/// while keeping every buffer's capacity, so a warm server allocates
+/// nothing per round on the submission path.
+class LiveBook {
+ public:
+  explicit LiveBook(ValueDomain domain = {});
+
+  /// Starts a new round over `domain`; capacity is retained, bid ids
+  /// restart at 0 (ids are book-unique, matching OrderBook::add).
+  void reset(ValueDomain domain);
+
+  /// Records a declaration at its rank and returns its book-unique id.
+  /// Values outside the domain are rejected with std::invalid_argument.
+  /// Must not be called after finalize_ties (until the next reset).
+  BidId add(Side side, IdentityId identity, Money value);
+  BidId add_buyer(IdentityId identity, Money value) {
+    return add(Side::kBuyer, identity, value);
+  }
+  BidId add_seller(IdentityId identity, Money value) {
+    return add(Side::kSeller, identity, value);
+  }
+
+  /// Applies the paper's footnote-5 random tie-breaking to the ranked
+  /// lanes.  Consumes from `rng` exactly the draws SortedBook::rebuild
+  /// makes (one full Fisher-Yates pass per side, buyers first), so the
+  /// final ranking AND the rng state afterwards are bit-identical to
+  /// `SortedBook(book, rng)` over the same declarations — any protocol
+  /// randomness drawn next sees an unshifted stream.
+  void finalize_ties(Rng& rng);
+
+  std::size_t buyer_count() const { return buyers_.size(); }
+  std::size_t seller_count() const { return sellers_.size(); }
+  const ValueDomain& domain() const { return domain_; }
+  bool finalized() const { return finalized_; }
+
+  /// Ranked lanes (ties in arrival order until finalize_ties freezes the
+  /// footnote-5 permutation).
+  const std::vector<BidEntry>& ranked_buyers() const { return buyers_; }
+  const std::vector<BidEntry>& ranked_sellers() const { return sellers_; }
+
+  /// A SortedBook over the current ranking (finalize_ties first for the
+  /// footnote-5 contract).  `to_sorted` allocates a fresh book — use it
+  /// for views that outlive the round; `emit` reuses `out`'s buffers for
+  /// per-round scratch.
+  SortedBook to_sorted() const;
+  void emit(SortedBook& out) const;
+
+  /// Cumulative work counters (survive reset; see LiveBookStats).
+  const LiveBookStats& stats() const { return stats_; }
+
+ private:
+  std::size_t gallop_slot(const std::vector<BidEntry>& lane, Money value,
+                          bool descending) const;
+  void fix_ties(std::vector<BidEntry>& lane,
+                std::vector<std::uint32_t>& arrival, Rng& rng);
+
+  ValueDomain domain_;
+  std::vector<BidEntry> buyers_;   ///< descending by value
+  std::vector<BidEntry> sellers_;  ///< ascending by value
+  /// Per-side arrival index of each ranked entry, the key finalize_ties
+  /// maps through the shuffle permutation.
+  std::vector<std::uint32_t> buyer_arrival_;
+  std::vector<std::uint32_t> seller_arrival_;
+  /// finalize_ties scratch (reused across rounds).
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint64_t> run_keys_;
+  std::vector<BidEntry> run_scratch_;
+  std::uint64_t next_bid_ = 0;
+  bool finalized_ = false;
+  LiveBookStats stats_;
+};
+
+}  // namespace fnda

@@ -44,22 +44,40 @@ void SortedBook::rebuild(const OrderBook& book, Rng& rng) {
                    });
 }
 
+namespace {
+
+[[maybe_unused]] bool ranked_invariant(const std::vector<BidEntry>& buyers,
+                                       const std::vector<BidEntry>& sellers) {
+  return std::is_sorted(buyers.begin(), buyers.end(),
+                        [](const BidEntry& a, const BidEntry& b) {
+                          return a.value > b.value;
+                        }) &&
+         std::is_sorted(sellers.begin(), sellers.end(),
+                        [](const BidEntry& a, const BidEntry& b) {
+                          return a.value < b.value;
+                        });
+}
+
+}  // namespace
+
 SortedBook SortedBook::from_ranked(const ValueDomain& domain,
                                    std::vector<BidEntry> buyers_descending,
                                    std::vector<BidEntry> sellers_ascending) {
-  assert(std::is_sorted(buyers_descending.begin(), buyers_descending.end(),
-                        [](const BidEntry& a, const BidEntry& b) {
-                          return a.value > b.value;
-                        }));
-  assert(std::is_sorted(sellers_ascending.begin(), sellers_ascending.end(),
-                        [](const BidEntry& a, const BidEntry& b) {
-                          return a.value < b.value;
-                        }));
+  assert(ranked_invariant(buyers_descending, sellers_ascending));
   SortedBook book;
   book.domain_ = domain;
   book.buyers_ = std::move(buyers_descending);
   book.sellers_ = std::move(sellers_ascending);
   return book;
+}
+
+void SortedBook::assign_ranked(const ValueDomain& domain,
+                               const std::vector<BidEntry>& buyers_descending,
+                               const std::vector<BidEntry>& sellers_ascending) {
+  assert(ranked_invariant(buyers_descending, sellers_ascending));
+  domain_ = domain;
+  buyers_.assign(buyers_descending.begin(), buyers_descending.end());
+  sellers_.assign(sellers_ascending.begin(), sellers_ascending.end());
 }
 
 Money SortedBook::buyer_value(std::size_t rank) const {

@@ -89,6 +89,13 @@ class SortedBook {
                                 std::vector<BidEntry> buyers_descending,
                                 std::vector<BidEntry> sellers_ascending);
 
+  /// `from_ranked` into this object's existing buffers (no allocation
+  /// once capacity has grown to the workload's book size).  Same
+  /// caller-vouches-for-the-ranking contract, asserted in debug builds.
+  void assign_ranked(const ValueDomain& domain,
+                     const std::vector<BidEntry>& buyers_descending,
+                     const std::vector<BidEntry>& sellers_ascending);
+
   std::size_t buyer_count() const { return buyers_.size(); }   // m
   std::size_t seller_count() const { return sellers_.size(); }  // n
 

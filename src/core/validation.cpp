@@ -6,15 +6,20 @@
 
 namespace fnda {
 
-ValidationErrors validate_outcome(const OrderBook& book,
-                                  const Outcome& outcome,
-                                  const ValidationOptions& options) {
+namespace {
+
+/// Shared core: every invariant is a function of the declaration set, so
+/// both the raw-book and ranked-view overloads funnel through the lanes.
+ValidationErrors validate_lanes(const std::vector<BidEntry>& buyers,
+                                const std::vector<BidEntry>& sellers,
+                                const Outcome& outcome,
+                                const ValidationOptions& options) {
   ValidationErrors errors;
 
   std::unordered_map<BidId, const BidEntry*> buyer_bids;
   std::unordered_map<BidId, const BidEntry*> seller_bids;
-  for (const BidEntry& e : book.buyers()) buyer_bids.emplace(e.id, &e);
-  for (const BidEntry& e : book.sellers()) seller_bids.emplace(e.id, &e);
+  for (const BidEntry& e : buyers) buyer_bids.emplace(e.id, &e);
+  for (const BidEntry& e : sellers) seller_bids.emplace(e.id, &e);
 
   if (outcome.buy_fill_count() != outcome.sell_fill_count()) {
     std::ostringstream os;
@@ -70,14 +75,36 @@ ValidationErrors validate_outcome(const OrderBook& book,
   return errors;
 }
 
-void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
-                          const ValidationOptions& options) {
-  const ValidationErrors errors = validate_outcome(book, outcome, options);
+void throw_on_errors(const ValidationErrors& errors) {
   if (errors.empty()) return;
   std::ostringstream os;
   os << "invalid outcome (" << errors.size() << " violation(s)):";
   for (const std::string& e : errors) os << "\n  - " << e;
   throw std::logic_error(os.str());
+}
+
+}  // namespace
+
+ValidationErrors validate_outcome(const OrderBook& book,
+                                  const Outcome& outcome,
+                                  const ValidationOptions& options) {
+  return validate_lanes(book.buyers(), book.sellers(), outcome, options);
+}
+
+ValidationErrors validate_outcome(const SortedBook& book,
+                                  const Outcome& outcome,
+                                  const ValidationOptions& options) {
+  return validate_lanes(book.buyers(), book.sellers(), outcome, options);
+}
+
+void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
+                          const ValidationOptions& options) {
+  throw_on_errors(validate_outcome(book, outcome, options));
+}
+
+void expect_valid_outcome(const SortedBook& book, const Outcome& outcome,
+                          const ValidationOptions& options) {
+  throw_on_errors(validate_outcome(book, outcome, options));
 }
 
 }  // namespace fnda

@@ -35,8 +35,18 @@ ValidationErrors validate_outcome(const OrderBook& book,
                                   const Outcome& outcome,
                                   const ValidationOptions& options = {});
 
+/// Same checks against a rank-ordered view: the invariants are functions
+/// of the declaration *set*, so a SortedBook (or any incrementally
+/// maintained ranking of the same declarations) validates identically.
+/// This is the overload the market server's live-book clearing path uses.
+ValidationErrors validate_outcome(const SortedBook& book,
+                                  const Outcome& outcome,
+                                  const ValidationOptions& options = {});
+
 /// Throws std::logic_error listing all violations if any check fails.
 void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
+                          const ValidationOptions& options = {});
+void expect_valid_outcome(const SortedBook& book, const Outcome& outcome,
                           const ValidationOptions& options = {});
 
 }  // namespace fnda

@@ -158,6 +158,12 @@ BusStats MultiServerExchange::bus_stats() const {
   return merged;
 }
 
+LiveBookStats MultiServerExchange::book_stats() const {
+  LiveBookStats merged;
+  for (const Shard& shard : shards_) merged.merge(shard.server->book_stats());
+  return merged;
+}
+
 std::vector<BusStats> MultiServerExchange::shard_bus_stats() const {
   std::vector<BusStats> stats;
   stats.reserve(shards_.size());

@@ -99,6 +99,9 @@ class MultiServerExchange {
   /// Per-shard transport counters merged; conservation holds here.
   BusStats bus_stats() const;
   std::vector<BusStats> shard_bus_stats() const;
+  /// Per-shard incremental-ranking work counters merged (see
+  /// LiveBookStats; sorts_at_close must stay 0 across every shard).
+  LiveBookStats book_stats() const;
   /// All shards' audit records, stably merged by (timestamp, shard).
   std::vector<AuditRecord> merged_audit() const;
   std::size_t audit_count(AuditKind kind) const;

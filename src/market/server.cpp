@@ -59,8 +59,8 @@ RoundId AuctionServer::open_round(SimTime open_for) {
   }
   const RoundId id{next_round_++};
   const SimTime close_at = queue_.now() + open_for;
-  open_round_.emplace(OpenRound{id, close_at, OrderBook(config_.domain),
-                                rng_(), {}});
+  live_book_.reset(config_.domain);
+  open_round_.emplace(OpenRound{id, close_at, rng_(), {}});
   audit_.append(queue_.now(), id, AuditKind::kRoundOpened, "");
 
   announce_round(*open_round_);
@@ -153,7 +153,7 @@ void AuctionServer::handle_submit(const Envelope& envelope,
     return;
   }
 
-  round.book.add(msg.side, msg.identity, msg.value);
+  live_book_.add(msg.side, msg.identity, msg.value);
   round.submitted.emplace(msg.identity,
                           SubmittedBid{envelope.from, msg.side, msg.value});
   audit_.append(queue_.now(), msg.round, AuditKind::kBidAccepted,
@@ -166,9 +166,17 @@ void AuctionServer::clear_round() {
   OpenRound round = std::move(*open_round_);
   open_round_.reset();
 
+  // The book is already ranked (every accepted bid was galloping-inserted
+  // at its rank), so round close pays zero sort work: freeze the
+  // footnote-5 tie-breaking — consuming exactly the draws the old
+  // sort-at-close path made, keeping outcomes and replays bit-identical —
+  // and hand the protocol the ranked view directly.
   Rng clear_rng(round.clear_seed);
-  Outcome outcome = protocol_->clear(round.book, clear_rng);
-  expect_valid_outcome(round.book, outcome);
+  live_book_.finalize_ties(clear_rng);
+  const Rng replay_rng = clear_rng;  // post-ranking stream, for replays
+  SortedBook ranked = live_book_.to_sorted();
+  Outcome outcome = protocol_->clear_sorted(ranked, clear_rng);
+  expect_valid_outcome(ranked, outcome);
 
   audit_.append(queue_.now(), round.id, AuditKind::kRoundCleared,
                 fmt(outcome.trade_count(), " trades, revenue ",
@@ -208,8 +216,8 @@ void AuctionServer::clear_round() {
   }
 
   completed_.emplace(round.id,
-                     CompletedRound{round.id, std::move(round.book),
-                                    round.clear_seed, protocol_,
+                     CompletedRound{round.id, std::move(ranked),
+                                    round.clear_seed, replay_rng, protocol_,
                                     std::move(outcome), std::move(report)});
   completion_order_.push_back(round.id);
   ++completed_count_;
@@ -234,8 +242,11 @@ const SettlementReport* AuctionServer::settlement_of(RoundId round) const {
 std::optional<Outcome> AuctionServer::replay_round(RoundId round) const {
   auto it = completed_.find(round);
   if (it == completed_.end()) return std::nullopt;
-  Rng clear_rng(it->second.clear_seed);
-  return it->second.protocol->clear(it->second.book, clear_rng);
+  // The retained view is already ranked and tie-broken; resuming from the
+  // post-ranking RNG state re-runs only the protocol itself, exactly as
+  // the original clear did.
+  Rng clear_rng = it->second.replay_rng;
+  return it->second.protocol->clear_sorted(it->second.ranked, clear_rng);
 }
 
 }  // namespace fnda

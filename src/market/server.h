@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/live_book.h"
 #include "core/protocol.h"
 #include "market/audit.h"
 #include "market/bus.h"
@@ -80,14 +81,21 @@ class AuctionServer : public Endpoint {
   const Outcome* outcome_of(RoundId round) const;
   const SettlementReport* settlement_of(RoundId round) const;
 
-  /// Re-clears a completed round from its stored book and seed; returns
-  /// the recomputed outcome for comparison against the stored one.
+  /// Re-clears a completed round from its retained ranked view and the
+  /// post-ranking RNG state; returns the recomputed outcome for
+  /// comparison against the stored one.  No sort work: the ranking was
+  /// frozen (footnote-5 tie-breaking included) when the round cleared.
   std::optional<Outcome> replay_round(RoundId round) const;
 
   /// Rounds cleared over the server's lifetime (not capped by
   /// retained_rounds).
   std::size_t rounds_completed() const { return completed_count_; }
   bool round_open() const { return open_round_.has_value(); }
+
+  /// Cumulative incremental-ranking work counters across all rounds
+  /// (galloping inserts, entries shifted, tie-run fixups; sorts_at_close
+  /// stays 0 — the claim the bench and tests pin).
+  const LiveBookStats& book_stats() const { return live_book_.stats(); }
 
  private:
   struct SubmittedBid {
@@ -98,7 +106,9 @@ class AuctionServer : public Endpoint {
   struct OpenRound {
     RoundId id;
     SimTime close_at;
-    OrderBook book;
+    /// The round's book lives in the server's persistent LiveBook
+    /// (`live_book_`), reset at open_round so its buffers survive across
+    /// rounds; accepted bids are galloping-inserted there at their rank.
     std::uint64_t clear_seed = 0;
     /// Accepted declaration per identity: reply address for fill notices
     /// plus the declaration itself, so an identical retransmission can be
@@ -107,8 +117,13 @@ class AuctionServer : public Endpoint {
   };
   struct CompletedRound {
     RoundId id;
-    OrderBook book;
+    /// The ranked view the round cleared from, tie-breaking frozen — the
+    /// retained replay/audit artifact (the raw book in rank order).
+    SortedBook ranked;
     std::uint64_t clear_seed = 0;
+    /// RNG state after the footnote-5 ranking draws; replay hands this to
+    /// clear_sorted so protocol-internal randomness replays exactly.
+    Rng replay_rng{0};
     /// The protocol that cleared this round (set_protocol may have
     /// changed the active one since); replay must use this.
     const DoubleAuctionProtocol* protocol = nullptr;
@@ -145,6 +160,9 @@ class AuctionServer : public Endpoint {
 
   std::vector<AddressId> subscribers_;
   std::optional<OpenRound> open_round_;
+  /// Incrementally ranked book of the open round; buffers persist across
+  /// rounds, so a warm server's submission path never allocates.
+  LiveBook live_book_;
   std::unordered_map<RoundId, CompletedRound> completed_;
   /// Completion order, for retained_rounds eviction (oldest first).
   std::deque<RoundId> completion_order_;

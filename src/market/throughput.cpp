@@ -55,6 +55,7 @@ ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
   result.sim_time = exchange.now();
   result.bus = exchange.bus_stats();
   result.shard_bus = exchange.shard_bus_stats();
+  result.book = exchange.book_stats();
   return result;
 }
 

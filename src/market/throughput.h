@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/live_book.h"
 #include "core/protocol.h"
 #include "market/bus.h"
 #include "market/clock.h"
@@ -52,6 +53,10 @@ struct ThroughputResult {
   BusStats bus{};
   /// ...and the per-shard breakdown, for load-imbalance reporting.
   std::vector<BusStats> shard_bus;
+  /// Merged incremental-ranking counters across all shards (inserts,
+  /// entries shifted, tie fixups; sorts_at_close stays 0 — the bench
+  /// records these as the zero-sort-at-close evidence).
+  LiveBookStats book{};
 };
 
 /// Runs one ZI session and returns its volumes.  Deterministic in

@@ -26,10 +26,13 @@ ZiSessionResult run_zi_session(const SingleUnitInstance& instance, Rng& rng,
                              instance.seller_values[j]});
   }
 
-  // True valuations for scoring.
+  // True valuations for scoring.  The ranking is only read within this
+  // call, so bench loops (cda_vs_call sweeps thousands of sessions) reuse
+  // one per-thread scratch instead of allocating a SortedBook per session.
   const InstantiatedMarket market = instantiate_truthful(instance);
   Rng sort_rng = rng.split();
-  const SortedBook sorted(market.book, sort_rng);
+  thread_local SortedBook sorted;
+  sorted.rebuild(market.book, sort_rng);
 
   ZiSessionResult result;
   result.efficient_surplus = efficient_surplus(sorted);

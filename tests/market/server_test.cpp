@@ -185,6 +185,29 @@ TEST_F(ServerFixture, ReplayReproducesStoredOutcome) {
   EXPECT_FALSE(server_->replay_round(RoundId{888}).has_value());
 }
 
+TEST_F(ServerFixture, BookStatsTrackIncrementalWorkPerRound) {
+  const IdentityId buyer = make_identity(false);
+  const IdentityId seller = make_identity(true);
+  const RoundId round = server_->open_round(SimTime::millis(10));
+  submit(round, buyer, Side::kBuyer, money(9));
+  submit(round, seller, Side::kSeller, money(2));
+  queue_.run();
+
+  EXPECT_EQ(server_->book_stats().inserts, 2u);
+  EXPECT_EQ(server_->book_stats().rounds_finalized, 1u);
+  EXPECT_EQ(server_->book_stats().sorts_at_close, 0u);
+
+  // Counters accumulate across rounds; replay does not re-insert or
+  // re-finalize (it clears the retained ranked view).
+  const auto replayed = server_->replay_round(round);
+  ASSERT_TRUE(replayed.has_value());
+  server_->open_round(SimTime::millis(10));
+  queue_.run();
+  EXPECT_EQ(server_->book_stats().inserts, 2u);
+  EXPECT_EQ(server_->book_stats().rounds_finalized, 2u);
+  EXPECT_EQ(server_->book_stats().sorts_at_close, 0u);
+}
+
 TEST_F(ServerFixture, FalseNameSellerConfiscatedEndToEnd) {
   const IdentityId buyer = make_identity(false);
   // A buyer account also bidding as a seller — no good behind it.
