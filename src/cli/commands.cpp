@@ -17,6 +17,8 @@
 #include "serialize/csv.h"
 #include "serialize/json.h"
 #include "market/throughput.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "mechanism/dynamics.h"
 #include "mechanism/manipulation.h"
 #include "sim/experiment.h"
@@ -378,6 +380,22 @@ int cmd_optimize(const ArgParser& args, std::ostream& out,
   return 0;
 }
 
+namespace {
+
+/// Opens `path` for writing and streams `write` into it.
+template <typename WriteFn>
+bool write_file(const std::string& path, std::ostream& err, WriteFn write) {
+  std::ofstream file(path);
+  if (!file) {
+    err << "error: cannot open output file '" << path << "'\n";
+    return false;
+  }
+  write(file);
+  return true;
+}
+
+}  // namespace
+
 int cmd_market_bench(const ArgParser& args, std::ostream& out,
                      std::ostream& err) {
   ThroughputConfig config;
@@ -389,7 +407,18 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
   config.duplicate_probability = args.get_double_or("duplicate", 0.0);
   config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const Money threshold = money(args.get_double_or("threshold", 50.0));
+  const std::optional<std::string> metrics_out = args.get("metrics-out");
+  const std::optional<std::string> metrics_json = args.get("metrics-json");
+  const std::optional<std::string> trace_out = args.get("trace-out");
+  config.telemetry.wallclock = args.has("trace-wallclock");
+  if (args.has("no-telemetry")) config.telemetry.enabled = false;
   if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (!config.telemetry.enabled &&
+      (metrics_out || metrics_json || trace_out ||
+       config.telemetry.wallclock)) {
+    return usage_error(err,
+                       "--no-telemetry contradicts the other telemetry flags");
+  }
   if (config.clients == 0 || config.rounds == 0 || config.shards == 0) {
     return usage_error(err, "--clients, --rounds, --shards must be positive");
   }
@@ -432,6 +461,57 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
       << " bids/s, "
       << format_fixed(static_cast<double>(result.rounds) / elapsed, 2)
       << " rounds/s\n";
+
+  if (metrics_out.has_value() &&
+      !write_file(*metrics_out, err, [&result](std::ostream& file) {
+        obs::write_prometheus(file, result.metrics);
+      })) {
+    return 1;
+  }
+  if (metrics_json.has_value() &&
+      !write_file(*metrics_json, err, [&result](std::ostream& file) {
+        obs::write_json_snapshot(file, result.metrics);
+      })) {
+    return 1;
+  }
+  if (trace_out.has_value() &&
+      !write_file(*trace_out, err, [&result](std::ostream& file) {
+        obs::write_chrome_trace(file, result.trace);
+      })) {
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_metrics_dump(const ArgParser& args, std::ostream& out,
+                     std::ostream& err) {
+  // A small deterministic session whose merged snapshot goes straight to
+  // stdout — the quickest way to see every registered metric name, and
+  // what the CI smoke step greps.
+  ThroughputConfig config;
+  config.clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
+  config.rounds = static_cast<std::size_t>(args.get_int_or("rounds", 2));
+  config.shards = static_cast<std::size_t>(args.get_int_or("shards", 2));
+  config.threads = static_cast<std::size_t>(args.get_int_or("threads", 1));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const Money threshold = money(args.get_double_or("threshold", 50.0));
+  const std::string format = args.get_or("format", "prom");
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (config.clients == 0 || config.rounds == 0 || config.shards == 0) {
+    return usage_error(err, "--clients, --rounds, --shards must be positive");
+  }
+  if (format != "prom" && format != "json") {
+    return usage_error(err, "--format must be prom or json");
+  }
+
+  const TpdProtocol tpd(threshold);
+  const ThroughputResult result = run_throughput_session(tpd, config);
+  if (format == "json") {
+    obs::write_json_snapshot(out, result.metrics);
+    out << '\n';
+  } else {
+    obs::write_prometheus(out, result.metrics);
+  }
   return 0;
 }
 
@@ -463,6 +543,13 @@ int cmd_help(std::ostream& out) {
          "            --clients N --rounds R --shards S --threads T\n"
          "            (T <= S; 0 = hardware concurrency) --drop P\n"
          "            --duplicate P --threshold R --seed N\n"
+         "            --metrics-out FILE (Prometheus text)\n"
+         "            --metrics-json FILE --trace-out FILE (Chrome trace)\n"
+         "            --trace-wallclock (wall timestamps; nondeterministic)\n"
+         "            --no-telemetry (runtime-disabled baseline)\n"
+         "  metrics-dump  run a small session, dump its metrics to stdout\n"
+         "            --format prom|json --clients N --rounds R\n"
+         "            --shards S --threads T --seed N\n"
          "  help      this text\n";
   return 0;
 }
@@ -481,6 +568,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "sweep") return cmd_sweep(parsed, out, err);
     if (command == "optimize") return cmd_optimize(parsed, out, err);
     if (command == "market-bench") return cmd_market_bench(parsed, out, err);
+    if (command == "metrics-dump") return cmd_metrics_dump(parsed, out, err);
     return usage_error(err, "unknown command '" + command + "'");
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << '\n';

@@ -13,7 +13,11 @@
 //   fnda optimize --buyers 50 --sellers 50 [--lo 0 --hi 100]
 //   fnda market-bench --clients 1000 --rounds 3 --shards 4 --threads 2
 //                     [--drop P --duplicate P --threshold R --seed N]
+//                     [--metrics-out FILE --metrics-json FILE]
+//                     [--trace-out FILE --trace-wallclock --no-telemetry]
 //                     (threads <= shards; 0 = hardware concurrency)
+//   fnda metrics-dump [--format prom|json] [--clients N --rounds R
+//                     --shards S --threads T --seed N]
 //   fnda help
 //
 // Commands are plain functions over streams so tests can drive them
@@ -41,6 +45,8 @@ int cmd_dynamics(const ArgParser& args, std::istream& in, std::ostream& out,
 int cmd_sweep(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmd_optimize(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmd_market_bench(const ArgParser& args, std::ostream& out,
+                     std::ostream& err);
+int cmd_metrics_dump(const ArgParser& args, std::ostream& out,
                      std::ostream& err);
 int cmd_help(std::ostream& out);
 

@@ -1,11 +1,26 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <string_view>
 
 namespace fnda {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+LogLevel initial_level() {
+  const char* env = std::getenv("FNDA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string_view name(env);
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::ostream* g_sink = nullptr;
 
 const char* level_name(LogLevel level) {
@@ -21,8 +36,10 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_sink(std::ostream* sink) { g_sink = sink; }
 
 namespace detail {

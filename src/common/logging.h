@@ -2,6 +2,15 @@
 //
 // The market simulator narrates rounds at kDebug level during development;
 // benches and tests run with the default kWarn so output stays clean.
+//
+// FNDA_LOG(kDebug) << expensive();  evaluates `expensive()` ONLY when
+// kDebug clears the runtime threshold: the macro expands to a conditional
+// whose suppressed arm never touches the stream expression (the glog
+// voidify idiom — `&&` binds looser than `<<`, and the ternary keeps the
+// macro safe inside unbraced if/else).  The threshold itself is an atomic,
+// so worker threads may log while a test rebinds the level, and it can be
+// seeded from the FNDA_LOG_LEVEL environment variable
+// (debug|info|warn|error|off) before main runs.
 #pragma once
 
 #include <sstream>
@@ -11,9 +20,13 @@ namespace fnda {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide minimum level; messages below it are discarded.
+/// Process-wide minimum level; messages below it are discarded.  Seeded
+/// from FNDA_LOG_LEVEL when set, kWarn otherwise.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// The FNDA_LOG gate: true when `level` clears the runtime threshold.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
 
 /// Sink override for tests (nullptr restores stderr).
 void set_log_sink(std::ostream* sink);
@@ -23,19 +36,21 @@ void emit(LogLevel level, const std::string& message);
 }
 
 /// Stream-style log line builder: LogLine(LogLevel::kInfo) << "x=" << x;
-/// emits on destruction.
+/// emits on destruction.  FNDA_LOG only constructs one past the gate, so
+/// streaming is unconditional; direct constructions still check the
+/// threshold before emitting.
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
   ~LogLine() {
-    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+    if (log_enabled(level_)) detail::emit(level_, stream_.str());
   }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    if (level_ >= log_level()) stream_ << value;
+    stream_ << value;
     return *this;
   }
 
@@ -44,6 +59,18 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+namespace detail {
+/// Swallows the finished LogLine so the enabled arm of FNDA_LOG has type
+/// void, matching the suppressed arm.
+struct LogVoidify {
+  void operator&&(const LogLine&) const {}
+};
+}  // namespace detail
+
 }  // namespace fnda
 
-#define FNDA_LOG(level) ::fnda::LogLine(::fnda::LogLevel::level)
+#define FNDA_LOG(level)                                \
+  !::fnda::log_enabled(::fnda::LogLevel::level)        \
+      ? (void)0                                        \
+      : ::fnda::detail::LogVoidify{} &&                \
+            ::fnda::LogLine(::fnda::LogLevel::level)

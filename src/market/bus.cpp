@@ -45,6 +45,34 @@ MessageBus::MessageBus(EventQueue& queue, BusConfig config, Rng rng,
 
 MessageBus::~MessageBus() { queue_.set_delivery_sink(nullptr); }
 
+void MessageBus::bind_telemetry(obs::ShardTelemetry& telemetry) {
+  obs::MetricsRegistry& registry = telemetry.metrics;
+  registry.counter_fn("fnda_bus_sent_total", [this] {
+    return static_cast<std::uint64_t>(stats_.sent);
+  });
+  registry.counter_fn("fnda_bus_delivered_total", [this] {
+    return static_cast<std::uint64_t>(stats_.delivered);
+  });
+  registry.counter_fn("fnda_bus_duplicated_total", [this] {
+    return static_cast<std::uint64_t>(stats_.duplicated);
+  });
+  registry.counter_fn("fnda_bus_dropped_total", [this] {
+    return static_cast<std::uint64_t>(stats_.dropped);
+  });
+  registry.counter_fn("fnda_bus_dead_lettered_total", [this] {
+    return static_cast<std::uint64_t>(stats_.dead_lettered);
+  });
+  registry.counter_fn("fnda_bus_forwarded_total", [this] {
+    return static_cast<std::uint64_t>(stats_.forwarded);
+  });
+  registry.counter_fn("fnda_mailbox_overflow_total", [this] {
+    return static_cast<std::uint64_t>(stats_.mailbox_overflow);
+  });
+  delivery_latency_hist_ =
+      &registry.histogram("fnda_bus_delivery_latency_us");
+  batch_size_hist_ = &registry.histogram("fnda_queue_batch_size");
+}
+
 AddressId MessageBus::intern(const std::string& address) {
   const AddressId id = space_->intern(address);
   ensure_directory(id.value());
@@ -219,13 +247,30 @@ void MessageBus::deliver_group(SimTime at, std::uint64_t key,
   }
 
   stats_.delivered += count;
+  // Per-delivery histograms are deterministically decimated: every
+  // kDeliverySampleStride-th delivered group records its batch size and
+  // its envelopes' latencies.  The tick advances in the shard's own
+  // delivery order, so the sample stream is a pure function of the event
+  // history (bit-identical at any worker count) while the full-fidelity
+  // cost — measurably ~6% of session throughput — stays off the hot
+  // path.  Exact totals remain in BusStats.
+  const bool sample =
+      batch_size_hist_ != nullptr &&
+      (delivery_sample_tick_++ % kDeliverySampleStride) == 0;
+  if (sample) {
+    batch_size_hist_->record(static_cast<std::int64_t>(count));
+  }
   if (count == 1) {
     // Singleton batches dominate client-bound traffic; dispatching them
     // straight to on_message skips a virtual hop and the scratch array,
     // and is what the default on_batch would do anyway (overrides must
-    // honour that equivalence).
+    // honour that equivalence).  Latency is recorded here, where the
+    // envelope is already in cache, not in a separate slot walk.
     Envelope& envelope = slot_ref(run[0].slot);
     envelope.delivered_at = at;
+    if (sample) {
+      delivery_latency_hist_->record((at - envelope.sent_at).micros);
+    }
     endpoint->on_message(envelope);
     release_slot(run[0].slot);
     return;
@@ -234,6 +279,9 @@ void MessageBus::deliver_group(SimTime at, std::uint64_t key,
   for (std::size_t i = 0; i < count; ++i) {
     Envelope& envelope = slot_ref(run[i].slot);
     envelope.delivered_at = at;
+    if (sample) {
+      delivery_latency_hist_->record((at - envelope.sent_at).micros);
+    }
     deliver_scratch_.push_back(&envelope);
   }
   endpoint->on_batch(deliver_scratch_.data(), deliver_scratch_.size());

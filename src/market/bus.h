@@ -30,6 +30,7 @@
 #include "market/clock.h"
 #include "market/fabric.h"
 #include "market/messages.h"
+#include "obs/telemetry.h"
 
 namespace fnda {
 
@@ -144,6 +145,13 @@ class MessageBus : public EventQueue::DeliverySink {
   }
 
   const BusStats& stats() const { return stats_; }
+
+  /// Joins the shard's telemetry world: registers the BusStats cells as
+  /// callback counters (the structs stay the storage; the registry is
+  /// the exposition/merge layer) and creates the transport histograms
+  /// (delivery latency in sim microseconds, endpoint batch size).  Call
+  /// once at wiring time; a bus never bound records nothing extra.
+  void bind_telemetry(obs::ShardTelemetry& telemetry);
 
   /// Schedules a mailbox envelope for local delivery.  Called by the
   /// epoch driver at a barrier, while this shard's worker is quiescent.
@@ -276,6 +284,16 @@ class MessageBus : public EventQueue::DeliverySink {
   BusStats stats_;
   std::uint64_t next_message_ = 0;
   std::uint64_t next_remote_sequence_ = 0;
+
+  // Telemetry instruments (null until bind_telemetry; recording through
+  // a null pointer is skipped, and FNDA_NO_TELEMETRY empties the bodies).
+  // Per-delivery histograms sample every stride-th delivered group — the
+  // tick advances in this shard's deterministic delivery order, so the
+  // sampled stream is bit-identical at any worker count.
+  static constexpr std::uint64_t kDeliverySampleStride = 16;
+  obs::Histogram* delivery_latency_hist_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+  std::uint64_t delivery_sample_tick_ = 0;
 };
 
 /// Receiver-side duplicate filter keyed by MessageId.

@@ -15,10 +15,38 @@ EpochDriver::EpochDriver(Fabric& fabric, std::vector<EpochShard> shards,
       shards_(std::move(shards)),
       lookahead_(std::max(lookahead, SimTime{1})) {}
 
+void EpochDriver::bind_telemetry(obs::SessionTelemetry& session) {
+  telemetry_ = &session;
+  obs::MetricsRegistry& registry = session.driver().metrics;
+  registry.counter_fn("fnda_epoch_total", [this] {
+    return static_cast<std::uint64_t>(lifetime_.epochs);
+  });
+  registry.counter_fn("fnda_epoch_injected_total", [this] {
+    return static_cast<std::uint64_t>(lifetime_.injected);
+  });
+  epoch_advance_hist_ = &registry.histogram("fnda_epoch_advance_us");
+  if (session.wallclock()) {
+    barrier_stall_hist_ = &registry.histogram("fnda_epoch_barrier_stall_us");
+  }
+  // Depth samples go into each shard's own registry so the merged
+  // snapshot still folds them in canonical shard order.
+  depth_hists_.assign(shards_.size(), nullptr);
+  depth_peaks_.assign(shards_.size(), nullptr);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    obs::MetricsRegistry& shard_registry = session.shard(s).metrics;
+    depth_hists_[s] = &shard_registry.histogram("fnda_queue_depth");
+    depth_peaks_[s] = &shard_registry.gauge("fnda_queue_depth_peak",
+                                            obs::GaugeMerge::kMax);
+  }
+}
+
 void EpochDriver::advance_epoch() noexcept {
   // Runs on exactly one thread while every other worker is parked inside
   // the barrier, so all shard state is safe to touch; the barrier's
-  // release edge publishes the writes to every worker.
+  // release edge publishes the writes to every worker.  The same
+  // exclusivity makes it safe to record into shard registries here.
+  const std::int64_t stall_start =
+      barrier_stall_hist_ != nullptr ? telemetry_->wall_micros() : 0;
   if (failed_.load(std::memory_order_acquire)) {
     stop_ = true;
     return;
@@ -47,6 +75,17 @@ void EpochDriver::advance_epoch() noexcept {
       shards_[s].bus->inject(ready);
     }
     stats_.injected += inbox_scratch_.size();
+    lifetime_.injected += inbox_scratch_.size();
+  }
+  if (!depth_hists_.empty()) {
+    // Post-injection depth is a pure function of the event history, so
+    // the sample stream is identical for every worker count.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto depth =
+          static_cast<std::int64_t>(shards_[s].queue->pending());
+      depth_hists_[s]->record(depth);
+      depth_peaks_[s]->raise_to(depth);
+    }
   }
   SimTime next{std::numeric_limits<std::int64_t>::max()};
   bool any = false;
@@ -58,10 +97,33 @@ void EpochDriver::advance_epoch() noexcept {
   }
   if (!any) {
     stop_ = true;
+    if (barrier_stall_hist_ != nullptr) {
+      barrier_stall_hist_->record(telemetry_->wall_micros() - stall_start);
+    }
     return;
   }
   epoch_end_ = next + lookahead_ - SimTime{1};
   ++stats_.epochs;
+  ++lifetime_.epochs;
+  if (telemetry_ != nullptr) {
+    if (epoch_advance_hist_ != nullptr && !first_epoch_of_drive_) {
+      epoch_advance_hist_->record((next - last_epoch_start_).micros);
+    }
+    first_epoch_of_drive_ = false;
+    last_epoch_start_ = next;
+    if (!telemetry_->wallclock()) {
+      // Deterministic epoch-window span in sim time.  In wallclock mode
+      // the stall span below carries the driver timeline instead.
+      telemetry_->driver().trace.record_span(
+          "epoch", "epoch", next.micros, (epoch_end_ - next).micros + 1);
+    }
+  }
+  if (barrier_stall_hist_ != nullptr) {
+    const std::int64_t stall = telemetry_->wall_micros() - stall_start;
+    barrier_stall_hist_->record(stall);
+    telemetry_->driver().trace.record_span("barrier-advance", "epoch",
+                                           stall_start, stall);
+  }
 }
 
 EpochStats EpochDriver::drive(std::size_t threads) {
@@ -71,6 +133,7 @@ EpochStats EpochDriver::drive(std::size_t threads) {
   stop_ = false;
   failed_.store(false, std::memory_order_relaxed);
   stats_ = EpochStats{};
+  first_epoch_of_drive_ = true;
   errors_.assign(shard_count, nullptr);
 
   std::barrier barrier(static_cast<std::ptrdiff_t>(workers),

@@ -30,6 +30,7 @@
 #include "market/bus.h"
 #include "market/clock.h"
 #include "market/fabric.h"
+#include "obs/telemetry.h"
 
 namespace fnda {
 
@@ -60,6 +61,15 @@ class EpochDriver {
   /// partial epoch on other shards beyond the one in flight.
   EpochStats drive(std::size_t threads);
 
+  /// Wires the driver into the session telemetry: cumulative epoch and
+  /// injection counters (the per-drive EpochStats struct stays the
+  /// drive() return value), a sim-time epoch-advance histogram, and a
+  /// per-shard queue-depth sample at every barrier.  In wallclock mode
+  /// the serial completion step is additionally timed into a barrier-
+  /// stall histogram — the one deliberately nondeterministic metric.
+  /// All recording happens in the single-threaded completion step.
+  void bind_telemetry(obs::SessionTelemetry& session);
+
   SimTime lookahead() const { return lookahead_; }
 
  private:
@@ -79,6 +89,17 @@ class EpochDriver {
   std::vector<RemoteEnvelope> inbox_scratch_;
   std::vector<std::exception_ptr> errors_;
   std::atomic<bool> failed_{false};
+
+  // Telemetry (null/empty until bind_telemetry).  Lifetime counters feed
+  // the registry; per-drive stats_ remains the drive() contract.
+  obs::SessionTelemetry* telemetry_ = nullptr;
+  EpochStats lifetime_;
+  obs::Histogram* epoch_advance_hist_ = nullptr;
+  obs::Histogram* barrier_stall_hist_ = nullptr;  // wallclock mode only
+  std::vector<obs::Histogram*> depth_hists_;      // one per shard
+  std::vector<obs::Gauge*> depth_peaks_;          // one per shard
+  SimTime last_epoch_start_{};
+  bool first_epoch_of_drive_ = true;
 };
 
 }  // namespace fnda

@@ -2,9 +2,21 @@
 
 namespace fnda {
 
+void EscrowService::bind_metrics(obs::MetricsRegistry& registry) {
+  posted_counter_ = &registry.counter("fnda_escrow_posted_total");
+  refunded_counter_ = &registry.counter("fnda_escrow_refunded_total");
+  seized_counter_ = &registry.counter("fnda_escrow_seized_total");
+  seized_micros_counter_ =
+      &registry.counter("fnda_escrow_seized_micros_total");
+  registry.gauge_fn(
+      "fnda_escrow_held_micros",
+      [this] { return total_held().micros(); }, obs::GaugeMerge::kSum);
+}
+
 void EscrowService::post(IdentityId identity, AccountId payer, Money amount) {
   cash_.transfer(payer, escrow_account(), amount);
   deposits_[identity] += amount;
+  if (posted_counter_ != nullptr) posted_counter_->add();
 }
 
 void EscrowService::refund(IdentityId identity, AccountId payee) {
@@ -12,6 +24,7 @@ void EscrowService::refund(IdentityId identity, AccountId payee) {
   if (it == deposits_.end() || it->second == Money{}) return;
   cash_.transfer(escrow_account(), payee, it->second);
   it->second = Money{};
+  if (refunded_counter_ != nullptr) refunded_counter_->add();
 }
 
 Money EscrowService::confiscate(IdentityId identity, AccountId exchange) {
@@ -20,6 +33,10 @@ Money EscrowService::confiscate(IdentityId identity, AccountId exchange) {
   const Money seized = it->second;
   cash_.transfer(escrow_account(), exchange, seized);
   it->second = Money{};
+  if (seized_counter_ != nullptr) {
+    seized_counter_->add();
+    seized_micros_counter_->add(static_cast<std::uint64_t>(seized.micros()));
+  }
   return seized;
 }
 

@@ -16,6 +16,7 @@
 #include "common/ids.h"
 #include "common/money.h"
 #include "market/ledger.h"
+#include "obs/metrics.h"
 
 namespace fnda {
 
@@ -39,9 +40,18 @@ class EscrowService {
   /// Identities currently holding a non-zero deposit (market-close sweep).
   std::vector<IdentityId> identities_with_deposits() const;
 
+  /// Registers deposit-flow counters (posts, refunds, seizures — counts
+  /// and micros) plus a snapshot-time gauge over total_held().
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   CashLedger& cash_;
   std::unordered_map<IdentityId, Money> deposits_;
+
+  obs::Counter* posted_counter_ = nullptr;
+  obs::Counter* refunded_counter_ = nullptr;
+  obs::Counter* seized_counter_ = nullptr;
+  obs::Counter* seized_micros_counter_ = nullptr;
   /// Escrow is itself a cash holder; use a dedicated pseudo-account so the
   /// CashLedger's conservation invariant covers posted deposits too.
   static constexpr AccountId escrow_account() {

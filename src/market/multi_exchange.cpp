@@ -69,6 +69,30 @@ MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
   const SimTime lookahead = std::max(SimTime{1}, config_.bus.base_latency);
   driver_ = std::make_unique<EpochDriver>(*fabric_, std::move(loops),
                                           lookahead);
+
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::SessionTelemetry>(config_.shards,
+                                                         config_.telemetry);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      obs::ShardTelemetry& shard_telemetry = telemetry_->shard(s);
+      if (config_.telemetry.wallclock) {
+        shard_telemetry.trace.set_clock(
+            [t = telemetry_.get()] { return t->wall_micros(); });
+      } else {
+        shard_telemetry.trace.set_clock(
+            [q = &shards_[s].queue] { return q->now().micros; });
+      }
+      shards_[s].bus->bind_telemetry(shard_telemetry);
+      shards_[s].server->bind_telemetry(shard_telemetry, *telemetry_);
+      shards_[s].escrow->bind_metrics(shard_telemetry.metrics);
+      shards_[s].settlement->bind_metrics(shard_telemetry.metrics);
+    }
+    if (config_.telemetry.wallclock) {
+      telemetry_->driver().trace.set_clock(
+          [t = telemetry_.get()] { return t->wall_micros(); });
+    }
+    driver_->bind_telemetry(*telemetry_);
+  }
 }
 
 std::size_t MultiServerExchange::shard_of(AccountId account) const {

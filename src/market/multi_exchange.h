@@ -28,6 +28,7 @@
 #include "market/epoch.h"
 #include "market/fabric.h"
 #include "market/server.h"
+#include "obs/telemetry.h"
 
 namespace fnda {
 
@@ -48,6 +49,10 @@ struct MultiExchangeConfig {
   /// Cash granted to each trader account on creation.
   Money initial_cash = Money::from_units(1'000);
   std::uint64_t seed = 1;
+  /// Session telemetry (on by default; `enabled = false` wires nothing —
+  /// every component keeps null instrument pointers, the runtime baseline
+  /// the overhead bench compares against).
+  obs::TelemetryOptions telemetry{};
 };
 
 class MultiServerExchange {
@@ -121,6 +126,12 @@ class MultiServerExchange {
   /// Epoch/injection counters from the most recent drive.
   const EpochStats& last_drive() const { return last_drive_; }
 
+  /// Session telemetry, or nullptr when the config disabled it.  Merged
+  /// snapshots/traces are deterministic only on a quiescent exchange
+  /// (between run_round calls).
+  obs::SessionTelemetry* telemetry() { return telemetry_.get(); }
+  const obs::SessionTelemetry* telemetry() const { return telemetry_.get(); }
+
  private:
   /// One shard's complete private world.  Lives in a deque so addresses
   /// stay stable while shards are appended during construction.
@@ -138,6 +149,9 @@ class MultiServerExchange {
 
   MultiExchangeConfig config_;
   std::size_t threads_ = 1;
+  /// Declared before the shards so it outlives every component holding
+  /// instrument pointers into it.
+  std::unique_ptr<obs::SessionTelemetry> telemetry_;
   std::unique_ptr<Fabric> fabric_;
   std::deque<Shard> shards_;
   std::unique_ptr<EpochDriver> driver_;

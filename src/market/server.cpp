@@ -36,6 +36,31 @@ AuctionServer::AuctionServer(std::string address, EventQueue& queue,
   address_id_ = bus_.attach(address_, *this);
 }
 
+void AuctionServer::bind_telemetry(obs::ShardTelemetry& telemetry,
+                                   const obs::SessionTelemetry& session) {
+  session_telemetry_ = &session;
+  trace_ = &telemetry.trace;
+  obs::MetricsRegistry& registry = telemetry.metrics;
+  registry.counter_fn("fnda_book_inserts_total",
+                      [this] { return live_book_.stats().inserts; });
+  registry.counter_fn("fnda_book_entries_shifted_total",
+                      [this] { return live_book_.stats().entries_shifted; });
+  registry.counter_fn("fnda_book_tie_entries_permuted_total", [this] {
+    return live_book_.stats().tie_entries_permuted;
+  });
+  registry.counter_fn("fnda_book_sorts_at_close_total",
+                      [this] { return live_book_.stats().sorts_at_close; });
+  registry.counter_fn("fnda_server_rounds_closed_total", [this] {
+    return static_cast<std::uint64_t>(completed_count_);
+  });
+  round_bids_hist_ = &registry.histogram("fnda_server_round_bids");
+  round_trades_hist_ = &registry.histogram("fnda_server_round_trades");
+  if (session.wallclock()) {
+    round_close_wall_hist_ =
+        &registry.histogram("fnda_server_round_close_us");
+  }
+}
+
 void AuctionServer::subscribe(const std::string& address) {
   subscribers_.push_back(bus_.intern(address));
 }
@@ -60,7 +85,7 @@ RoundId AuctionServer::open_round(SimTime open_for) {
   const RoundId id{next_round_++};
   const SimTime close_at = queue_.now() + open_for;
   live_book_.reset(config_.domain);
-  open_round_.emplace(OpenRound{id, close_at, rng_(), {}});
+  open_round_.emplace(OpenRound{id, close_at, queue_.now(), rng_(), {}});
   audit_.append(queue_.now(), id, AuditKind::kRoundOpened, "");
 
   announce_round(*open_round_);
@@ -165,6 +190,9 @@ void AuctionServer::handle_submit(const Envelope& envelope,
 void AuctionServer::clear_round() {
   OpenRound round = std::move(*open_round_);
   open_round_.reset();
+  const std::int64_t close_wall_start =
+      round_close_wall_hist_ != nullptr ? session_telemetry_->wall_micros()
+                                        : 0;
 
   // The book is already ranked (every accepted bid was galloping-inserted
   // at its rank), so round close pays zero sort work: freeze the
@@ -215,6 +243,7 @@ void AuctionServer::clear_round() {
     }
   }
 
+  const std::size_t trade_count = outcome.trade_count();
   completed_.emplace(round.id,
                      CompletedRound{round.id, std::move(ranked),
                                     round.clear_seed, replay_rng, protocol_,
@@ -225,6 +254,25 @@ void AuctionServer::clear_round() {
     while (completion_order_.size() > config_.retained_rounds) {
       completed_.erase(completion_order_.front());
       completion_order_.pop_front();
+    }
+  }
+
+  if (round_bids_hist_ != nullptr) {
+    round_bids_hist_->record(static_cast<std::int64_t>(round.submitted.size()));
+    round_trades_hist_->record(static_cast<std::int64_t>(trade_count));
+    if (round_close_wall_hist_ != nullptr) {
+      // Wallclock mode: the histogram carries the real clearing cost and
+      // the span carries wall timestamps from the sink's session clock.
+      const std::int64_t close_wall =
+          session_telemetry_->wall_micros() - close_wall_start;
+      round_close_wall_hist_->record(close_wall);
+      trace_->record_span("clear-round", "server", close_wall_start,
+                          close_wall);
+    } else {
+      // Sim mode: one span per round covering [opened_at, close] — a
+      // deterministic timeline of the auction lifecycle.
+      trace_->record_span("round", "server", round.opened_at.micros,
+                          (queue_.now() - round.opened_at).micros);
     }
   }
 }

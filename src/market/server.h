@@ -27,6 +27,7 @@
 #include "market/audit.h"
 #include "market/bus.h"
 #include "market/settlement.h"
+#include "obs/telemetry.h"
 
 namespace fnda {
 
@@ -97,6 +98,15 @@ class AuctionServer : public Endpoint {
   /// stays 0 — the claim the bench and tests pin).
   const LiveBookStats& book_stats() const { return live_book_.stats(); }
 
+  /// Wires the server into its shard's telemetry: the LiveBookStats
+  /// counters surface as callback metrics, rounds-closed becomes a
+  /// counter, per-round bid/trade sizes become sim-deterministic
+  /// histograms, and clear_round gains a trace span (plus a wall-clock
+  /// round-close latency histogram when the session runs in wallclock
+  /// mode).
+  void bind_telemetry(obs::ShardTelemetry& telemetry,
+                      const obs::SessionTelemetry& session);
+
  private:
   struct SubmittedBid {
     AddressId reply_to;
@@ -106,6 +116,8 @@ class AuctionServer : public Endpoint {
   struct OpenRound {
     RoundId id;
     SimTime close_at;
+    /// When the round opened — the start of the per-round trace span.
+    SimTime opened_at;
     /// The round's book lives in the server's persistent LiveBook
     /// (`live_book_`), reset at open_round so its buffers survive across
     /// rounds; accepted bids are galloping-inserted there at their rank.
@@ -169,6 +181,13 @@ class AuctionServer : public Endpoint {
   std::size_t completed_count_ = 0;
   DedupFilter dedup_;
   std::uint64_t next_round_ = 0;
+
+  // Telemetry (null until bind_telemetry; clear_round guards on them).
+  const obs::SessionTelemetry* session_telemetry_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Histogram* round_bids_hist_ = nullptr;
+  obs::Histogram* round_trades_hist_ = nullptr;
+  obs::Histogram* round_close_wall_hist_ = nullptr;  // wallclock mode only
 };
 
 }  // namespace fnda

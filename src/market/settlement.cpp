@@ -2,6 +2,15 @@
 
 namespace fnda {
 
+void SettlementEngine::bind_metrics(obs::MetricsRegistry& registry) {
+  delivered_counter_ = &registry.counter("fnda_settlement_delivered_total");
+  failed_counter_ = &registry.counter("fnda_settlement_failed_total");
+  confiscated_micros_counter_ =
+      &registry.counter("fnda_settlement_confiscated_micros_total");
+  spread_micros_counter_ =
+      &registry.counter("fnda_settlement_spread_micros_total");
+}
+
 SettlementReport SettlementEngine::settle(RoundId round,
                                           const Outcome& outcome) {
   SettlementReport report;
@@ -41,6 +50,14 @@ SettlementReport SettlementEngine::settle(RoundId round,
       ++report.failed;
     }
     report.deliveries.push_back(delivery);
+  }
+  if (delivered_counter_ != nullptr) {
+    delivered_counter_->add(report.deliveries.size() - report.failed);
+    failed_counter_->add(report.failed);
+    confiscated_micros_counter_->add(
+        static_cast<std::uint64_t>(report.confiscated_total.micros()));
+    spread_micros_counter_->add(
+        static_cast<std::uint64_t>(report.exchange_spread.micros()));
   }
   return report;
 }

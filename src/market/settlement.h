@@ -12,6 +12,7 @@
 #include "market/escrow.h"
 #include "market/identity.h"
 #include "market/ledger.h"
+#include "obs/metrics.h"
 
 namespace fnda {
 
@@ -47,11 +48,21 @@ class SettlementEngine {
   /// must be deterministic).
   SettlementReport settle(RoundId round, const Outcome& outcome);
 
+  /// Registers the Section 6 penalty quantities as owned counters:
+  /// delivered pairs, failed deliveries (discovered false-name sellers),
+  /// confiscated deposit micros, and the exchange's spread micros.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   IdentityRegistry& registry_;
   CashLedger& cash_;
   GoodsLedger& goods_;
   EscrowService& escrow_;
+
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;
+  obs::Counter* confiscated_micros_counter_ = nullptr;
+  obs::Counter* spread_micros_counter_ = nullptr;
 };
 
 }  // namespace fnda

@@ -16,6 +16,7 @@
 #include "core/protocol.h"
 #include "market/bus.h"
 #include "market/clock.h"
+#include "obs/telemetry.h"
 
 namespace fnda {
 
@@ -38,6 +39,9 @@ struct ThroughputConfig {
   /// ZI valuation range (units).
   std::int64_t value_low = 1;
   std::int64_t value_high = 100;
+  /// Session telemetry; sim-time mode keeps the snapshot and trace
+  /// bit-identical for every `threads` value.
+  obs::TelemetryOptions telemetry{};
 };
 
 struct ThroughputResult {
@@ -57,6 +61,11 @@ struct ThroughputResult {
   /// entries shifted, tie fixups; sorts_at_close stays 0 — the bench
   /// records these as the zero-sort-at-close evidence).
   LiveBookStats book{};
+  /// Unified session metrics (empty when telemetry was disabled), merged
+  /// driver-then-shards in shard order at session end.
+  obs::MetricsSnapshot metrics;
+  /// Flushed trace spans (empty when telemetry was disabled).
+  obs::TraceLog trace;
 };
 
 /// Runs one ZI session and returns its volumes.  Deterministic in

@@ -1,0 +1,95 @@
+#include "obs/export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace fnda::obs {
+namespace {
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.metrics) {
+    os << "# TYPE " << name << ' ' << type_name(value.kind) << '\n';
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        os << name << ' ' << value.counter << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << name << ' ' << value.gauge << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (const auto& [bucket, count] : value.buckets) {
+          cumulative += count;
+          os << name << "_bucket{le=\""
+             << Histogram::bucket_upper_bound(bucket) << "\"} " << cumulative
+             << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << value.hist_count << '\n'
+           << name << "_sum " << value.hist_sum << '\n'
+           << name << "_count " << value.hist_count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void write_json_snapshot(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.metrics) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"type\":\"" << type_name(value.kind) << '"';
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        os << ",\"value\":" << value.counter;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":" << value.gauge;
+        break;
+      case MetricKind::kHistogram: {
+        os << ",\"count\":" << value.hist_count << ",\"sum\":"
+           << value.hist_sum << ",\"max\":" << value.hist_max
+           << ",\"bounds\":[";
+        bool first_bucket = true;
+        for (const auto& [bucket, count] : value.buckets) {
+          (void)count;
+          if (!first_bucket) os << ',';
+          first_bucket = false;
+          os << Histogram::bucket_upper_bound(bucket);
+        }
+        os << "],\"counts\":[";
+        first_bucket = true;
+        for (const auto& [bucket, count] : value.buckets) {
+          (void)bucket;
+          if (!first_bucket) os << ',';
+          first_bucket = false;
+          os << count;
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "}}\n";
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_prometheus(os, snapshot);
+  return os.str();
+}
+
+}  // namespace fnda::obs

@@ -1,0 +1,28 @@
+// Snapshot exposition: Prometheus text format and a JSON document.
+//
+// Both writers emit only integers (counts, micro-unit sums, bucket
+// bounds), never floating point, so the byte stream is a pure function of
+// the deterministic snapshot — the property the threads-1-vs-8
+// bit-identity tests pin.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fnda::obs {
+
+/// Prometheus text exposition (# TYPE lines, histograms as cumulative
+/// `le` buckets — only non-empty buckets are written, plus `+Inf`).
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// The same snapshot as one JSON object:
+/// {"metrics":{"name":{"type":"counter","value":N}, ...}}.  Histograms
+/// carry count/sum/max plus parallel bound/count arrays.
+void write_json_snapshot(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Convenience: write_prometheus into a string (tests, digests).
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+}  // namespace fnda::obs

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace fnda::obs {
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.metrics) {
+    auto it = std::find_if(
+        metrics.begin(), metrics.end(),
+        [&name = name](const auto& entry) { return entry.first == name; });
+    if (it == metrics.end()) {
+      metrics.emplace_back(name, value);
+      continue;
+    }
+    MetricValue& mine = it->second;
+    if (mine.kind != value.kind) {
+      throw std::logic_error("MetricsSnapshot: kind mismatch for " + name);
+    }
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        mine.counter += value.counter;
+        break;
+      case MetricKind::kGauge:
+        if (mine.gauge_merge == GaugeMerge::kMax) {
+          mine.gauge = std::max(mine.gauge, value.gauge);
+        } else {
+          mine.gauge += value.gauge;
+        }
+        break;
+      case MetricKind::kHistogram: {
+        // Merge the sparse bucket lists (both are in bucket order).
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+        merged.reserve(mine.buckets.size() + value.buckets.size());
+        std::size_t a = 0;
+        std::size_t b = 0;
+        while (a < mine.buckets.size() || b < value.buckets.size()) {
+          if (b >= value.buckets.size() ||
+              (a < mine.buckets.size() &&
+               mine.buckets[a].first < value.buckets[b].first)) {
+            merged.push_back(mine.buckets[a++]);
+          } else if (a >= mine.buckets.size() ||
+                     value.buckets[b].first < mine.buckets[a].first) {
+            merged.push_back(value.buckets[b++]);
+          } else {
+            merged.emplace_back(mine.buckets[a].first,
+                                mine.buckets[a].second +
+                                    value.buckets[b].second);
+            ++a;
+            ++b;
+          }
+        }
+        mine.buckets = std::move(merged);
+        mine.hist_count += value.hist_count;
+        mine.hist_sum += value.hist_sum;
+        mine.hist_max = std::max(mine.hist_max, value.hist_max);
+        break;
+      }
+    }
+  }
+  std::sort(metrics.begin(), metrics.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_entry(const std::string& name) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::add_entry(const std::string& name,
+                                                   MetricKind kind) {
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (Entry* existing = find_entry(name)) {
+    if (existing->kind != MetricKind::kCounter ||
+        existing->counter == nullptr) {
+      throw std::logic_error("MetricsRegistry: " + name +
+                             " is not an owned counter");
+    }
+    return *existing->counter;
+  }
+  Entry& entry = add_entry(name, MetricKind::kCounter);
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, GaugeMerge merge) {
+  if (Entry* existing = find_entry(name)) {
+    if (existing->kind != MetricKind::kGauge || existing->gauge == nullptr) {
+      throw std::logic_error("MetricsRegistry: " + name +
+                             " is not an owned gauge");
+    }
+    return *existing->gauge;
+  }
+  Entry& entry = add_entry(name, MetricKind::kGauge);
+  entry.gauge_merge = merge;
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  if (Entry* existing = find_entry(name)) {
+    if (existing->kind != MetricKind::kHistogram ||
+        existing->histogram == nullptr) {
+      throw std::logic_error("MetricsRegistry: " + name +
+                             " is not a histogram");
+    }
+    return *existing->histogram;
+  }
+  Entry& entry = add_entry(name, MetricKind::kHistogram);
+  entry.histogram = std::make_unique<Histogram>();
+  return *entry.histogram;
+}
+
+void MetricsRegistry::counter_fn(const std::string& name,
+                                 std::function<std::uint64_t()> read) {
+  if (find_entry(name) != nullptr) {
+    throw std::logic_error("MetricsRegistry: duplicate metric " + name);
+  }
+  add_entry(name, MetricKind::kCounter).read_counter = std::move(read);
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name,
+                               std::function<std::int64_t()> read,
+                               GaugeMerge merge) {
+  if (find_entry(name) != nullptr) {
+    throw std::logic_error("MetricsRegistry: duplicate metric " + name);
+  }
+  Entry& entry = add_entry(name, MetricKind::kGauge);
+  entry.gauge_merge = merge;
+  entry.read_gauge = std::move(read);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue value;
+    value.kind = entry->kind;
+    value.gauge_merge = entry->gauge_merge;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        value.counter = entry->read_counter ? entry->read_counter()
+                                            : entry->counter->value();
+        break;
+      case MetricKind::kGauge:
+        value.gauge =
+            entry->read_gauge ? entry->read_gauge() : entry->gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& hist = *entry->histogram;
+        value.hist_count = hist.count();
+        value.hist_sum = hist.sum();
+        value.hist_max = hist.max();
+        for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+          const std::uint64_t n = hist.bucket_count(b);
+          if (n != 0) {
+            value.buckets.emplace_back(static_cast<std::uint32_t>(b), n);
+          }
+        }
+        break;
+      }
+    }
+    snap.metrics.emplace_back(entry->name, std::move(value));
+  }
+  std::sort(
+      snap.metrics.begin(), snap.metrics.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+}  // namespace fnda::obs

@@ -47,5 +47,39 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   EXPECT_TRUE(sink_.str().empty());
 }
 
+TEST_F(LoggingTest, SuppressedLineDoesNotEvaluateArguments) {
+  set_log_level(LogLevel::kWarn);
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return "costly";
+  };
+  FNDA_LOG(kDebug) << expensive();
+  EXPECT_EQ(calls, 0);
+  FNDA_LOG(kWarn) << expensive();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sink_.str(), "[WARN] costly\n");
+}
+
+TEST_F(LoggingTest, LogEnabledMatchesThreshold) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, MacroIsSafeInUnbracedIfElse) {
+  set_log_level(LogLevel::kInfo);
+  // The else must bind to the outer if, not get captured by the macro's
+  // internals — the classic hazard of `if (...) {} else`-style log macros.
+  bool took_else = false;
+  if (false)
+    FNDA_LOG(kInfo) << "untaken";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+  EXPECT_TRUE(sink_.str().empty());
+}
+
 }  // namespace
 }  // namespace fnda

@@ -1,0 +1,128 @@
+// Registry semantics (find-or-create, kind mismatches, callback metrics)
+// and the determinism contract: the merged session snapshot — and its
+// Prometheus exposition byte stream — is identical for 1, 2, and 8 worker
+// threads, pinned with a golden FNV-1a digest.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "market/throughput.h"
+#include "obs/export.h"
+#include "protocols/tpd.h"
+
+namespace fnda::obs {
+namespace {
+
+[[maybe_unused]] std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstruments) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  counter.add(2);
+  EXPECT_EQ(&registry.counter("c"), &counter);
+  Histogram& hist = registry.histogram("h");
+  EXPECT_EQ(&registry.histogram("h"), &hist);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("name");
+  EXPECT_THROW(registry.gauge("name"), std::logic_error);
+  EXPECT_THROW(registry.histogram("name"), std::logic_error);
+  EXPECT_THROW(registry.counter_fn("name", [] { return 0ull; }),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, CallbackMetricsReadAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::uint64_t cell = 7;
+  registry.counter_fn("external", [&cell] { return cell; });
+  cell = 11;  // snapshot must see the value at snapshot time, not bind time
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_NE(snap.find("external"), nullptr);
+  EXPECT_EQ(snap.find("external")->counter, 11u);
+}
+
+TEST(MetricsSnapshot, MergeSumsCountersAndRespectsGaugePolicy) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("c").add(3);
+  b.counter("c").add(4);
+  a.gauge("total", GaugeMerge::kSum).set(10);
+  b.gauge("total", GaugeMerge::kSum).set(5);
+  a.gauge("peak", GaugeMerge::kMax).set(10);
+  b.gauge("peak", GaugeMerge::kMax).set(25);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge_from(b.snapshot());
+#ifndef FNDA_NO_TELEMETRY
+  EXPECT_EQ(merged.find("c")->counter, 7u);
+  EXPECT_EQ(merged.find("total")->gauge, 15);
+  EXPECT_EQ(merged.find("peak")->gauge, 25);
+#else
+  EXPECT_EQ(merged.find("c")->counter, 0u);
+#endif
+}
+
+#ifndef FNDA_NO_TELEMETRY
+
+TEST(MetricsSnapshot, MergeCombinesSparseHistogramBuckets) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.histogram("h").record(1);
+  a.histogram("h").record(100);
+  b.histogram("h").record(1);
+  b.histogram("h").record(5000);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge_from(b.snapshot());
+  const MetricValue* h = merged.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hist_count, 4u);
+  EXPECT_EQ(h->hist_sum, 5102u);
+  EXPECT_EQ(h->hist_max, 5000u);
+  ASSERT_EQ(h->buckets.size(), 3u);  // bucket(1) merged; 100 and 5000 distinct
+  EXPECT_EQ(h->buckets[0].first, Histogram::bucket_index(1));
+  EXPECT_EQ(h->buckets[0].second, 2u);
+}
+
+ThroughputConfig session_config(std::size_t threads) {
+  ThroughputConfig config;
+  config.clients = 240;
+  config.rounds = 2;
+  config.shards = 8;
+  config.threads = threads;
+  config.seed = 42;
+  return config;
+}
+
+TEST(MetricsDeterminism, MergedSnapshotIsBitIdenticalAcrossThreadCounts) {
+  const TpdProtocol tpd(Money::from_units(50));
+  const std::string one =
+      prometheus_text(run_throughput_session(tpd, session_config(1)).metrics);
+  const std::string two =
+      prometheus_text(run_throughput_session(tpd, session_config(2)).metrics);
+  const std::string eight =
+      prometheus_text(run_throughput_session(tpd, session_config(8)).metrics);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // Golden digest of the exposition byte stream (integer-only output, so
+  // platform-stable).  An intentional metrics change re-pins this.
+  EXPECT_EQ(fnv1a(one), 0x1257381079b80215ull) << "exposition:\n" << one;
+}
+
+#endif  // FNDA_NO_TELEMETRY
+
+}  // namespace
+}  // namespace fnda::obs
