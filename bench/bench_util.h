@@ -85,6 +85,9 @@ inline void write_benchmark_json(std::ostream& os,
        << "      \"real_time\": " << r.real_time_ns << ",\n"
        << "      \"time_unit\": \"ns\",\n"
        << "      \"items_per_second\": " << r.items_per_second;
+    // Every record repeats num_cpus so a single row pasted into a report
+    // still carries the host shape (the context block is easy to lose).
+    os << ",\n      \"num_cpus\": " << std::thread::hardware_concurrency();
     for (const auto& [key, value] : r.counters) {
       os << ",\n      \"" << key << "\": " << value;
     }

@@ -20,11 +20,17 @@
 // --telemetry-axis 0; --assert-overhead PCT turns the measured overhead
 // into a hard pass/fail gate (exit 1 above the bound).
 //
+// A hot-path latency gate (best-of---reps full-stack session at one
+// thread, reported as session_ns_per_message) always runs;
+// --assert-ns-per-message NS turns it into a hard pass/fail bound
+// (exit 1 above it).
+//
 // Usage: market_throughput [--clients N] [--rounds R] [--shards S]
 //                          [--threads T] [--drop P] [--duplicate P]
 //                          [--seed S] [--json PATH] [--scale 0|1]
 //                          [--scale-reps N] [--bids-axis 0|1]
 //                          [--telemetry-axis 0|1] [--assert-overhead PCT]
+//                          [--assert-ns-per-message NS]
 
 #include <algorithm>
 #include <chrono>
@@ -393,7 +399,7 @@ int usage(const char* argv0) {
                "       [--reps N] [--drop P] [--duplicate P] [--seed S]\n"
                "       [--json PATH] [--scale 0|1] [--scale-reps N]\n"
                "       [--bids-axis 0|1] [--telemetry-axis 0|1]\n"
-               "       [--assert-overhead PCT]\n";
+               "       [--assert-overhead PCT] [--assert-ns-per-message NS]\n";
   return 2;
 }
 
@@ -409,7 +415,8 @@ int main(int argc, char** argv) {
   bool bids_axis = true;
   std::size_t scale_reps = 9;
   bool telemetry_axis = true;
-  double assert_overhead = -1.0;  // < 0 disables the assertion
+  double assert_overhead = -1.0;        // < 0 disables the assertion
+  double assert_ns_per_message = -1.0;  // < 0 disables the gate
   double drop = 0.0;
   double duplicate = 0.0;
   std::uint64_t seed = 1;
@@ -439,6 +446,8 @@ int main(int argc, char** argv) {
       telemetry_axis = std::stoull(value) != 0;
     } else if (arg == "--assert-overhead" && (value = next())) {
       assert_overhead = std::stod(value);
+    } else if (arg == "--assert-ns-per-message" && (value = next())) {
+      assert_ns_per_message = std::stod(value);
     } else if (arg == "--scale-reps" && (value = next())) {
       scale_reps = std::max<std::size_t>(1, std::stoull(value));
     } else if (arg == "--drop" && (value = next())) {
@@ -456,6 +465,15 @@ int main(int argc, char** argv) {
 
   std::vector<fnda::bench::JsonBenchRecord> records;
   const std::string size_suffix = "/" + std::to_string(clients);
+
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::cerr << "WARNING: this host exposes a single CPU; the thread-"
+                 "scaling table measures\n"
+                 "WARNING: oversubscription, not parallel speedup.  Treat "
+                 "multi-thread rows as\n"
+                 "WARNING: lower bounds and compare across hosts via "
+                 "num_cpus in the JSON.\n";
+  }
 
   // Best-of-reps for both substrates: the workload is deterministic, so
   // repetition only filters out scheduler noise, never workload variance.
@@ -533,9 +551,49 @@ int main(int argc, char** argv) {
   }
   std::cout << "  book: " << result.book.inserts << " inserts, "
             << result.book.entries_shifted << " entries shifted, "
+            << result.book.chunk_splits << " chunk splits, "
             << result.book.tie_entries_permuted << " tie-permuted, "
             << result.book.rounds_finalized << " rounds finalized, "
             << result.book.sorts_at_close << " sorts at close\n";
+
+  // Hot-path latency gate: the full-stack session pinned to one thread,
+  // best of --reps (the workload is deterministic; repetition filters
+  // scheduler noise).  One thread makes the number a per-message cost of
+  // the serial hot path rather than a parallelism measurement, so it is
+  // comparable across hosts and CI runners.
+  {
+    fnda::ThroughputConfig gate = session;
+    gate.threads = 1;
+    double gate_best = 0.0;
+    std::uint64_t gate_messages = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto gate_start = Clock::now();
+      const fnda::ThroughputResult sample =
+          fnda::run_throughput_session(protocol, gate);
+      const double rate =
+          static_cast<double>(sample.bus.sent) / seconds_since(gate_start);
+      if (rate > gate_best) gate_best = rate;
+      gate_messages = sample.bus.sent;
+    }
+    const double ns_per_message = 1e9 / gate_best;
+    records.push_back(
+        {"session_ns_per_message" + size_suffix,
+         ns_per_message,
+         gate_messages,
+         gate_best,
+         {{"messages", static_cast<double>(gate_messages)},
+          {"threads", 1.0},
+          {"shards", static_cast<double>(gate.shards)}}});
+    std::cout << "hot-path gate:     " << ns_per_message
+              << " ns/message (1 thread, best of " << reps << ")\n";
+    if (assert_ns_per_message >= 0.0 &&
+        ns_per_message > assert_ns_per_message) {
+      std::cerr << "session hot path " << ns_per_message
+                << " ns/message exceeds the asserted bound of "
+                << assert_ns_per_message << " ns\n";
+      return 1;
+    }
+  }
 
   if (bids_axis) {
     // Bids-per-round scaling axis: one shard, one thread, so the book
@@ -569,6 +627,7 @@ int main(int argc, char** argv) {
             {"inserts", static_cast<double>(sample.book.inserts)},
             {"entries_shifted",
              static_cast<double>(sample.book.entries_shifted)},
+            {"chunk_splits", static_cast<double>(sample.book.chunk_splits)},
             {"sorts_at_close",
              static_cast<double>(sample.book.sorts_at_close)}}});
       std::cout << "  " << bids << " bids/round x " << sample.rounds

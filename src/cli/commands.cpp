@@ -452,6 +452,10 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
   }
   out << "bids accepted: " << result.bids_accepted
       << "  trades: " << result.trades << '\n'
+      << "book: " << result.book.inserts << " inserts, "
+      << result.book.entries_shifted << " entries shifted, "
+      << result.book.chunk_splits << " chunk splits, "
+      << result.book.sorts_at_close << " sorts at close\n"
       << "sim time: " << result.sim_time.micros << " us  wall: "
       << format_fixed(elapsed, 3) << " s\n"
       << "throughput: "
@@ -547,6 +551,10 @@ int cmd_help(std::ostream& out) {
          "            --metrics-json FILE --trace-out FILE (Chrome trace)\n"
          "            --trace-wallclock (wall timestamps; nondeterministic)\n"
          "            --no-telemetry (runtime-disabled baseline)\n"
+         "            prints live-book work counters (inserts, entries\n"
+         "            shifted, chunk splits, sorts at close); the scaling\n"
+         "            axes and the --assert-ns-per-message hot-path gate\n"
+         "            live in bench/market_throughput\n"
          "  metrics-dump  run a small session, dump its metrics to stdout\n"
          "            --format prom|json --clients N --rounds R\n"
          "            --shards S --threads T --seed N\n"

@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 namespace fnda {
+namespace {
+
+/// "Existing entry precedes the newcomer": ranks strictly better OR ties
+/// it (ties stay in arrival order, so the newcomer goes after its whole
+/// run).  Partition points of this predicate are insert slots.
+inline bool precedes(std::int64_t existing, std::int64_t incoming,
+                     bool descending) {
+  return descending ? existing >= incoming : existing <= incoming;
+}
+
+}  // namespace
 
 LiveBook::LiveBook(ValueDomain domain) {
   reset(domain);
@@ -16,44 +28,166 @@ void LiveBook::reset(ValueDomain domain) {
     throw std::invalid_argument("LiveBook: domain must satisfy lowest < highest");
   }
   domain_ = domain;
+  retire_lane(buyer_lane_);
+  retire_lane(seller_lane_);
   buyers_.clear();
   sellers_.clear();
   buyer_arrival_.clear();
   seller_arrival_.clear();
+  buyers_current_ = false;
+  sellers_current_ = false;
   next_bid_ = 0;
   finalized_ = false;
 }
 
-std::size_t LiveBook::gallop_slot(const std::vector<BidEntry>& lane,
-                                  Money value, bool descending) const {
-  // The slot is the partition point of "precedes": an existing entry
-  // precedes the new one when it ranks strictly better OR ties it (ties
-  // stay in arrival order, so the newcomer goes after its whole run).
-  // Ranked inserts land uniformly, so probe exponentially from the tail —
-  // the cheap end — then binary-search the bracket.
-  auto precedes = [&](const BidEntry& e) {
-    return descending ? e.value >= value : e.value <= value;
-  };
-  const std::size_t n = lane.size();
-  std::size_t lo = 0;
-  std::size_t hi = n;
-  for (std::size_t bound = 1; bound <= n; bound <<= 1) {
-    const std::size_t probe = n - bound;
-    if (precedes(lane[probe])) {
-      lo = probe + 1;
-      break;
-    }
-    hi = probe;
+void LiveBook::retire_lane(Lane& lane) {
+  for (std::unique_ptr<Chunk>& chunk : lane.chunks) {
+    chunk_pool_.push_back(std::move(chunk));
   }
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    if (precedes(lane[mid])) {
-      lo = mid + 1;
+  lane.chunks.clear();
+  lane.chunk_last.clear();
+  lane.size = 0;
+}
+
+std::unique_ptr<LiveBook::Chunk> LiveBook::take_chunk() {
+  if (!chunk_pool_.empty()) {
+    std::unique_ptr<Chunk> chunk = std::move(chunk_pool_.back());
+    chunk_pool_.pop_back();
+    chunk->count = 0;
+    return chunk;
+  }
+  return std::make_unique<Chunk>();
+}
+
+void LiveBook::split_chunk(Lane& lane, std::size_t c) {
+  constexpr std::size_t kHalf = kChunkCapacity / 2;
+  std::unique_ptr<Chunk> fresh = take_chunk();
+  Chunk& low = *lane.chunks[c];
+  Chunk& high = *fresh;
+  constexpr std::size_t kMoved = kChunkCapacity - kHalf;
+  std::memcpy(high.value.data(), low.value.data() + kHalf,
+              kMoved * sizeof(std::int64_t));
+  std::memcpy(high.identity.data(), low.identity.data() + kHalf,
+              kMoved * sizeof(std::uint64_t));
+  std::memcpy(high.bid.data(), low.bid.data() + kHalf,
+              kMoved * sizeof(std::uint32_t));
+  std::memcpy(high.arrival.data(), low.arrival.data() + kHalf,
+              kMoved * sizeof(std::uint32_t));
+  high.count = kMoved;
+  low.count = kHalf;
+  lane.chunk_last.insert(
+      lane.chunk_last.begin() + static_cast<std::ptrdiff_t>(c) + 1,
+      high.value[high.count - 1]);
+  lane.chunk_last[c] = low.value[low.count - 1];
+  lane.chunks.insert(lane.chunks.begin() + static_cast<std::ptrdiff_t>(c) + 1,
+                     std::move(fresh));
+  ++stats_.chunk_splits;
+}
+
+void LiveBook::insert(Lane& lane, bool descending, BidId id,
+                      IdentityId identity, std::int64_t value) {
+  const auto arrival_index = static_cast<std::uint32_t>(lane.size);
+
+  std::size_t c;
+  std::size_t slot;
+  if (lane.chunks.empty()) {
+    lane.chunks.push_back(take_chunk());
+    lane.chunk_last.push_back(value);
+    c = 0;
+    slot = 0;
+  } else {
+    // Chunk selection: the partition point of "every entry in this chunk
+    // precedes the newcomer" over the dense per-chunk last values.  A
+    // chunk's last value is its worst rank, so last-precedes implies
+    // all-precede on both lane orders.
+    const std::size_t chunk_count = lane.chunks.size();
+    std::size_t lo = 0;
+    std::size_t hi = chunk_count;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (precedes(lane.chunk_last[mid], value, descending)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    c = lo;
+    if (c == chunk_count) {
+      // Every chunk precedes: append at the lane tail.  A full tail chunk
+      // opens a fresh one (zero moves) instead of splitting — the common
+      // shape for near-sorted arrivals.
+      c = chunk_count - 1;
+      if (lane.chunks[c]->count == kChunkCapacity) {
+        lane.chunks.push_back(take_chunk());
+        lane.chunk_last.push_back(value);
+        c = chunk_count;
+      }
+      slot = lane.chunks[c]->count;
     } else {
-      hi = mid;
+      Chunk* chunk = lane.chunks[c].get();
+      if (chunk->count == kChunkCapacity) {
+        split_chunk(lane, c);
+        // The newcomer lands in whichever half its rank falls: the split
+        // point is arbitrary, so re-test against the lower half's last.
+        if (precedes(lane.chunk_last[c], value, descending)) ++c;
+        chunk = lane.chunks[c].get();
+      }
+      // In-chunk slot: partition point of precedes over the live prefix.
+      std::size_t in_lo = 0;
+      std::size_t in_hi = chunk->count;
+      while (in_lo < in_hi) {
+        const std::size_t mid = in_lo + (in_hi - in_lo) / 2;
+        if (precedes(chunk->value[mid], value, descending)) {
+          in_lo = mid + 1;
+        } else {
+          in_hi = mid;
+        }
+      }
+      slot = in_lo;
     }
   }
-  return lo;
+
+  Chunk& chunk = *lane.chunks[c];
+#ifndef NDEBUG
+  // First-principles cross-check of the shift accounting (satellite of
+  // the SoA refactor): recompute the in-chunk slot by linear scan —
+  // independent of the binary searches above — and the shift as the tail
+  // it displaces.  The ASan/debug CI jobs run this on every insert.
+  {
+    std::size_t linear_slot = 0;
+    while (linear_slot < chunk.count &&
+           precedes(chunk.value[linear_slot], value, descending)) {
+      ++linear_slot;
+    }
+    assert(linear_slot == slot &&
+           "chunked gap-buffer slot disagrees with linear first-principles scan");
+    if (c > 0) {
+      const Chunk& prev = *lane.chunks[c - 1];
+      assert(prev.count > 0 &&
+             precedes(prev.value[prev.count - 1], value, descending) &&
+             "chunk selection skipped a chunk whose tail does not precede");
+    }
+  }
+#endif
+  const std::size_t tail = chunk.count - slot;
+  if (tail > 0) {
+    std::memmove(chunk.value.data() + slot + 1, chunk.value.data() + slot,
+                 tail * sizeof(std::int64_t));
+    std::memmove(chunk.identity.data() + slot + 1,
+                 chunk.identity.data() + slot, tail * sizeof(std::uint64_t));
+    std::memmove(chunk.bid.data() + slot + 1, chunk.bid.data() + slot,
+                 tail * sizeof(std::uint32_t));
+    std::memmove(chunk.arrival.data() + slot + 1, chunk.arrival.data() + slot,
+                 tail * sizeof(std::uint32_t));
+  }
+  chunk.value[slot] = value;
+  chunk.identity[slot] = identity.value();
+  chunk.bid[slot] = static_cast<std::uint32_t>(id.value());
+  chunk.arrival[slot] = arrival_index;
+  ++chunk.count;
+  lane.chunk_last[c] = chunk.value[chunk.count - 1];
+  ++lane.size;
+  stats_.entries_shifted += tail;
 }
 
 BidId LiveBook::add(Side side, IdentityId identity, Money value) {
@@ -64,18 +198,50 @@ BidId LiveBook::add(Side side, IdentityId identity, Money value) {
     throw std::invalid_argument("LiveBook::add: value outside the domain");
   }
   const BidId id{next_bid_++};
+  assert(next_bid_ <= 0xffffffffull &&
+         "round-local bid ids must fit the 4-byte SoA id lane");
   const bool descending = side == Side::kBuyer;
-  auto& lane = descending ? buyers_ : sellers_;
-  auto& arrival = descending ? buyer_arrival_ : seller_arrival_;
-  const std::size_t slot = gallop_slot(lane, value, descending);
-  stats_.entries_shifted += lane.size() - slot;
-  const auto arrival_index = static_cast<std::uint32_t>(arrival.size());
-  lane.insert(lane.begin() + static_cast<std::ptrdiff_t>(slot),
-              BidEntry{id, identity, value});
-  arrival.insert(arrival.begin() + static_cast<std::ptrdiff_t>(slot),
-                 arrival_index);
+  if (descending) {
+    insert(buyer_lane_, true, id, identity, value.micros());
+    buyers_current_ = false;
+  } else {
+    insert(seller_lane_, false, id, identity, value.micros());
+    sellers_current_ = false;
+  }
   ++stats_.inserts;
   return id;
+}
+
+void LiveBook::materialize(const Lane& lane, std::vector<BidEntry>& entries,
+                           std::vector<std::uint32_t>& arrival) const {
+  entries.clear();
+  arrival.clear();
+  entries.reserve(lane.size);
+  arrival.reserve(lane.size);
+  for (const std::unique_ptr<Chunk>& chunk : lane.chunks) {
+    for (std::uint32_t i = 0; i < chunk->count; ++i) {
+      entries.push_back(BidEntry{BidId{chunk->bid[i]},
+                                 IdentityId{chunk->identity[i]},
+                                 Money::from_micros(chunk->value[i])});
+      arrival.push_back(chunk->arrival[i]);
+    }
+  }
+}
+
+const std::vector<BidEntry>& LiveBook::ranked_buyers() const {
+  if (!buyers_current_) {
+    materialize(buyer_lane_, buyers_, buyer_arrival_);
+    buyers_current_ = true;
+  }
+  return buyers_;
+}
+
+const std::vector<BidEntry>& LiveBook::ranked_sellers() const {
+  if (!sellers_current_) {
+    materialize(seller_lane_, sellers_, seller_arrival_);
+    sellers_current_ = true;
+  }
+  return sellers_;
 }
 
 void LiveBook::fix_ties(std::vector<BidEntry>& lane,
@@ -131,7 +297,11 @@ void LiveBook::finalize_ties(Rng& rng) {
   if (finalized_) {
     throw std::logic_error("LiveBook::finalize_ties: already finalized");
   }
-  // Same side order as rebuild: buyers' draws first, then sellers'.
+  // One dense compaction per side — the whole close-time layout cost —
+  // then the footnote-5 fixups run on the dense lanes.  Same side order
+  // as rebuild: buyers' draws first, then sellers'.
+  ranked_buyers();
+  ranked_sellers();
   fix_ties(buyers_, buyer_arrival_, rng);
   fix_ties(sellers_, seller_arrival_, rng);
   finalized_ = true;
@@ -139,10 +309,14 @@ void LiveBook::finalize_ties(Rng& rng) {
 }
 
 SortedBook LiveBook::to_sorted() const {
+  ranked_buyers();
+  ranked_sellers();
   return SortedBook::from_ranked(domain_, buyers_, sellers_);
 }
 
 void LiveBook::emit(SortedBook& out) const {
+  ranked_buyers();
+  ranked_sellers();
   out.assign_ranked(domain_, buyers_, sellers_);
 }
 

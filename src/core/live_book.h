@@ -2,10 +2,8 @@
 //
 // A LiveBook keeps the buyer and seller lanes in protocol rank order at
 // all times — buyers descending, sellers ascending, equal-value runs in
-// arrival order — by galloping-inserting each accepted declaration:
-// amortized O(log n) search (exponential probe from the tail, then binary
-// search inside the bracket) plus one contiguous memmove to open the slot.
-// At round close the book is already ranked, so clearing pays zero sort
+// arrival order — by galloping-inserting each accepted declaration.  At
+// round close the book is already ranked, so clearing pays zero sort
 // work; only the paper's footnote-5 random tie-breaking remains, applied
 // by `finalize_ties` as per-run fixups that consume exactly the RNG draws
 // `SortedBook::rebuild` would have made.  The resulting ranking — and the
@@ -13,15 +11,26 @@
 // bit-identical to the shuffle+stable-sort path, which is the market
 // server's replay/audit contract.
 //
-// Cost model: the per-insert memmove averages half the lane, so a round
-// of m bids moves O(m^2/2) entries in total.  That is the right trade for
-// the call-market regime (hundreds to a few thousand bids per round per
-// shard, spread across message handling) because it deletes the O(m log m)
-// close-time sort plus its full-entry shuffle from the latency-critical
-// clearing step; for lanes far beyond that, rebuild a SortedBook instead.
+// Storage is a chunked structure-of-arrays gap buffer.  Each lane is a
+// sequence of fixed-capacity chunks holding parallel `value[]` /
+// `identity[]` / `bid[]` / `arrival[]` arrays; concatenating the chunks'
+// live prefixes yields the ranked lane.  An insert binary-searches the
+// per-chunk last values to pick its chunk, binary-searches inside the
+// chunk, and memmoves only that chunk's dense POD tail — O(chunk), not
+// O(n), so a 4096-bid round shifts ~64 slots per insert instead of ~2048
+// fat entries.  A full chunk splits in half (per-chunk slack is how the
+// gap buffer absorbs clustered arrivals); an append past the last chunk
+// opens a fresh one with zero moves.  `entries_shifted` counts exactly
+// the slots memmoved to open insert slots; split moves are visible
+// separately as `chunk_splits` (each split relocates kChunkCapacity/2
+// entries).  At finalize the chunks are compacted into dense entry lanes
+// once, and the footnote-5 fixups run on those — the close-time cost is
+// one linear pass, never a sort.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/order_book.h"
@@ -38,6 +47,10 @@ struct LiveBookStats {
   std::uint64_t rounds_finalized = 0;   ///< finalize_ties calls
   std::uint64_t tie_entries_permuted = 0;  ///< entries in reordered tie runs
   std::uint64_t sorts_at_close = 0;     ///< always 0 for LiveBook
+  /// Full chunks split in half to admit an insert; each split relocates
+  /// exactly kChunkCapacity/2 entries to a fresh chunk (accounted here,
+  /// not in entries_shifted, so shift counts stay exact per layout).
+  std::uint64_t chunk_splits = 0;
 
   void merge(const LiveBookStats& other) {
     inserts += other.inserts;
@@ -45,6 +58,7 @@ struct LiveBookStats {
     rounds_finalized += other.rounds_finalized;
     tie_entries_permuted += other.tie_entries_permuted;
     sorts_at_close += other.sorts_at_close;
+    chunk_splits += other.chunk_splits;
   }
 };
 
@@ -54,10 +68,15 @@ struct LiveBookStats {
 /// the same signature, id assignment, and domain validation, but the lanes
 /// it maintains are the *ranked* lanes a SortedBook would produce (modulo
 /// tie-breaking, frozen at `finalize_ties`).  `reset` starts a new round
-/// while keeping every buffer's capacity, so a warm server allocates
-/// nothing per round on the submission path.
+/// while keeping every buffer's capacity — chunks are pooled, the dense
+/// caches keep their capacity — so a warm server allocates nothing per
+/// round on the submission path.
 class LiveBook {
  public:
+  /// Entries per chunk.  Inserts memmove at most this many slots; splits
+  /// copy exactly half.  4096-bid lanes span ~32 chunks (~3 KiB each).
+  static constexpr std::size_t kChunkCapacity = 128;
+
   explicit LiveBook(ValueDomain domain = {});
 
   /// Starts a new round over `domain`; capacity is retained, bid ids
@@ -83,15 +102,17 @@ class LiveBook {
   /// randomness drawn next sees an unshifted stream.
   void finalize_ties(Rng& rng);
 
-  std::size_t buyer_count() const { return buyers_.size(); }
-  std::size_t seller_count() const { return sellers_.size(); }
+  std::size_t buyer_count() const { return buyer_lane_.size; }
+  std::size_t seller_count() const { return seller_lane_.size; }
   const ValueDomain& domain() const { return domain_; }
   bool finalized() const { return finalized_; }
 
   /// Ranked lanes (ties in arrival order until finalize_ties freezes the
-  /// footnote-5 permutation).
-  const std::vector<BidEntry>& ranked_buyers() const { return buyers_; }
-  const std::vector<BidEntry>& ranked_sellers() const { return sellers_; }
+  /// footnote-5 permutation).  Materialized lazily from the chunked
+  /// storage into persistent-capacity dense buffers; cheap to call
+  /// repeatedly between mutations, O(n) after an add.
+  const std::vector<BidEntry>& ranked_buyers() const;
+  const std::vector<BidEntry>& ranked_sellers() const;
 
   /// A SortedBook over the current ranking (finalize_ties first for the
   /// footnote-5 contract).  `to_sorted` allocates a fresh book — use it
@@ -104,18 +125,53 @@ class LiveBook {
   const LiveBookStats& stats() const { return stats_; }
 
  private:
-  std::size_t gallop_slot(const std::vector<BidEntry>& lane, Money value,
-                          bool descending) const;
+  /// One fixed-capacity block of the gap buffer, structure-of-arrays:
+  /// shifting a tail touches four dense POD ranges instead of 24-byte
+  /// entries, and the value lane alone feeds the rank searches.
+  struct Chunk {
+    std::array<std::int64_t, kChunkCapacity> value;     // Money micros
+    std::array<std::uint64_t, kChunkCapacity> identity;
+    std::array<std::uint32_t, kChunkCapacity> bid;      // round-local ids
+    std::array<std::uint32_t, kChunkCapacity> arrival;  // per-side sequence
+    std::uint32_t count = 0;
+  };
+
+  struct Lane {
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    /// chunk_last[c] mirrors chunks[c]->value[count - 1]: the dense array
+    /// the chunk-selection binary search runs over.
+    std::vector<std::int64_t> chunk_last;
+    std::size_t size = 0;
+  };
+
+  void insert(Lane& lane, bool descending, BidId id, IdentityId identity,
+              std::int64_t value);
+  /// Splits full chunk `c` in half, moving the upper half to a fresh
+  /// chunk at c + 1.
+  void split_chunk(Lane& lane, std::size_t c);
+  std::unique_ptr<Chunk> take_chunk();
+  void retire_lane(Lane& lane);
+  void materialize(const Lane& lane, std::vector<BidEntry>& entries,
+                   std::vector<std::uint32_t>& arrival) const;
   void fix_ties(std::vector<BidEntry>& lane,
                 std::vector<std::uint32_t>& arrival, Rng& rng);
 
   ValueDomain domain_;
-  std::vector<BidEntry> buyers_;   ///< descending by value
-  std::vector<BidEntry> sellers_;  ///< ascending by value
-  /// Per-side arrival index of each ranked entry, the key finalize_ties
-  /// maps through the shuffle permutation.
-  std::vector<std::uint32_t> buyer_arrival_;
-  std::vector<std::uint32_t> seller_arrival_;
+  Lane buyer_lane_;   ///< descending by value
+  Lane seller_lane_;  ///< ascending by value
+  /// Retired chunks, reused across rounds (capacity survives reset).
+  std::vector<std::unique_ptr<Chunk>> chunk_pool_;
+
+  /// Dense AoS views of the chunked lanes, materialized on demand (and
+  /// always at finalize, which then runs the tie fixups on them).  The
+  /// vectors keep their capacity across rounds.
+  mutable std::vector<BidEntry> buyers_;
+  mutable std::vector<BidEntry> sellers_;
+  mutable std::vector<std::uint32_t> buyer_arrival_;
+  mutable std::vector<std::uint32_t> seller_arrival_;
+  mutable bool buyers_current_ = false;
+  mutable bool sellers_current_ = false;
+
   /// finalize_ties scratch (reused across rounds).
   std::vector<std::uint32_t> perm_;
   std::vector<std::uint32_t> pos_;

@@ -1,5 +1,6 @@
 #include "core/validation.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -8,18 +9,67 @@ namespace fnda {
 
 namespace {
 
-/// Shared core: every invariant is a function of the declaration set, so
-/// both the raw-book and ranked-view overloads funnel through the lanes.
-ValidationErrors validate_lanes(const std::vector<BidEntry>& buyers,
-                                const std::vector<BidEntry>& sellers,
-                                const Outcome& outcome,
-                                const ValidationOptions& options) {
-  ValidationErrors errors;
-
+/// Hash-table lookup context: builds per-call maps, works for any id
+/// assignment.  The reference semantics the dense context must match:
+/// first occurrence of a duplicated id wins.
+struct MapContext {
   std::unordered_map<BidId, const BidEntry*> buyer_bids;
   std::unordered_map<BidId, const BidEntry*> seller_bids;
-  for (const BidEntry& e : buyers) buyer_bids.emplace(e.id, &e);
-  for (const BidEntry& e : sellers) seller_bids.emplace(e.id, &e);
+  std::unordered_map<BidId, std::size_t> fill_counts;
+
+  void bind(const std::vector<BidEntry>& buyers,
+            const std::vector<BidEntry>& sellers) {
+    for (const BidEntry& e : buyers) buyer_bids.emplace(e.id, &e);
+    for (const BidEntry& e : sellers) seller_bids.emplace(e.id, &e);
+  }
+  const BidEntry* find(Side side, BidId id) const {
+    const auto& lane = side == Side::kBuyer ? buyer_bids : seller_bids;
+    const auto it = lane.find(id);
+    return it == lane.end() ? nullptr : it->second;
+  }
+  std::size_t count_fill(BidId id) { return ++fill_counts[id]; }
+};
+
+/// Dense lookup context over persistent scratch: direct index by bid id.
+/// Eligibility (ids bounded by the lane sizes) is checked by the caller.
+struct DenseContext {
+  ValidationScratch& scratch;
+  explicit DenseContext(ValidationScratch& s) : scratch(s) {}
+
+  void bind(const std::vector<BidEntry>& buyers,
+            const std::vector<BidEntry>& sellers, std::size_t id_limit) {
+    scratch.buyer_by_id.assign(id_limit, nullptr);
+    scratch.seller_by_id.assign(id_limit, nullptr);
+    scratch.fill_counts.assign(id_limit, 0);
+    for (const BidEntry& e : buyers) {
+      const BidEntry*& slot = scratch.buyer_by_id[e.id.value()];
+      if (slot == nullptr) slot = &e;
+    }
+    for (const BidEntry& e : sellers) {
+      const BidEntry*& slot = scratch.seller_by_id[e.id.value()];
+      if (slot == nullptr) slot = &e;
+    }
+  }
+  const BidEntry* find(Side side, BidId id) const {
+    const auto& lane =
+        side == Side::kBuyer ? scratch.buyer_by_id : scratch.seller_by_id;
+    if (id.value() >= lane.size()) return nullptr;
+    return lane[id.value()];
+  }
+  std::size_t count_fill(BidId id) {
+    return ++scratch.fill_counts[id.value()];
+  }
+};
+
+/// Shared core: every invariant is a function of the declaration set, so
+/// both the raw-book and ranked-view overloads funnel through the lanes;
+/// the context only decides how bid-id lookup is implemented, so error
+/// content and order are identical across contexts.
+template <typename Context>
+ValidationErrors validate_lanes(const Outcome& outcome,
+                                const ValidationOptions& options,
+                                Context& ctx) {
+  ValidationErrors errors;
 
   if (outcome.buy_fill_count() != outcome.sell_fill_count()) {
     std::ostringstream os;
@@ -28,18 +78,16 @@ ValidationErrors validate_lanes(const std::vector<BidEntry>& buyers,
     errors.push_back(os.str());
   }
 
-  std::unordered_map<BidId, std::size_t> fill_counts;
   for (const Fill& fill : outcome.fills()) {
-    const auto& lane = fill.side == Side::kBuyer ? buyer_bids : seller_bids;
-    auto it = lane.find(fill.bid);
-    if (it == lane.end()) {
+    const BidEntry* found = ctx.find(fill.side, fill.bid);
+    if (found == nullptr) {
       std::ostringstream os;
       os << "fill references unknown " << to_string(fill.side) << " bid "
          << fill.bid;
       errors.push_back(os.str());
       continue;
     }
-    const BidEntry& bid = *it->second;
+    const BidEntry& bid = *found;
     if (bid.identity != fill.identity) {
       std::ostringstream os;
       os << "fill identity " << fill.identity << " does not match bid "
@@ -58,7 +106,7 @@ ValidationErrors validate_lanes(const std::vector<BidEntry>& buyers,
          << " but receives " << fill.price;
       errors.push_back(os.str());
     }
-    if (++fill_counts[fill.bid] > 1) {
+    if (ctx.count_fill(fill.bid) > 1) {
       std::ostringstream os;
       os << "single-unit bid " << fill.bid << " filled more than once";
       errors.push_back(os.str());
@@ -75,6 +123,30 @@ ValidationErrors validate_lanes(const std::vector<BidEntry>& buyers,
   return errors;
 }
 
+ValidationErrors validate_mapped(const std::vector<BidEntry>& buyers,
+                                 const std::vector<BidEntry>& sellers,
+                                 const Outcome& outcome,
+                                 const ValidationOptions& options) {
+  MapContext ctx;
+  ctx.bind(buyers, sellers);
+  return validate_lanes(outcome, options, ctx);
+}
+
+/// Dense eligibility: every bid id must index a reasonably sized array.
+/// Books assign ids 0..n-1 across both sides, so the limit 2n covers the
+/// real callers while a pathological sparse book falls back to hashing.
+bool dense_ids(const std::vector<BidEntry>& buyers,
+               const std::vector<BidEntry>& sellers, std::size_t& id_limit) {
+  const std::size_t total = buyers.size() + sellers.size();
+  const std::size_t limit = 2 * total + 1;
+  std::uint64_t max_id = 0;
+  for (const BidEntry& e : buyers) max_id = std::max(max_id, e.id.value());
+  for (const BidEntry& e : sellers) max_id = std::max(max_id, e.id.value());
+  if (total == 0 || max_id >= limit) return false;
+  id_limit = static_cast<std::size_t>(max_id) + 1;
+  return true;
+}
+
 void throw_on_errors(const ValidationErrors& errors) {
   if (errors.empty()) return;
   std::ostringstream os;
@@ -88,13 +160,26 @@ void throw_on_errors(const ValidationErrors& errors) {
 ValidationErrors validate_outcome(const OrderBook& book,
                                   const Outcome& outcome,
                                   const ValidationOptions& options) {
-  return validate_lanes(book.buyers(), book.sellers(), outcome, options);
+  return validate_mapped(book.buyers(), book.sellers(), outcome, options);
 }
 
 ValidationErrors validate_outcome(const SortedBook& book,
                                   const Outcome& outcome,
                                   const ValidationOptions& options) {
-  return validate_lanes(book.buyers(), book.sellers(), outcome, options);
+  return validate_mapped(book.buyers(), book.sellers(), outcome, options);
+}
+
+ValidationErrors validate_outcome(const SortedBook& book,
+                                  const Outcome& outcome,
+                                  ValidationScratch& scratch,
+                                  const ValidationOptions& options) {
+  std::size_t id_limit = 0;
+  if (!dense_ids(book.buyers(), book.sellers(), id_limit)) {
+    return validate_mapped(book.buyers(), book.sellers(), outcome, options);
+  }
+  DenseContext ctx(scratch);
+  ctx.bind(book.buyers(), book.sellers(), id_limit);
+  return validate_lanes(outcome, options, ctx);
 }
 
 void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
@@ -105,6 +190,12 @@ void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
 void expect_valid_outcome(const SortedBook& book, const Outcome& outcome,
                           const ValidationOptions& options) {
   throw_on_errors(validate_outcome(book, outcome, options));
+}
+
+void expect_valid_outcome(const SortedBook& book, const Outcome& outcome,
+                          ValidationScratch& scratch,
+                          const ValidationOptions& options) {
+  throw_on_errors(validate_outcome(book, outcome, scratch, options));
 }
 
 }  // namespace fnda

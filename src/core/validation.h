@@ -6,6 +6,7 @@
 // auctioneer.  Tests and the market server run every outcome through them.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,10 +44,31 @@ ValidationErrors validate_outcome(const SortedBook& book,
                                   const Outcome& outcome,
                                   const ValidationOptions& options = {});
 
+/// Reusable lookup scratch for the per-round hot path.  Books assign bid
+/// ids densely (0..n-1 across both sides), so the per-call hash tables
+/// the plain overloads build become persistent-capacity arrays indexed by
+/// id; a round-frequency caller passing the same scratch re-validates
+/// with zero allocation after warm-up.  Falls back to the hashed path —
+/// same errors, same order, byte-identical strings — if the ids of the
+/// book at hand turn out not to be dense.
+struct ValidationScratch {
+  std::vector<const BidEntry*> buyer_by_id;
+  std::vector<const BidEntry*> seller_by_id;
+  std::vector<std::uint32_t> fill_counts;
+};
+
+ValidationErrors validate_outcome(const SortedBook& book,
+                                  const Outcome& outcome,
+                                  ValidationScratch& scratch,
+                                  const ValidationOptions& options = {});
+
 /// Throws std::logic_error listing all violations if any check fails.
 void expect_valid_outcome(const OrderBook& book, const Outcome& outcome,
                           const ValidationOptions& options = {});
 void expect_valid_outcome(const SortedBook& book, const Outcome& outcome,
+                          const ValidationOptions& options = {});
+void expect_valid_outcome(const SortedBook& book, const Outcome& outcome,
+                          ValidationScratch& scratch,
                           const ValidationOptions& options = {});
 
 }  // namespace fnda

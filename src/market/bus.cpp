@@ -201,6 +201,24 @@ void MessageBus::inject(const RemoteEnvelope& remote) {
   queue_.schedule_delivery(remote.deliver_at, slot, key);
 }
 
+void MessageBus::inject_batch(RemoteEnvelope* const* batch,
+                              std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    RemoteEnvelope& remote = *batch[i];
+    const std::uint32_t slot = acquire_slot();
+    Envelope& envelope = slot_ref(slot);
+    envelope.id = remote.id;
+    envelope.from = remote.from;
+    envelope.to = remote.to;
+    envelope.sent_at = remote.sent_at;
+    envelope.delivered_at = SimTime{};
+    envelope.payload = std::move(remote.payload);
+    const std::uint64_t key = pack_key(
+        remote.to.value(), ensure_directory(remote.to.value()).binding);
+    queue_.schedule_delivery(remote.deliver_at, slot, key);
+  }
+}
+
 void MessageBus::deliver_run(SimTime at, const EventQueue::Delivery* run,
                              std::size_t count) {
   // The envelopes and directory lines for one instant are scattered

@@ -161,6 +161,13 @@ class MessageBus : public EventQueue::DeliverySink {
   /// traffic keeps the stricter send-time binding).
   void inject(const RemoteEnvelope& remote);
 
+  /// Batched inject: schedules `count` envelopes in order, with semantics
+  /// identical to calling inject() on each — except payloads are *moved*
+  /// out of the envelopes, which the epoch driver's drain scratch permits
+  /// (it is cleared right after).  `batch` points into caller storage in
+  /// canonical merge order.
+  void inject_batch(RemoteEnvelope* const* batch, std::size_t count);
+
   /// EventQueue::DeliverySink — one call per run of same-instant
   /// deliveries.  Keys carry the destination and the binding generation
   /// captured at send time (see pack_key); consecutive equal keys are
@@ -314,14 +321,20 @@ class DedupFilter {
       : capacity_(generation_capacity == 0 ? 1 : generation_capacity) {}
 
   /// Returns true the first time an id is seen (within the retention
-  /// window).
+  /// window).  Storage is two generations of open-addressed flat u64
+  /// tables (<=50% load, linear probing): one probe run per lookup on a
+  /// contiguous array instead of a node-based set — the dedup check runs
+  /// once per delivered message, and flat storage also frees in O(1)
+  /// block per endpoint at teardown instead of a node walk.
   bool fresh(MessageId id) {
-    if (current_.contains(id) || previous_.contains(id)) return false;
-    if (current_.size() >= capacity_) {
+    const std::uint64_t key = id.value();
+    if (contains(current_, key) || contains(previous_, key)) return false;
+    if (current_count_ >= capacity_) {
       std::swap(current_, previous_);  // keep the newer generation
-      current_.clear();                // buckets are reused
+      std::fill(current_.begin(), current_.end(), kEmpty);  // storage reused
+      current_count_ = 0;
     }
-    current_.insert(id);
+    insert(key);
     ++seen_total_;
     return true;
   }
@@ -330,10 +343,58 @@ class DedupFilter {
   std::size_t seen_count() const { return seen_total_; }
 
  private:
+  /// Free-slot sentinel: MessageId::invalid(), which no delivered
+  /// envelope carries.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  static std::size_t slot_of(std::uint64_t key, std::size_t mask) {
+    // splitmix64-style finalizer: message ids are sequential counters,
+    // so the low bits need mixing before masking.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key) & mask;
+  }
+
+  static bool contains(const std::vector<std::uint64_t>& table,
+                       std::uint64_t key) {
+    if (table.empty()) return false;
+    const std::size_t mask = table.size() - 1;
+    for (std::size_t i = slot_of(key, mask);; i = (i + 1) & mask) {
+      if (table[i] == key) return true;
+      if (table[i] == kEmpty) return false;
+    }
+  }
+
+  void insert(std::uint64_t key) {
+    if ((current_count_ + 1) * 2 > current_.size()) grow();
+    const std::size_t mask = current_.size() - 1;
+    std::size_t i = slot_of(key, mask);
+    while (current_[i] != kEmpty) i = (i + 1) & mask;
+    current_[i] = key;
+    ++current_count_;
+  }
+
+  /// Doubles the current generation's table (idle endpoints stay tiny;
+  /// a generation at capacity_ stops growing by construction).
+  void grow() {
+    const std::size_t next = current_.empty() ? 64 : current_.size() * 2;
+    std::vector<std::uint64_t> rebuilt(next, kEmpty);
+    const std::size_t mask = next - 1;
+    for (const std::uint64_t key : current_) {
+      if (key == kEmpty) continue;
+      std::size_t i = slot_of(key, mask);
+      while (rebuilt[i] != kEmpty) i = (i + 1) & mask;
+      rebuilt[i] = key;
+    }
+    current_ = std::move(rebuilt);
+  }
+
   std::size_t capacity_;
   std::size_t seen_total_ = 0;
-  std::unordered_set<MessageId> current_;
-  std::unordered_set<MessageId> previous_;
+  std::size_t current_count_ = 0;
+  std::vector<std::uint64_t> current_;
+  std::vector<std::uint64_t> previous_;
 };
 
 }  // namespace fnda

@@ -23,7 +23,7 @@ TradingClient::TradingClient(std::string address, AccountId account,
 
 void TradingClient::on_round_open(const RoundOpenMsg& msg) {
   // Heartbeat re-announcements repeat the same round; bid once per round.
-  if (!rounds_bid_.insert(msg.round).second) return;
+  if (!rounds_bid_.insert(msg.round.value())) return;
   ++rounds_seen_;
   for (const Declaration& declaration : strategy_.declarations) {
     // A fresh pseudonym per declaration per round: identities are
@@ -44,7 +44,7 @@ void TradingClient::submit_with_retry(const SubmitBidMsg& msg,
   if (config_.retry_interval.micros <= 0 || retries_left == 0) return;
   queue_.schedule_after(config_.retry_interval, [this, msg, deadline,
                                                  retries_left] {
-    if (acked_.contains(msg.identity)) return;
+    if (acked_.contains(msg.identity.value())) return;
     if (queue_.now() >= deadline) return;  // round closed; no point
     ++retransmissions_;
     submit_with_retry(msg, deadline, retries_left - 1);
@@ -59,7 +59,7 @@ void TradingClient::on_message(const Envelope& envelope) {
     void operator()(const BidAckMsg& msg) {
       // Idempotent server acks can arrive for retransmissions; count each
       // identity's resolution once.
-      if (!self.acked_.insert(msg.identity).second) return;
+      if (!self.acked_.insert(msg.identity.value())) return;
       (msg.accepted ? self.accepted_ : self.rejected_) += 1;
     }
     void operator()(const FillNoticeMsg& msg) {

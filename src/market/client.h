@@ -8,9 +8,9 @@
 #pragma once
 
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_set.h"
 #include "market/bus.h"
 #include "market/clock.h"
 #include "market/escrow.h"
@@ -96,9 +96,9 @@ class TradingClient : public Endpoint {
   std::size_t settlement_failures_ = 0;
   std::size_t retransmissions_ = 0;
   /// Identities whose bid the server has acknowledged (either way).
-  std::unordered_set<IdentityId> acked_;
+  FlatU64Set acked_;
   /// Rounds already bid in (round-open heartbeats repeat announcements).
-  std::unordered_set<RoundId> rounds_bid_;
+  FlatU64Set rounds_bid_;
 };
 
 }  // namespace fnda

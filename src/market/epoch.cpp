@@ -13,7 +13,9 @@ EpochDriver::EpochDriver(Fabric& fabric, std::vector<EpochShard> shards,
                          SimTime lookahead)
     : fabric_(fabric),
       shards_(std::move(shards)),
-      lookahead_(std::max(lookahead, SimTime{1})) {}
+      lookahead_(std::max(lookahead, SimTime{1})) {
+  inbox_scratch_.resize(shards_.size());
+}
 
 void EpochDriver::bind_telemetry(obs::SessionTelemetry& session) {
   telemetry_ = &session;
@@ -23,6 +25,12 @@ void EpochDriver::bind_telemetry(obs::SessionTelemetry& session) {
   });
   registry.counter_fn("fnda_epoch_injected_total", [this] {
     return static_cast<std::uint64_t>(lifetime_.injected);
+  });
+  // Barrier-step scratch footprint (merge keys + pointer batches): a
+  // high-water mark, monotone, and a pure function of per-epoch traffic,
+  // so it merges deterministically across thread counts.
+  registry.counter_fn("fnda_epoch_merge_arena_high_water_bytes", [this] {
+    return static_cast<std::uint64_t>(merge_arena_.stats().high_water);
   });
   epoch_advance_hist_ = &registry.histogram("fnda_epoch_advance_us");
   if (session.wallclock()) {
@@ -52,17 +60,30 @@ void EpochDriver::advance_epoch() noexcept {
     return;
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    inbox_scratch_.clear();
-    RemoteEnvelope envelope;
-    while (fabric_.mailbox(s).pop(envelope)) {
-      inbox_scratch_.push_back(std::move(envelope));
-    }
-    if (inbox_scratch_.empty()) continue;
+    std::vector<RemoteEnvelope>& inbox = inbox_scratch_[s];
+    inbox.clear();
+    fabric_.mailbox(s).drain(inbox);
+    if (inbox.empty()) continue;
     // Ring order depends on producer interleaving; (deliver_at,
     // source_shard, sequence) is a total order over one epoch's traffic
-    // that does not, so injection order is canonical.
-    std::sort(inbox_scratch_.begin(), inbox_scratch_.end(),
-              [](const RemoteEnvelope& a, const RemoteEnvelope& b) {
+    // that does not, so injection order is canonical.  Sort 24-byte POD
+    // keys instead of the fat envelopes (Message variants carry strings);
+    // the batch of pointers then walks the drain buffer in merge order.
+    struct MergeKey {
+      std::int64_t deliver_at;
+      std::uint64_t sequence;
+      std::uint32_t source_shard;
+      std::uint32_t index;
+    };
+    merge_arena_.reset();
+    std::span<MergeKey> keys = merge_arena_.make_span<MergeKey>(inbox.size());
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      keys[i] = MergeKey{inbox[i].deliver_at.micros, inbox[i].sequence,
+                         inbox[i].source_shard,
+                         static_cast<std::uint32_t>(i)};
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const MergeKey& a, const MergeKey& b) {
                 if (a.deliver_at != b.deliver_at) {
                   return a.deliver_at < b.deliver_at;
                 }
@@ -71,11 +92,14 @@ void EpochDriver::advance_epoch() noexcept {
                 }
                 return a.sequence < b.sequence;
               });
-    for (const RemoteEnvelope& ready : inbox_scratch_) {
-      shards_[s].bus->inject(ready);
+    std::span<RemoteEnvelope*> batch =
+        merge_arena_.make_span<RemoteEnvelope*>(inbox.size());
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      batch[i] = &inbox[keys[i].index];
     }
-    stats_.injected += inbox_scratch_.size();
-    lifetime_.injected += inbox_scratch_.size();
+    shards_[s].bus->inject_batch(batch.data(), batch.size());
+    stats_.injected += inbox.size();
+    lifetime_.injected += inbox.size();
   }
   if (!depth_hists_.empty()) {
     // Post-injection depth is a pure function of the event history, so

@@ -27,6 +27,7 @@
 #include <exception>
 #include <vector>
 
+#include "common/arena.h"
 #include "market/bus.h"
 #include "market/clock.h"
 #include "market/fabric.h"
@@ -86,7 +87,14 @@ class EpochDriver {
   SimTime epoch_end_{};
   bool stop_ = false;
   EpochStats stats_;
-  std::vector<RemoteEnvelope> inbox_scratch_;
+  /// One drain buffer per shard (capacity persists across epochs, so a
+  /// warm driver's barrier step allocates nothing).  The fat envelopes
+  /// stay put where the drain wrote them; ordering happens on 24-byte
+  /// merge keys in the arena and injection walks pointers.
+  std::vector<std::vector<RemoteEnvelope>> inbox_scratch_;
+  /// Barrier-step scratch (merge keys + pointer batches); reset per
+  /// shard iteration, so high-water tracks the largest single inbox.
+  MonotonicArena merge_arena_;
   std::vector<std::exception_ptr> errors_;
   std::atomic<bool> failed_{false};
 

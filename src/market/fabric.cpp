@@ -105,6 +105,30 @@ bool ShardMailbox::pop(RemoteEnvelope& out) {
   return true;
 }
 
+std::size_t ShardMailbox::drain(std::vector<RemoteEnvelope>& out) {
+  // One producer-cursor read bounds the batch; each slot still publishes
+  // through its own sequence word, so a producer mid-push (impossible at
+  // the epoch barrier, but legal for the type) just ends the batch early.
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  out.reserve(out.size() + static_cast<std::size_t>(tail - head_));
+  std::size_t drained = 0;
+  while (head_ != tail) {
+    Slot& slot = slots_[head_ & mask_];
+    const std::uint64_t sequence = slot.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(sequence) -
+            static_cast<std::int64_t>(head_ + 1) <
+        0) {
+      break;
+    }
+    out.push_back(std::move(slot.value));
+    slot.value.payload = Message{};  // drop any heap payload promptly
+    slot.sequence.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    ++drained;
+  }
+  return drained;
+}
+
 Fabric::Fabric(std::size_t shards, std::size_t mailbox_capacity) {
   mailboxes_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {

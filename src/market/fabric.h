@@ -123,6 +123,13 @@ class ShardMailbox {
   /// Moves the oldest envelope out; false when empty.  Single consumer.
   bool pop(RemoteEnvelope& out);
 
+  /// Moves every staged envelope into `out` (appending) and returns how
+  /// many were drained.  Single consumer; reads the producer cursor once,
+  /// so it drains exactly the traffic staged before the call — the shape
+  /// the epoch barrier wants, where producers are quiescent and the whole
+  /// epoch's inbox is consumed as one batch.
+  std::size_t drain(std::vector<RemoteEnvelope>& out);
+
   std::size_t capacity() const { return slots_.size(); }
 
  private:

@@ -1,22 +1,95 @@
 #include "market/server.h"
 
-#include <sstream>
+#include <bit>
 #include <stdexcept>
-
-#include "core/validation.h"
 
 namespace fnda {
 namespace {
 
-/// Streams every argument into a string (audit-log detail lines).
+// Audit-detail formatting runs once per accepted/rejected bid, squarely on
+// the submission hot path.  Each overload appends exactly what the
+// corresponding operator<< would stream (ids are prefix + decimal, Money
+// is Money::to_string), so detail lines are byte-identical to the old
+// ostringstream path without paying its locale machinery per call.
+inline void append_part(std::string& out, char c) { out += c; }
+inline void append_part(std::string& out, const char* s) { out += s; }
+inline void append_part(std::string& out, const std::string& s) { out += s; }
+inline void append_part(std::string& out, Money m) { out += m.to_string(); }
+inline void append_part(std::string& out, std::size_t v) {
+  out += std::to_string(v);
+}
+template <typename Tag>
+void append_part(std::string& out, TypedId<Tag> id) {
+  out += Tag::prefix();
+  out += std::to_string(id.value());
+}
+
+/// Concatenates every argument into a string (audit-log detail lines).
 template <typename... Parts>
 std::string fmt(const Parts&... parts) {
-  std::ostringstream os;
-  (os << ... << parts);
-  return os.str();
+  std::string out;
+  (append_part(out, parts), ...);
+  return out;
 }
 
 }  // namespace
+
+void AuctionServer::SubmittedTable::reset(MonotonicArena& arena,
+                                          std::size_t expected_entries) {
+  arena_ = &arena;
+  // Size for a <=50% load factor at the expected population so the
+  // steady state never rehashes; 64 floors the first round.
+  std::size_t capacity = 64;
+  while (capacity < expected_entries * 2) capacity *= 2;
+  slots_ = arena.make_span<Slot>(capacity);
+  for (Slot& slot : slots_) slot.key = kEmptyKey;
+  mask_ = capacity - 1;
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(capacity));
+  size_ = 0;
+}
+
+const AuctionServer::SubmittedBid* AuctionServer::SubmittedTable::find(
+    IdentityId identity) const {
+  const std::uint64_t key = identity.value();
+  for (std::size_t i = probe(key);; i = (i + 1) & mask_) {
+    const Slot& slot = slots_[i];
+    if (slot.key == key) return &slot.bid;
+    if (slot.key == kEmptyKey) return nullptr;
+  }
+}
+
+void AuctionServer::SubmittedTable::insert(IdentityId identity,
+                                           const SubmittedBid& bid) {
+  if ((size_ + 1) * 2 > slots_.size()) grow();
+  const std::uint64_t key = identity.value();
+  for (std::size_t i = probe(key);; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.key == kEmptyKey) {
+      slot.key = key;
+      slot.bid = bid;
+      ++size_;
+      return;
+    }
+  }
+}
+
+void AuctionServer::SubmittedTable::grow() {
+  const std::span<Slot> old = slots_;
+  const std::size_t capacity = old.size() * 2;
+  slots_ = arena_->make_span<Slot>(capacity);
+  for (Slot& slot : slots_) slot.key = kEmptyKey;
+  mask_ = capacity - 1;
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(capacity));
+  for (const Slot& slot : old) {
+    if (slot.key == kEmptyKey) continue;
+    for (std::size_t i = probe(slot.key);; i = (i + 1) & mask_) {
+      if (slots_[i].key == kEmptyKey) {
+        slots_[i] = slot;
+        break;
+      }
+    }
+  }
+}
 
 AuctionServer::AuctionServer(std::string address, EventQueue& queue,
                              MessageBus& bus,
@@ -50,6 +123,13 @@ void AuctionServer::bind_telemetry(obs::ShardTelemetry& telemetry,
   });
   registry.counter_fn("fnda_book_sorts_at_close_total",
                       [this] { return live_book_.stats().sorts_at_close; });
+  registry.counter_fn("fnda_book_chunk_splits_total",
+                      [this] { return live_book_.stats().chunk_splits; });
+  // Monotone by construction (a high-water mark), so it is exposed as a
+  // counter and merges deterministically.
+  registry.counter_fn("fnda_server_round_arena_high_water_bytes", [this] {
+    return static_cast<std::uint64_t>(round_arena_.stats().high_water);
+  });
   registry.counter_fn("fnda_server_rounds_closed_total", [this] {
     return static_cast<std::uint64_t>(completed_count_);
   });
@@ -85,7 +165,12 @@ RoundId AuctionServer::open_round(SimTime open_for) {
   const RoundId id{next_round_++};
   const SimTime close_at = queue_.now() + open_for;
   live_book_.reset(config_.domain);
+  // The previous round's arena-backed scratch (its submitted table) is
+  // dead by now — clear_round finished reading it — so the whole arena
+  // recycles here and the table sizes itself off the last population.
+  round_arena_.reset();
   open_round_.emplace(OpenRound{id, close_at, queue_.now(), rng_(), {}});
+  open_round_->submitted.reset(round_arena_, last_round_bids_);
   audit_.append(queue_.now(), id, AuditKind::kRoundOpened, "");
 
   announce_round(*open_round_);
@@ -154,9 +239,8 @@ void AuctionServer::handle_submit(const Envelope& envelope,
     return;
   }
   OpenRound& round = *open_round_;
-  if (auto it = round.submitted.find(msg.identity);
-      it != round.submitted.end()) {
-    if (it->second.side == msg.side && it->second.value == msg.value) {
+  if (const SubmittedBid* existing = round.submitted.find(msg.identity)) {
+    if (existing->side == msg.side && existing->value == msg.value) {
       // Identical retransmission (at-least-once client): ack idempotently.
       bus_.send(address_id_, envelope.from,
                 BidAckMsg{msg.round, msg.identity, true, ""});
@@ -179,8 +263,8 @@ void AuctionServer::handle_submit(const Envelope& envelope,
   }
 
   live_book_.add(msg.side, msg.identity, msg.value);
-  round.submitted.emplace(msg.identity,
-                          SubmittedBid{envelope.from, msg.side, msg.value});
+  round.submitted.insert(msg.identity,
+                         SubmittedBid{envelope.from, msg.side, msg.value});
   audit_.append(queue_.now(), msg.round, AuditKind::kBidAccepted,
                 fmt(msg.identity, ' ', to_string(msg.side), '@', msg.value));
   bus_.send(address_id_, envelope.from,
@@ -204,16 +288,17 @@ void AuctionServer::clear_round() {
   const Rng replay_rng = clear_rng;  // post-ranking stream, for replays
   SortedBook ranked = live_book_.to_sorted();
   Outcome outcome = protocol_->clear_sorted(ranked, clear_rng);
-  expect_valid_outcome(ranked, outcome);
+  expect_valid_outcome(ranked, outcome, validation_scratch_);
+  last_round_bids_ = round.submitted.size();
 
   audit_.append(queue_.now(), round.id, AuditKind::kRoundCleared,
                 fmt(outcome.trade_count(), " trades, revenue ",
                     outcome.auctioneer_revenue()));
 
   for (const Fill& fill : outcome.fills()) {
-    auto it = round.submitted.find(fill.identity);
-    if (it == round.submitted.end()) continue;
-    bus_.send(address_id_, it->second.reply_to,
+    const SubmittedBid* submitted = round.submitted.find(fill.identity);
+    if (submitted == nullptr) continue;
+    bus_.send(address_id_, submitted->reply_to,
               FillNoticeMsg{round.id, fill.identity, fill.side, fill.price});
   }
   for (const AddressId subscriber : subscribers_) {
@@ -235,9 +320,9 @@ void AuctionServer::clear_round() {
       audit_.append(queue_.now(), round.id, AuditKind::kDepositConfiscated,
                     fmt(delivery.seller, ' ', delivery.confiscated));
     }
-    auto it = round.submitted.find(delivery.seller);
-    if (it != round.submitted.end()) {
-      bus_.send(address_id_, it->second.reply_to,
+    const SubmittedBid* seller = round.submitted.find(delivery.seller);
+    if (seller != nullptr) {
+      bus_.send(address_id_, seller->reply_to,
                 SettlementNoticeMsg{round.id, delivery.seller, false,
                                     delivery.confiscated});
     }

@@ -17,13 +17,16 @@
 
 #include <deque>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "core/live_book.h"
 #include "core/protocol.h"
+#include "core/validation.h"
 #include "market/audit.h"
 #include "market/bus.h"
 #include "market/settlement.h"
@@ -113,6 +116,45 @@ class AuctionServer : public Endpoint {
     Side side;
     Money value;
   };
+
+  /// Open-addressing identity -> declaration table for the open round,
+  /// backed by the round arena.  The round lifecycle only ever probes
+  /// (find), inserts, and reads size() — iteration order is never used —
+  /// so flat linear-probed slots replace the per-round unordered_map and
+  /// its node allocations.  Slots live in arena storage that dies at the
+  /// next round's reset; growing rehashes into a fresh arena span (the
+  /// old one is simply abandoned until then).
+  class SubmittedTable {
+   public:
+    void reset(MonotonicArena& arena, std::size_t expected_entries);
+    const SubmittedBid* find(IdentityId identity) const;
+    /// `identity` must not be present (callers probe first).
+    void insert(IdentityId identity, const SubmittedBid& bid);
+    std::size_t size() const { return size_; }
+
+   private:
+    struct Slot {
+      std::uint64_t key;  ///< IdentityId value; kEmptyKey marks a free slot
+      SubmittedBid bid;
+    };
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    std::size_t probe(std::uint64_t key) const {
+      // Fibonacci hash of the identity: identities are dense small ints,
+      // so multiply-shift spreads them across the table.
+      return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >>
+                                      shift_) &
+             mask_;
+    }
+    void grow();
+
+    MonotonicArena* arena_ = nullptr;
+    std::span<Slot> slots_;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 64;
+    std::size_t size_ = 0;
+  };
+
   struct OpenRound {
     RoundId id;
     SimTime close_at;
@@ -125,7 +167,8 @@ class AuctionServer : public Endpoint {
     /// Accepted declaration per identity: reply address for fill notices
     /// plus the declaration itself, so an identical retransmission can be
     /// acked idempotently (at-least-once clients retry until acked).
-    std::unordered_map<IdentityId, SubmittedBid> submitted;
+    /// Backed by `round_arena_`, reset at open_round.
+    SubmittedTable submitted;
   };
   struct CompletedRound {
     RoundId id;
@@ -175,6 +218,16 @@ class AuctionServer : public Endpoint {
   /// Incrementally ranked book of the open round; buffers persist across
   /// rounds, so a warm server's submission path never allocates.
   LiveBook live_book_;
+  /// Round-lifetime scratch: the submitted table's slots (and anything
+  /// else alive only until the round clears).  Reset at open_round — the
+  /// cleared round's table is read during clear_round, strictly before
+  /// the next open.
+  MonotonicArena round_arena_;
+  /// Outcome-validation lookup lanes, reused every round.
+  ValidationScratch validation_scratch_;
+  /// Bid count of the most recent round — the next round's table sizing
+  /// hint, so steady-state rounds never rehash mid-round.
+  std::size_t last_round_bids_ = 0;
   std::unordered_map<RoundId, CompletedRound> completed_;
   /// Completion order, for retained_rounds eviction (oldest first).
   std::deque<RoundId> completion_order_;

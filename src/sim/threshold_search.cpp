@@ -5,24 +5,31 @@
 #include <stdexcept>
 
 #include "common/statistics.h"
+#include "common/sweep_kernel.h"
 
 namespace fnda {
 
 TpdSweepBook::TpdSweepBook(const SortedBook& book) {
   buyers_desc_.reserve(book.buyer_count());
   for (const BidEntry& entry : book.buyers()) {
-    buyers_desc_.push_back(entry.value);
+    buyers_desc_.push_back(entry.value.micros());
   }
   sellers_asc_.reserve(book.seller_count());
   for (const BidEntry& entry : book.sellers()) {
-    sellers_asc_.push_back(entry.value);
+    sellers_asc_.push_back(entry.value.micros());
   }
   prepare();
 }
 
-TpdSweepBook::TpdSweepBook(const SingleUnitInstance& instance)
-    : buyers_desc_(instance.buyer_values),
-      sellers_asc_(instance.seller_values) {
+TpdSweepBook::TpdSweepBook(const SingleUnitInstance& instance) {
+  buyers_desc_.reserve(instance.buyer_values.size());
+  for (const Money value : instance.buyer_values) {
+    buyers_desc_.push_back(value.micros());
+  }
+  sellers_asc_.reserve(instance.seller_values.size());
+  for (const Money value : instance.seller_values) {
+    sellers_asc_.push_back(value.micros());
+  }
   std::sort(buyers_desc_.begin(), buyers_desc_.end(), std::greater<>());
   std::sort(sellers_asc_.begin(), sellers_asc_.end());
   prepare();
@@ -33,27 +40,19 @@ void TpdSweepBook::prepare() {
   pair_surplus_prefix_.assign(limit + 1, 0);
   for (std::size_t t = 0; t < limit; ++t) {
     pair_surplus_prefix_[t + 1] =
-        pair_surplus_prefix_[t] +
-        (buyers_desc_[t] - sellers_asc_[t]).micros();
+        pair_surplus_prefix_[t] + (buyers_desc_[t] - sellers_asc_[t]);
   }
 }
 
 TpdThresholdOutcome TpdSweepBook::evaluate(Money r) const {
-  // i = |{b >= r}|: buyers_desc_ is descending, so the eligible prefix
-  // ends at the first value strictly below r.
-  const std::size_t i = static_cast<std::size_t>(
-      std::lower_bound(buyers_desc_.begin(), buyers_desc_.end(), r,
-                       [](Money value, Money threshold) {
-                         return value >= threshold;
-                       }) -
-      buyers_desc_.begin());
-  // j = |{s <= r}|.
-  const std::size_t j = static_cast<std::size_t>(
-      std::lower_bound(sellers_asc_.begin(), sellers_asc_.end(), r,
-                       [](Money value, Money threshold) {
-                         return value <= threshold;
-                       }) -
-      sellers_asc_.begin());
+  // i = |{b >= r}|, j = |{s <= r}|: partition points over the ranked
+  // lanes, computed by the branchless/SIMD kernel (identical to the
+  // lower_bound formulation this code used to spell out).
+  const std::int64_t threshold = r.micros();
+  const std::size_t i =
+      simd::count_ge_desc(buyers_desc_.data(), buyers_desc_.size(), threshold);
+  const std::size_t j =
+      simd::count_le_asc(sellers_asc_.data(), sellers_asc_.size(), threshold);
 
   TpdThresholdOutcome outcome;
   outcome.trades = std::min(i, j);
@@ -61,13 +60,13 @@ TpdThresholdOutcome TpdSweepBook::evaluate(Money r) const {
   if (i > j) {
     // Sellers are the short side: each buyer pays b(j+1) (>= r since
     // j + 1 <= i), each seller receives r.
-    outcome.auctioneer =
-        static_cast<std::int64_t>(j) * (buyers_desc_[j] - r);
+    outcome.auctioneer = static_cast<std::int64_t>(j) *
+                         Money::from_micros(buyers_desc_[j] - threshold);
   } else if (i < j) {
     // Buyers are the short side: each buyer pays r, each seller receives
     // s(i+1) (<= r since i + 1 <= j).
-    outcome.auctioneer =
-        static_cast<std::int64_t>(i) * (r - sellers_asc_[i]);
+    outcome.auctioneer = static_cast<std::int64_t>(i) *
+                         Money::from_micros(threshold - sellers_asc_[i]);
   }
   return outcome;
 }

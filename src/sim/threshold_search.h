@@ -60,7 +60,10 @@ class TpdSweepBook {
   /// skips book instantiation entirely).
   explicit TpdSweepBook(const SingleUnitInstance& instance);
 
-  /// TPD at threshold r on this book: two binary searches + O(1).
+  /// TPD at threshold r on this book: two partition-point counts through
+  /// the branchless/SIMD sweep kernel + O(1).  Bit-identical to the
+  /// binary-search formulation on every input (the kernel computes the
+  /// same partition points), whichever kernel flavour is compiled.
   TpdThresholdOutcome evaluate(Money r) const;
 
   std::size_t buyer_count() const { return buyers_desc_.size(); }
@@ -69,8 +72,10 @@ class TpdSweepBook {
  private:
   void prepare();
 
-  std::vector<Money> buyers_desc_;   // b(1) >= b(2) >= ...
-  std::vector<Money> sellers_asc_;   // s(1) <= s(2) <= ...
+  /// Ranked value lanes in raw micros: dense int64 arrays are what the
+  /// branchless/SIMD partition kernel (common/sweep_kernel.h) consumes.
+  std::vector<std::int64_t> buyers_desc_;  // b(1) >= b(2) >= ...
+  std::vector<std::int64_t> sellers_asc_;  // s(1) <= s(2) <= ...
   /// pair_surplus_prefix_[t] = sum_{rank=1..t} (b(rank) - s(rank)) in
   /// micros; index 0 is 0, length min(m, n) + 1.
   std::vector<std::int64_t> pair_surplus_prefix_;

@@ -227,6 +227,8 @@ TEST(CliTest, MarketBenchReportsThroughput) {
   EXPECT_NE(result.out.find("shards: 2"), std::string::npos);
   EXPECT_NE(result.out.find("msg/s"), std::string::npos);
   EXPECT_NE(result.out.find("rounds/s"), std::string::npos);
+  EXPECT_NE(result.out.find("chunk splits"), std::string::npos);
+  EXPECT_NE(result.out.find("sorts at close"), std::string::npos);
 }
 
 TEST(CliTest, MarketBenchRejectsZeroClients) {

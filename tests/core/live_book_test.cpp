@@ -230,6 +230,69 @@ TEST(LiveBookTest, StatsCountWorkAndNeverSortAtClose) {
   EXPECT_EQ(live.stats().sorts_at_close, 0u);
 }
 
+TEST(LiveBookTest, MultiChunkBooksMatchReferenceAndSplitChunks) {
+  // 3000/2900 entries span dozens of 128-entry chunks per lane, so every
+  // insert exercises the chunk-selection search and many force splits;
+  // the ranking must still match the shuffle+stable-sort reference and
+  // the RNG stream must stay aligned.
+  Rng meta(0x600dc0de);
+  for (const std::int64_t span : {std::int64_t{0}, std::int64_t{3},
+                                  std::int64_t{1000}}) {
+    const std::vector<Arrival> arrivals = random_arrivals(3000, 2900, span,
+                                                          meta);
+    OrderBook book;
+    LiveBook live;
+    feed(arrivals, book, live);
+    // All-equal books (span 0) append every entry at the lane tail, which
+    // opens fresh chunks without ever splitting one; any value spread
+    // forces mid-lane inserts and therefore splits at this size.
+    if (span > 0) EXPECT_GT(live.stats().chunk_splits, 0u);
+
+    const std::uint64_t seed = meta();
+    Rng reference_rng(seed);
+    const SortedBook reference(book, reference_rng);
+    Rng live_rng(seed);
+    live.finalize_ties(live_rng);
+    EXPECT_EQ(reference.buyers(), live.ranked_buyers());
+    EXPECT_EQ(reference.sellers(), live.ranked_sellers());
+    EXPECT_EQ(reference_rng(), live_rng());
+  }
+}
+
+TEST(LiveBookTest, SortedArrivalOrdersAreAdversarialButExact) {
+  // Strictly ascending and strictly descending arrivals are the gap
+  // buffer's worst cases: one order appends at the lane tail, the other
+  // inserts at the head of the first chunk every time (maximum shifting
+  // and splitting).  Both must reproduce the reference ranking exactly.
+  for (const bool ascending : {false, true}) {
+    OrderBook book;
+    LiveBook live;
+    const std::size_t n = 1500;  // ~12 chunks per lane
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t units =
+          static_cast<std::int64_t>(ascending ? 10 + i : 10 + (n - 1 - i));
+      const BidId raw = book.add(Side::kBuyer, IdentityId{i}, money(units));
+      ASSERT_EQ(raw, live.add(Side::kBuyer, IdentityId{i}, money(units)));
+      const BidId raw_s =
+          book.add(Side::kSeller, IdentityId{kSellerIdentityBase + i},
+                   money(units));
+      ASSERT_EQ(raw_s,
+                live.add(Side::kSeller, IdentityId{kSellerIdentityBase + i},
+                         money(units)));
+    }
+    const std::uint64_t seed = 0x51517 + (ascending ? 1 : 0);
+    Rng reference_rng(seed);
+    const SortedBook reference(book, reference_rng);
+    Rng live_rng(seed);
+    live.finalize_ties(live_rng);
+    EXPECT_EQ(reference.buyers(), live.ranked_buyers());
+    EXPECT_EQ(reference.sellers(), live.ranked_sellers());
+    EXPECT_GT(live.stats().chunk_splits, 0u);
+    // Distinct values everywhere: the tie machinery must not fire.
+    EXPECT_EQ(live.stats().tie_entries_permuted, 0u);
+  }
+}
+
 TEST(LiveBookTest, EmitMatchesToSortedAndReusesBuffers) {
   Rng meta(0x5151);
   const std::vector<Arrival> arrivals = random_arrivals(80, 80, 2, meta);

@@ -269,6 +269,7 @@ TEST(ParallelExchangeTest, ThroughputSessionIdenticalAcrossThreadCounts) {
       continue;
     }
     EXPECT_EQ(result.book.entries_shifted, base.book.entries_shifted);
+    EXPECT_EQ(result.book.chunk_splits, base.book.chunk_splits);
     EXPECT_EQ(result.book.tie_entries_permuted,
               base.book.tie_entries_permuted);
     ASSERT_EQ(result.shard_bus.size(), base.shard_bus.size());

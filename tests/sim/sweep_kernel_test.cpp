@@ -1,0 +1,178 @@
+// Kernel-equivalence suite for the threshold-sweep counting kernel.
+//
+// The dispatching entry points (count_ge_desc / count_le_asc and their
+// linear helpers) must return the same integer as the always-compiled
+// scalar references on every input — that is the bit-identity argument
+// for swapping the SIMD path in and out (FNDA_SCALAR_SWEEP).  The suite
+// runs identically against both builds: under the scalar-forced build it
+// degenerates to reference == reference, which keeps the CI leg honest.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sweep_kernel.h"
+
+namespace fnda {
+namespace {
+
+std::vector<std::int64_t> random_lane(Rng& rng, std::size_t n,
+                                      std::int64_t lo, std::int64_t hi,
+                                      bool descending) {
+  std::vector<std::int64_t> lane;
+  lane.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lane.push_back(lo + static_cast<std::int64_t>(
+                            rng.below(static_cast<std::uint64_t>(hi - lo + 1))));
+  }
+  std::sort(lane.begin(), lane.end());
+  if (descending) std::reverse(lane.begin(), lane.end());
+  return lane;
+}
+
+/// Thresholds worth probing for a lane: every element, its neighbors, and
+/// far out-of-range sentinels — the boundary cases of a partition point.
+std::vector<std::int64_t> probe_thresholds(const std::vector<std::int64_t>& lane) {
+  std::vector<std::int64_t> probes{std::numeric_limits<std::int64_t>::min() / 2,
+                                   std::numeric_limits<std::int64_t>::max() / 2,
+                                   0, 1, -1};
+  for (const std::int64_t v : lane) {
+    probes.push_back(v);
+    probes.push_back(v - 1);
+    probes.push_back(v + 1);
+  }
+  return probes;
+}
+
+TEST(SweepKernelTest, LinearCountsMatchScalarOnUnsortedWindows) {
+  Rng rng(0x5eedbeef);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{5}, std::size_t{8},
+                              std::size_t{13}, std::size_t{64},
+                              std::size_t{127}, std::size_t{128},
+                              std::size_t{129}, std::size_t{1000}}) {
+    std::vector<std::int64_t> window;
+    window.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      window.push_back(static_cast<std::int64_t>(rng.below(2000)) - 1000);
+    }
+    for (const std::int64_t r :
+         {std::int64_t{-1500}, std::int64_t{-1}, std::int64_t{0},
+          std::int64_t{1}, std::int64_t{999}, std::int64_t{1500}}) {
+      EXPECT_EQ(simd::count_ge_linear(window.data(), n, r),
+                simd::count_ge_linear_scalar(window.data(), n, r))
+          << "n=" << n << " r=" << r;
+      EXPECT_EQ(simd::count_le_linear(window.data(), n, r),
+                simd::count_le_linear_scalar(window.data(), n, r))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(SweepKernelTest, PartitionPointsMatchScalarOnRandomSortedLanes) {
+  Rng rng(0xabcdef01);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{127},
+        std::size_t{128}, std::size_t{129}, std::size_t{500},
+        std::size_t{2048}, std::size_t{4097}}) {
+    const std::vector<std::int64_t> desc = random_lane(rng, n, -50, 50, true);
+    const std::vector<std::int64_t> asc = random_lane(rng, n, -50, 50, false);
+    for (const std::int64_t r : probe_thresholds(desc)) {
+      EXPECT_EQ(simd::count_ge_desc(desc.data(), n, r),
+                simd::count_ge_desc_scalar(desc.data(), n, r))
+          << "n=" << n << " r=" << r;
+    }
+    for (const std::int64_t r : probe_thresholds(asc)) {
+      EXPECT_EQ(simd::count_le_asc(asc.data(), n, r),
+                simd::count_le_asc_scalar(asc.data(), n, r))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(SweepKernelTest, PartitionPointsMatchLowerBoundSemantics) {
+  // The scalar reference itself must equal the STL partition point — this
+  // anchors BOTH implementations to a first-principles definition.
+  Rng rng(0x77777777);
+  for (const std::size_t n : {std::size_t{129}, std::size_t{2500}}) {
+    const std::vector<std::int64_t> desc = random_lane(rng, n, 0, 30, true);
+    const std::vector<std::int64_t> asc = random_lane(rng, n, 0, 30, false);
+    for (std::int64_t r = -2; r <= 32; ++r) {
+      const auto ge_expected = static_cast<std::size_t>(
+          std::partition_point(desc.begin(), desc.end(),
+                               [r](std::int64_t v) { return v >= r; }) -
+          desc.begin());
+      const auto le_expected = static_cast<std::size_t>(
+          std::partition_point(asc.begin(), asc.end(),
+                               [r](std::int64_t v) { return v <= r; }) -
+          asc.begin());
+      EXPECT_EQ(simd::count_ge_desc(desc.data(), n, r), ge_expected);
+      EXPECT_EQ(simd::count_le_asc(asc.data(), n, r), le_expected);
+      EXPECT_EQ(simd::count_ge_desc_scalar(desc.data(), n, r), ge_expected);
+      EXPECT_EQ(simd::count_le_asc_scalar(asc.data(), n, r), le_expected);
+    }
+  }
+}
+
+TEST(SweepKernelTest, AdversarialLanes) {
+  // All-equal lanes put every element on the partition boundary; the
+  // extreme thresholds exercise empty and full counts at sizes that
+  // straddle the vector width and the linear window.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{127}, std::size_t{128},
+        std::size_t{129}, std::size_t{2000}}) {
+    const std::vector<std::int64_t> flat(n, 42);
+    for (const std::int64_t r :
+         {std::int64_t{41}, std::int64_t{42}, std::int64_t{43}}) {
+      const std::size_t ge = simd::count_ge_desc(flat.data(), n, r);
+      const std::size_t le = simd::count_le_asc(flat.data(), n, r);
+      EXPECT_EQ(ge, r <= 42 ? n : 0u) << "n=" << n << " r=" << r;
+      EXPECT_EQ(le, r >= 42 ? n : 0u) << "n=" << n << " r=" << r;
+      EXPECT_EQ(ge, simd::count_ge_desc_scalar(flat.data(), n, r));
+      EXPECT_EQ(le, simd::count_le_asc_scalar(flat.data(), n, r));
+    }
+  }
+}
+
+TEST(SweepKernelTest, ExtremeValuesDoNotOverflow) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  const std::vector<std::int64_t> desc{max, max, 0, min + 1, min};
+  for (const std::int64_t r : {min, min + 1, std::int64_t{-1}, std::int64_t{0},
+                               std::int64_t{1}, max - 1, max}) {
+    EXPECT_EQ(simd::count_ge_desc(desc.data(), desc.size(), r),
+              simd::count_ge_desc_scalar(desc.data(), desc.size(), r))
+        << "r=" << r;
+  }
+}
+
+TEST(SweepKernelTest, CountersAdvanceAndNameIsConsistent) {
+  // The dispatch build flavor fixes lane width and name together.
+  if (simd::kernel_lane_width() == 1) {
+    EXPECT_STREQ(simd::kernel_name(), "scalar-branchless");
+  } else {
+    EXPECT_EQ(simd::kernel_lane_width(), 2u);
+    EXPECT_STREQ(simd::kernel_name(), "gcc-vector-128x2");
+  }
+
+  const std::vector<std::int64_t> lane(100, 7);
+  const simd::KernelCounters& counters = simd::kernel_counters();
+  const std::uint64_t calls_before =
+      counters.calls.load(std::memory_order_relaxed);
+  const std::uint64_t elems_before =
+      counters.vector_elems.load(std::memory_order_relaxed) +
+      counters.tail_elems.load(std::memory_order_relaxed);
+  ASSERT_EQ(simd::count_ge_linear(lane.data(), lane.size(), 7), 100u);
+  EXPECT_EQ(counters.calls.load(std::memory_order_relaxed), calls_before + 1);
+  EXPECT_EQ(counters.vector_elems.load(std::memory_order_relaxed) +
+                counters.tail_elems.load(std::memory_order_relaxed),
+            elems_before + lane.size());
+}
+
+}  // namespace
+}  // namespace fnda
