@@ -55,7 +55,29 @@ struct JsonBenchRecord {
   std::uint64_t iterations = 1;
   double items_per_second = 0.0;
   std::vector<std::pair<std::string, double>> counters;
+  /// Structured caveats about the measurement (e.g. the host had fewer
+  /// CPUs than worker threads).  Emitted as a `"warnings": [...]` array
+  /// so reports cannot mistake a compromised row for a clean one.
+  std::vector<std::string> warnings;
 };
+
+/// Minimal JSON string escaping for warning text (quotes + backslashes +
+/// control characters; warnings are ASCII diagnostics).
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
 
 inline void write_benchmark_json(std::ostream& os,
                                  const std::string& executable,
@@ -90,6 +112,13 @@ inline void write_benchmark_json(std::ostream& os,
     os << ",\n      \"num_cpus\": " << std::thread::hardware_concurrency();
     for (const auto& [key, value] : r.counters) {
       os << ",\n      \"" << key << "\": " << value;
+    }
+    if (!r.warnings.empty()) {
+      os << ",\n      \"warnings\": [";
+      for (std::size_t w = 0; w < r.warnings.size(); ++w) {
+        os << (w > 0 ? ", " : "") << '"' << json_escape(r.warnings[w]) << '"';
+      }
+      os << ']';
     }
     os << "\n    }" << (i + 1 < records.size() ? "," : "") << '\n';
   }

@@ -14,6 +14,15 @@
 // A thread-scaling table (market_session at shards x threads combos,
 // best-of---scale-reps each) is appended unless --scale 0; it is the
 // record backing the multi-core acceptance numbers in EXPERIMENTS.md.
+// Rows whose thread count exceeds the host's CPU count measure
+// oversubscription, not speedup, so they are refused unless
+// --allow-oversubscribed is passed (and then tagged `oversubscribed` in
+// the JSON).  --assert-speedup X turns the shards=4 threads=4-vs-1 ratio
+// into a hard gate (requires >= 4 real CPUs).
+//
+// An epoch-barrier axis (the same session with adaptive epoch windows on
+// vs off, deterministic counters so one run each) is always recorded;
+// --assert-barrier-reduction X gates the crossing reduction ratio.
 //
 // A telemetry overhead axis (market_session with the obs registry live
 // versus runtime-disabled, interleaved best-of---reps) is appended unless
@@ -399,7 +408,9 @@ int usage(const char* argv0) {
                "       [--reps N] [--drop P] [--duplicate P] [--seed S]\n"
                "       [--json PATH] [--scale 0|1] [--scale-reps N]\n"
                "       [--bids-axis 0|1] [--telemetry-axis 0|1]\n"
-               "       [--assert-overhead PCT] [--assert-ns-per-message NS]\n";
+               "       [--adaptive 0|1] [--allow-oversubscribed]\n"
+               "       [--assert-overhead PCT] [--assert-ns-per-message NS]\n"
+               "       [--assert-speedup X] [--assert-barrier-reduction X]\n";
   return 2;
 }
 
@@ -417,6 +428,10 @@ int main(int argc, char** argv) {
   bool telemetry_axis = true;
   double assert_overhead = -1.0;        // < 0 disables the assertion
   double assert_ns_per_message = -1.0;  // < 0 disables the gate
+  double assert_speedup = -1.0;         // < 0 disables the gate
+  double assert_barrier_reduction = -1.0;  // < 0 disables the gate
+  bool adaptive = true;
+  bool allow_oversubscribed = false;
   double drop = 0.0;
   double duplicate = 0.0;
   std::uint64_t seed = 1;
@@ -448,6 +463,14 @@ int main(int argc, char** argv) {
       assert_overhead = std::stod(value);
     } else if (arg == "--assert-ns-per-message" && (value = next())) {
       assert_ns_per_message = std::stod(value);
+    } else if (arg == "--assert-speedup" && (value = next())) {
+      assert_speedup = std::stod(value);
+    } else if (arg == "--assert-barrier-reduction" && (value = next())) {
+      assert_barrier_reduction = std::stod(value);
+    } else if (arg == "--adaptive" && (value = next())) {
+      adaptive = std::stoull(value) != 0;
+    } else if (arg == "--allow-oversubscribed") {
+      allow_oversubscribed = true;
     } else if (arg == "--scale-reps" && (value = next())) {
       scale_reps = std::max<std::size_t>(1, std::stoull(value));
     } else if (arg == "--drop" && (value = next())) {
@@ -466,7 +489,16 @@ int main(int argc, char** argv) {
   std::vector<fnda::bench::JsonBenchRecord> records;
   const std::string size_suffix = "/" + std::to_string(clients);
 
-  if (std::thread::hardware_concurrency() <= 1) {
+  // Host caveats ride inside every JSON record (a row pasted into a
+  // report keeps its caveat), not just on stderr.
+  const unsigned num_cpus =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::string> host_warnings;
+  if (num_cpus <= 1) {
+    host_warnings.push_back(
+        "single-cpu host: multi-thread rows measure oversubscription, not "
+        "parallel speedup; treat them as lower bounds and compare across "
+        "hosts via num_cpus");
     std::cerr << "WARNING: this host exposes a single CPU; the thread-"
                  "scaling table measures\n"
                  "WARNING: oversubscription, not parallel speedup.  Treat "
@@ -517,6 +549,7 @@ int main(int argc, char** argv) {
   session.drop_probability = drop;
   session.duplicate_probability = duplicate;
   session.seed = seed;
+  session.adaptive = adaptive;
 
   const auto start = Clock::now();
   const fnda::ThroughputResult result =
@@ -537,12 +570,18 @@ int main(int argc, char** argv) {
          static_cast<double>(result.rounds * result.shards) / elapsed},
         {"trades", static_cast<double>(result.trades)},
         {"shards", static_cast<double>(result.shards)},
-        {"threads", static_cast<double>(result.threads)}}});
+        {"threads", static_cast<double>(result.threads)},
+        {"adaptive", adaptive ? 1.0 : 0.0},
+        {"epoch_epochs", static_cast<double>(result.epoch.epochs)},
+        {"epoch_barriers", static_cast<double>(result.epoch.barriers)},
+        {"epoch_widened", static_cast<double>(result.epoch.widened)}}});
   std::cout << "full session:      " << result.bus.sent << " messages, "
             << result.bids_accepted << " bids, " << result.trades
             << " trades across " << result.shards << " shards on "
             << result.threads << " thread(s) in " << elapsed << " s  ("
-            << messages_per_second << " msg/s)\n";
+            << messages_per_second << " msg/s; " << result.epoch.barriers
+            << " epoch barriers over " << result.epoch.epochs
+            << " epochs, adaptive " << (adaptive ? "on" : "off") << ")\n";
   for (std::size_t s = 0; s < result.shard_bus.size(); ++s) {
     const fnda::BusStats& stats = result.shard_bus[s];
     std::cout << "  shard " << s << ": delivered " << stats.delivered
@@ -591,6 +630,51 @@ int main(int argc, char** argv) {
       std::cerr << "session hot path " << ns_per_message
                 << " ns/message exceeds the asserted bound of "
                 << assert_ns_per_message << " ns\n";
+      return 1;
+    }
+  }
+
+  {
+    // Epoch-barrier axis: the headline workload with adaptive lookahead
+    // batching on versus off.  Barrier counts are deterministic functions
+    // of the workload (thread- and wallclock-invariant), so one run per
+    // arm suffices; one thread keeps the runs cheap.
+    fnda::ThroughputConfig arm = session;
+    arm.threads = 1;
+    fnda::ThroughputResult arms[2];
+    for (const bool on : {false, true}) {
+      arm.adaptive = on;
+      arms[on] = fnda::run_throughput_session(protocol, arm);
+    }
+    const double off_barriers = static_cast<double>(arms[0].epoch.barriers);
+    const double on_barriers =
+        static_cast<double>(std::max<std::size_t>(arms[1].epoch.barriers, 1));
+    const double reduction = off_barriers / on_barriers;
+    for (const bool on : {false, true}) {
+      const fnda::ThroughputResult& sample = arms[on];
+      fnda::bench::JsonBenchRecord record{
+          std::string("epoch_barriers/adaptive:") + (on ? "on" : "off") +
+              size_suffix,
+          static_cast<double>(sample.epoch.barriers),
+          1,
+          0.0,
+          {{"epoch_epochs", static_cast<double>(sample.epoch.epochs)},
+           {"epoch_barriers", static_cast<double>(sample.epoch.barriers)},
+           {"epoch_widened", static_cast<double>(sample.epoch.widened)},
+           {"epoch_injected", static_cast<double>(sample.epoch.injected)},
+           {"shards", static_cast<double>(arm.shards)}},
+          {}};
+      if (on) record.counters.emplace_back("barrier_reduction", reduction);
+      records.push_back(std::move(record));
+    }
+    std::cout << "epoch barriers:    adaptive off " << arms[0].epoch.barriers
+              << ", adaptive on " << arms[1].epoch.barriers << " (x"
+              << reduction << " fewer crossings)\n";
+    if (assert_barrier_reduction >= 0.0 &&
+        reduction < assert_barrier_reduction) {
+      std::cerr << "epoch barrier reduction x" << reduction
+                << " is below the asserted bound of x"
+                << assert_barrier_reduction << '\n';
       return 1;
     }
   }
@@ -673,17 +757,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool scale_rows_oversubscribed = false;
+  double scale_speedup_4 = -1.0;  // shards=4: threads=4 vs threads=1
   if (scale_table) {
     // Thread-scaling table: one-thread baseline per shard count, plus the
     // matched shards==threads run.  Best-of-N (the workload is
     // deterministic, so repetition only filters scheduler noise).
+    //
+    // A row whose thread count exceeds the host CPU count cannot measure
+    // parallel speedup — the workers time-slice one core — so it is
+    // refused outright unless --allow-oversubscribed opted in, and an
+    // allowed row is tagged so downstream reports cannot mistake it for a
+    // clean measurement.
     std::cout << "thread scaling (best of " << scale_reps << "):\n";
+    double baseline_for_shards = 0.0;
     for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2},
                                           std::size_t{4}, std::size_t{8}}) {
       for (const std::size_t thread_count :
            {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
         if (thread_count > shard_count) continue;
         if (thread_count != 1 && thread_count != shard_count) continue;
+        const bool oversubscribed = thread_count > num_cpus;
+        if (oversubscribed && !allow_oversubscribed) {
+          std::cout << "  shards " << shard_count << " threads "
+                    << thread_count << ": refused (host has " << num_cpus
+                    << " CPU(s); pass --allow-oversubscribed to record "
+                       "anyway)\n";
+          continue;
+        }
         fnda::ThroughputConfig combo = session;
         combo.shards = shard_count;
         combo.threads = thread_count;
@@ -700,18 +801,63 @@ int main(int argc, char** argv) {
         const std::string name = "market_session" + size_suffix + "/shards:" +
                                  std::to_string(shard_count) + "/threads:" +
                                  std::to_string(thread_count);
-        records.push_back(
-            {name,
-             static_cast<double>(sample.bus.sent) / best * 1e9,
-             1,
-             best,
-             {{"messages", static_cast<double>(sample.bus.sent)},
-              {"shards", static_cast<double>(shard_count)},
-              {"threads", static_cast<double>(thread_count)}}});
+        fnda::bench::JsonBenchRecord record{
+            name,
+            static_cast<double>(sample.bus.sent) / best * 1e9,
+            1,
+            best,
+            {{"messages", static_cast<double>(sample.bus.sent)},
+             {"shards", static_cast<double>(shard_count)},
+             {"threads", static_cast<double>(thread_count)},
+             {"oversubscribed", oversubscribed ? 1.0 : 0.0}},
+            {}};
+        if (thread_count == 1) baseline_for_shards = best;
+        double speedup = 0.0;
+        if (thread_count > 1 && baseline_for_shards > 0.0) {
+          speedup = best / baseline_for_shards;
+          record.counters.emplace_back("speedup_vs_1thread", speedup);
+          if (shard_count == 4 && thread_count == 4) {
+            scale_speedup_4 = speedup;
+            if (oversubscribed) scale_rows_oversubscribed = true;
+          }
+        }
+        if (oversubscribed) {
+          record.warnings.push_back(
+              "oversubscribed: " + std::to_string(thread_count) +
+              " worker threads on a " + std::to_string(num_cpus) +
+              "-CPU host; this row is not a parallel-speedup measurement");
+        }
+        records.push_back(std::move(record));
         std::cout << "  shards " << shard_count << " threads " << thread_count
-                  << ": " << best << " msg/s\n";
+                  << ": " << best << " msg/s";
+        if (speedup > 0.0) std::cout << " (x" << speedup << " vs 1 thread)";
+        if (oversubscribed) std::cout << " [oversubscribed]";
+        std::cout << '\n';
       }
     }
+  }
+  if (assert_speedup >= 0.0) {
+    if (scale_speedup_4 < 0.0) {
+      std::cerr << "--assert-speedup needs the --scale table's shards=4 "
+                   "threads=1 and threads=4 rows (table disabled or rows "
+                   "refused on this host)\n";
+      return 1;
+    }
+    if (scale_rows_oversubscribed) {
+      std::cerr << "refusing to assert speedup: the shards=4 threads=4 row "
+                   "is oversubscribed on this " << num_cpus
+                << "-CPU host, so the ratio does not measure parallel "
+                   "speedup\n";
+      return 1;
+    }
+    if (scale_speedup_4 < assert_speedup) {
+      std::cerr << "multi-core speedup x" << scale_speedup_4
+                << " (shards=4, threads=4 vs 1) is below the asserted "
+                   "bound of x" << assert_speedup << '\n';
+      return 1;
+    }
+    std::cout << "speedup gate:      x" << scale_speedup_4 << " >= x"
+              << assert_speedup << " (shards=4, threads=4 vs 1)\n";
   }
 
   if (telemetry_axis) {
@@ -833,6 +979,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (fnda::bench::JsonBenchRecord& record : records) {
+    record.warnings.insert(record.warnings.begin(), host_warnings.begin(),
+                           host_warnings.end());
+  }
   if (!fnda::bench::write_benchmark_json_file(json_path, argv[0], records)) {
     std::cerr << "failed to write " << json_path << '\n';
     return 1;

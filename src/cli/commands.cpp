@@ -5,6 +5,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/validation.h"
 #include "protocols/efficient.h"
@@ -406,6 +407,7 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
   config.drop_probability = args.get_double_or("drop", 0.0);
   config.duplicate_probability = args.get_double_or("duplicate", 0.0);
   config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  config.adaptive = args.get_int_or("adaptive", 1) != 0;
   const Money threshold = money(args.get_double_or("threshold", 50.0));
   const std::optional<std::string> metrics_out = args.get("metrics-out");
   const std::optional<std::string> metrics_json = args.get("metrics-json");
@@ -426,6 +428,19 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
     return usage_error(err,
                        "--threads must not exceed --shards (a shard is owned "
                        "by one worker; 0 = hardware concurrency)");
+  }
+
+  // Same caveat the bench embeds in its JSON `warnings` field: wall-time
+  // numbers from an oversubscribed host are not parallel speedup.
+  // --threads 0 resolves to hardware concurrency, so it never
+  // oversubscribes.
+  const unsigned num_cpus =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (config.threads > num_cpus) {
+    err << "warning: " << config.threads << " worker threads on a "
+        << num_cpus
+        << "-CPU host; throughput measures oversubscription, not parallel "
+           "speedup\n";
   }
 
   const TpdProtocol tpd(threshold);
@@ -456,6 +471,10 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
       << result.book.entries_shifted << " entries shifted, "
       << result.book.chunk_splits << " chunk splits, "
       << result.book.sorts_at_close << " sorts at close\n"
+      << "epochs: " << result.epoch.epochs << "  barrier crossings: "
+      << result.epoch.barriers << "  widened: " << result.epoch.widened
+      << "  cross-shard injected: " << result.epoch.injected
+      << "  (adaptive " << (config.adaptive ? "on" : "off") << ")\n"
       << "sim time: " << result.sim_time.micros << " us  wall: "
       << format_fixed(elapsed, 3) << " s\n"
       << "throughput: "
@@ -551,10 +570,13 @@ int cmd_help(std::ostream& out) {
          "            --metrics-json FILE --trace-out FILE (Chrome trace)\n"
          "            --trace-wallclock (wall timestamps; nondeterministic)\n"
          "            --no-telemetry (runtime-disabled baseline)\n"
-         "            prints live-book work counters (inserts, entries\n"
-         "            shifted, chunk splits, sorts at close); the scaling\n"
-         "            axes and the --assert-ns-per-message hot-path gate\n"
-         "            live in bench/market_throughput\n"
+         "            --adaptive 0|1 (adaptive epoch windows; default on)\n"
+         "            prints live-book work counters and epoch barrier\n"
+         "            crossings; warns when threads oversubscribe the\n"
+         "            host's CPUs; the scaling axes and the\n"
+         "            --assert-ns-per-message / --assert-speedup /\n"
+         "            --assert-barrier-reduction gates live in\n"
+         "            bench/market_throughput\n"
          "  metrics-dump  run a small session, dump its metrics to stdout\n"
          "            --format prom|json --clients N --rounds R\n"
          "            --shards S --threads T --seed N\n"

@@ -152,6 +152,18 @@ void MessageBus::schedule_slot(std::uint32_t slot, std::uint64_t key) {
 
 void MessageBus::forward_remote(MessageId id, AddressId from, AddressId to,
                                 std::uint32_t owner, Message payload) {
+  if (fabric_->topology() == ShardTopology::kIsolated) {
+    // The fabric declared no cross-shard links and the epoch driver has
+    // widened its windows on that basis; a send that contradicts the
+    // declaration must fail loudly (and deterministically — the send
+    // sequence is a pure function of shard-local event history) instead
+    // of arriving after the destination ran past its delivery time.
+    throw std::logic_error(
+        "MessageBus: cross-shard send to '" +
+        fabric_->addresses().name_of(to) + "' (owner shard " +
+        std::to_string(owner) + ", sender shard " + std::to_string(shard_) +
+        ") on a fabric declared ShardTopology::kIsolated");
+  }
   ++stats_.forwarded;
   RemoteEnvelope envelope;
   envelope.id = id;

@@ -4,27 +4,58 @@
 // cross-shard message taking at least `lookahead` of simulated time to
 // arrive, all events in the window [T, T + lookahead) are causally
 // independent across shards — a message sent at t >= T arrives at
-// t + lookahead, beyond the window.  So the driver repeatedly:
+// t + lookahead, beyond the window.  Each epoch is two phases separated
+// by barriers, with almost all work on the workers:
 //
-//   1. (barrier completion, single-threaded) drains every shard's inbound
-//      mailbox, sorts each inbox by (deliver_at, source_shard, sequence),
-//      injects the envelopes into the destination bus, then sets the next
-//      epoch horizon from the global minimum next-event time;
-//   2. (all workers, parallel) each worker runs its shards' queues up to
-//      the horizon, staging any cross-shard sends into mailboxes;
-//   3. workers meet at the barrier and the cycle repeats until no shard
-//      has pending events and every mailbox is empty.
+//   1. (inject phase, parallel) workers claim shards from an atomic
+//      cursor; for each claimed shard they drain its inbound mailbox,
+//      sort the inbox by (deliver_at, source_shard, sequence), inject the
+//      envelopes into the shard's bus, and publish the shard's next-event
+//      time into its lane;
+//   2. (window barrier, serial completion) the driver reduces the
+//      per-lane minima, computes the next window — fixed lookahead, or
+//      wider when the adaptive policy proves a larger causal bound — and
+//      folds stall/injection accounting;
+//   3. (run phase, parallel) workers claim shards again and run each
+//      claimed queue up to the window end, staging cross-shard sends
+//      into mailboxes;
+//   4. (drain barrier, serial completion) per-shard stall accounting;
+//      the cycle repeats until no shard has pending events and every
+//      mailbox is empty.
 //
-// Determinism: within an epoch each shard's execution is sequential on
-// its own queue, and the only cross-thread artifact — mailbox contents —
-// is re-ordered into a canonical total order before injection.  Delivery
+// Dynamic claiming doubles as load balancing: when several shards close
+// rounds at the same epoch boundary, the clearing/validation work fans
+// out across the worker pool instead of serializing behind a static
+// stride, and a worker that finishes a cheap shard immediately claims
+// the next.
+//
+// Determinism: within a phase each claimed shard is touched by exactly
+// one worker, phases are barrier-separated, and the only cross-thread
+// artifact — mailbox contents — is re-ordered into a canonical total
+// order before injection.  The adaptive window is computed from the
+// lane minima, which are a pure function of event history.  Delivery
 // order, tie-breaking, and RNG draw order are therefore bit-identical
 // for every worker count, including 1.
+//
+// Adaptive windows (on by default; see DESIGN.md §2h for the safety
+// argument):
+//   * fabric topology kIsolated, or a single shard: no cross-shard
+//     message can exist, the causal bound is infinite, and every drive
+//     collapses to one epoch that runs each shard to quiescence;
+//   * otherwise, when the two smallest shard head times m1 <= m2 are at
+//     least two lookaheads apart, only the m1-shard can execute — the
+//     window widens to min(m2 - lookahead, m1 + 2*lookahead - 1), both
+//     caps required: the first keeps every other shard idle until its
+//     own traffic is injected, the second keeps the running shard from
+//     outpacing the earliest possible response to its own sends.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
+#include <limits>
 #include <vector>
 
 #include "common/arena.h"
@@ -42,8 +73,17 @@ struct EpochShard {
 };
 
 struct EpochStats {
-  std::size_t epochs = 0;    // barrier cycles executed
+  std::size_t epochs = 0;    // windows executed
   std::size_t injected = 0;  // mailbox envelopes delivered to shard queues
+  std::size_t barriers = 0;  // barrier crossings (window + drain syncs)
+  std::size_t widened = 0;   // epochs whose window exceeded the lookahead
+
+  void merge(const EpochStats& other) {
+    epochs += other.epochs;
+    injected += other.injected;
+    barriers += other.barriers;
+    widened += other.widened;
+  }
 };
 
 /// Drives a set of per-shard event loops to quiescence on `threads`
@@ -52,49 +92,79 @@ struct EpochStats {
 class EpochDriver {
  public:
   /// `lookahead` must be a lower bound on cross-shard latency (>= 1 µs).
+  /// `adaptive` enables the wide-window policy documented above; turning
+  /// it off forces the fixed-lookahead conservative schedule (the bench's
+  /// barrier-reduction baseline).
   EpochDriver(Fabric& fabric, std::vector<EpochShard> shards,
-              SimTime lookahead);
+              SimTime lookahead, bool adaptive = true);
 
   /// Runs until every queue and mailbox is empty.  `threads` is clamped
   /// to [1, shard_count]; the calling thread is worker 0.  If a shard's
-  /// event handler throws, every worker stops at the next barrier and
-  /// the lowest-shard-index exception is rethrown here — no hang, no
+  /// event handler throws, every worker stops at the next window barrier
+  /// and the lowest-shard-index exception is rethrown here — no hang, no
   /// partial epoch on other shards beyond the one in flight.
   EpochStats drive(std::size_t threads);
 
-  /// Wires the driver into the session telemetry: cumulative epoch and
-  /// injection counters (the per-drive EpochStats struct stays the
-  /// drive() return value), a sim-time epoch-advance histogram, and a
-  /// per-shard queue-depth sample at every barrier.  In wallclock mode
-  /// the serial completion step is additionally timed into a barrier-
-  /// stall histogram — the one deliberately nondeterministic metric.
-  /// All recording happens in the single-threaded completion step.
+  /// Wires the driver into the session telemetry: cumulative epoch,
+  /// injection, barrier-crossing, and widened-window counters (the
+  /// per-drive EpochStats struct stays the drive() return value), a
+  /// sim-time epoch-advance histogram, a bounded-window-width histogram,
+  /// and a per-shard queue-depth sample at every inject phase.  In
+  /// wallclock mode the serial completion step is additionally timed
+  /// into a barrier-stall histogram and each shard's wait between
+  /// finishing its run phase and the drain barrier into a per-shard
+  /// stall histogram — the deliberately nondeterministic metrics.
   void bind_telemetry(obs::SessionTelemetry& session);
 
   SimTime lookahead() const { return lookahead_; }
+  bool adaptive() const { return adaptive_; }
 
  private:
-  /// Barrier completion step: inject mailboxes, advance the horizon.
-  void advance_epoch() noexcept;
+  /// lane.next value for a shard with an empty queue.
+  static constexpr std::int64_t kEmpty =
+      std::numeric_limits<std::int64_t>::max();
+
+  /// Per-shard state with per-phase ownership: written only by the
+  /// worker that claimed the shard in the current phase (or by the
+  /// serial completion step); barriers separate the phases.  Padded so
+  /// concurrently-claimed neighbours never share a cache line.
+  struct alignas(64) ShardLane {
+    /// Drain buffer (capacity persists across epochs, so a warm lane
+    /// allocates nothing).  The fat envelopes stay put where the drain
+    /// wrote them; ordering happens on 24-byte merge keys in the arena
+    /// and injection walks pointers.
+    std::vector<RemoteEnvelope> inbox;
+    /// Merge scratch (keys + pointer batches); reset per epoch, so
+    /// high-water tracks this shard's largest single inbox.
+    MonotonicArena arena;
+    std::int64_t next = kEmpty;     ///< queue head after injection
+    std::size_t injected = 0;       ///< envelopes injected this epoch
+    std::int64_t run_end_wall = 0;  ///< wallclock at end of run phase
+  };
+
+  /// Parallel phases (run on every worker) and serial barrier
+  /// completions (run on exactly one thread while the others are parked
+  /// inside the barrier, whose release edge publishes the writes).
+  void inject_phase() noexcept;
+  void run_phase() noexcept;
+  void advance_window() noexcept;  // window barrier completion
+  void finish_run() noexcept;      // drain barrier completion
 
   Fabric& fabric_;
   std::vector<EpochShard> shards_;
   SimTime lookahead_;
+  bool adaptive_;
 
-  // Per-drive state, written by the barrier completion step (which runs
-  // on exactly one thread while all others are blocked at the barrier —
-  // the barrier's release edge publishes it).
+  // Epoch state, written by the barrier completion steps.
   SimTime epoch_end_{};
+  SimTime epoch_start_{};
+  bool epoch_unbounded_ = false;
   bool stop_ = false;
   EpochStats stats_;
-  /// One drain buffer per shard (capacity persists across epochs, so a
-  /// warm driver's barrier step allocates nothing).  The fat envelopes
-  /// stay put where the drain wrote them; ordering happens on 24-byte
-  /// merge keys in the arena and injection walks pointers.
-  std::vector<std::vector<RemoteEnvelope>> inbox_scratch_;
-  /// Barrier-step scratch (merge keys + pointer batches); reset per
-  /// shard iteration, so high-water tracks the largest single inbox.
-  MonotonicArena merge_arena_;
+  std::deque<ShardLane> lanes_;  // deque: ShardLane is pinned (arena)
+  std::size_t workers_ = 1;
+  alignas(64) std::atomic<std::size_t> inject_claim_{0};
+  alignas(64) std::atomic<std::size_t> run_claim_{0};
   std::vector<std::exception_ptr> errors_;
   std::atomic<bool> failed_{false};
 
@@ -103,9 +173,11 @@ class EpochDriver {
   obs::SessionTelemetry* telemetry_ = nullptr;
   EpochStats lifetime_;
   obs::Histogram* epoch_advance_hist_ = nullptr;
+  obs::Histogram* window_hist_ = nullptr;         // bounded windows only
   obs::Histogram* barrier_stall_hist_ = nullptr;  // wallclock mode only
   std::vector<obs::Histogram*> depth_hists_;      // one per shard
   std::vector<obs::Gauge*> depth_peaks_;          // one per shard
+  std::vector<obs::Histogram*> shard_stall_hists_;  // wallclock mode only
   SimTime last_epoch_start_{};
   bool first_epoch_of_drive_ = true;
 };

@@ -144,6 +144,18 @@ class ShardMailbox {
   alignas(64) std::uint64_t head_ = 0;              // consumer cursor
 };
 
+/// Declared communication structure between shards.  The epoch driver
+/// derives its causal window bound from this: kAllToAll is the
+/// conservative default (any shard may message any other, so the window
+/// is bounded by the cross-shard latency floor); kIsolated declares that
+/// no cross-shard traffic exists — the identity-partitioned deployment,
+/// where every client trades on its account's home shard — letting the
+/// driver run shards to quiescence independently between barriers.  The
+/// declaration is enforced, not trusted: under kIsolated a cross-shard
+/// send throws at the sender, deterministically, instead of silently
+/// breaking the window math.
+enum class ShardTopology : std::uint8_t { kAllToAll, kIsolated };
+
 /// The shared substrate of a sharded exchange: one address space and one
 /// inbound mailbox per shard.
 class Fabric {
@@ -161,9 +173,15 @@ class Fabric {
   ShardMailbox& mailbox(std::size_t shard) { return *mailboxes_[shard]; }
   std::size_t shard_count() const { return mailboxes_.size(); }
 
+  /// Wiring-time declaration (set before workers spawn; read-only during
+  /// epochs, so a plain field is safe).
+  void set_topology(ShardTopology topology) { topology_ = topology; }
+  ShardTopology topology() const { return topology_; }
+
  private:
   AddressSpace addresses_;
   std::vector<std::unique_ptr<ShardMailbox>> mailboxes_;
+  ShardTopology topology_ = ShardTopology::kAllToAll;
 };
 
 }  // namespace fnda

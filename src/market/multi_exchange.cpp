@@ -33,6 +33,7 @@ MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
   threads_ = std::min(threads_, config_.shards);
 
   fabric_ = std::make_unique<Fabric>(config_.shards, config_.mailbox_capacity);
+  fabric_->set_topology(config_.topology);
 
   // RNG derivation order is part of the replay contract.  The seed root
   // hands out one stream for the bus layer, then one server stream per
@@ -70,7 +71,7 @@ MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
   }
   const SimTime lookahead = std::max(SimTime{1}, config_.bus.base_latency);
   driver_ = std::make_unique<EpochDriver>(*fabric_, std::move(loops),
-                                          lookahead);
+                                          lookahead, config_.adaptive_epochs);
 
   if (config_.telemetry.enabled) {
     telemetry_ = std::make_unique<obs::SessionTelemetry>(config_.shards,
@@ -161,6 +162,7 @@ std::vector<RoundId> MultiServerExchange::run_round(SimTime open_for) {
     rounds.push_back(shard.server->open_round(open_for));
   }
   last_drive_ = driver_->drive(threads_);
+  epoch_totals_.merge(last_drive_);
   return rounds;
 }
 

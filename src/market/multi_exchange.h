@@ -43,6 +43,19 @@ struct MultiExchangeConfig {
   /// a power of two).  A full mailbox drops the message, deterministically,
   /// at the sender (BusStats::mailbox_overflow).
   std::size_t mailbox_capacity = std::size_t{1} << 16;
+  /// Declared cross-shard communication structure.  The default,
+  /// kIsolated, encodes the identity-partitioned deployment contract:
+  /// every client is wired to its account's home-shard server and every
+  /// server replies to its own shard's clients, so no message ever
+  /// crosses shards — which lets the adaptive epoch driver run shards to
+  /// quiescence independently between barriers.  The declaration is
+  /// enforced (a cross-shard send throws at the sender); a deployment
+  /// that routes traffic between shards must declare kAllToAll.
+  ShardTopology topology = ShardTopology::kIsolated;
+  /// Adaptive epoch windows (see EpochDriver): widen the window to the
+  /// true causal bound when shard head times prove it safe, cutting
+  /// barrier crossings.  Off forces the fixed-lookahead schedule.
+  bool adaptive_epochs = true;
   BusConfig bus{};
   ServerConfig server{};
   ClientConfig client{};
@@ -125,6 +138,9 @@ class MultiServerExchange {
   }
   /// Epoch/injection counters from the most recent drive.
   const EpochStats& last_drive() const { return last_drive_; }
+  /// Epoch counters accumulated across every drive of this exchange —
+  /// the session-level barrier-crossing record the bench reports.
+  const EpochStats& epoch_totals() const { return epoch_totals_; }
 
   /// Session telemetry, or nullptr when the config disabled it.  Merged
   /// snapshots/traces are deterministic only on a quiescent exchange
@@ -157,6 +173,7 @@ class MultiServerExchange {
   std::unique_ptr<EpochDriver> driver_;
   std::deque<std::unique_ptr<TradingClient>> traders_;
   EpochStats last_drive_;
+  EpochStats epoch_totals_;
   std::uint64_t next_account_ = 1;  // 0 is the exchange
   std::uint64_t next_client_ = 0;
 };

@@ -21,6 +21,7 @@ ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
   mx.initial_cash = Money::from_units(
       static_cast<std::int64_t>(config.rounds + 1) * 10 + 1'000);
   mx.seed = config.seed;
+  mx.adaptive_epochs = config.adaptive;
   mx.telemetry = config.telemetry;
 
   MultiServerExchange exchange(protocol, mx);
@@ -57,6 +58,7 @@ ThroughputResult run_throughput_session(const DoubleAuctionProtocol& protocol,
   result.bus = exchange.bus_stats();
   result.shard_bus = exchange.shard_bus_stats();
   result.book = exchange.book_stats();
+  result.epoch = exchange.epoch_totals();
   if (const obs::SessionTelemetry* telemetry = exchange.telemetry()) {
     result.metrics = telemetry->merged_snapshot();
     result.trace = telemetry->flush_trace();

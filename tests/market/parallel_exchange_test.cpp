@@ -5,6 +5,7 @@
 // count, equal to the pre-change engines at equal seeds — and failure
 // modes (full mailboxes, throwing handlers) stay deterministic and
 // propagate cleanly.
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -48,11 +49,13 @@ constexpr GoldenRound kGoldenRounds[4] = {
 
 MultiServerExchange make_golden_exchange(const TpdProtocol& tpd,
                                          std::size_t threads,
+                                         bool adaptive = true,
                                          std::size_t mailbox_capacity =
                                              std::size_t{1} << 16) {
   MultiExchangeConfig config;
   config.shards = 4;
   config.threads = threads;
+  config.adaptive_epochs = adaptive;
   config.mailbox_capacity = mailbox_capacity;
   config.seed = 42;
   config.bus.base_latency = SimTime{1000};
@@ -81,11 +84,16 @@ std::uint64_t fill_hash(const Outcome& outcome) {
   return hash;
 }
 
-class GoldenDigestTest : public ::testing::TestWithParam<std::size_t> {};
+// (threads, adaptive): the digest must hold for every worker count with
+// adaptive epoch windows on AND off — widening may only change *when*
+// events run relative to the barriers, never what they compute.
+class GoldenDigestTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
 
 TEST_P(GoldenDigestTest, MatchesPreChangeEngine) {
+  const auto [threads, adaptive] = GetParam();
   const TpdProtocol tpd(money(50));
-  MultiServerExchange exchange = make_golden_exchange(tpd, GetParam());
+  MultiServerExchange exchange = make_golden_exchange(tpd, threads, adaptive);
 
   for (std::size_t r = 0; r < 3; ++r) {
     const std::vector<RoundId> rounds = exchange.run_round();
@@ -131,8 +139,11 @@ TEST_P(GoldenDigestTest, MatchesPreChangeEngine) {
 }
 
 // threads > shards exercises the clamp; the engine must not care.
-INSTANTIATE_TEST_SUITE_P(ThreadCounts, GoldenDigestTest,
-                         ::testing::Values(1u, 2u, 8u));
+INSTANTIATE_TEST_SUITE_P(
+    ThreadCounts, GoldenDigestTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}),
+                       ::testing::Bool()));
 
 // ---------------------------------------------------------------------------
 // Full bit-identity across thread counts, on a lossy/jittery bus so every
@@ -533,6 +544,148 @@ TEST(ParallelExchangeTest, DriverRecoversAfterFailure) {
   queue.schedule_at(SimTime{2}, [&] { ran = true; });
   driver.drive(1);
   EXPECT_TRUE(ran);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch accounting: barrier crossings are a deterministic function of the
+// workload — identical at every thread count — and the adaptive window
+// policy must cut them at least in half on the identity-partitioned
+// default workload without changing one observable output.
+
+TEST(ParallelExchangeTest, EpochStatsThreadInvariantAndAdaptiveCutsBarriers) {
+  const TpdProtocol tpd(money(50));
+  ThroughputConfig config;
+  config.clients = 240;
+  config.rounds = 3;
+  config.shards = 4;
+  config.seed = 5;
+
+  ThroughputResult base;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    const ThroughputResult result = run_throughput_session(tpd, config);
+    if (threads == 1u) {
+      base = result;
+      continue;
+    }
+    EXPECT_EQ(result.epoch.epochs, base.epoch.epochs) << "threads=" << threads;
+    EXPECT_EQ(result.epoch.barriers, base.epoch.barriers)
+        << "threads=" << threads;
+    EXPECT_EQ(result.epoch.widened, base.epoch.widened)
+        << "threads=" << threads;
+    EXPECT_EQ(result.epoch.injected, base.epoch.injected)
+        << "threads=" << threads;
+  }
+
+  config.threads = 1;
+  config.adaptive = false;
+  const ThroughputResult fixed = run_throughput_session(tpd, config);
+  EXPECT_EQ(fixed.epoch.widened, 0u);
+  EXPECT_GE(fixed.epoch.barriers, 2 * base.epoch.barriers)
+      << "adaptive windows must cut barrier crossings at least in half";
+  // Same outputs either way: widening only moves barriers, not events.
+  EXPECT_EQ(fixed.bids_accepted, base.bids_accepted);
+  EXPECT_EQ(fixed.trades, base.trades);
+  EXPECT_EQ(fixed.sim_time, base.sim_time);
+  EXPECT_EQ(fixed.bus.sent, base.bus.sent);
+}
+
+// ---------------------------------------------------------------------------
+// The kIsolated topology declaration is enforced, not trusted: a
+// cross-shard send on a fabric declared isolated throws at the sender —
+// deterministically, on every thread count — instead of silently breaking
+// the unbounded-window math.
+
+TEST(ParallelExchangeTest, IsolatedTopologyRejectsCrossShardSends) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    Fabric fabric(2, 64);
+    fabric.set_topology(ShardTopology::kIsolated);
+    EventQueue queue_a;
+    EventQueue queue_b;
+    MessageBus bus_a(queue_a, BusConfig{}, Rng(3), fabric, 0);
+    MessageBus bus_b(queue_b, BusConfig{}, Rng(4), fabric, 1);
+
+    FloodSource source;
+    FloodSource sink;
+    const AddressId from = bus_a.attach("source", source);
+    const AddressId to = bus_b.attach("sink", sink);
+    queue_a.schedule_at(SimTime{1}, [&] {
+      bus_a.send(from, to, RoundOpenMsg{RoundId{0}, SimTime{1}});
+    });
+
+    EpochDriver driver(fabric, {{&queue_a, &bus_a}, {&queue_b, &bus_b}},
+                       SimTime{1000});
+    EXPECT_THROW(driver.drive(threads), std::logic_error)
+        << "threads=" << threads;
+  }
+}
+
+// Same-shard traffic on an isolated fabric stays legal, and the adaptive
+// driver collapses the whole drive into one unbounded epoch (3 barrier
+// crossings: window, drain, final window) instead of stepping
+// lookahead-sized windows across the event horizon.
+
+TEST(ParallelExchangeTest, IsolatedTopologyCollapsesToOneEpoch) {
+  Fabric fabric(2, 64);
+  fabric.set_topology(ShardTopology::kIsolated);
+  EventQueue queue_a;
+  EventQueue queue_b;
+  MessageBus bus_a(queue_a, BusConfig{}, Rng(3), fabric, 0);
+  MessageBus bus_b(queue_b, BusConfig{}, Rng(4), fabric, 1);
+
+  std::vector<std::int64_t> ran_a;
+  std::vector<std::int64_t> ran_b;
+  for (std::int64_t t = 10; t <= 50'010; t += 5'000) {
+    queue_a.schedule_at(SimTime{t}, [&ran_a, t] { ran_a.push_back(t); });
+    queue_b.schedule_at(SimTime{t + 3}, [&ran_b, t] {
+      ran_b.push_back(t + 3);
+    });
+  }
+
+  EpochDriver driver(fabric, {{&queue_a, &bus_a}, {&queue_b, &bus_b}},
+                     SimTime{1000});
+  const EpochStats stats = driver.drive(2);
+  EXPECT_EQ(stats.epochs, 1u);
+  EXPECT_EQ(stats.barriers, 3u);
+  EXPECT_EQ(stats.widened, 1u);
+  EXPECT_EQ(ran_a.size(), 11u);
+  EXPECT_EQ(ran_b.size(), 11u);
+  EXPECT_TRUE(std::is_sorted(ran_a.begin(), ran_a.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Gap widening on a connected fabric: when the two smallest shard heads
+// are >= 2 lookaheads apart, the window stretches to
+// min(m2 - L, m1 + 2L - 1) — fewer epochs than the fixed schedule, same
+// events in the same order.
+
+TEST(ParallelExchangeTest, AdaptiveWindowWidensAcrossIdleGaps) {
+  EpochStats stats[2];
+  std::vector<std::int64_t> ran[2];
+  for (const bool adaptive : {false, true}) {
+    Fabric fabric(2, 64);  // kAllToAll: cross-shard traffic stays legal
+    EventQueue queue_a;
+    EventQueue queue_b;
+    MessageBus bus_a(queue_a, BusConfig{}, Rng(3), fabric, 0);
+    MessageBus bus_b(queue_b, BusConfig{}, Rng(4), fabric, 1);
+
+    // Shard A: a burst of local work; shard B: one far-future event, so
+    // m2 - m1 >= 2L holds throughout A's burst.
+    std::vector<std::int64_t>& log = ran[adaptive];
+    for (std::int64_t t = 10; t < 9'710; t += 500) {
+      queue_a.schedule_at(SimTime{t}, [&log, t] { log.push_back(t); });
+    }
+    queue_b.schedule_at(SimTime{100'000}, [&log] { log.push_back(100'000); });
+
+    EpochDriver driver(fabric, {{&queue_a, &bus_a}, {&queue_b, &bus_b}},
+                       SimTime{1000}, adaptive);
+    stats[adaptive] = driver.drive(1);
+  }
+  EXPECT_EQ(ran[0], ran[1]);
+  EXPECT_EQ(stats[0].widened, 0u);
+  EXPECT_GT(stats[1].widened, 0u);
+  EXPECT_LT(stats[1].epochs, stats[0].epochs);
+  EXPECT_LT(stats[1].barriers, stats[0].barriers);
 }
 
 // ---------------------------------------------------------------------------
