@@ -79,6 +79,18 @@ inline std::string json_escape(const std::string& text) {
   return out;
 }
 
+/// The library build flavour baked into this binary.  Stamped into the
+/// context block AND every record: a single row pasted into a report must
+/// carry its own provenance, because a debug-built measurement is not a
+/// measurement.
+inline const char* library_build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 inline void write_benchmark_json(std::ostream& os,
                                  const std::string& executable,
                                  const std::vector<JsonBenchRecord>& records) {
@@ -91,11 +103,7 @@ inline void write_benchmark_json(std::ostream& os,
      << "    \"date\": \"" << date << "\",\n"
      << "    \"executable\": \"" << executable << "\",\n"
      << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
-#ifdef NDEBUG
-     << "    \"library_build_type\": \"release\"\n"
-#else
-     << "    \"library_build_type\": \"debug\"\n"
-#endif
+     << "    \"library_build_type\": \"" << library_build_type() << "\"\n"
      << "  },\n  \"benchmarks\": [\n";
   os << std::setprecision(15);
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -107,16 +115,27 @@ inline void write_benchmark_json(std::ostream& os,
        << "      \"real_time\": " << r.real_time_ns << ",\n"
        << "      \"time_unit\": \"ns\",\n"
        << "      \"items_per_second\": " << r.items_per_second;
-    // Every record repeats num_cpus so a single row pasted into a report
-    // still carries the host shape (the context block is easy to lose).
+    // Every record repeats num_cpus and the build flavour so a single row
+    // pasted into a report still carries the host and build shape (the
+    // context block is easy to lose).
     os << ",\n      \"num_cpus\": " << std::thread::hardware_concurrency();
+    os << ",\n      \"library_build_type\": \"" << library_build_type()
+       << '"';
     for (const auto& [key, value] : r.counters) {
       os << ",\n      \"" << key << "\": " << value;
     }
-    if (!r.warnings.empty()) {
+    // A debug build invalidates every timing in the file; say so on every
+    // record, in the same structured shape as measurement caveats.
+    std::vector<std::string> warnings = r.warnings;
+#ifndef NDEBUG
+    warnings.push_back(
+        "library built without NDEBUG (debug): timings are not "
+        "representative, regenerate from a Release build");
+#endif
+    if (!warnings.empty()) {
       os << ",\n      \"warnings\": [";
-      for (std::size_t w = 0; w < r.warnings.size(); ++w) {
-        os << (w > 0 ? ", " : "") << '"' << json_escape(r.warnings[w]) << '"';
+      for (std::size_t w = 0; w < warnings.size(); ++w) {
+        os << (w > 0 ? ", " : "") << '"' << json_escape(warnings[w]) << '"';
       }
       os << ']';
     }

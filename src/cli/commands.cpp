@@ -22,6 +22,7 @@
 #include "obs/trace.h"
 #include "mechanism/dynamics.h"
 #include "mechanism/manipulation.h"
+#include "mechanism/search_telemetry.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
 #include "sim/threshold_search.h"
@@ -276,6 +277,108 @@ int cmd_attack(const ArgParser& args, std::istream& in, std::ostream& out,
     out << "VERDICT: manipulable (profitable deviation found)\n";
   } else {
     out << "VERDICT: truthful play is optimal here\n";
+  }
+  return 0;
+}
+
+int cmd_attack_search(const ArgParser& args, std::istream& in,
+                      std::ostream& out, std::ostream& err) {
+  const ProtocolPtr protocol = make_protocol(args);
+  const std::string manipulator_spec = args.get_or("manipulator", "");
+  const auto max_declarations =
+      static_cast<std::size_t>(args.get_int_or("max-declarations", 2));
+  const auto threads = static_cast<std::size_t>(args.get_int_or("threads", 1));
+  const auto replicates =
+      static_cast<std::size_t>(args.get_int_or("replicates", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0x5eed));
+  const bool serial = args.get_int_or("serial", 0) != 0;
+  const bool prune = args.get_int_or("prune", 1) != 0;
+  const std::string metrics_out = args.get_or("metrics-out", "");
+  std::string text;
+  if (!slurp_book(args, in, err, &text)) return 1;
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+
+  const auto colon = manipulator_spec.find(':');
+  if (colon == std::string::npos) {
+    return usage_error(err,
+                       "--manipulator must be side:index, e.g. seller:2");
+  }
+  const std::string side_text = manipulator_spec.substr(0, colon);
+  Side role;
+  if (side_text == "buyer") {
+    role = Side::kBuyer;
+  } else if (side_text == "seller") {
+    role = Side::kSeller;
+  } else {
+    return usage_error(err, "--manipulator side must be buyer or seller");
+  }
+  const auto index = static_cast<std::size_t>(
+      std::strtoull(manipulator_spec.c_str() + colon + 1, nullptr, 10));
+
+  const OrderBook book = read_book_csv(text);
+  SingleUnitInstance instance;
+  for (const BidEntry& entry : book.buyers()) {
+    instance.buyer_values.push_back(entry.value);
+  }
+  for (const BidEntry& entry : book.sellers()) {
+    instance.seller_values.push_back(entry.value);
+  }
+
+  EvalConfig eval;
+  eval.replicates = replicates;
+  eval.seed = seed;
+  const DeviationEvaluator evaluator(*protocol, instance, {role, index}, eval);
+  SearchConfig search;
+  search.max_declarations = max_declarations;
+  search.threads = threads;
+  search.prune = prune;
+  const SearchResult result = serial
+                                  ? find_best_deviation_serial(evaluator,
+                                                               search)
+                                  : find_best_deviation(evaluator, search);
+  const SearchStats& stats = result.stats;
+
+  out << "protocol: " << protocol->name() << "\n"
+      << "engine: " << (serial ? "serial reference" : "parallel pruned")
+      << ", threads used: " << stats.threads_used << "\n"
+      << "manipulator: " << side_text << " #" << index << " (true value "
+      << evaluator.true_value() << ")\n"
+      << "candidates: " << stats.strategies_enumerated << " enumerated, "
+      << stats.strategies_evaluated << " evaluated, "
+      << stats.pruned_by_bound + stats.pruned_in_subtree << " pruned ("
+      << stats.pruned_by_bound << " leaf, " << stats.pruned_in_subtree
+      << " subtree), " << stats.dedup_skipped << " dedup-skipped"
+      << (result.truncated ? ", truncated" : "") << "\n"
+      << "positions: " << stats.fast_positions << " fast, "
+      << stats.clears_performed << " full clears\n";
+  if (stats.bound_slack_samples > 0) {
+    out << "mean bound slack: "
+        << format_fixed(static_cast<double>(stats.bound_slack_micros) /
+                            (1e6 * static_cast<double>(
+                                       stats.bound_slack_samples)),
+                        4)
+        << "\n";
+  }
+  out << "wall time: " << stats.wall_time_ns / 1000 << " us\n"
+      << "truthful utility: " << format_fixed(result.truthful_utility, 4)
+      << "\n"
+      << "best deviation:   " << format_fixed(result.best_utility, 4)
+      << "  via " << result.best_strategy.to_string() << "\n";
+  if (result.profitable()) {
+    out << "VERDICT: manipulable (profitable deviation found)\n";
+  } else {
+    out << "VERDICT: truthful play is optimal here\n";
+  }
+
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry registry;
+    bind_search_metrics(registry, stats);
+    std::ofstream file(metrics_out);
+    if (!file) {
+      err << "error: cannot write " << metrics_out << '\n';
+      return 1;
+    }
+    obs::write_prometheus(file, registry.snapshot());
   }
   return 0;
 }
@@ -555,6 +658,14 @@ int cmd_help(std::ostream& out) {
          "  attack    exhaustive deviation search for one participant\n"
          "            --book FILE --manipulator buyer:0|seller:2\n"
          "            --protocol ... --max-declarations D\n"
+         "  attack-search  the parallel pruned search engine with full\n"
+         "            coverage counters (pruning, fast positions, slack)\n"
+         "            --book FILE --manipulator buyer:0|seller:2\n"
+         "            --protocol ... --max-declarations D --threads T\n"
+         "            (0 = hardware concurrency; result is identical for\n"
+         "            every T) --replicates R --seed N --prune 0|1\n"
+         "            --serial 1 (run the reference oracle instead)\n"
+         "            --metrics-out FILE (Prometheus text)\n"
          "  dynamics  iterated best response over the book's traders\n"
          "            --book FILE --protocol ... --sweeps N\n"
          "  sweep     TPD threshold sweep (Figure 1 series, CSV)\n"
@@ -594,6 +705,9 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "clear-multi") return cmd_clear_multi(parsed, in, out, err);
     if (command == "simulate") return cmd_simulate(parsed, out, err);
     if (command == "attack") return cmd_attack(parsed, in, out, err);
+    if (command == "attack-search") {
+      return cmd_attack_search(parsed, in, out, err);
+    }
     if (command == "dynamics") return cmd_dynamics(parsed, in, out, err);
     if (command == "sweep") return cmd_sweep(parsed, out, err);
     if (command == "optimize") return cmd_optimize(parsed, out, err);

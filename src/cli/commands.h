@@ -7,6 +7,11 @@
 //                    [--protocol ...] [--instances N]
 //   fnda attack      --book bids.csv --manipulator buyer:0 [--protocol ...]
 //                    (exhaustive deviation search incl. false names)
+//   fnda attack-search --book bids.csv --manipulator buyer:0
+//                    [--protocol ... --threads T --replicates R --seed N]
+//                    [--prune 0|1 --serial 1 --metrics-out FILE]
+//                    (the parallel pruned engine with coverage counters;
+//                    bit-identical result for every thread count)
 //   fnda dynamics    --book bids.csv [--protocol ...] [--sweeps N]
 //                    (iterated best response; Section 8's deliberation)
 //   fnda sweep    --participants 500 [--step 5] [--instances N]   (Figure 1)
@@ -40,6 +45,8 @@ int cmd_clear_multi(const ArgParser& args, std::istream& in,
 int cmd_simulate(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmd_attack(const ArgParser& args, std::istream& in, std::ostream& out,
                std::ostream& err);
+int cmd_attack_search(const ArgParser& args, std::istream& in,
+                      std::ostream& out, std::ostream& err);
 int cmd_dynamics(const ArgParser& args, std::istream& in, std::ostream& out,
                  std::ostream& err);
 int cmd_sweep(const ArgParser& args, std::ostream& out, std::ostream& err);

@@ -80,6 +80,30 @@ void SortedBook::assign_ranked(const ValueDomain& domain,
   sellers_.assign(sellers_ascending.begin(), sellers_ascending.end());
 }
 
+void SortedBook::insert_ranked(Side side, const BidEntry& entry,
+                               std::size_t index) {
+  auto& lane = side == Side::kBuyer ? buyers_ : sellers_;
+  if (index > lane.size()) {
+    throw std::out_of_range("SortedBook::insert_ranked: index out of range");
+  }
+  // The neighbours must tolerate the new value in ranked order.
+  assert(index == 0 || (side == Side::kBuyer
+                            ? !(lane[index - 1].value < entry.value)
+                            : !(lane[index - 1].value > entry.value)));
+  assert(index == lane.size() || (side == Side::kBuyer
+                                      ? !(entry.value < lane[index].value)
+                                      : !(entry.value > lane[index].value)));
+  lane.insert(lane.begin() + static_cast<std::ptrdiff_t>(index), entry);
+}
+
+void SortedBook::erase_ranked(Side side, std::size_t index) {
+  auto& lane = side == Side::kBuyer ? buyers_ : sellers_;
+  if (index >= lane.size()) {
+    throw std::out_of_range("SortedBook::erase_ranked: index out of range");
+  }
+  lane.erase(lane.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
 Money SortedBook::buyer_value(std::size_t rank) const {
   if (rank == 0 || rank > buyers_.size() + 1) {
     throw std::out_of_range("SortedBook::buyer_value: rank out of range");

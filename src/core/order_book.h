@@ -96,6 +96,20 @@ class SortedBook {
                      const std::vector<BidEntry>& buyers_descending,
                      const std::vector<BidEntry>& sellers_ascending);
 
+  /// Incremental-maintenance escape hatch: inserts `entry` at 0-based
+  /// `index` in the chosen lane.  The caller vouches that the position
+  /// keeps the lane ranked (buyers descending, sellers ascending) — e.g.
+  /// a uniformly random slot within the entry's equal-value run, which is
+  /// how the manipulation-search engine patches a shared residual ranking
+  /// per candidate instead of re-copying both lanes.  Debug builds assert
+  /// the neighbours.
+  void insert_ranked(Side side, const BidEntry& entry, std::size_t index);
+
+  /// Removes the entry at 0-based `index` from the chosen lane, exactly
+  /// undoing a matching `insert_ranked` (entries are PODs, so the lane is
+  /// restored bit-for-bit).
+  void erase_ranked(Side side, std::size_t index);
+
   std::size_t buyer_count() const { return buyers_.size(); }   // m
   std::size_t seller_count() const { return sellers_.size(); }  // n
 

@@ -1,8 +1,15 @@
 #include "mechanism/manipulation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <limits>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace fnda {
 namespace {
@@ -172,10 +179,625 @@ std::vector<Money> candidate_values(const SingleUnitInstance& instance,
   return {grid.begin(), grid.end()};
 }
 
+void SearchStats::merge_from(const SearchStats& other) {
+  strategies_enumerated += other.strategies_enumerated;
+  strategies_evaluated += other.strategies_evaluated;
+  pruned_by_bound += other.pruned_by_bound;
+  pruned_in_subtree += other.pruned_in_subtree;
+  dedup_skipped += other.dedup_skipped;
+  clears_performed += other.clears_performed;
+  fast_positions += other.fast_positions;
+  bound_slack_micros += other.bound_slack_micros;
+  bound_slack_samples += other.bound_slack_samples;
+  // wall_time_ns and threads_used describe the whole run, not a part;
+  // the engine sets them once after the merge.
+}
+
+// ---------------------------------------------------------------------------
+// The parallel pruned engine.
+//
+// Candidate space (identical to enumerate_strategies): the empty strategy
+// first when allowed, then declaration multisets of size 1..S over the
+// alphabet {buyer, seller} x grid, as non-decreasing index tuples in lex
+// order.  The canonical-multiset form IS the dedup: the n^s ordered
+// tuples per size collapse to C(n+s-1, s) value-permutation classes.
+//
+// Partition: a slice is every tuple of one size sharing its first
+// alphabet index — a contiguous run of the serial order whose length is a
+// closed-form multiset count.  Slices are grouped, still in serial order,
+// into at most 64 blocks of roughly equal leaf count; workers claim
+// blocks through an atomic cursor.  Each block keeps a BLOCK-LOCAL prune
+// incumbent seeded from max(truthful, absence) only — never from another
+// block — so which candidates get pruned is a function of the partition
+// alone, not of thread timing.  The final best response is folded in
+// block order with a strictly-greater test, which reproduces the serial
+// scan's first-strict-improvement winner exactly (a pruned candidate has
+// bound <= its block incumbent <= the final best, so it can never be the
+// serial first achiever: the incumbent it lost to comes earlier in
+// serial order and already achieved at least its utility).
+//
+// Within a block, candidates are evaluated incrementally: each worker
+// keeps one SortedBook per replicate holding residual + current prefix,
+// patched with insert_ranked/erase_ranked per tree edge instead of
+// re-copying both lanes per candidate.  Per-depth rng checkpoints replay
+// the serial per-candidate insertion stream exactly (the serial path
+// re-seeds from insert_seed per candidate, so the draw trajectory of a
+// tuple depends only on its own prefix).  Positions of own declarations
+// are tracked through the inserts, which lets protocols with
+// rank-statistic pricing answer through account_position — no Outcome,
+// no hashing — with a full clear_sorted fallback for the rest.
+// ---------------------------------------------------------------------------
+namespace {
+
+constexpr std::uint64_t kCountMax = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kCountMax - b ? kCountMax : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kCountMax / b ? kCountMax : a * b;
+}
+
+/// Number of size-`size` multisets over `symbols` symbols:
+/// C(symbols + size - 1, size), saturating.  The stepwise product
+/// C(n-1+i, i) = C(n-2+i, i-1) * (n-1+i) / i divides exactly at every
+/// step.
+std::uint64_t multiset_count(std::uint64_t symbols, std::uint64_t size) {
+  if (size == 0) return 1;
+  if (symbols == 0) return 0;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= size; ++i) {
+    const std::uint64_t mult = symbols - 1 + i;
+    if (result > kCountMax / mult) return kCountMax;
+    result = result * mult / i;
+  }
+  return result;
+}
+
+/// One contiguous run of the serial tuple order: all size-`size` tuples
+/// whose first alphabet index is `first`.
+struct Slice {
+  std::size_t size = 0;
+  std::size_t first = 0;
+  std::uint64_t start = 0;  // serial tuple index of the slice's first leaf
+  std::uint64_t leaves = 0;
+};
+
+struct BlockOutcome {
+  bool has_best = false;
+  double best_utility = 0.0;
+  Strategy best_strategy;
+  SearchStats stats;
+};
+
+/// Everything immutable the workers share.
+struct SearchContext {
+  const DeviationEvaluator* evaluator = nullptr;
+  const UtilityModel* utility = nullptr;
+  Side role = Side::kBuyer;
+  Money true_value;
+  ValueDomain domain;
+  std::uint64_t bid_base = 0;
+  std::size_t max_declarations = 0;
+  std::vector<Declaration> alphabet;
+  std::vector<char> tradable;   // can this declaration ever fill?
+  std::vector<char> suffix_tb;  // tradable buy at index >= i exists
+  std::vector<char> suffix_ts;  // tradable sell at index >= i exists
+  std::vector<Slice> slices;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [first, last)
+  std::uint64_t tuple_cap = 0;  // tuples the serial order would consider
+  double base_utility = 0.0;    // max(truthful, absence) — incumbent seed
+  bool bracket_usable = false;  // bracket valid AND bound preconditions hold
+  bool prune = false;           // bracket_usable && config.prune
+  double floor_units = 0.0;     // bracket.buy_floor, currency units
+  double ceiling_units = 0.0;   // bracket.sell_ceiling, currency units
+};
+
+/// Sound utility upper bound for any candidate whose declarations contain
+/// a tradable buy (tb) / tradable sell (ts), given the price bracket.
+/// Preconditions (checked once per search before enabling the bracket):
+/// buy_floor >= 0 and penalty >= sell_ceiling, which make every extra buy
+/// and every failed delivery weakly utility-decreasing.  The bound is
+/// monotone in (tb, ts), so evaluating it with "could any completion of
+/// this prefix contain one" yields a sound subtree bound.
+double strategy_bound(const SearchContext& ctx, bool tb, bool ts) {
+  if (ctx.role == Side::kBuyer) {
+    // Best case: one buy at the floor.  Sells are failed deliveries and
+    // net at most ceiling - penalty <= 0 each.
+    return tb ? std::max(0.0, ctx.true_value.to_double() - ctx.floor_units)
+              : 0.0;
+  }
+  // Seller: without a tradable sell no fill can pay the account
+  // (tradable buys alone cost at least the floor each).
+  if (!ts) return 0.0;
+  double bound = std::max(0.0, ctx.ceiling_units - ctx.true_value.to_double());
+  if (tb) {
+    // Wash trade: deliver the bought unit instead of the endowment —
+    // receives at most the ceiling, pays at least the floor.  This is the
+    // VCG-deficit exploit, and it is why the bound needs the tb term.
+    bound = std::max(bound, ctx.ceiling_units - ctx.floor_units);
+  }
+  return bound;
+}
+
+/// Per-worker search state: one incrementally patched SortedBook (and rng
+/// checkpoint ladder) per replicate.  Everything here is private to the
+/// worker; the shared residual rankings are only read.
+class BlockWorker {
+ public:
+  explicit BlockWorker(const SearchContext& ctx) : ctx_(ctx) {}
+
+  void run_block(std::size_t first_slice, std::size_t last_slice,
+                 BlockOutcome* out) {
+    ensure_books();
+    out_ = out;
+    incumbent_ = ctx_.base_utility;
+    for (std::size_t s = first_slice; s < last_slice; ++s) {
+      const Slice& slice = ctx_.slices[s];
+      if (slice.start >= ctx_.tuple_cap) break;
+      cursor_ = slice.start;
+      tradable_buys_ = 0;
+      tradable_sells_ = 0;
+      stack_.clear();
+      // The slice's first element is fixed; deeper levels range freely.
+      if (!dfs(0, slice.first, slice.first + 1, slice.size)) break;
+    }
+  }
+
+ private:
+  struct OwnPos {
+    Side side = Side::kBuyer;
+    std::size_t index = 0;  // current 0-based index in its lane
+  };
+
+  struct Rep {
+    SortedBook book;               // residual + current prefix
+    std::vector<Rng> checkpoints;  // [d] = insert stream before depth d
+    std::vector<OwnPos> positions;
+  };
+
+  void ensure_books() {
+    if (initialized_) return;
+    const auto& residuals = ctx_.evaluator->residual_rankings();
+    reps_.resize(residuals.size());
+    for (std::size_t t = 0; t < residuals.size(); ++t) {
+      reps_[t].book.assign_ranked(ctx_.domain, residuals[t].buyers,
+                                  residuals[t].sellers);
+      reps_[t].checkpoints.assign(ctx_.max_declarations + 1, Rng{});
+      reps_[t].checkpoints[0] = Rng(residuals[t].insert_seed);
+      reps_[t].positions.assign(ctx_.max_declarations, OwnPos{});
+    }
+    own_scratch_.reserve(ctx_.max_declarations);
+    initialized_ = true;
+  }
+
+  /// Visits every tuple extending the current prefix with indices in
+  /// [lo, hi) at `depth`, in serial order.  Returns false once the
+  /// considered-candidate cap is reached (callers unwind and stop).
+  bool dfs(std::size_t depth, std::size_t lo, std::size_t hi,
+           std::size_t size) {
+    const std::size_t n = ctx_.alphabet.size();
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      if (cursor_ >= ctx_.tuple_cap) return false;
+      const std::uint64_t subtree =
+          multiset_count(n - idx, size - depth - 1);
+      const Declaration& decl = ctx_.alphabet[idx];
+      const bool decl_tb = decl.side == Side::kBuyer && ctx_.tradable[idx];
+      const bool decl_ts = decl.side == Side::kSeller && ctx_.tradable[idx];
+      double bound = 0.0;
+      if (ctx_.bracket_usable) {
+        // Optimistic class availability over every completion: the
+        // prefix, this declaration, and (below leaf level) anything at
+        // index >= idx.  At a leaf this is the tuple's exact bound.
+        const bool deeper = size - depth - 1 > 0;
+        const bool tb = tradable_buys_ > 0 || decl_tb ||
+                        (deeper && ctx_.suffix_tb[idx]);
+        const bool ts = tradable_sells_ > 0 || decl_ts ||
+                        (deeper && ctx_.suffix_ts[idx]);
+        bound = strategy_bound(ctx_, tb, ts);
+        if (ctx_.prune && bound <= incumbent_) {
+          // The whole subtree is dominated: no completion can strictly
+          // beat the incumbent, which sits earlier in serial order.
+          const std::uint64_t considered =
+              std::min<std::uint64_t>(subtree, ctx_.tuple_cap - cursor_);
+          if (depth + 1 == size) {
+            out_->stats.pruned_by_bound += considered;
+          } else {
+            out_->stats.pruned_in_subtree += considered;
+          }
+          cursor_ = sat_add(cursor_, subtree);
+          continue;
+        }
+      }
+
+      stack_.push_back(idx);
+      insert_depth(depth, decl);
+      tradable_buys_ += decl_tb ? 1 : 0;
+      tradable_sells_ += decl_ts ? 1 : 0;
+      bool keep_going = true;
+      if (depth + 1 == size) {
+        const double utility = evaluate_leaf(size);
+        ++out_->stats.strategies_evaluated;
+        if (ctx_.bracket_usable) {
+          const std::int64_t slack =
+              std::llround((bound - utility) * 1e6);
+          out_->stats.bound_slack_micros += std::max<std::int64_t>(0, slack);
+          ++out_->stats.bound_slack_samples;
+        }
+        if (utility > incumbent_) {
+          incumbent_ = utility;
+          out_->has_best = true;
+          out_->best_utility = utility;
+          out_->best_strategy.declarations.clear();
+          for (std::size_t chosen : stack_) {
+            out_->best_strategy.declarations.push_back(ctx_.alphabet[chosen]);
+          }
+        }
+        ++cursor_;
+      } else {
+        keep_going = dfs(depth + 1, idx, n, size);
+      }
+      tradable_buys_ -= decl_tb ? 1 : 0;
+      tradable_sells_ -= decl_ts ? 1 : 0;
+      erase_depth(depth);
+      stack_.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  /// Merges `decl` into every replicate's book at the position the serial
+  /// evaluator's insert stream would choose, and records it.
+  void insert_depth(std::size_t depth, const Declaration& decl) {
+    const BidEntry entry{BidId{ctx_.bid_base + depth},
+                         IdentityId{kExtraIdentityBase + depth}, decl.value};
+    for (Rep& rep : reps_) {
+      Rng rng = rep.checkpoints[depth];
+      const auto& lane = decl.side == Side::kBuyer ? rep.book.buyers()
+                                                   : rep.book.sellers();
+      std::size_t lo;
+      std::size_t hi;
+      if (decl.side == Side::kBuyer) {
+        lo = static_cast<std::size_t>(
+            std::lower_bound(lane.begin(), lane.end(), decl.value,
+                             [](const BidEntry& e, Money v) {
+                               return e.value > v;
+                             }) -
+            lane.begin());
+        hi = static_cast<std::size_t>(
+            std::upper_bound(lane.begin() + static_cast<std::ptrdiff_t>(lo),
+                             lane.end(), decl.value,
+                             [](Money v, const BidEntry& e) {
+                               return v > e.value;
+                             }) -
+            lane.begin());
+      } else {
+        lo = static_cast<std::size_t>(
+            std::lower_bound(lane.begin(), lane.end(), decl.value,
+                             [](const BidEntry& e, Money v) {
+                               return e.value < v;
+                             }) -
+            lane.begin());
+        hi = static_cast<std::size_t>(
+            std::upper_bound(lane.begin() + static_cast<std::ptrdiff_t>(lo),
+                             lane.end(), decl.value,
+                             [](Money v, const BidEntry& e) {
+                               return v < e.value;
+                             }) -
+            lane.begin());
+      }
+      const std::size_t index =
+          lo + static_cast<std::size_t>(rng.below(hi - lo + 1));
+      rep.book.insert_ranked(decl.side, entry, index);
+      // The insert shifts every earlier own declaration at or behind it.
+      for (std::size_t e = 0; e < depth; ++e) {
+        OwnPos& p = rep.positions[e];
+        if (p.side == decl.side && p.index >= index) ++p.index;
+      }
+      rep.positions[depth] = OwnPos{decl.side, index};
+      rep.checkpoints[depth + 1] = rng;
+    }
+  }
+
+  void erase_depth(std::size_t depth) {
+    for (Rep& rep : reps_) {
+      const OwnPos p = rep.positions[depth];
+      rep.book.erase_ranked(p.side, p.index);
+      for (std::size_t e = 0; e < depth; ++e) {
+        OwnPos& q = rep.positions[e];
+        if (q.side == p.side && q.index > p.index) --q.index;
+      }
+    }
+  }
+
+  /// Mean utility of the fully inserted tuple, bit-identical to the
+  /// serial evaluator: the fast position path and the fill-scan fallback
+  /// both reproduce clear_sorted's attribution exactly (Money sums are
+  /// integer and order-independent), and the replicate averaging loop
+  /// runs in the same order with the same double arithmetic.
+  double evaluate_leaf(std::size_t size) {
+    const auto& residuals = ctx_.evaluator->residual_rankings();
+    const DoubleAuctionProtocol& protocol = ctx_.evaluator->protocol();
+    double total = 0.0;
+    for (std::size_t t = 0; t < reps_.size(); ++t) {
+      Rep& rep = reps_[t];
+      own_scratch_.clear();
+      for (std::size_t d = 0; d < size; ++d) {
+        own_scratch_.push_back(OwnDeclaration{
+            rep.positions[d].side, rep.positions[d].index + 1,
+            ctx_.alphabet[stack_[d]].value,
+            IdentityId{kExtraIdentityBase + d}});
+      }
+      AccountFills fills;
+      if (protocol.account_position(rep.book, own_scratch_, &fills)) {
+        ++out_->stats.fast_positions;
+      } else {
+        Rng clear_rng(residuals[t].clear_seed);
+        const Outcome outcome = protocol.clear_sorted(rep.book, clear_rng);
+        ++out_->stats.clears_performed;
+        const std::uint64_t id_lo = kExtraIdentityBase;
+        const std::uint64_t id_hi = kExtraIdentityBase + size;
+        for (const Fill& fill : outcome.fills()) {
+          const std::uint64_t id = fill.identity.value();
+          if (id < id_lo || id >= id_hi) continue;
+          if (fill.side == Side::kBuyer) {
+            ++fills.bought;
+            fills.paid += fill.price;
+          } else {
+            ++fills.sold;
+            fills.received += fill.price;
+          }
+        }
+        for (std::size_t d = 0; d < size; ++d) {
+          fills.received +=
+              outcome.rebate_of(IdentityId{kExtraIdentityBase + d});
+        }
+      }
+      const AccountPosition position{fills.bought, fills.sold, fills.paid,
+                                     fills.received};
+      total += ctx_.utility->evaluate(ctx_.role, ctx_.true_value, position);
+    }
+    return total / static_cast<double>(reps_.size());
+  }
+
+  const SearchContext& ctx_;
+  std::vector<Rep> reps_;
+  std::vector<std::size_t> stack_;  // alphabet indices of the current prefix
+  std::vector<OwnDeclaration> own_scratch_;
+  std::uint64_t cursor_ = 0;  // serial tuple index of the next leaf
+  std::size_t tradable_buys_ = 0;
+  std::size_t tradable_sells_ = 0;
+  double incumbent_ = 0.0;
+  BlockOutcome* out_ = nullptr;
+  bool initialized_ = false;
+};
+
+}  // namespace
+
 SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
                                  const SearchConfig& config) {
-  const std::vector<Money> grid = candidate_values(
-      evaluator.instance(), evaluator.true_value(), config.extra_candidates);
+  const auto started = std::chrono::steady_clock::now();
+  const SingleUnitInstance& instance = evaluator.instance();
+  const std::vector<Money> grid =
+      config.grid_override.empty()
+          ? candidate_values(instance, evaluator.true_value(),
+                            config.extra_candidates)
+          : config.grid_override;
+  for (Money v : grid) {
+    if (v < instance.domain.lowest || v > instance.domain.highest) {
+      throw std::invalid_argument(
+          "find_best_deviation: declaration outside the value domain");
+    }
+  }
+
+  SearchResult result;
+  result.truthful_utility = evaluator.truthful_utility();
+  result.best_utility = result.truthful_utility;
+  result.best_strategy =
+      Strategy::truthful(evaluator.role(), evaluator.true_value());
+  if (config.allow_absence) {
+    const double absence_utility = evaluator.evaluate(Strategy{});
+    if (absence_utility > result.best_utility) {
+      result.best_utility = absence_utility;
+      result.best_strategy = Strategy{};
+    }
+  }
+
+  SearchContext ctx;
+  ctx.evaluator = &evaluator;
+  ctx.utility = &evaluator.eval_config().utility;
+  ctx.role = evaluator.role();
+  ctx.true_value = evaluator.true_value();
+  ctx.domain = instance.domain;
+  ctx.max_declarations = config.max_declarations;
+  ctx.base_utility = result.best_utility;
+  {
+    const auto& residual = evaluator.residual_rankings().front();
+    ctx.bid_base = static_cast<std::uint64_t>(residual.buyers.size() +
+                                              residual.sellers.size());
+  }
+
+  ctx.alphabet.reserve(grid.size() * 2);
+  for (Money v : grid) {
+    ctx.alphabet.push_back(Declaration{Side::kBuyer, v});
+    ctx.alphabet.push_back(Declaration{Side::kSeller, v});
+  }
+  const std::size_t n = ctx.alphabet.size();
+
+  // Candidate-space accounting, matching enumerate_strategies exactly:
+  // the absence candidate (when allowed) is always considered, tuples
+  // until the cap.  The counts are closed-form, so pruning never changes
+  // the reported coverage.
+  const std::uint64_t absence = config.allow_absence ? 1 : 0;
+  std::uint64_t total_tuples = 0;
+  std::uint64_t dedup = 0;
+  for (std::size_t size = 1; size <= config.max_declarations; ++size) {
+    const std::uint64_t multisets = multiset_count(n, size);
+    total_tuples = sat_add(total_tuples, multisets);
+    std::uint64_t ordered = 1;
+    for (std::size_t i = 0; i < size; ++i) ordered = sat_mul(ordered, n);
+    dedup = ordered == kCountMax ? kCountMax
+                                 : sat_add(dedup, ordered - multisets);
+  }
+  result.truncated = total_tuples >= 1 &&
+                     sat_add(absence, total_tuples) > config.max_strategies;
+  const std::uint64_t considered =
+      result.truncated
+          ? std::max<std::uint64_t>(absence, config.max_strategies)
+          : absence + total_tuples;
+  ctx.tuple_cap = result.truncated
+                      ? (config.max_strategies > absence
+                             ? config.max_strategies - absence
+                             : 0)
+                      : total_tuples;
+
+  // Price bracket from replicate 0's ranking (the bound only reads value
+  // order statistics, identical across replicates), gated on the
+  // preconditions that make the utility bound sound.
+  const auto& residuals = evaluator.residual_rankings();
+  const PriceBracket bracket = [&] {
+    const SortedBook ranked = SortedBook::from_ranked(
+        instance.domain, residuals.front().buyers, residuals.front().sellers);
+    return evaluator.protocol().price_bracket(ranked, config.max_declarations);
+  }();
+  const Money penalty = evaluator.eval_config().utility.penalty();
+  ctx.bracket_usable = bracket.valid && bracket.buy_floor >= Money{} &&
+                       penalty >= bracket.sell_ceiling;
+  ctx.prune = config.prune && ctx.bracket_usable;
+  ctx.floor_units = bracket.buy_floor.to_double();
+  ctx.ceiling_units = bracket.sell_ceiling.to_double();
+
+  ctx.tradable.assign(n, 1);
+  ctx.suffix_tb.assign(n, 0);
+  ctx.suffix_ts.assign(n, 0);
+  if (ctx.bracket_usable) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Declaration& decl = ctx.alphabet[i];
+      // A buy below the floor / a sell above the ceiling can never fill
+      // on any reachable book (prices bracket every fill).
+      ctx.tradable[i] = decl.side == Side::kBuyer
+                            ? decl.value >= bracket.buy_floor
+                            : decl.value <= bracket.sell_ceiling;
+    }
+    bool tb = false;
+    bool ts = false;
+    for (std::size_t i = n; i-- > 0;) {
+      tb = tb || (ctx.alphabet[i].side == Side::kBuyer && ctx.tradable[i]);
+      ts = ts || (ctx.alphabet[i].side == Side::kSeller && ctx.tradable[i]);
+      ctx.suffix_tb[i] = tb;
+      ctx.suffix_ts[i] = ts;
+    }
+  }
+
+  // Deterministic partition: slices in serial order, grouped into at most
+  // 64 contiguous blocks of roughly equal leaf count.  Independent of the
+  // thread count by construction.
+  {
+    std::uint64_t cursor = 0;
+    for (std::size_t size = 1; size <= config.max_declarations; ++size) {
+      for (std::size_t first = 0; first < n; ++first) {
+        const std::uint64_t leaves = multiset_count(n - first, size - 1);
+        if (cursor < ctx.tuple_cap) {
+          ctx.slices.push_back(Slice{size, first, cursor, leaves});
+        }
+        cursor = sat_add(cursor, leaves);
+      }
+    }
+    std::uint64_t considered_leaves = 0;
+    for (const Slice& slice : ctx.slices) {
+      considered_leaves = sat_add(
+          considered_leaves,
+          std::min<std::uint64_t>(slice.leaves, ctx.tuple_cap - slice.start));
+    }
+    const std::uint64_t target =
+        considered_leaves == 0 ? 1 : (considered_leaves + 63) / 64;
+    std::size_t begin = 0;
+    std::uint64_t accumulated = 0;
+    for (std::size_t i = 0; i < ctx.slices.size(); ++i) {
+      accumulated += std::min<std::uint64_t>(
+          ctx.slices[i].leaves, ctx.tuple_cap - ctx.slices[i].start);
+      if (accumulated >= target) {
+        ctx.blocks.emplace_back(begin, i + 1);
+        begin = i + 1;
+        accumulated = 0;
+      }
+    }
+    if (begin < ctx.slices.size()) {
+      ctx.blocks.emplace_back(begin, ctx.slices.size());
+    }
+  }
+
+  std::vector<BlockOutcome> outcomes(ctx.blocks.size());
+  std::size_t thread_count =
+      config.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config.threads;
+  thread_count =
+      std::max<std::size_t>(1, std::min(thread_count, ctx.blocks.size()));
+
+  std::atomic<std::size_t> next_block{0};
+  auto worker_loop = [&] {
+    BlockWorker worker(ctx);
+    while (true) {
+      const std::size_t b = next_block.fetch_add(1);
+      if (b >= ctx.blocks.size()) break;
+      worker.run_block(ctx.blocks[b].first, ctx.blocks[b].second,
+                       &outcomes[b]);
+    }
+  };
+  if (thread_count <= 1) {
+    worker_loop();
+  } else {
+    std::vector<std::thread> pool;
+    std::vector<std::exception_ptr> errors(thread_count);
+    pool.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) {
+      pool.emplace_back([&, t] {
+        try {
+          worker_loop();
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  // Merge in block (= serial) order with a strictly-greater test: the
+  // first block whose champion achieves the maximum wins, reproducing the
+  // serial first-strict-improvement scan.
+  result.stats.strategies_evaluated = static_cast<std::size_t>(absence);
+  for (const BlockOutcome& block : outcomes) {
+    result.stats.merge_from(block.stats);
+    if (block.has_best && block.best_utility > result.best_utility) {
+      result.best_utility = block.best_utility;
+      result.best_strategy = block.best_strategy;
+    }
+  }
+  result.strategies_evaluated = static_cast<std::size_t>(considered);
+  result.stats.strategies_enumerated = static_cast<std::size_t>(considered);
+  result.stats.dedup_skipped = static_cast<std::size_t>(dedup);
+  result.stats.threads_used = thread_count;
+  result.stats.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  return result;
+}
+
+SearchResult find_best_deviation_serial(const DeviationEvaluator& evaluator,
+                                        const SearchConfig& config) {
+  const auto started = std::chrono::steady_clock::now();
+  const std::vector<Money> grid =
+      config.grid_override.empty()
+          ? candidate_values(evaluator.instance(), evaluator.true_value(),
+                             config.extra_candidates)
+          : config.grid_override;
 
   SearchResult result;
   result.truthful_utility = evaluator.truthful_utility();
@@ -192,6 +814,15 @@ SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
     }
   };
   result.truncated = !enumerate_strategies(grid, config, consider);
+  result.stats.strategies_enumerated = result.strategies_evaluated;
+  result.stats.strategies_evaluated = result.strategies_evaluated;
+  result.stats.clears_performed =
+      result.strategies_evaluated * evaluator.eval_config().replicates;
+  result.stats.threads_used = 1;
+  result.stats.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
   return result;
 }
 

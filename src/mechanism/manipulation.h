@@ -5,6 +5,17 @@
 // account (the manipulator), hold everyone else truthful, and ask whether
 // any alternative strategy — misreporting, abstaining, or submitting
 // false-name bids on either side — beats truth-telling.
+//
+// Two search paths are provided.  `find_best_deviation` is the parallel
+// pruned engine: it partitions the canonical candidate space into
+// deterministic blocks, evaluates them on worker threads over the shared
+// residual rankings, skips whole subtrees whose price-bracket utility
+// bound cannot beat the incumbent, and obtains most positions through the
+// protocols' O(log n) `account_position` fast path instead of a full
+// clearing.  `find_best_deviation_serial` is the original exhaustive
+// reference implementation, kept verbatim as the equivalence oracle: for
+// any thread count the engine returns the same best strategy, the same
+// utilities bit-for-bit, and the same considered-strategy count.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +58,16 @@ struct EvalConfig {
 /// already-ranked book to `clear_sorted`.  Per strategy that is O(n)
 /// instead of the naive O(n log n) rebuild-and-sort.
 ///
-/// Not thread-safe: evaluate() reuses internal scratch buffers.
+/// Thread-safety contract: `evaluate` is const but NOT thread-safe — it
+/// reuses the mutable `merged_*_` scratch buffers below, a deliberate
+/// trade (no per-call allocation on the hot path) that makes concurrent
+/// `evaluate` calls on one instance a data race.  Everything else
+/// (`replicates_`, the config, the residual rankings) is immutable after
+/// construction, so parallel callers have two safe options: clone the
+/// evaluator per worker (construction re-derives identical rankings from
+/// the same seed), or — as the search engine in this module does — share
+/// one evaluator read-only via `residual_rankings()` and keep all mutable
+/// merge state in per-worker scratch.
 class DeviationEvaluator {
  public:
   DeviationEvaluator(const DoubleAuctionProtocol& protocol,
@@ -55,7 +75,8 @@ class DeviationEvaluator {
                      EvalConfig config = {});
 
   /// Mean utility of the manipulator when it plays `strategy` and everyone
-  /// else bids truthfully.
+  /// else bids truthfully.  Const but not thread-safe; see the class
+  /// comment.
   double evaluate(const Strategy& strategy) const;
 
   /// Utility of the truthful single-bid strategy.
@@ -65,11 +86,11 @@ class DeviationEvaluator {
   Side role() const { return manipulator_.role; }
   const SingleUnitInstance& instance() const { return instance_; }
 
- private:
   /// One replicate's frozen view of the non-manipulator market: ranked
   /// residual entries plus the seeds for the strategy-insertion and
   /// protocol-internal randomness streams (fixed per replicate, so all
-  /// strategies share them — common random numbers).
+  /// strategies share them — common random numbers).  Immutable after
+  /// construction; safe to read from any number of threads.
   struct ResidualRanking {
     std::vector<BidEntry> buyers;   // descending, ties in replicate order
     std::vector<BidEntry> sellers;  // ascending, ties in replicate order
@@ -77,6 +98,13 @@ class DeviationEvaluator {
     std::uint64_t clear_seed = 0;
   };
 
+  const std::vector<ResidualRanking>& residual_rankings() const {
+    return replicates_;
+  }
+  const DoubleAuctionProtocol& protocol() const { return protocol_; }
+  const EvalConfig& eval_config() const { return config_; }
+
+ private:
   AccountPosition clear_with(const ResidualRanking& residual,
                              const Strategy& strategy) const;
 
@@ -86,6 +114,9 @@ class DeviationEvaluator {
   EvalConfig config_;
   Money true_value_;
   std::vector<ResidualRanking> replicates_;
+  // Mutable scratch: reused by every `evaluate` call so the hot path never
+  // allocates.  This is exactly what the thread-safety contract above is
+  // about — const calls mutate these.
   mutable std::vector<BidEntry> merged_buyers_;   // scratch
   mutable std::vector<BidEntry> merged_sellers_;  // scratch
 };
@@ -101,14 +132,68 @@ struct SearchConfig {
   std::vector<Money> extra_candidates;
   /// Hard cap on strategies evaluated (the enumeration is combinatorial).
   std::size_t max_strategies = 250'000;
+  /// Worker threads for the engine (0 = hardware concurrency).  Results
+  /// are bit-identical for every thread count.
+  std::size_t threads = 1;
+  /// Bound-based pruning via DoubleAuctionProtocol::price_bracket.  Sound
+  /// (never changes the result); disable to measure its effect.
+  bool prune = true;
+  /// Non-empty: use exactly these values as the declaration grid instead
+  /// of the instance-derived `candidate_values`.  Lets benchmarks fix the
+  /// candidate space independently of the population size.
+  std::vector<Money> grid_override;
+};
+
+/// Engine observability: how the search space was covered.  All counters
+/// except `wall_time_ns` and `threads_used` are deterministic — identical
+/// for every thread count, because candidate blocks and their block-local
+/// prune incumbents do not depend on the execution interleaving.
+struct SearchStats {
+  /// Candidates considered by the enumeration (absence included, capped by
+  /// max_strategies) — pruned ones too.  Matches the serial reference's
+  /// SearchResult::strategies_evaluated.
+  std::size_t strategies_enumerated = 0;
+  /// Candidates actually priced (enumerated minus pruned).
+  std::size_t strategies_evaluated = 0;
+  /// Candidates skipped by the utility upper bound at leaf level.
+  std::size_t pruned_by_bound = 0;
+  /// Candidates skipped in bulk when a whole declaration-size subtree's
+  /// optimistic bound could not beat the incumbent.
+  std::size_t pruned_in_subtree = 0;
+  /// Ordered duplicate tuples avoided by canonical multiset enumeration
+  /// (value-permutation-equivalent declaration sets collapse to one).
+  std::size_t dedup_skipped = 0;
+  /// Full clear_sorted fallbacks (per candidate per replicate).
+  std::size_t clears_performed = 0;
+  /// account_position fast-path hits (per candidate per replicate).
+  std::size_t fast_positions = 0;
+  /// Prune-bound tightness: sum over evaluated candidates (with a valid
+  /// bracket) of bound minus achieved utility, in micro-units, plus the
+  /// sample count.  Mean slack = bound_slack_micros / bound_slack_samples.
+  std::int64_t bound_slack_micros = 0;
+  std::size_t bound_slack_samples = 0;
+  /// Wall time of the whole search (enumeration + merge), and the number
+  /// of workers actually used.  NOT deterministic; excluded from metric
+  /// digests by default.
+  std::uint64_t wall_time_ns = 0;
+  std::size_t threads_used = 1;
+
+  /// Accumulates every deterministic counter from `other` (wall time and
+  /// thread count are left alone — they describe the whole run, not a
+  /// part).  Used to fold per-block stats in block order.
+  void merge_from(const SearchStats& other);
 };
 
 struct SearchResult {
   double truthful_utility = 0.0;
   double best_utility = 0.0;
   Strategy best_strategy;
+  /// Candidates considered (absence included, capped, pruned ones too) —
+  /// the historical meaning, preserved so results compare across engine
+  /// versions; `stats.strategies_evaluated` has the priced-only count.
   std::size_t strategies_evaluated = 0;
   bool truncated = false;
+  SearchStats stats;
 
   /// True if the best deviation strictly beats truth by more than eps.
   bool profitable(double eps = 1e-9) const {
@@ -124,15 +209,25 @@ std::vector<Money> candidate_values(const SingleUnitInstance& instance,
                                     Money true_value,
                                     const std::vector<Money>& extras);
 
-/// Exhaustive search over declaration multisets up to the configured size.
+/// Parallel pruned best-response search over declaration multisets up to
+/// the configured size.  Bit-identical to `find_best_deviation_serial`
+/// (same best strategy, same utilities, same considered count) at every
+/// thread count; the speedup comes from pruning, the account-position
+/// fast path, incremental residual patching, and worker parallelism.
 SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
                                  const SearchConfig& config = {});
+
+/// The original single-threaded exhaustive search, kept as the
+/// equivalence oracle and the benchmark baseline.  Evaluates every
+/// candidate with a full merge + clearing; no pruning, no fast path.
+SearchResult find_best_deviation_serial(const DeviationEvaluator& evaluator,
+                                        const SearchConfig& config = {});
 
 /// Enumerates every strategy in the configured space (optionally the empty
 /// strategy, then all declaration multisets over grid x {buyer, seller} up
 /// to config.max_declarations), calling `consider` on each.  Returns false
 /// if config.max_strategies stopped the enumeration early.  This is the
-/// engine under find_best_deviation and the best-response dynamics.
+/// engine under find_best_deviation_serial and the best-response dynamics.
 bool enumerate_strategies(const std::vector<Money>& grid,
                           const SearchConfig& config,
                           const std::function<void(const Strategy&)>& consider);

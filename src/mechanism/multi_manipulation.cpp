@@ -1,7 +1,11 @@
 #include "mechanism/multi_manipulation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "core/instance.h"
 
@@ -101,46 +105,44 @@ double MultiDeviationEvaluator::truthful_utility() const {
   return evaluate(MultiStrategy::truthful(manipulator_.role, true_schedule_));
 }
 
-MultiSearchResult find_best_multi_deviation(
-    const MultiDeviationEvaluator& evaluator,
-    const std::vector<double>& shade_factors) {
-  MultiSearchResult result;
-  result.truthful_utility = evaluator.truthful_utility();
-  result.best_utility = result.truthful_utility;
-  result.best_strategy = MultiStrategy::truthful(
-      evaluator.role(), evaluator.true_schedule());
+namespace {
 
-  auto consider = [&](const MultiStrategy& strategy) {
-    ++result.strategies_evaluated;
-    const double utility = evaluator.evaluate(strategy);
-    if (utility > result.best_utility) {
-      result.best_utility = utility;
-      result.best_strategy = strategy;
-    }
-  };
+std::vector<Money> scaled_schedule(const std::vector<Money>& values,
+                                   double factor) {
+  std::vector<Money> out;
+  out.reserve(values.size());
+  for (Money v : values) {
+    out.push_back(Money::from_micros(std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(static_cast<double>(v.micros()) *
+                                     factor))));
+  }
+  return out;
+}
 
-  // Withholding entirely.
-  consider(MultiStrategy{});
+/// Champion of one contiguous mask range, with a range-local incumbent
+/// seeded from max(truthful, withholding) so which strategy wins does not
+/// depend on what other ranges found — the merge in range order then
+/// reproduces the serial first-strict-improvement scan exactly.
+struct MaskRangeOutcome {
+  bool has_best = false;
+  double best_utility = 0.0;
+  MultiStrategy best_strategy;
+  std::size_t evaluated = 0;
+};
 
+void search_mask_range(const MultiDeviationEvaluator& evaluator,
+                       const std::vector<double>& shade_factors,
+                       double base_utility, std::uint32_t mask_begin,
+                       std::uint32_t mask_end, MaskRangeOutcome* out) {
   const std::vector<Money>& schedule = evaluator.true_schedule();
   const std::size_t units = schedule.size();
   const Side role = evaluator.role();
-
-  auto scaled = [](const std::vector<Money>& values, double factor) {
-    std::vector<Money> out;
-    out.reserve(values.size());
-    for (Money v : values) {
-      out.push_back(Money::from_micros(std::max<std::int64_t>(
-          0, static_cast<std::int64_t>(static_cast<double>(v.micros()) *
-                                       factor))));
-    }
-    return out;
-  };
+  double incumbent = base_utility;
 
   // Every assignment of the schedule's units to identities A/B (bit mask),
   // with every shading factor pair.  Mask 0 keeps one identity (covers
   // pure shading and unit withholding via subset masks below).
-  for (std::uint32_t mask = 0; mask < (1u << units); ++mask) {
+  for (std::uint32_t mask = mask_begin; mask < mask_end; ++mask) {
     std::vector<Money> a;
     std::vector<Money> b;
     for (std::size_t u = 0; u < units; ++u) {
@@ -151,20 +153,132 @@ MultiSearchResult find_best_multi_deviation(
         MultiStrategy strategy;
         if (!a.empty()) {
           strategy.declarations.push_back(
-              MultiDeclaration{role, scaled(a, fa)});
+              MultiDeclaration{role, scaled_schedule(a, fa)});
         }
         if (!b.empty()) {
           strategy.declarations.push_back(
-              MultiDeclaration{role, scaled(b, fb)});
+              MultiDeclaration{role, scaled_schedule(b, fb)});
         }
         if (strategy.declarations.empty()) continue;
-        consider(strategy);
+        ++out->evaluated;
+        const double utility = evaluator.evaluate(strategy);
+        if (utility > incumbent) {
+          incumbent = utility;
+          out->has_best = true;
+          out->best_utility = utility;
+          out->best_strategy = std::move(strategy);
+        }
         if (b.empty()) break;  // fb is irrelevant without a B identity
       }
       if (a.empty()) break;
     }
   }
+}
+
+}  // namespace
+
+MultiSearchResult find_best_multi_deviation(
+    const MultiDeviationEvaluator& evaluator,
+    const MultiSearchConfig& config) {
+  const auto started = std::chrono::steady_clock::now();
+  MultiSearchResult result;
+  result.truthful_utility = evaluator.truthful_utility();
+  result.best_utility = result.truthful_utility;
+  result.best_strategy = MultiStrategy::truthful(
+      evaluator.role(), evaluator.true_schedule());
+
+  // Withholding entirely (the serial order's first candidate).
+  ++result.strategies_evaluated;
+  {
+    const double utility = evaluator.evaluate(MultiStrategy{});
+    if (utility > result.best_utility) {
+      result.best_utility = utility;
+      result.best_strategy = MultiStrategy{};
+    }
+  }
+
+  const std::size_t units = evaluator.true_schedule().size();
+  const std::uint32_t masks =
+      units == 0 ? 1u : (1u << static_cast<std::uint32_t>(units));
+
+  // Deterministic contiguous mask ranges (at most 64), claimed by workers
+  // through an atomic cursor.  `evaluate` builds all its state locally,
+  // so sharing the evaluator read-only across threads is safe.
+  const std::uint32_t range_count = std::min<std::uint32_t>(64, masks);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  ranges.reserve(range_count);
+  for (std::uint32_t r = 0; r < range_count; ++r) {
+    const std::uint32_t begin =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(masks) * r) /
+                                   range_count);
+    const std::uint32_t end = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(masks) * (r + 1)) / range_count);
+    if (begin < end) ranges.emplace_back(begin, end);
+  }
+
+  std::vector<MaskRangeOutcome> outcomes(ranges.size());
+  std::size_t thread_count =
+      config.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config.threads;
+  thread_count =
+      std::max<std::size_t>(1, std::min(thread_count, ranges.size()));
+
+  std::atomic<std::size_t> next_range{0};
+  const double base_utility = result.best_utility;
+  auto worker_loop = [&] {
+    while (true) {
+      const std::size_t r = next_range.fetch_add(1);
+      if (r >= ranges.size()) break;
+      search_mask_range(evaluator, config.shade_factors, base_utility,
+                        ranges[r].first, ranges[r].second, &outcomes[r]);
+    }
+  };
+  if (thread_count <= 1) {
+    worker_loop();
+  } else {
+    std::vector<std::thread> pool;
+    std::vector<std::exception_ptr> errors(thread_count);
+    pool.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) {
+      pool.emplace_back([&, t] {
+        try {
+          worker_loop();
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  for (const MaskRangeOutcome& range : outcomes) {
+    result.strategies_evaluated += range.evaluated;
+    if (range.has_best && range.best_utility > result.best_utility) {
+      result.best_utility = range.best_utility;
+      result.best_strategy = range.best_strategy;
+    }
+  }
+  result.stats.strategies_enumerated = result.strategies_evaluated;
+  result.stats.strategies_evaluated = result.strategies_evaluated;
+  result.stats.clears_performed = result.strategies_evaluated;
+  result.stats.threads_used = thread_count;
+  result.stats.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
   return result;
+}
+
+MultiSearchResult find_best_multi_deviation(
+    const MultiDeviationEvaluator& evaluator,
+    const std::vector<double>& shade_factors) {
+  MultiSearchConfig config;
+  config.shade_factors = shade_factors;
+  return find_best_multi_deviation(evaluator, config);
 }
 
 }  // namespace fnda

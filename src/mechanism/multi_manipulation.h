@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "mechanism/manipulation.h"  // SearchStats
 #include "mechanism/utility.h"
 #include "protocols/tpd_multi.h"
 
@@ -47,6 +48,12 @@ struct MultiStrategy {
 
 /// Evaluates multi-unit strategies for one (instance, manipulator) pair
 /// under the multi-unit TPD protocol.
+///
+/// Thread-safety: `evaluate` is const AND stateless — it builds its book
+/// and rng locally per call — so one evaluator can be shared read-only by
+/// any number of search workers (unlike the single-unit
+/// DeviationEvaluator, whose merge scratch makes concurrent evaluate
+/// calls a race).
 class MultiDeviationEvaluator {
  public:
   MultiDeviationEvaluator(const TpdMultiUnitProtocol& protocol,
@@ -76,15 +83,30 @@ class MultiDeviationEvaluator {
   std::vector<Money> true_schedule_;
 };
 
+/// Search parameters for find_best_multi_deviation.
+struct MultiSearchConfig {
+  /// Per-identity scaling factors applied to each split half (clamped to
+  /// keep schedules non-increasing and non-negative).
+  std::vector<double> shade_factors = {0.5, 0.75, 0.9, 1.0, 1.1, 1.5};
+  /// Worker threads over the split-mask space (0 = hardware concurrency).
+  /// Results are bit-identical for every thread count: masks are
+  /// partitioned into deterministic contiguous ranges and merged in range
+  /// order with a strictly-greater test, and `evaluate` is a pure
+  /// function of the strategy.  No pruning here — GVA payments depend on
+  /// whole-book reallocations, so no cheap sound price bracket exists.
+  std::size_t threads = 1;
+};
+
 /// Best deviation found over the schedule-manipulation space: every
 /// 2-identity split of the true schedule, each optionally scaled by the
-/// factors in `shade_factors` (applied per identity, clamped to keep
-/// schedules non-increasing and non-negative), plus full withholding.
+/// configured shade factors, plus full withholding.
 struct MultiSearchResult {
   double truthful_utility = 0.0;
   double best_utility = 0.0;
   MultiStrategy best_strategy;
   std::size_t strategies_evaluated = 0;
+  /// Coverage/throughput counters (enumerated == evaluated: no pruning).
+  SearchStats stats;
 
   bool profitable(double eps = 1e-9) const {
     return best_utility > truthful_utility + eps;
@@ -93,7 +115,11 @@ struct MultiSearchResult {
 
 MultiSearchResult find_best_multi_deviation(
     const MultiDeviationEvaluator& evaluator,
-    const std::vector<double>& shade_factors = {0.5, 0.75, 0.9, 1.0, 1.1,
-                                                1.5});
+    const MultiSearchConfig& config = {});
+
+/// Legacy shim: explicit shade factors, single-threaded.
+MultiSearchResult find_best_multi_deviation(
+    const MultiDeviationEvaluator& evaluator,
+    const std::vector<double>& shade_factors);
 
 }  // namespace fnda

@@ -1,0 +1,57 @@
+// Binds manipulation-search counters into the unified metrics layer.
+//
+// The search engine accumulates its own SearchStats (plain struct, no
+// registry dependency — the engine is usable without fnda_obs).  This
+// header is the one-way bridge: given a finished stats block, register
+// callback counters that expose it through a MetricsRegistry, so search
+// coverage shows up in the same exposition/digest pipeline as the
+// exchange's shard metrics.
+//
+// Determinism: every bound counter except the wall-time one is identical
+// for every thread count (see SearchStats).  Wall time is opt-in via
+// `include_wall_time` and must stay out of digest-pinned expositions.
+#pragma once
+
+#include <cstdint>
+
+#include "mechanism/manipulation.h"
+#include "obs/metrics.h"
+
+namespace fnda {
+
+/// Registers the deterministic search counters as callback metrics that
+/// read `stats` at snapshot time.  `stats` must outlive the registry's
+/// last snapshot.  Metric names follow the fnda_* convention used by the
+/// exchange registries.
+inline void bind_search_metrics(obs::MetricsRegistry& registry,
+                                const SearchStats& stats,
+                                bool include_wall_time = false) {
+  registry.counter_fn("fnda_search_candidates_enumerated_total",
+                      [&stats] { return stats.strategies_enumerated; });
+  registry.counter_fn("fnda_search_candidates_evaluated_total",
+                      [&stats] { return stats.strategies_evaluated; });
+  registry.counter_fn("fnda_search_pruned_by_bound_total",
+                      [&stats] { return stats.pruned_by_bound; });
+  registry.counter_fn("fnda_search_pruned_in_subtree_total",
+                      [&stats] { return stats.pruned_in_subtree; });
+  registry.counter_fn("fnda_search_dedup_skipped_total",
+                      [&stats] { return stats.dedup_skipped; });
+  registry.counter_fn("fnda_search_clears_performed_total",
+                      [&stats] { return stats.clears_performed; });
+  registry.counter_fn("fnda_search_fast_positions_total",
+                      [&stats] { return stats.fast_positions; });
+  registry.counter_fn("fnda_search_bound_slack_micros_total", [&stats] {
+    // Slack is clamped non-negative per sample, so the sum fits the
+    // counter contract.
+    return static_cast<std::uint64_t>(stats.bound_slack_micros);
+  });
+  registry.counter_fn("fnda_search_bound_slack_samples_total",
+                      [&stats] { return stats.bound_slack_samples; });
+  if (include_wall_time) {
+    // NOT deterministic — never include in digest-pinned output.
+    registry.counter_fn("fnda_search_wall_time_ns_total",
+                        [&stats] { return stats.wall_time_ns; });
+  }
+}
+
+}  // namespace fnda

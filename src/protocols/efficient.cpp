@@ -22,4 +22,24 @@ Outcome EfficientClearing::clear_sorted(const SortedBook& book) {
   return outcome;
 }
 
+bool EfficientClearing::account_position(const SortedBook& ranked,
+                                         const std::vector<OwnDeclaration>& own,
+                                         AccountFills* out) const {
+  const std::size_t k = ranked.efficient_trade_count();
+  if (k == 0) return true;
+  const Money price =
+      Money::midpoint(ranked.buyer_value(k), ranked.seller_value(k));
+  for (const OwnDeclaration& decl : own) {
+    if (decl.rank > k) continue;
+    if (decl.side == Side::kBuyer) {
+      ++out->bought;
+      out->paid += price;
+    } else {
+      ++out->sold;
+      out->received += price;
+    }
+  }
+  return true;
+}
+
 }  // namespace fnda

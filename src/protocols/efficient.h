@@ -21,6 +21,16 @@ class EfficientClearing final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "efficient"; }
 
+  /// k-family bracket: the midpoint price lies in [s(k), b(k)].
+  PriceBracket price_bracket(const SortedBook& ranked,
+                             std::size_t extra_declarations) const override {
+    return k_double_auction_bracket(ranked, extra_declarations);
+  }
+
+  bool account_position(const SortedBook& ranked,
+                        const std::vector<OwnDeclaration>& own,
+                        AccountFills* out) const override;
+
   static Outcome clear_sorted(const SortedBook& book);
 };
 

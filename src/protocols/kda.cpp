@@ -32,4 +32,27 @@ Outcome KDoubleAuction::clear_sorted(const SortedBook& book, double theta) {
   return outcome;
 }
 
+bool KDoubleAuction::account_position(const SortedBook& ranked,
+                                      const std::vector<OwnDeclaration>& own,
+                                      AccountFills* out) const {
+  const std::size_t k = ranked.efficient_trade_count();
+  if (k == 0) return true;
+  // Exactly clear_sorted's price arithmetic, so positions match bit-wise.
+  const double bk = static_cast<double>(ranked.buyer_value(k).micros());
+  const double sk = static_cast<double>(ranked.seller_value(k).micros());
+  const Money price = Money::from_micros(static_cast<std::int64_t>(
+      std::llround(theta_ * bk + (1.0 - theta_) * sk)));
+  for (const OwnDeclaration& decl : own) {
+    if (decl.rank > k) continue;
+    if (decl.side == Side::kBuyer) {
+      ++out->bought;
+      out->paid += price;
+    } else {
+      ++out->sold;
+      out->received += price;
+    }
+  }
+  return true;
+}
+
 }  // namespace fnda

@@ -26,6 +26,16 @@ class KDoubleAuction final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "kda"; }
 
+  /// k-family bracket: p lies in [s(k), b(k)] by construction.
+  PriceBracket price_bracket(const SortedBook& ranked,
+                             std::size_t extra_declarations) const override {
+    return k_double_auction_bracket(ranked, extra_declarations);
+  }
+
+  bool account_position(const SortedBook& ranked,
+                        const std::vector<OwnDeclaration>& own,
+                        AccountFills* out) const override;
+
   double theta() const { return theta_; }
 
   static Outcome clear_sorted(const SortedBook& book, double theta);

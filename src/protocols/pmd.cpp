@@ -35,4 +35,32 @@ Outcome PmdProtocol::clear_sorted(const SortedBook& book) {
   return outcome;
 }
 
+bool PmdProtocol::account_position(const SortedBook& ranked,
+                                   const std::vector<OwnDeclaration>& own,
+                                   AccountFills* out) const {
+  const std::size_t k = ranked.efficient_trade_count();
+  if (k == 0) return true;
+  const Money p0 =
+      Money::midpoint(ranked.buyer_value(k + 1), ranked.seller_value(k + 1));
+  const Money bk = ranked.buyer_value(k);
+  const Money sk = ranked.seller_value(k);
+  // Same branch as clear_sorted: condition 1 trades ranks 1..k at p0,
+  // condition 2 trades ranks 1..k-1 at (bk, sk).
+  const bool uniform = sk <= p0 && p0 <= bk;
+  const std::size_t cutoff = uniform ? k : k - 1;
+  const Money buyer_price = uniform ? p0 : bk;
+  const Money seller_price = uniform ? p0 : sk;
+  for (const OwnDeclaration& decl : own) {
+    if (decl.rank > cutoff) continue;
+    if (decl.side == Side::kBuyer) {
+      ++out->bought;
+      out->paid += buyer_price;
+    } else {
+      ++out->sold;
+      out->received += seller_price;
+    }
+  }
+  return true;
+}
+
 }  // namespace fnda

@@ -28,6 +28,17 @@ class PmdProtocol final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "pmd"; }
 
+  /// k-double-auction family bracket: buyers never pay below s(k) (p0 and
+  /// b(k) both dominate it), sellers never receive above b(k).
+  PriceBracket price_bracket(const SortedBook& ranked,
+                             std::size_t extra_declarations) const override {
+    return k_double_auction_bracket(ranked, extra_declarations);
+  }
+
+  bool account_position(const SortedBook& ranked,
+                        const std::vector<OwnDeclaration>& own,
+                        AccountFills* out) const override;
+
   /// Deterministic core on an already-ranked book; exposed so tests can
   /// pin tie-breaking.
   static Outcome clear_sorted(const SortedBook& book);

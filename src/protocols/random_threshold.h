@@ -28,6 +28,16 @@ class RandomThresholdProtocol final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "random-threshold"; }
 
+  /// Every trade executes at exactly r regardless of how many extra
+  /// declarations arrive, so the bracket degenerates to {r, r}.  The
+  /// bound holds per lottery realization, hence in expectation too.
+  /// No `account_position` override: the allocation consumes the rng
+  /// stream, so positions cannot be recovered without replaying it.
+  PriceBracket price_bracket(const SortedBook&,
+                             std::size_t /*extra_declarations*/) const override {
+    return PriceBracket{threshold_, threshold_, true};
+  }
+
   Money threshold() const { return threshold_; }
 
  private:

@@ -45,4 +45,39 @@ Outcome TpdProtocol::clear_sorted(const SortedBook& book, Money threshold) {
   return outcome;
 }
 
+PriceBracket TpdProtocol::price_bracket(const SortedBook&,
+                                        std::size_t) const {
+  return PriceBracket{threshold_, threshold_, true};
+}
+
+void TpdProtocol::position_on(const SortedBook& ranked, Money threshold,
+                              const std::vector<OwnDeclaration>& own,
+                              AccountFills* out) {
+  const Money r = threshold;
+  const std::size_t i = ranked.buyers_at_or_above(r);
+  const std::size_t j = ranked.sellers_at_or_below(r);
+  const std::size_t trades = std::min(i, j);
+  // Mirrors clear_sorted's three cases: only the long side's price moves
+  // off r, and the trading set is always the rank prefix 1..min(i, j).
+  const Money buyer_price = i > j ? ranked.buyer_value(j + 1) : r;
+  const Money seller_price = i < j ? ranked.seller_value(i + 1) : r;
+  for (const OwnDeclaration& decl : own) {
+    if (decl.rank > trades) continue;
+    if (decl.side == Side::kBuyer) {
+      ++out->bought;
+      out->paid += buyer_price;
+    } else {
+      ++out->sold;
+      out->received += seller_price;
+    }
+  }
+}
+
+bool TpdProtocol::account_position(const SortedBook& ranked,
+                                   const std::vector<OwnDeclaration>& own,
+                                   AccountFills* out) const {
+  position_on(ranked, threshold_, own, out);
+  return true;
+}
+
 }  // namespace fnda

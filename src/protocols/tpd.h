@@ -31,10 +31,28 @@ class TpdProtocol final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "tpd"; }
 
+  /// TPD prices bracket at the threshold from both sides: a buyer pays r
+  /// or b(j+1) >= r, a seller receives r or s(i+1) <= r, regardless of how
+  /// many declarations are added.  The bracket is therefore exact and
+  /// independent of `extra_declarations` — TPD prunes tightest of all.
+  PriceBracket price_bracket(const SortedBook& ranked,
+                             std::size_t extra_declarations) const override;
+
+  /// O(log n + |own|): the trade cutoff is min(i, j) and both prices are
+  /// rank statistics, so one account's fills need no Outcome at all.
+  bool account_position(const SortedBook& ranked,
+                        const std::vector<OwnDeclaration>& own,
+                        AccountFills* out) const override;
+
   Money threshold() const { return threshold_; }
 
   /// Deterministic core on an already-ranked book.
   static Outcome clear_sorted(const SortedBook& book, Money threshold);
+
+  /// `account_position` core, shared with TpdWithRebates' trade half.
+  static void position_on(const SortedBook& ranked, Money threshold,
+                          const std::vector<OwnDeclaration>& own,
+                          AccountFills* out);
 
  private:
   Money threshold_;

@@ -26,6 +26,52 @@ Money revenue_without(const SortedBook& book, IdentityId skip,
   return outcome.auctioneer_revenue();
 }
 
+/// Value at rank `y` of a buyer lane with the entry at rank `removed`
+/// deleted (`removed == 0`: nothing deleted from this lane).  Deleting a
+/// rank shifts everything behind it forward by one, so the reduced lane's
+/// rank y maps to the full lane's rank y (before the hole) or y+1 (after).
+Money buyer_value_without(const SortedBook& ranked, std::size_t y,
+                          std::size_t removed) {
+  if (removed != 0 && y >= removed) ++y;
+  return ranked.buyer_value(y);
+}
+
+Money seller_value_without(const SortedBook& ranked, std::size_t y,
+                          std::size_t removed) {
+  if (removed != 0 && y >= removed) ++y;
+  return ranked.seller_value(y);
+}
+
+/// `revenue_without` by rank arithmetic on the full ranking: O(log n)
+/// instead of rebuild-and-reclear.  Removing one declaration shifts at
+/// most its own lane's ranks and decrements at most one of the eligible
+/// counts; revenue is then the usual TPD case split on the reduced book.
+Money revenue_without_ranked(const SortedBook& ranked, Money r, Side side,
+                             std::size_t rank, Money value) {
+  std::size_t i = ranked.buyers_at_or_above(r);
+  std::size_t j = ranked.sellers_at_or_below(r);
+  std::size_t removed_buyer = 0;
+  std::size_t removed_seller = 0;
+  if (side == Side::kBuyer) {
+    removed_buyer = rank;
+    if (value >= r) --i;
+  } else {
+    removed_seller = rank;
+    if (value <= r) --j;
+  }
+  if (i == j) return Money{};
+  if (i > j) {
+    // j trades; buyers pay b'(j+1) >= r, sellers receive r.
+    const Money pay = buyer_value_without(ranked, j + 1, removed_buyer);
+    return Money::from_micros(static_cast<std::int64_t>(j) *
+                              (pay.micros() - r.micros()));
+  }
+  // i trades; buyers pay r, sellers receive s'(i+1) <= r.
+  const Money get = seller_value_without(ranked, i + 1, removed_seller);
+  return Money::from_micros(static_cast<std::int64_t>(i) *
+                            (r.micros() - get.micros()));
+}
+
 }  // namespace
 
 TpdWithRebates::TpdWithRebates(Money threshold) : threshold_(threshold) {}
@@ -56,6 +102,23 @@ Outcome TpdWithRebates::clear_sorted(const SortedBook& book, Rng&) const {
                        Money::from_micros(reduced_revenue.micros() / n));
   }
   return outcome;
+}
+
+bool TpdWithRebates::account_position(const SortedBook& ranked,
+                                      const std::vector<OwnDeclaration>& own,
+                                      AccountFills* out) const {
+  TpdProtocol::position_on(ranked, threshold_, own, out);
+  const auto n =
+      static_cast<std::int64_t>(ranked.buyer_count() + ranked.seller_count());
+  if (n == 0) return true;
+  for (const OwnDeclaration& decl : own) {
+    // Same divisor and positivity gate as clear_sorted's rebate loop.
+    const Money revenue = revenue_without_ranked(ranked, threshold_, decl.side,
+                                                 decl.rank, decl.value);
+    if (revenue <= Money{}) continue;
+    out->received += Money::from_micros(revenue.micros() / n);
+  }
+  return true;
 }
 
 }  // namespace fnda

@@ -35,6 +35,18 @@ class TpdWithRebates final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "tpd-rebate"; }
 
+  /// Fast position path: TPD trades via rank statistics plus each own
+  /// identity's rebate recovered by rank arithmetic instead of the
+  /// O(n log n) remove-and-reclear that `clear_sorted` performs per
+  /// identity.  Rebates land in `AccountFills::received`, mirroring how
+  /// `Outcome::rebate_of` folds into the serial evaluator's position.
+  /// No `price_bracket` override: rebate income scales with the whole
+  /// book's revenue and has no cheap upper bound, so an "exact" bracket
+  /// would be unsound for utility pruning — better to advertise none.
+  bool account_position(const SortedBook& ranked,
+                        const std::vector<OwnDeclaration>& own,
+                        AccountFills* out) const override;
+
   Money threshold() const { return threshold_; }
 
  private:

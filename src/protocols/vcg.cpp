@@ -32,4 +32,24 @@ Outcome VcgDoubleAuction::clear_sorted(const SortedBook& book) {
   return outcome;
 }
 
+bool VcgDoubleAuction::account_position(const SortedBook& ranked,
+                                        const std::vector<OwnDeclaration>& own,
+                                        AccountFills* out) const {
+  const std::size_t k = ranked.efficient_trade_count();
+  if (k == 0) return true;
+  const Money pay = buyer_price(ranked);
+  const Money get = seller_price(ranked);
+  for (const OwnDeclaration& decl : own) {
+    if (decl.rank > k) continue;
+    if (decl.side == Side::kBuyer) {
+      ++out->bought;
+      out->paid += pay;
+    } else {
+      ++out->sold;
+      out->received += get;
+    }
+  }
+  return true;
+}
+
 }  // namespace fnda

@@ -32,6 +32,17 @@ class VcgDoubleAuction final : public DoubleAuctionProtocol {
   Outcome clear_sorted(const SortedBook& book, Rng& rng) const override;
   std::string name() const override { return "vcg"; }
 
+  /// k-family bracket holds: pay = max(b(k+1), s(k)) >= s(k) and
+  /// get = min(s(k+1), b(k)) <= b(k) on every reachable book.
+  PriceBracket price_bracket(const SortedBook& ranked,
+                             std::size_t extra_declarations) const override {
+    return k_double_auction_bracket(ranked, extra_declarations);
+  }
+
+  bool account_position(const SortedBook& ranked,
+                        const std::vector<OwnDeclaration>& own,
+                        AccountFills* out) const override;
+
   static Outcome clear_sorted(const SortedBook& book);
 
   /// The Clarke pivot is rank-independent in the single-unit double

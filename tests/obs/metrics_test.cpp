@@ -10,8 +10,10 @@
 #include <string>
 
 #include "market/throughput.h"
+#include "mechanism/search_telemetry.h"
 #include "obs/export.h"
 #include "protocols/tpd.h"
+#include "protocols/tpd_rebate.h"
 
 namespace fnda::obs {
 namespace {
@@ -120,6 +122,46 @@ TEST(MetricsDeterminism, MergedSnapshotIsBitIdenticalAcrossThreadCounts) {
   // Golden digest of the exposition byte stream (integer-only output, so
   // platform-stable).  An intentional metrics change re-pins this.
   EXPECT_EQ(fnv1a(one), 0x21410d4d85f2f248ull) << "exposition:\n" << one;
+}
+
+TEST(SearchMetricsDeterminism, ExpositionIsBitIdenticalAcrossThreadCounts) {
+  // Run the manipulation-search engine at 1/2/8 threads over the same
+  // instance and expose its counters: the exposition byte stream must be
+  // identical (SearchStats' deterministic counters do not depend on the
+  // interleaving; wall time is excluded by default).
+  const TpdWithRebates rebates(money(50));
+  SingleUnitInstance instance;
+  instance.buyer_values = {money(90), money(70), money(55), money(30)};
+  instance.seller_values = {money(20), money(40), money(60), money(80)};
+  const DeviationEvaluator evaluator(rebates, instance, {Side::kBuyer, 1});
+
+  auto exposition = [&](std::size_t threads) {
+    SearchConfig config;
+    config.threads = threads;
+    const SearchResult result = find_best_deviation(evaluator, config);
+    MetricsRegistry registry;
+    bind_search_metrics(registry, result.stats);
+    return prometheus_text(registry.snapshot());
+  };
+  const std::string one = exposition(1);
+  EXPECT_EQ(one, exposition(2));
+  EXPECT_EQ(one, exposition(8));
+  // Golden digest: re-pin on intentional search-counter changes.
+  EXPECT_EQ(fnv1a(one), 0x3be3429cd44a5486ull) << "exposition:\n" << one;
+}
+
+TEST(SearchMetricsDeterminism, WallTimeIsOptIn) {
+  SearchStats stats;
+  stats.wall_time_ns = 1234;
+  MetricsRegistry without;
+  bind_search_metrics(without, stats);
+  EXPECT_EQ(without.snapshot().find("fnda_search_wall_time_ns_total"),
+            nullptr);
+  MetricsRegistry with;
+  bind_search_metrics(with, stats, /*include_wall_time=*/true);
+  const MetricsSnapshot snap = with.snapshot();
+  ASSERT_NE(snap.find("fnda_search_wall_time_ns_total"), nullptr);
+  EXPECT_EQ(snap.find("fnda_search_wall_time_ns_total")->counter, 1234u);
 }
 
 #endif  // FNDA_NO_TELEMETRY
