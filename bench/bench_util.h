@@ -5,6 +5,7 @@
 // records a captured run.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <ctime>
 #include <fstream>
@@ -99,12 +100,41 @@ inline void write_benchmark_json(std::ostream& os,
   if (std::tm tm_buf{}; localtime_r(&now, &tm_buf) != nullptr) {
     std::strftime(date, sizeof date, "%FT%T%z", &tm_buf);
   }
+  // Per-record warning lists with build-flavour caveats appended; the
+  // distinct set (first-seen order) is also surfaced once in the context
+  // block so a reader skimming the document head sees every caveat
+  // without scanning the records.  Records keep their own tags: a row
+  // pasted into a report still carries its provenance.
+  std::vector<std::vector<std::string>> record_warnings(records.size());
+  std::vector<std::string> distinct_warnings;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    record_warnings[i] = records[i].warnings;
+#ifndef NDEBUG
+    record_warnings[i].push_back(
+        "library built without NDEBUG (debug): timings are not "
+        "representative, regenerate from a Release build");
+#endif
+    for (const std::string& warning : record_warnings[i]) {
+      if (std::find(distinct_warnings.begin(), distinct_warnings.end(),
+                    warning) == distinct_warnings.end()) {
+        distinct_warnings.push_back(warning);
+      }
+    }
+  }
   os << "{\n  \"context\": {\n"
      << "    \"date\": \"" << date << "\",\n"
      << "    \"executable\": \"" << executable << "\",\n"
      << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
-     << "    \"library_build_type\": \"" << library_build_type() << "\"\n"
-     << "  },\n  \"benchmarks\": [\n";
+     << "    \"library_build_type\": \"" << library_build_type() << '"';
+  if (!distinct_warnings.empty()) {
+    os << ",\n    \"warnings\": [";
+    for (std::size_t w = 0; w < distinct_warnings.size(); ++w) {
+      os << (w > 0 ? ", " : "") << '"' << json_escape(distinct_warnings[w])
+         << '"';
+    }
+    os << ']';
+  }
+  os << "\n  },\n  \"benchmarks\": [\n";
   os << std::setprecision(15);
   for (std::size_t i = 0; i < records.size(); ++i) {
     const JsonBenchRecord& r = records[i];
@@ -126,12 +156,7 @@ inline void write_benchmark_json(std::ostream& os,
     }
     // A debug build invalidates every timing in the file; say so on every
     // record, in the same structured shape as measurement caveats.
-    std::vector<std::string> warnings = r.warnings;
-#ifndef NDEBUG
-    warnings.push_back(
-        "library built without NDEBUG (debug): timings are not "
-        "representative, regenerate from a Release build");
-#endif
+    const std::vector<std::string>& warnings = record_warnings[i];
     if (!warnings.empty()) {
       os << ",\n      \"warnings\": [";
       for (std::size_t w = 0; w < warnings.size(); ++w) {

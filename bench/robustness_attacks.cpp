@@ -13,6 +13,11 @@
 // engine against the serial oracle bit-for-bit — a wrong best response
 // fails the bench before any timing is reported.
 //
+// The static instances here search a frozen book once.  The live axis —
+// attackers re-planning against a running MultiServerExchange every
+// round, with overlapped warm-start search — is bench/robustness_live
+// (see DESIGN.md §2j).
+//
 // Usage: robustness_attacks [--population N] [--speedup-accounts K]
 //                           [--speedup-manipulators M] [--grid G]
 //                           [--json PATH] [--assert-search-speedup X]

@@ -293,6 +293,7 @@ int cmd_attack_search(const ArgParser& args, std::istream& in,
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0x5eed));
   const bool serial = args.get_int_or("serial", 0) != 0;
   const bool prune = args.get_int_or("prune", 1) != 0;
+  const bool json = args.get_int_or("json", 0) != 0;
   const std::string metrics_out = args.get_or("metrics-out", "");
   std::string text;
   if (!slurp_book(args, in, err, &text)) return 1;
@@ -338,36 +339,85 @@ int cmd_attack_search(const ArgParser& args, std::istream& in,
                                   : find_best_deviation(evaluator, search);
   const SearchStats& stats = result.stats;
 
-  out << "protocol: " << protocol->name() << "\n"
-      << "engine: " << (serial ? "serial reference" : "parallel pruned")
-      << ", threads used: " << stats.threads_used << "\n"
-      << "manipulator: " << side_text << " #" << index << " (true value "
-      << evaluator.true_value() << ")\n"
-      << "candidates: " << stats.strategies_enumerated << " enumerated, "
-      << stats.strategies_evaluated << " evaluated, "
-      << stats.pruned_by_bound + stats.pruned_in_subtree << " pruned ("
-      << stats.pruned_by_bound << " leaf, " << stats.pruned_in_subtree
-      << " subtree), " << stats.dedup_skipped << " dedup-skipped"
-      << (result.truncated ? ", truncated" : "") << "\n"
-      << "positions: " << stats.fast_positions << " fast, "
-      << stats.clears_performed << " full clears\n";
-  if (stats.bound_slack_samples > 0) {
-    out << "mean bound slack: "
-        << format_fixed(static_cast<double>(stats.bound_slack_micros) /
-                            (1e6 * static_cast<double>(
-                                       stats.bound_slack_samples)),
-                        4)
-        << "\n";
-  }
-  out << "wall time: " << stats.wall_time_ns / 1000 << " us\n"
-      << "truthful utility: " << format_fixed(result.truthful_utility, 4)
-      << "\n"
-      << "best deviation:   " << format_fixed(result.best_utility, 4)
-      << "  via " << result.best_strategy.to_string() << "\n";
-  if (result.profitable()) {
-    out << "VERDICT: manipulable (profitable deviation found)\n";
+  if (json) {
+    // Machine-readable record (result + stats + timings); the Prometheus
+    // dump via --metrics-out still works alongside.  Wall time is the
+    // only nondeterministic field.
+    auto escape = [](const std::string& text_in) {
+      std::string escaped;
+      escaped.reserve(text_in.size() + 8);
+      for (const char c : text_in) {
+        if (c == '"' || c == '\\') escaped.push_back('\\');
+        escaped.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+      }
+      return escaped;
+    };
+    out << "{\n"
+        << "  \"protocol\": \"" << escape(protocol->name()) << "\",\n"
+        << "  \"engine\": \"" << (serial ? "serial" : "parallel_pruned")
+        << "\",\n"
+        << "  \"manipulator\": {\"side\": \"" << side_text
+        << "\", \"index\": " << index << ", \"true_value\": \""
+        << evaluator.true_value() << "\"},\n"
+        << "  \"result\": {\n"
+        << "    \"truthful_utility\": " << result.truthful_utility << ",\n"
+        << "    \"best_utility\": " << result.best_utility << ",\n"
+        << "    \"best_strategy\": \""
+        << escape(result.best_strategy.to_string()) << "\",\n"
+        << "    \"profitable\": " << (result.profitable() ? "true" : "false")
+        << ",\n"
+        << "    \"truncated\": " << (result.truncated ? "true" : "false")
+        << ",\n"
+        << "    \"strategies_evaluated\": " << result.strategies_evaluated
+        << "\n  },\n"
+        << "  \"stats\": {\n"
+        << "    \"threads_used\": " << stats.threads_used << ",\n"
+        << "    \"strategies_enumerated\": " << stats.strategies_enumerated
+        << ",\n"
+        << "    \"strategies_evaluated\": " << stats.strategies_evaluated
+        << ",\n"
+        << "    \"pruned_by_bound\": " << stats.pruned_by_bound << ",\n"
+        << "    \"pruned_in_subtree\": " << stats.pruned_in_subtree << ",\n"
+        << "    \"pruned_by_warm_floor\": " << stats.pruned_by_warm_floor
+        << ",\n"
+        << "    \"dedup_skipped\": " << stats.dedup_skipped << ",\n"
+        << "    \"fast_positions\": " << stats.fast_positions << ",\n"
+        << "    \"clears_performed\": " << stats.clears_performed << "\n"
+        << "  },\n"
+        << "  \"wall_time_ns\": " << stats.wall_time_ns << "\n"
+        << "}\n";
   } else {
-    out << "VERDICT: truthful play is optimal here\n";
+    out << "protocol: " << protocol->name() << "\n"
+        << "engine: " << (serial ? "serial reference" : "parallel pruned")
+        << ", threads used: " << stats.threads_used << "\n"
+        << "manipulator: " << side_text << " #" << index << " (true value "
+        << evaluator.true_value() << ")\n"
+        << "candidates: " << stats.strategies_enumerated << " enumerated, "
+        << stats.strategies_evaluated << " evaluated, "
+        << stats.pruned_by_bound + stats.pruned_in_subtree << " pruned ("
+        << stats.pruned_by_bound << " leaf, " << stats.pruned_in_subtree
+        << " subtree), " << stats.dedup_skipped << " dedup-skipped"
+        << (result.truncated ? ", truncated" : "") << "\n"
+        << "positions: " << stats.fast_positions << " fast, "
+        << stats.clears_performed << " full clears\n";
+    if (stats.bound_slack_samples > 0) {
+      out << "mean bound slack: "
+          << format_fixed(static_cast<double>(stats.bound_slack_micros) /
+                              (1e6 * static_cast<double>(
+                                         stats.bound_slack_samples)),
+                          4)
+          << "\n";
+    }
+    out << "wall time: " << stats.wall_time_ns / 1000 << " us\n"
+        << "truthful utility: " << format_fixed(result.truthful_utility, 4)
+        << "\n"
+        << "best deviation:   " << format_fixed(result.best_utility, 4)
+        << "  via " << result.best_strategy.to_string() << "\n";
+    if (result.profitable()) {
+      out << "VERDICT: manipulable (profitable deviation found)\n";
+    } else {
+      out << "VERDICT: truthful play is optimal here\n";
+    }
   }
 
   if (!metrics_out.empty()) {
@@ -665,6 +715,7 @@ int cmd_help(std::ostream& out) {
          "            (0 = hardware concurrency; result is identical for\n"
          "            every T) --replicates R --seed N --prune 0|1\n"
          "            --serial 1 (run the reference oracle instead)\n"
+         "            --json 1 (machine-readable result + stats + timings)\n"
          "            --metrics-out FILE (Prometheus text)\n"
          "  dynamics  iterated best response over the book's traders\n"
          "            --book FILE --protocol ... --sweeps N\n"

@@ -1,0 +1,153 @@
+// Overlapped, warm-started attack planning against the live exchange.
+//
+// The adversarial co-simulation's control plane: a population of
+// false-name attacker accounts lives inside a MultiServerExchange (as
+// deferred TradingClients), and this scheduler re-plans each attacker's
+// strategy via the manipulation-search engine against the *current* book
+// every round, without stalling the exchange:
+//
+//   * Snapshot at the barrier.  When a round completes, `plan_from`
+//     copies each shard's retained ranked lanes (AuctionServer::ranked_of
+//     — the SortedBook the round cleared from, tie order frozen; no
+//     re-sort) plus the owner account of every entry, and launches the
+//     searches on a background worker pool.  The exchange immediately
+//     proceeds to open and drive the next round; search and clearing
+//     overlap in wall-clock time.
+//   * Bounded staleness.  A strategy computed from round r's book is
+//     submitted for round r+1 (`apply_and_submit`, called after the
+//     bounded drive and `join`).  Round 0 plays each attacker's initial
+//     strategy.  Submissions run on the main thread in account order, so
+//     every bus/RNG draw sequence — and therefore the exchange output —
+//     is bit-identical for every exchange thread count AND every search
+//     pool size.
+//   * Warm starts.  Each attacker carries a persistent SearchState;
+//     `find_best_deviation_warm` revalidates an unchanged book in
+//     O(log n) via account_position and otherwise seeds the prune floor
+//     with the prior best response's current utility.
+//   * Shedding.  An optional per-round search budget caps the number of
+//     searches; the rotating window (deterministic in the round index)
+//     spreads planning across the population, and shed attackers simply
+//     replay their previous strategy.
+//
+// Withdrawal is a first-class primitive of the candidate space: the
+// engine's absence candidate is a full withdrawal, and any smaller
+// declaration multiset is a partial one.  The scheduler counts plans that
+// shrink the previously applied declaration set (`withdrawals`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "market/multi_exchange.h"
+#include "mechanism/manipulation.h"
+#include "mechanism/search_telemetry.h"
+#include "obs/metrics.h"
+
+namespace fnda {
+
+struct AttackSchedulerConfig {
+  /// Per-account search knobs.  Set `grid_override` for population-
+  /// independent cost; `threads` is the per-search engine fan-out (keep 1
+  /// — parallelism comes from the pool running whole accounts).
+  SearchConfig search{};
+  UtilityModel utility{};
+  /// Base evaluation seed; each account uses seed + gamma * account id,
+  /// fixed across rounds so warm cache keys stay comparable.
+  std::uint64_t seed = 0x5eed;
+  /// Warm-start wrapper on/off (off = cold engine every round, the
+  /// speedup baseline).
+  bool warm = true;
+  /// Background search workers (0 -> 1).
+  std::size_t pool_threads = 1;
+  /// Searches per planning round; 0 = the whole population.
+  std::size_t round_budget = 0;
+};
+
+class AttackScheduler {
+ public:
+  AttackScheduler(MultiServerExchange& exchange, AttackSchedulerConfig config);
+  ~AttackScheduler();
+
+  AttackScheduler(const AttackScheduler&) = delete;
+  AttackScheduler& operator=(const AttackScheduler&) = delete;
+
+  /// Registers an attacker account and switches its client to deferred
+  /// submission.  Call in account order, before the first round.
+  void add_attacker(TradingClient& client);
+
+  /// Snapshots each shard's cleared book for `rounds` (one RoundId per
+  /// shard) and launches this round's searches on the background pool.
+  /// Returns immediately; overlap the next round's drive, then `join`.
+  void plan_from(const std::vector<RoundId>& rounds);
+
+  /// Blocks until every in-flight search finishes, folds the counters
+  /// (deterministically, in account order), and rethrows the first
+  /// worker exception if any.  Idempotent.
+  void join();
+
+  /// Installs each attacker's planned strategy and submits its latched
+  /// round announcement, in account order on the calling thread.  Returns
+  /// the number of declarations submitted.
+  std::size_t apply_and_submit();
+
+  /// Cumulative co-simulation counters (deterministic).
+  const AttackSearchCounters& counters() const { return counters_; }
+  /// Summed per-search wall time (steady clock; NOT deterministic).
+  std::uint64_t search_wall_ns() const { return search_wall_ns_; }
+  /// Σ max(0, best - truthful) over all searches run so far.
+  double planned_gain_total() const { return planned_gain_total_; }
+  /// Searches whose best response strictly beat truth-telling.
+  std::uint64_t profitable_searches() const { return profitable_searches_; }
+  std::size_t attacker_count() const { return attackers_.size(); }
+
+  /// Optional wall-clock search-latency histogram (microseconds),
+  /// recorded at join() in account order.  Never digest-pin it.
+  void bind_latency_histogram(obs::Histogram& hist) { latency_hist_ = &hist; }
+
+ private:
+  struct ShardSnapshot {
+    std::vector<BidEntry> buyers;   // descending, tie order frozen
+    std::vector<BidEntry> sellers;  // ascending, tie order frozen
+    std::vector<AccountId> buyer_owner;
+    std::vector<AccountId> seller_owner;
+  };
+
+  struct Attacker {
+    TradingClient* client = nullptr;
+    std::size_t shard = 0;
+    SearchState state;
+    /// Strategy to install at the next apply (initially the client's
+    /// current strategy, i.e. truthful round 0).
+    Strategy planned;
+    std::size_t applied_declarations = 0;
+    bool selected = false;          ///< searched this planning round
+    std::uint64_t wall_ns = 0;      ///< this round's search wall time
+    double gain = 0.0;              ///< this round's best - truthful
+    bool profitable = false;
+    std::uint64_t cold_runs = 0;    ///< warm=false mode bookkeeping
+  };
+
+  void search_one(Attacker& attacker);
+
+  MultiServerExchange& exchange_;
+  AttackSchedulerConfig config_;
+  std::vector<Attacker> attackers_;  // account order
+  std::vector<ShardSnapshot> snapshots_;
+  std::vector<std::size_t> plan_list_;  // attacker indexes searched this round
+  std::vector<std::thread> pool_;
+  std::vector<std::exception_ptr> errors_;
+  std::atomic<std::size_t> next_{0};
+  std::size_t plan_rounds_ = 0;
+  bool inflight_ = false;
+
+  AttackSearchCounters counters_{};
+  std::uint64_t search_wall_ns_ = 0;
+  double planned_gain_total_ = 0.0;
+  std::uint64_t profitable_searches_ = 0;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace fnda

@@ -25,6 +25,14 @@ void TradingClient::on_round_open(const RoundOpenMsg& msg) {
   // Heartbeat re-announcements repeat the same round; bid once per round.
   if (!rounds_bid_.insert(msg.round.value())) return;
   ++rounds_seen_;
+  if (deferred_) {
+    pending_ = msg;
+    return;
+  }
+  submit_round(msg);
+}
+
+void TradingClient::submit_round(const RoundOpenMsg& msg) {
   for (const Declaration& declaration : strategy_.declarations) {
     // A fresh pseudonym per declaration per round: identities are
     // disposable in the false-name threat model.
@@ -35,6 +43,14 @@ void TradingClient::on_round_open(const RoundOpenMsg& msg) {
                                    declaration.value},
                       msg.close_at, config_.max_retries);
   }
+}
+
+std::size_t TradingClient::submit_pending() {
+  if (!pending_.has_value()) return 0;
+  const RoundOpenMsg msg = *pending_;
+  pending_.reset();
+  submit_round(msg);
+  return strategy_.declarations.size();
 }
 
 void TradingClient::submit_with_retry(const SubmitBidMsg& msg,

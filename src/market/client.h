@@ -7,6 +7,7 @@
 // whatever Strategy they were configured with.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,22 @@ class TradingClient : public Endpoint {
   /// Replaces the default truthful strategy.
   void set_strategy(Strategy strategy) { strategy_ = std::move(strategy); }
 
+  /// Deferred mode (adversarial co-simulation): round-open announcements
+  /// are latched instead of answered, and the bids go out only when the
+  /// scheduler calls `submit_pending()` — after it has finished planning
+  /// this round's strategy against the previous round's book.  The
+  /// submission path (identity minting, deposits, retries) is byte-for-
+  /// byte the immediate one, just time-shifted to the caller's instant.
+  void set_deferred(bool deferred) { deferred_ = deferred; }
+
+  /// Submits the latched round's bids with the current strategy; no-op
+  /// when no announcement is pending.  Returns the number of declarations
+  /// submitted.
+  std::size_t submit_pending();
+
+  /// True when a round-open announcement is latched and unanswered.
+  bool has_pending_round() const { return pending_.has_value(); }
+
   void on_message(const Envelope& envelope) override;
 
   AccountId account() const { return account_; }
@@ -70,6 +87,7 @@ class TradingClient : public Endpoint {
 
  private:
   void on_round_open(const RoundOpenMsg& msg);
+  void submit_round(const RoundOpenMsg& msg);
   void submit_with_retry(const SubmitBidMsg& msg, SimTime deadline,
                          std::size_t retries_left);
 
@@ -99,6 +117,9 @@ class TradingClient : public Endpoint {
   FlatU64Set acked_;
   /// Rounds already bid in (round-open heartbeats repeat announcements).
   FlatU64Set rounds_bid_;
+  /// Deferred mode: latch announcements for submit_pending().
+  bool deferred_ = false;
+  std::optional<RoundOpenMsg> pending_;
 };
 
 }  // namespace fnda

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -149,6 +150,13 @@ void EpochDriver::inject_phase() noexcept {
       }
       const std::optional<SimTime> head = shards_[s].queue->next_time();
       lane.next = head.has_value() ? head->micros : kEmpty;
+      // Bounded drive: a head at or beyond this shard's bound is outside
+      // the drive — the shard looks quiescent to the window reduction and
+      // its events stay queued for a later drive.
+      if (bounds_ != nullptr && lane.next != kEmpty &&
+          lane.next >= (*bounds_)[s].micros) {
+        lane.next = kEmpty;
+      }
     } catch (...) {
       errors_[s] = std::current_exception();
       failed_.store(true, std::memory_order_release);
@@ -264,7 +272,13 @@ void EpochDriver::run_phase() noexcept {
     if (s >= shards_.size()) return;
     if (errors_[s] == nullptr) {
       try {
-        shards_[s].queue->run_until(epoch_end_,
+        // run_until is INCLUSIVE of its end time, so a bounded shard is
+        // clamped to bound - 1: only events strictly before the bound run.
+        SimTime end = epoch_end_;
+        if (bounds_ != nullptr) {
+          end = std::min(end, (*bounds_)[s] - SimTime{1});
+        }
+        shards_[s].queue->run_until(end,
                                     std::numeric_limits<std::size_t>::max());
       } catch (...) {
         errors_[s] = std::current_exception();
@@ -302,6 +316,27 @@ void EpochDriver::finish_run() noexcept {
 }
 
 EpochStats EpochDriver::drive(std::size_t threads) {
+  bounds_ = nullptr;
+  return drive_impl(threads);
+}
+
+EpochStats EpochDriver::drive_until(const std::vector<SimTime>& bounds,
+                                    std::size_t threads) {
+  if (bounds.size() != shards_.size()) {
+    throw std::invalid_argument("drive_until: one bound per shard required");
+  }
+  bounds_ = &bounds;
+  try {
+    const EpochStats stats = drive_impl(threads);
+    bounds_ = nullptr;
+    return stats;
+  } catch (...) {
+    bounds_ = nullptr;
+    throw;
+  }
+}
+
+EpochStats EpochDriver::drive_impl(std::size_t threads) {
   const std::size_t shard_count = shards_.size();
   workers_ =
       std::clamp<std::size_t>(threads, 1, shard_count == 0 ? 1 : shard_count);

@@ -105,6 +105,19 @@ class EpochDriver {
   /// partial epoch on other shards beyond the one in flight.
   EpochStats drive(std::size_t threads);
 
+  /// Bounded drive: like drive(), but shard `s` executes only events
+  /// strictly before `bounds[s]` (one entry per shard).  Events at or
+  /// beyond the bound stay queued — the drive reports quiescence once no
+  /// shard has a pending event below its bound and every mailbox has been
+  /// drained into its queue — and a later drive()/drive_until() resumes
+  /// them.  A bounded shard never executes, so it never sends; the
+  /// conservative window arithmetic is unchanged, its inputs are just the
+  /// bound-clamped shard heads.  Used by the adversarial co-simulation to
+  /// stop every shard mid-round (before its round close) while attack
+  /// searches overlap on background threads.
+  EpochStats drive_until(const std::vector<SimTime>& bounds,
+                         std::size_t threads);
+
   /// Wires the driver into the session telemetry: cumulative epoch,
   /// injection, barrier-crossing, and widened-window counters (the
   /// per-drive EpochStats struct stays the drive() return value), a
@@ -149,11 +162,14 @@ class EpochDriver {
   void run_phase() noexcept;
   void advance_window() noexcept;  // window barrier completion
   void finish_run() noexcept;      // drain barrier completion
+  EpochStats drive_impl(std::size_t threads);
 
   Fabric& fabric_;
   std::vector<EpochShard> shards_;
   SimTime lookahead_;
   bool adaptive_;
+  /// Per-shard execution bounds for the current drive (null: unbounded).
+  const std::vector<SimTime>* bounds_ = nullptr;
 
   // Epoch state, written by the barrier completion steps.
   SimTime epoch_end_{};

@@ -21,7 +21,7 @@ namespace fnda {
 
 MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
                                          MultiExchangeConfig config)
-    : config_(config) {
+    : config_(config), protocol_(&protocol) {
   if (config_.shards == 0) {
     throw std::invalid_argument("MultiServerExchange: shards must be >= 1");
   }
@@ -156,14 +156,32 @@ TradingClient& MultiServerExchange::add_trader(Side role, Money true_value,
 }
 
 std::vector<RoundId> MultiServerExchange::run_round(SimTime open_for) {
+  std::vector<RoundId> rounds = open_rounds(open_for);
+  drive_to_quiescence();
+  return rounds;
+}
+
+std::vector<RoundId> MultiServerExchange::open_rounds(SimTime open_for) {
   std::vector<RoundId> rounds;
   rounds.reserve(shards_.size());
   for (Shard& shard : shards_) {
     rounds.push_back(shard.server->open_round(open_for));
   }
+  return rounds;
+}
+
+EpochStats MultiServerExchange::drive_until(
+    const std::vector<SimTime>& bounds) {
+  const EpochStats stats = driver_->drive_until(bounds, threads_);
+  epoch_totals_.merge(stats);
+  return stats;
+}
+
+void MultiServerExchange::drive_to_quiescence() {
+  // One full drive's stats become last_drive_ — run_round keeps reporting
+  // exactly what it always has, whether or not bounded drives preceded it.
   last_drive_ = driver_->drive(threads_);
   epoch_totals_.merge(last_drive_);
-  return rounds;
 }
 
 std::size_t MultiServerExchange::rounds_completed() const {

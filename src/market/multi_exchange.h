@@ -86,10 +86,30 @@ class MultiServerExchange {
   /// the configured worker threads, and returns the per-shard round ids.
   std::vector<RoundId> run_round(SimTime open_for = SimTime::millis(100));
 
+  // --- phased round control (adversarial co-simulation) -----------------
+  // run_round == open_rounds + drive_to_quiescence.  The co-simulation
+  // splits the drive instead: open_rounds, then drive_until with bounds
+  // strictly before each shard's round close (honest traffic clears while
+  // attack searches overlap on background threads), then deferred attacker
+  // submissions, then drive_to_quiescence to close the round.
+  /// Opens one round per shard without driving; returns per-shard ids.
+  std::vector<RoundId> open_rounds(SimTime open_for);
+  /// Bounded drive: shard `s` executes only events strictly before
+  /// `bounds[s]`; later events stay queued.  Folds into epoch_totals()
+  /// but leaves last_drive() alone (it reports full drives).
+  EpochStats drive_until(const std::vector<SimTime>& bounds);
+  /// Drives every shard to quiescence (the tail of run_round).
+  void drive_to_quiescence();
+
   /// Refunds every remaining deposit (see ExchangeSimulation).
   Money close_market();
 
   std::size_t shard_count() const { return shards_.size(); }
+  /// The clearing protocol the exchange was constructed with (the
+  /// co-simulation evaluates deviations against it).
+  const DoubleAuctionProtocol& protocol() const { return *protocol_; }
+  /// The resolved construction config (domain, latencies, ...).
+  const MultiExchangeConfig& config() const { return config_; }
   /// Resolved worker count (after 0 -> hardware, clamp to shards).
   std::size_t thread_count() const { return threads_; }
   AuctionServer& server(std::size_t shard) { return *shards_[shard].server; }
@@ -164,6 +184,7 @@ class MultiServerExchange {
   };
 
   MultiExchangeConfig config_;
+  const DoubleAuctionProtocol* protocol_ = nullptr;
   std::size_t threads_ = 1;
   /// Declared before the shards so it outlives every component holding
   /// instrument pointers into it.

@@ -372,6 +372,16 @@ const SettlementReport* AuctionServer::settlement_of(RoundId round) const {
   return it == completed_.end() ? nullptr : &it->second.settlement;
 }
 
+const SortedBook* AuctionServer::ranked_of(RoundId round) const {
+  auto it = completed_.find(round);
+  return it == completed_.end() ? nullptr : &it->second.ranked;
+}
+
+std::optional<SimTime> AuctionServer::round_closes_at() const {
+  if (!open_round_.has_value()) return std::nullopt;
+  return open_round_->close_at;
+}
+
 std::optional<Outcome> AuctionServer::replay_round(RoundId round) const {
   auto it = completed_.find(round);
   if (it == completed_.end()) return std::nullopt;

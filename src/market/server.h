@@ -85,6 +85,17 @@ class AuctionServer : public Endpoint {
   const Outcome* outcome_of(RoundId round) const;
   const SettlementReport* settlement_of(RoundId round) const;
 
+  /// The ranked view a completed round cleared from (tie order frozen) —
+  /// the cheap snapshot the adversarial co-simulation plans against; no
+  /// re-sort, the lanes already exist.  nullptr for unknown/evicted
+  /// rounds.
+  const SortedBook* ranked_of(RoundId round) const;
+
+  /// Close time of the currently open round (nullopt when none is open).
+  /// Lets a co-simulation bound a partial drive strictly before the
+  /// round's clearing event.
+  std::optional<SimTime> round_closes_at() const;
+
   /// Re-clears a completed round from its retained ranked view and the
   /// post-ranking RNG state; returns the recomputed outcome for
   /// comparison against the stored one.  No sort work: the ranking was

@@ -84,6 +84,60 @@ DeviationEvaluator::DeviationEvaluator(const DoubleAuctionProtocol& protocol,
   }
 }
 
+DeviationEvaluator::DeviationEvaluator(
+    const DoubleAuctionProtocol& protocol, ValueDomain domain, Side role,
+    Money true_value, const std::vector<BidEntry>& residual_buyers,
+    const std::vector<BidEntry>& residual_sellers, EvalConfig config)
+    : protocol_(protocol), manipulator_{role, 0}, config_(config) {
+  if (config_.replicates == 0) {
+    throw std::invalid_argument("DeviationEvaluator: replicates must be > 0");
+  }
+  // Synthesize the instance the lanes describe: residual values in rank
+  // order, the manipulator's own value appended last on its side.  The
+  // rank order of a sorted lane IS a valid instance order, so accessors
+  // and candidate_values see exactly the live population.
+  instance_.domain = domain;
+  instance_.buyer_values.reserve(residual_buyers.size() + 1);
+  for (const BidEntry& entry : residual_buyers) {
+    instance_.buyer_values.push_back(entry.value);
+  }
+  instance_.seller_values.reserve(residual_sellers.size() + 1);
+  for (const BidEntry& entry : residual_sellers) {
+    instance_.seller_values.push_back(entry.value);
+  }
+  auto& own_side = role == Side::kBuyer ? instance_.buyer_values
+                                        : instance_.seller_values;
+  manipulator_.index = own_side.size();
+  own_side.push_back(true_value);
+  true_value_ = true_value;
+
+  // Adopt the frozen ranking for every replicate, re-numbered with the
+  // canonical instance id scheme (BidIds in lane order, buyers first;
+  // identities i / kSellerIdentityBase + j) so the engine's own-identity
+  // window [kExtraIdentityBase, ...) can never collide with a residual
+  // entry.  The manipulator's utility does not depend on residual
+  // identities, so the re-numbering changes nothing observable.
+  replicates_.reserve(config_.replicates);
+  for (std::size_t t = 0; t < config_.replicates; ++t) {
+    Rng rng(config_.seed + kReplicateGamma * t);
+    ResidualRanking ranking;
+    ranking.buyers.reserve(residual_buyers.size());
+    for (std::size_t i = 0; i < residual_buyers.size(); ++i) {
+      ranking.buyers.push_back(
+          BidEntry{BidId{i}, IdentityId{i}, residual_buyers[i].value});
+    }
+    ranking.sellers.reserve(residual_sellers.size());
+    for (std::size_t j = 0; j < residual_sellers.size(); ++j) {
+      ranking.sellers.push_back(BidEntry{BidId{residual_buyers.size() + j},
+                                         IdentityId{kSellerIdentityBase + j},
+                                         residual_sellers[j].value});
+    }
+    ranking.insert_seed = rng();
+    ranking.clear_seed = rng();
+    replicates_.push_back(std::move(ranking));
+  }
+}
+
 AccountPosition DeviationEvaluator::clear_with(const ResidualRanking& residual,
                                                const Strategy& strategy) const {
   merged_buyers_.assign(residual.buyers.begin(), residual.buyers.end());
@@ -184,6 +238,7 @@ void SearchStats::merge_from(const SearchStats& other) {
   strategies_evaluated += other.strategies_evaluated;
   pruned_by_bound += other.pruned_by_bound;
   pruned_in_subtree += other.pruned_in_subtree;
+  pruned_by_warm_floor += other.pruned_by_warm_floor;
   dedup_skipped += other.dedup_skipped;
   clears_performed += other.clears_performed;
   fast_positions += other.fast_positions;
@@ -291,8 +346,11 @@ struct SearchContext {
   double base_utility = 0.0;    // max(truthful, absence) — incumbent seed
   bool bracket_usable = false;  // bracket valid AND bound preconditions hold
   bool prune = false;           // bracket_usable && config.prune
+  bool warm = false;            // bracket_usable && warm_floor > -inf
   double floor_units = 0.0;     // bracket.buy_floor, currency units
   double ceiling_units = 0.0;   // bracket.sell_ceiling, currency units
+  double warm_floor = 0.0;      // SearchConfig::warm_floor (see soundness
+                                // note there: only applied when achievable)
 };
 
 /// Sound utility upper bound for any candidate whose declarations contain
@@ -397,12 +455,22 @@ class BlockWorker {
         const bool ts = tradable_sells_ > 0 || decl_ts ||
                         (deeper && ctx_.suffix_ts[idx]);
         bound = strategy_bound(ctx_, tb, ts);
-        if (ctx_.prune && bound <= incumbent_) {
+        const bool below_incumbent = ctx_.prune && bound <= incumbent_;
+        // Warm floor: STRICTLY below (a bound-tight candidate achieving
+        // exactly the floor may be the serial first achiever, so it must
+        // survive).  Pruned candidates then have utility < floor <= the
+        // final best, which keeps the winner — though not the coverage
+        // counters — identical to the un-floored search.
+        const bool below_floor = ctx_.warm && bound < ctx_.warm_floor;
+        if (below_incumbent || below_floor) {
           // The whole subtree is dominated: no completion can strictly
-          // beat the incumbent, which sits earlier in serial order.
+          // beat the incumbent (or reach the warm floor), which sits
+          // earlier in serial order.
           const std::uint64_t considered =
               std::min<std::uint64_t>(subtree, ctx_.tuple_cap - cursor_);
-          if (depth + 1 == size) {
+          if (!below_incumbent) {
+            out_->stats.pruned_by_warm_floor += considered;
+          } else if (depth + 1 == size) {
             out_->stats.pruned_by_bound += considered;
           } else {
             out_->stats.pruned_in_subtree += considered;
@@ -666,6 +734,9 @@ SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
   ctx.bracket_usable = bracket.valid && bracket.buy_floor >= Money{} &&
                        penalty >= bracket.sell_ceiling;
   ctx.prune = config.prune && ctx.bracket_usable;
+  ctx.warm = ctx.bracket_usable &&
+             config.warm_floor > -std::numeric_limits<double>::infinity();
+  ctx.warm_floor = config.warm_floor;
   ctx.floor_units = bracket.buy_floor.to_double();
   ctx.ceiling_units = bracket.sell_ceiling.to_double();
 
@@ -787,6 +858,251 @@ SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - started)
           .count());
+  return result;
+}
+
+namespace {
+
+/// FNV-1a fold of the non-lane, non-grid inputs that affect a search
+/// result.  Collisions here are harmless for correctness — the lanes and
+/// grid are compared exactly, and even a spurious "hit" is re-validated
+/// against the live book before the cached result is trusted.
+std::uint64_t warm_config_key(const DeviationEvaluator& evaluator,
+                              const SearchConfig& config) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto fold = [&hash](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (byte * 8)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  const EvalConfig& eval = evaluator.eval_config();
+  fold(eval.seed);
+  fold(eval.replicates);
+  fold(static_cast<std::uint64_t>(eval.utility.penalty().micros()));
+  fold(evaluator.role() == Side::kBuyer ? 1 : 2);
+  fold(static_cast<std::uint64_t>(evaluator.true_value().micros()));
+  fold(static_cast<std::uint64_t>(evaluator.instance().domain.lowest.micros()));
+  fold(
+      static_cast<std::uint64_t>(evaluator.instance().domain.highest.micros()));
+  fold(config.max_declarations);
+  fold(config.allow_absence ? 1 : 0);
+  fold(config.max_strategies);
+  fold(config.prune ? 1 : 0);
+  return hash;
+}
+
+/// True when `strategy` is produced by the canonical enumeration over
+/// `grid` under `config` — the precondition for using its utility as a
+/// sound warm floor (see SearchConfig::warm_floor).
+bool strategy_in_space(const Strategy& strategy, const std::vector<Money>& grid,
+                       const SearchConfig& config, Side role,
+                       Money true_value) {
+  if (strategy.declarations.empty()) return config.allow_absence;
+  // The truthful single declaration is base-evaluated before enumeration,
+  // so it is always achieved — grid membership is irrelevant.
+  if (strategy.declarations.size() == 1 &&
+      strategy.declarations.front().side == role &&
+      strategy.declarations.front().value == true_value) {
+    return true;
+  }
+  if (strategy.declarations.size() > config.max_declarations) return false;
+  for (const Declaration& decl : strategy.declarations) {
+    if (std::find(grid.begin(), grid.end(), decl.value) == grid.end()) {
+      return false;
+    }
+  }
+  // Truncated enumerations may stop before reaching the cached tuple, so
+  // the floor would not be achieved; require full coverage.
+  const std::size_t n = grid.size() * 2;
+  const std::uint64_t absence = config.allow_absence ? 1 : 0;
+  std::uint64_t total_tuples = 0;
+  for (std::size_t size = 1; size <= config.max_declarations; ++size) {
+    total_tuples = sat_add(total_tuples, multiset_count(n, size));
+  }
+  return sat_add(absence, total_tuples) <= config.max_strategies;
+}
+
+/// Re-evaluates `strategy` against the retained residual book through the
+/// protocol's O(log n) `account_position` fast path, replaying the exact
+/// insert stream the engine (and the serial evaluator) would use, so the
+/// returned utility is bit-identical to `evaluator.evaluate(strategy)`.
+/// Returns false when the fast path is unavailable (replicates > 1, or
+/// the protocol declines the position query); the book is left unchanged
+/// either way.
+bool fast_revalidate(const DeviationEvaluator& evaluator,
+                     const Strategy& strategy, SortedBook& book,
+                     double* utility_out) {
+  const UtilityModel& utility = evaluator.eval_config().utility;
+  if (strategy.declarations.empty()) {
+    *utility_out =
+        utility.evaluate(evaluator.role(), evaluator.true_value(),
+                         AccountPosition{});
+    return true;
+  }
+  if (evaluator.eval_config().replicates != 1) return false;
+  const auto& residual = evaluator.residual_rankings().front();
+  const std::uint64_t bid_base =
+      static_cast<std::uint64_t>(residual.buyers.size() +
+                                 residual.sellers.size());
+  Rng rng(residual.insert_seed);
+  struct OwnPos {
+    Side side = Side::kBuyer;
+    std::size_t index = 0;
+  };
+  std::vector<OwnPos> positions;
+  positions.reserve(strategy.declarations.size());
+  for (std::size_t d = 0; d < strategy.declarations.size(); ++d) {
+    const Declaration& decl = strategy.declarations[d];
+    const BidEntry entry{BidId{bid_base + d},
+                         IdentityId{kExtraIdentityBase + d}, decl.value};
+    const auto& lane =
+        decl.side == Side::kBuyer ? book.buyers() : book.sellers();
+    std::size_t lo;
+    std::size_t hi;
+    if (decl.side == Side::kBuyer) {
+      lo = static_cast<std::size_t>(
+          std::lower_bound(
+              lane.begin(), lane.end(), decl.value,
+              [](const BidEntry& e, Money v) { return e.value > v; }) -
+          lane.begin());
+      hi = static_cast<std::size_t>(
+          std::upper_bound(
+              lane.begin() + static_cast<std::ptrdiff_t>(lo), lane.end(),
+              decl.value,
+              [](Money v, const BidEntry& e) { return v > e.value; }) -
+          lane.begin());
+    } else {
+      lo = static_cast<std::size_t>(
+          std::lower_bound(
+              lane.begin(), lane.end(), decl.value,
+              [](const BidEntry& e, Money v) { return e.value < v; }) -
+          lane.begin());
+      hi = static_cast<std::size_t>(
+          std::upper_bound(
+              lane.begin() + static_cast<std::ptrdiff_t>(lo), lane.end(),
+              decl.value,
+              [](Money v, const BidEntry& e) { return v < e.value; }) -
+          lane.begin());
+    }
+    const std::size_t index =
+        lo + static_cast<std::size_t>(rng.below(hi - lo + 1));
+    book.insert_ranked(decl.side, entry, index);
+    for (std::size_t e = 0; e < d; ++e) {
+      OwnPos& p = positions[e];
+      if (p.side == decl.side && p.index >= index) ++p.index;
+    }
+    positions.push_back(OwnPos{decl.side, index});
+  }
+
+  std::vector<OwnDeclaration> own;
+  own.reserve(strategy.declarations.size());
+  for (std::size_t d = 0; d < strategy.declarations.size(); ++d) {
+    own.push_back(OwnDeclaration{positions[d].side, positions[d].index + 1,
+                                 strategy.declarations[d].value,
+                                 IdentityId{kExtraIdentityBase + d}});
+  }
+  AccountFills fills;
+  const bool supported =
+      evaluator.protocol().account_position(book, own, &fills);
+  if (supported) {
+    const AccountPosition position{fills.bought, fills.sold, fills.paid,
+                                   fills.received};
+    *utility_out =
+        utility.evaluate(evaluator.role(), evaluator.true_value(), position);
+  }
+
+  // Undo the inserts (reverse depth order, with the same shift
+  // bookkeeping as the engine's erase_depth).
+  for (std::size_t d = strategy.declarations.size(); d-- > 0;) {
+    const OwnPos p = positions[d];
+    book.erase_ranked(p.side, p.index);
+    for (std::size_t e = 0; e < d; ++e) {
+      OwnPos& q = positions[e];
+      if (q.side == p.side && q.index > p.index) --q.index;
+    }
+  }
+  return supported;
+}
+
+}  // namespace
+
+SearchResult find_best_deviation_warm(const DeviationEvaluator& evaluator,
+                                      const SearchConfig& config,
+                                      SearchState& state) {
+  const SingleUnitInstance& instance = evaluator.instance();
+  const std::vector<Money> grid =
+      config.grid_override.empty()
+          ? candidate_values(instance, evaluator.true_value(),
+                             config.extra_candidates)
+          : config.grid_override;
+  const std::uint64_t key = warm_config_key(evaluator, config);
+  const auto& residual = evaluator.residual_rankings().front();
+  auto lanes_match = [&] {
+    if (state.buyer_values.size() != residual.buyers.size()) return false;
+    if (state.seller_values.size() != residual.sellers.size()) return false;
+    for (std::size_t i = 0; i < residual.buyers.size(); ++i) {
+      if (state.buyer_values[i] != residual.buyers[i].value) return false;
+    }
+    for (std::size_t j = 0; j < residual.sellers.size(); ++j) {
+      if (state.seller_values[j] != residual.sellers[j].value) return false;
+    }
+    return true;
+  };
+
+  // Tier 1 — nothing changed: revalidate the cached best response against
+  // the retained book and return the cached result without enumerating.
+  // The revalidation is a safety net, not a correctness requirement: on
+  // any mismatch we fall through to a full (warm-seeded) search.
+  if (state.has_result && state.config_key == key && state.grid == grid &&
+      lanes_match()) {
+    double revalidated = 0.0;
+    bool checked = false;
+    if (fast_revalidate(evaluator, state.last.best_strategy,
+                        state.residual_book, &revalidated)) {
+      ++state.fast_revalidations;
+      checked = true;
+    } else {
+      revalidated = evaluator.evaluate(state.last.best_strategy);
+      checked = true;
+    }
+    if (checked && revalidated == state.last.best_utility) {
+      ++state.warm_hits;
+      return state.last;
+    }
+  }
+
+  // Tier 2 — the book (or config) changed: if the cached best strategy is
+  // still in the candidate space, its utility on the CURRENT book is a
+  // sound prune floor (some enumerated candidate — that very strategy —
+  // achieves it).  Tier 3 — no usable prior state: run cold.
+  SearchConfig run = config;
+  if (state.has_result &&
+      strategy_in_space(state.last.best_strategy, grid, config,
+                        evaluator.role(), evaluator.true_value())) {
+    run.warm_floor = evaluator.evaluate(state.last.best_strategy);
+    ++state.warm_seeded;
+  } else {
+    ++state.cold_runs;
+  }
+  SearchResult result = find_best_deviation(evaluator, run);
+
+  state.has_result = true;
+  state.last = result;
+  state.buyer_values.clear();
+  state.buyer_values.reserve(residual.buyers.size());
+  for (const BidEntry& entry : residual.buyers) {
+    state.buyer_values.push_back(entry.value);
+  }
+  state.seller_values.clear();
+  state.seller_values.reserve(residual.sellers.size());
+  for (const BidEntry& entry : residual.sellers) {
+    state.seller_values.push_back(entry.value);
+  }
+  state.grid = grid;
+  state.config_key = key;
+  state.residual_book.assign_ranked(instance.domain, residual.buyers,
+                                    residual.sellers);
   return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/instance.h"
@@ -72,6 +73,23 @@ class DeviationEvaluator {
  public:
   DeviationEvaluator(const DoubleAuctionProtocol& protocol,
                      SingleUnitInstance instance, ManipulatorSpec manipulator,
+                     EvalConfig config = {});
+
+  /// Live-book entry point: adopts a residual ranking that is ALREADY
+  /// rank-ordered (buyers descending, sellers ascending, tie order frozen
+  /// by the caller — e.g. a retained round's SortedBook with the
+  /// manipulator's own entries removed) instead of re-sorting an
+  /// instance.  No O(n log n) work: the lanes are copied and re-numbered
+  /// with the canonical instance id scheme, and the tie order is shared
+  /// by every replicate (the snapshot froze it; common random numbers
+  /// still vary the insertion/clearing streams per replicate).  The
+  /// synthesized instance appends the manipulator's true value after the
+  /// residual values, so `candidate_values` and every accessor behave as
+  /// if the evaluator had been built from that instance.
+  DeviationEvaluator(const DoubleAuctionProtocol& protocol, ValueDomain domain,
+                     Side role, Money true_value,
+                     const std::vector<BidEntry>& residual_buyers,
+                     const std::vector<BidEntry>& residual_sellers,
                      EvalConfig config = {});
 
   /// Mean utility of the manipulator when it plays `strategy` and everyone
@@ -142,6 +160,15 @@ struct SearchConfig {
   /// of the instance-derived `candidate_values`.  Lets benchmarks fix the
   /// candidate space independently of the population size.
   std::vector<Money> grid_override;
+  /// Warm-start prune floor: candidates whose utility upper bound is
+  /// STRICTLY below this are pruned in addition to the incumbent rule.
+  /// Sound — same best strategy and utilities as the un-floored search —
+  /// if and only if some enumerated candidate achieves at least this
+  /// utility; `find_best_deviation_warm` guarantees that by seeding the
+  /// floor with the re-evaluated utility of a strategy it has proven to
+  /// be in the candidate space.  Coverage counters (evaluated / pruned)
+  /// DO depend on the floor; the result does not.  -inf disables.
+  double warm_floor = -std::numeric_limits<double>::infinity();
 };
 
 /// Engine observability: how the search space was covered.  All counters
@@ -160,6 +187,10 @@ struct SearchStats {
   /// Candidates skipped in bulk when a whole declaration-size subtree's
   /// optimistic bound could not beat the incumbent.
   std::size_t pruned_in_subtree = 0;
+  /// Candidates skipped only because of the warm-start floor (their bound
+  /// beat the block incumbent but fell strictly below the floor).  Zero
+  /// for cold searches.
+  std::size_t pruned_by_warm_floor = 0;
   /// Ordered duplicate tuples avoided by canonical multiset enumeration
   /// (value-permutation-equivalent declaration sets collapse to one).
   std::size_t dedup_skipped = 0;
@@ -216,6 +247,59 @@ std::vector<Money> candidate_values(const SingleUnitInstance& instance,
 /// fast path, incremental residual patching, and worker parallelism.
 SearchResult find_best_deviation(const DeviationEvaluator& evaluator,
                                  const SearchConfig& config = {});
+
+/// Persistent per-account warm-start state carried across rounds of a
+/// live session.  `find_best_deviation_warm` owns every field; callers
+/// only construct one per manipulator account and keep it alive between
+/// calls.  Holding the state for account A and calling with account B's
+/// evaluator is safe (the cached lanes/grid/config key will not match and
+/// the search runs cold) but wastes the cache.
+struct SearchState {
+  bool has_result = false;
+  /// The previous search's full result (returned verbatim on a warm hit).
+  SearchResult last;
+  /// Ranked residual VALUE lanes of `last` — the invalidation rule: any
+  /// change to either lane (value multiset or rank order, which for
+  /// sorted lanes is the same thing) invalidates the cached result.
+  /// Residual identities and tie order are deliberately excluded: the
+  /// manipulator's utility is a function of the value lanes, its own
+  /// declarations, and the seeds only.
+  std::vector<Money> buyer_values;
+  std::vector<Money> seller_values;
+  /// Candidate grid of `last` (grid changes invalidate the cache).
+  std::vector<Money> grid;
+  /// Digest of every other result-affecting input (eval seed, replicates,
+  /// utility penalty, role, true value, domain, search knobs).
+  std::uint64_t config_key = 0;
+  /// Residual lanes as a SortedBook, kept warm across rounds so a cache
+  /// hit revalidates the cached best response through the protocol's
+  /// O(log n) `account_position` fast path without copying the lanes.
+  SortedBook residual_book;
+  // --- observability ----------------------------------------------------
+  std::size_t warm_hits = 0;    ///< unchanged book: cached result reused
+  std::size_t warm_seeded = 0;  ///< engine runs seeded with the warm floor
+  std::size_t cold_runs = 0;    ///< engine runs with no usable warm state
+  std::size_t fast_revalidations = 0;  ///< account_position hit revalidations
+};
+
+/// Warm-start wrapper around `find_best_deviation`.  Three tiers:
+///   1. Cache hit — the residual value lanes, grid, and config match the
+///      previous call exactly: the cached best response is revalidated in
+///      O(log n) via `account_position` against the retained residual
+///      book and the cached result is returned without enumeration.
+///   2. Warm seed — the book changed but the previous best strategy is
+///      still in the candidate space (declarations on the current grid,
+///      within max_declarations, enumeration not truncated): it is
+///      re-evaluated against the new book and its utility becomes
+///      `SearchConfig::warm_floor`, so most subtrees die immediately.
+///   3. Cold — no usable prior state: plain `find_best_deviation`.
+/// All three tiers return the same best strategy and utilities as a cold
+/// `find_best_deviation` / `find_best_deviation_serial` on the same
+/// evaluator, bit for bit, at every thread count; only the coverage
+/// counters differ.  Updates `state` with the returned result.
+SearchResult find_best_deviation_warm(const DeviationEvaluator& evaluator,
+                                      const SearchConfig& config,
+                                      SearchState& state);
 
 /// The original single-threaded exhaustive search, kept as the
 /// equivalence oracle and the benchmark baseline.  Evaluates every

@@ -34,6 +34,8 @@ inline void bind_search_metrics(obs::MetricsRegistry& registry,
                       [&stats] { return stats.pruned_by_bound; });
   registry.counter_fn("fnda_search_pruned_in_subtree_total",
                       [&stats] { return stats.pruned_in_subtree; });
+  registry.counter_fn("fnda_search_pruned_by_warm_floor_total",
+                      [&stats] { return stats.pruned_by_warm_floor; });
   registry.counter_fn("fnda_search_dedup_skipped_total",
                       [&stats] { return stats.dedup_skipped; });
   registry.counter_fn("fnda_search_clears_performed_total",
@@ -51,6 +53,48 @@ inline void bind_search_metrics(obs::MetricsRegistry& registry,
     // NOT deterministic — never include in digest-pinned output.
     registry.counter_fn("fnda_search_wall_time_ns_total",
                         [&stats] { return stats.wall_time_ns; });
+  }
+}
+
+/// Aggregate counters of a live adversarial co-simulation (one
+/// AttackScheduler session): how many per-round plans ran, how the warm
+/// cache behaved, and how much work was shed or replanned.  All counters
+/// are deterministic for a fixed session config (independent of both the
+/// exchange thread count and the search pool size).
+struct AttackSearchCounters {
+  std::uint64_t rounds = 0;        ///< planning rounds driven
+  std::uint64_t searches = 0;      ///< per-account searches launched
+  std::uint64_t warm_hits = 0;     ///< cache hits (no enumeration)
+  std::uint64_t warm_seeded = 0;   ///< floor-seeded engine runs
+  std::uint64_t cold_runs = 0;     ///< cold engine runs
+  std::uint64_t shed = 0;          ///< searches skipped by the round budget
+  std::uint64_t withdrawals = 0;   ///< plans shrinking the prior declaration set
+};
+
+/// Registers the co-simulation counters (callback metrics reading
+/// `counters` at snapshot time) plus, when `latency_us` is non-null, a
+/// search-latency HDR histogram in microseconds.  The histogram is
+/// wall-clock derived — keep it out of digest-pinned expositions, exactly
+/// like fnda_search_wall_time_ns_total.
+inline void bind_attack_metrics(obs::MetricsRegistry& registry,
+                                const AttackSearchCounters& counters,
+                                obs::Histogram** latency_us = nullptr) {
+  registry.counter_fn("fnda_attack_rounds_total",
+                      [&counters] { return counters.rounds; });
+  registry.counter_fn("fnda_attack_searches_total",
+                      [&counters] { return counters.searches; });
+  registry.counter_fn("fnda_attack_warm_hits_total",
+                      [&counters] { return counters.warm_hits; });
+  registry.counter_fn("fnda_attack_warm_seeded_total",
+                      [&counters] { return counters.warm_seeded; });
+  registry.counter_fn("fnda_attack_cold_runs_total",
+                      [&counters] { return counters.cold_runs; });
+  registry.counter_fn("fnda_attack_shed_total",
+                      [&counters] { return counters.shed; });
+  registry.counter_fn("fnda_attack_withdrawals_total",
+                      [&counters] { return counters.withdrawals; });
+  if (latency_us != nullptr) {
+    *latency_us = &registry.histogram("fnda_attack_search_latency_us");
   }
 }
 
