@@ -92,6 +92,28 @@ inline const char* library_build_type() {
 #endif
 }
 
+/// Git revision the binary was configured from (captured at CMake
+/// configure time; "unknown" outside a work tree or for stale builds
+/// whose configure predates the last commit).
+inline const char* build_git_sha() {
+#ifdef FNDA_GIT_SHA
+  return FNDA_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Compiler family + full version string the binary was built with.
+inline std::string compiler_version() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 inline void write_benchmark_json(std::ostream& os,
                                  const std::string& executable,
                                  const std::vector<JsonBenchRecord>& records) {
@@ -125,7 +147,9 @@ inline void write_benchmark_json(std::ostream& os,
      << "    \"date\": \"" << date << "\",\n"
      << "    \"executable\": \"" << executable << "\",\n"
      << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
-     << "    \"library_build_type\": \"" << library_build_type() << '"';
+     << "    \"library_build_type\": \"" << library_build_type() << "\",\n"
+     << "    \"git_sha\": \"" << build_git_sha() << "\",\n"
+     << "    \"compiler\": \"" << json_escape(compiler_version()) << '"';
   if (!distinct_warnings.empty()) {
     os << ",\n    \"warnings\": [";
     for (std::size_t w = 0; w < distinct_warnings.size(); ++w) {
@@ -150,6 +174,9 @@ inline void write_benchmark_json(std::ostream& os,
     // context block is easy to lose).
     os << ",\n      \"num_cpus\": " << std::thread::hardware_concurrency();
     os << ",\n      \"library_build_type\": \"" << library_build_type()
+       << '"';
+    os << ",\n      \"git_sha\": \"" << build_git_sha() << '"';
+    os << ",\n      \"compiler\": \"" << json_escape(compiler_version())
        << '"';
     for (const auto& [key, value] : r.counters) {
       os << ",\n      \"" << key << "\": " << value;

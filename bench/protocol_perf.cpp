@@ -7,6 +7,8 @@
 
 #include <memory>
 
+#include "bench_util.h"
+
 #include "core/instance.h"
 #include "protocols/efficient.h"
 #include "protocols/kda.h"
@@ -282,4 +284,18 @@ BENCHMARK(BM_Figure1SweepShared)->Arg(100)->Arg(500)
 BENCHMARK(BM_Figure1SweepKernel)->Arg(100)->Arg(500)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Same provenance keys as the JsonBenchRecord writers, surfaced through
+  // google-benchmark's context block (its records inherit the context).
+  benchmark::AddCustomContext("git_sha", fnda::bench::build_git_sha());
+  // google-benchmark emits its own "library_build_type" (the benchmark
+  // library's flavour); prefix ours to keep the keys distinct.
+  benchmark::AddCustomContext("fnda_build_type",
+                              fnda::bench::library_build_type());
+  benchmark::AddCustomContext("compiler", fnda::bench::compiler_version());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "core/validation.h"
+#include "ops/console.h"
+#include "ops/format.h"
 #include "protocols/efficient.h"
 #include "protocols/kda.h"
 #include "protocols/pmd.h"
@@ -661,9 +663,10 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
 
 int cmd_metrics_dump(const ArgParser& args, std::ostream& out,
                      std::ostream& err) {
-  // A small deterministic session whose merged snapshot goes straight to
-  // stdout — the quickest way to see every registered metric name, and
-  // what the CI smoke step greps.
+  // Two modes: run a small deterministic session and dump its merged
+  // snapshot (the CI smoke step greps this), or --in FILE to parse an
+  // existing Prometheus text file back into a snapshot — validating it
+  // and optionally reformatting.  Missing or malformed input exits 1.
   ThroughputConfig config;
   config.clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
   config.rounds = static_cast<std::size_t>(args.get_int_or("rounds", 2));
@@ -672,21 +675,114 @@ int cmd_metrics_dump(const ArgParser& args, std::ostream& out,
   config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const Money threshold = money(args.get_double_or("threshold", 50.0));
   const std::string format = args.get_or("format", "prom");
+  const std::optional<std::string> in_path = args.get("in");
+  const bool quiet = args.has("quiet");
   if (const int rc = check_unused(args, err); rc != 0) return rc;
   if (config.clients == 0 || config.rounds == 0 || config.shards == 0) {
     return usage_error(err, "--clients, --rounds, --shards must be positive");
   }
-  if (format != "prom" && format != "json") {
-    return usage_error(err, "--format must be prom or json");
+  if (format != "prom" && format != "json" && format != "table") {
+    return usage_error(err, "--format must be prom, json, or table");
   }
 
-  const TpdProtocol tpd(threshold);
-  const ThroughputResult result = run_throughput_session(tpd, config);
-  if (format == "json") {
-    obs::write_json_snapshot(out, result.metrics);
-    out << '\n';
+  obs::MetricsSnapshot snapshot;
+  if (in_path.has_value()) {
+    std::ifstream file(*in_path);
+    if (!file) {
+      err << "error: cannot open metrics file '" << *in_path << "'\n";
+      return 1;
+    }
+    try {
+      snapshot = ops::parse_prometheus_text(file);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << '\n';
+      return 1;
+    }
   } else {
-    obs::write_prometheus(out, result.metrics);
+    const TpdProtocol tpd(threshold);
+    snapshot = run_throughput_session(tpd, config).metrics;
+  }
+
+  if (quiet) return 0;
+  if (format == "json") {
+    obs::write_json_snapshot(out, snapshot);
+    out << '\n';
+  } else if (format == "table") {
+    for (const std::string& line : ops::render_metrics_table(snapshot)) {
+      out << line << '\n';
+    }
+  } else {
+    obs::write_prometheus(out, snapshot);
+  }
+  return 0;
+}
+
+int cmd_console(const ArgParser& args, std::istream& in, std::ostream& out,
+                std::ostream& err) {
+  const ProtocolPtr protocol = make_protocol(args);
+  ops::ConsoleConfig config;
+  config.clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
+  config.shards = static_cast<std::size_t>(args.get_int_or("shards", 2));
+  config.threads = static_cast<std::size_t>(args.get_int_or("threads", 1));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  config.max_rounds =
+      static_cast<std::size_t>(args.get_int_or("rounds-budget", 1024));
+  config.drop_probability = args.get_double_or("drop", 0.0);
+  config.duplicate_probability = args.get_double_or("duplicate", 0.0);
+  config.telemetry.enabled = !args.has("no-telemetry");
+  const std::optional<std::string> script_path = args.get("script");
+  const std::optional<std::string> slo_path = args.get("slo-file");
+  const bool json_replies = args.has("json");
+  if (const int rc = check_unused(args, err); rc != 0) return rc;
+  if (config.clients == 0 || config.shards == 0) {
+    return usage_error(err, "--clients and --shards must be positive");
+  }
+  if (slo_path.has_value()) {
+    std::ifstream file(*slo_path);
+    if (!file) {
+      err << "error: cannot open SLO file '" << *slo_path << "'\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      config.slo_rules.push_back(line);
+    }
+  }
+
+  ops::ConsoleSession session(*protocol, config);
+
+  const bool script_mode = script_path.has_value();
+  std::ifstream script;
+  if (script_mode) {
+    script.open(*script_path);
+    if (!script) {
+      err << "error: cannot open script '" << *script_path << "'\n";
+      return 1;
+    }
+  }
+  std::istream& source = script_mode ? static_cast<std::istream&>(script) : in;
+
+  if (!script_mode) {
+    out << "fnda console — 'help' lists commands, 'quit' leaves\n";
+  }
+  std::string line;
+  while (!session.done()) {
+    if (script_mode) {
+      if (!std::getline(source, line)) break;
+      out << "> " << line << '\n';
+    } else {
+      out << "fnda> " << std::flush;
+      if (!std::getline(source, line)) break;
+    }
+    const ops::Reply reply = session.execute(line);
+    const std::string rendered = json_replies ? reply.json : reply.text();
+    if (!rendered.empty()) out << rendered << '\n';
+    if (!reply.ok && script_mode) {
+      // Batch scripts are CI material: the first failing command fails
+      // the run, like `sh -e`.
+      return 1;
+    }
   }
   return 0;
 }
@@ -740,8 +836,23 @@ int cmd_help(std::ostream& out) {
          "            --assert-barrier-reduction gates live in\n"
          "            bench/market_throughput\n"
          "  metrics-dump  run a small session, dump its metrics to stdout\n"
-         "            --format prom|json --clients N --rounds R\n"
+         "            --format prom|json|table --clients N --rounds R\n"
          "            --shards S --threads T --seed N\n"
+         "            --in FILE (parse a Prometheus text file instead of\n"
+         "            running; exit 1 on missing/malformed input)\n"
+         "            --quiet (validate only, print nothing)\n"
+         "  console   live operations console over a running exchange\n"
+         "            interactive REPL by default; --script FILE runs a\n"
+         "            command batch (CI mode: first error exits 1)\n"
+         "            --json (JSON replies) --clients N --shards S\n"
+         "            --threads T --seed N --rounds-budget N\n"
+         "            --drop P --duplicate P --protocol ... --threshold R\n"
+         "            --slo-file FILE (one SLO rule per line)\n"
+         "            --no-telemetry (commands degrade gracefully)\n"
+         "            commands: run, status, metrics show|dump, hist,\n"
+         "            book dump, escrow show, audit tail, trace\n"
+         "            start|stop|export, shard pause|resume|drain,\n"
+         "            config show|set, health, digest, help, quit\n"
          "  help      this text\n";
   return 0;
 }
@@ -764,6 +875,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "optimize") return cmd_optimize(parsed, out, err);
     if (command == "market-bench") return cmd_market_bench(parsed, out, err);
     if (command == "metrics-dump") return cmd_metrics_dump(parsed, out, err);
+    if (command == "console") return cmd_console(parsed, in, out, err);
     return usage_error(err, "unknown command '" + command + "'");
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << '\n';

@@ -21,8 +21,17 @@
 //                     [--metrics-out FILE --metrics-json FILE]
 //                     [--trace-out FILE --trace-wallclock --no-telemetry]
 //                     (threads <= shards; 0 = hardware concurrency)
-//   fnda metrics-dump [--format prom|json] [--clients N --rounds R
+//   fnda metrics-dump [--format prom|json|table] [--clients N --rounds R
 //                     --shards S --threads T --seed N]
+//                     [--in FILE (parse a Prometheus text file instead of
+//                     running a session; exit 1 on missing/malformed)]
+//                     [--quiet (validate only, print nothing)]
+//   fnda console  [--script FILE] [--json] [--clients N --shards S
+//                 --threads T --seed N --rounds-budget N --protocol ...
+//                 --threshold R --slo-file FILE --no-telemetry]
+//                 (live operations console: REPL on stdin, or batch
+//                 --script for CI; same session → byte-identical
+//                 transcript for every --threads)
 //   fnda help
 //
 // Commands are plain functions over streams so tests can drive them
@@ -55,6 +64,8 @@ int cmd_market_bench(const ArgParser& args, std::ostream& out,
                      std::ostream& err);
 int cmd_metrics_dump(const ArgParser& args, std::ostream& out,
                      std::ostream& err);
+int cmd_console(const ArgParser& args, std::istream& in, std::ostream& out,
+                std::ostream& err);
 int cmd_help(std::ostream& out);
 
 /// Entry point used by tools/fnda_cli.cpp and the tests.

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <string_view>
 
 namespace fnda {
@@ -44,8 +45,20 @@ void set_log_sink(std::ostream* sink) { g_sink = sink; }
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
+  // Worker threads log concurrently (per-round lines close rounds on
+  // whichever thread claimed the shard); compose the line first and write
+  // it under one lock so lines never interleave mid-record.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  static std::mutex emit_mutex;
+  const std::lock_guard<std::mutex> lock(emit_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
-  out << "[" << level_name(level) << "] " << message << '\n';
+  out << line;
 }
 }  // namespace detail
 

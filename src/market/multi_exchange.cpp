@@ -21,7 +21,10 @@ namespace fnda {
 
 MultiServerExchange::MultiServerExchange(const DoubleAuctionProtocol& protocol,
                                          MultiExchangeConfig config)
-    : config_(config), protocol_(&protocol) {
+    : config_(config),
+      protocol_(&protocol),
+      runtime_config_(config.server),
+      paused_(config.shards == 0 ? 1 : config.shards, false) {
   if (config_.shards == 0) {
     throw std::invalid_argument("MultiServerExchange: shards must be >= 1");
   }
@@ -162,12 +165,39 @@ std::vector<RoundId> MultiServerExchange::run_round(SimTime open_for) {
 }
 
 std::vector<RoundId> MultiServerExchange::open_rounds(SimTime open_for) {
+  // Round boundary: every shard is quiescent and this runs on the driver
+  // thread, so promoting a pending config generation here is race-free
+  // and, by construction, identical for every --threads value.
+  if (runtime_config_.apply_pending(next_round_stamp_)) {
+    for (Shard& shard : shards_) {
+      shard.server->set_config(runtime_config_.active());
+    }
+  }
+  ++next_round_stamp_;
   std::vector<RoundId> rounds;
   rounds.reserve(shards_.size());
-  for (Shard& shard : shards_) {
-    rounds.push_back(shard.server->open_round(open_for));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (paused_[s]) {
+      rounds.push_back(RoundId::invalid());
+      continue;
+    }
+    rounds.push_back(shards_[s].server->open_round(open_for));
   }
   return rounds;
+}
+
+void MultiServerExchange::pause_shard(std::size_t shard) {
+  paused_.at(shard) = true;
+}
+
+void MultiServerExchange::resume_shard(std::size_t shard) {
+  paused_.at(shard) = false;
+}
+
+std::size_t MultiServerExchange::paused_count() const {
+  std::size_t count = 0;
+  for (const bool paused : paused_) count += paused ? 1 : 0;
+  return count;
 }
 
 EpochStats MultiServerExchange::drive_until(

@@ -27,6 +27,7 @@
 #include "market/client.h"
 #include "market/epoch.h"
 #include "market/fabric.h"
+#include "market/runtime_config.h"
 #include "market/server.h"
 #include "obs/telemetry.h"
 
@@ -93,6 +94,9 @@ class MultiServerExchange {
   // attack searches overlap on background threads), then deferred attacker
   // submissions, then drive_to_quiescence to close the round.
   /// Opens one round per shard without driving; returns per-shard ids.
+  /// Applies any pending runtime-config change first (round boundaries are
+  /// the only place config generations advance — see RuntimeConfig), and
+  /// skips paused shards, returning RoundId::invalid() in their slots.
   std::vector<RoundId> open_rounds(SimTime open_for);
   /// Bounded drive: shard `s` executes only events strictly before
   /// `bounds[s]`; later events stay queued.  Folds into epoch_totals()
@@ -103,6 +107,21 @@ class MultiServerExchange {
 
   /// Refunds every remaining deposit (see ExchangeSimulation).
   Money close_market();
+
+  // --- operator control plane (console / future gateway) ----------------
+  /// Runtime-versioned server config.  stage() changes through it at any
+  /// time; they take effect at the next open_rounds, on the driver
+  /// thread, so determinism is untouched by thread count.
+  RuntimeConfig& runtime_config() { return runtime_config_; }
+  const RuntimeConfig& runtime_config() const { return runtime_config_; }
+
+  /// Pauses a shard: subsequent open_rounds skip it (its slot reports
+  /// RoundId::invalid()).  In-flight rounds are unaffected — to drain,
+  /// pause and then drive_to_quiescence.  Idempotent.
+  void pause_shard(std::size_t shard);
+  void resume_shard(std::size_t shard);
+  bool shard_paused(std::size_t shard) const { return paused_[shard]; }
+  std::size_t paused_count() const;
 
   std::size_t shard_count() const { return shards_.size(); }
   /// The clearing protocol the exchange was constructed with (the
@@ -186,6 +205,11 @@ class MultiServerExchange {
   MultiExchangeConfig config_;
   const DoubleAuctionProtocol* protocol_ = nullptr;
   std::size_t threads_ = 1;
+  RuntimeConfig runtime_config_;
+  std::vector<bool> paused_;
+  /// Monotone open_rounds counter — the stamp runtime-config generations
+  /// are born at (a pure function of the command sequence).
+  std::uint64_t next_round_stamp_ = 0;
   /// Declared before the shards so it outlives every component holding
   /// instrument pointers into it.
   std::unique_ptr<obs::SessionTelemetry> telemetry_;

@@ -1,0 +1,153 @@
+#include "market/runtime_config.h"
+
+#include <charconv>
+#include <limits>
+
+namespace fnda {
+namespace {
+
+constexpr std::int64_t kMaxMicros =
+    std::numeric_limits<std::int64_t>::max() / 2;
+
+bool parse_int(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+struct RuntimeConfig::Key {
+  std::string_view name;
+  std::int64_t min_value;
+  std::int64_t max_value;
+  std::string_view help;
+  std::int64_t (*get)(const ServerConfig&);
+  void (*set)(ServerConfig&, std::int64_t);
+};
+
+const std::vector<RuntimeConfig::Key>& RuntimeConfig::keys() {
+  static const std::vector<Key> table = {
+      {"retained_rounds", 0,
+       std::int64_t{std::numeric_limits<std::int32_t>::max()},
+       "completed rounds kept for replay/audit views (0 = unbounded)",
+       [](const ServerConfig& c) {
+         return static_cast<std::int64_t>(c.retained_rounds);
+       },
+       [](ServerConfig& c, std::int64_t v) {
+         c.retained_rounds = static_cast<std::size_t>(v);
+       }},
+      {"announce_interval_us", 0, kMaxMicros,
+       "round-open re-announcement interval in sim microseconds (0 = off)",
+       [](const ServerConfig& c) { return c.announce_interval.micros; },
+       [](ServerConfig& c, std::int64_t v) {
+         c.announce_interval = SimTime{v};
+       }},
+      {"min_deposit_micros", 0, kMaxMicros,
+       "minimum escrowed deposit (micros) for a bid to be accepted",
+       [](const ServerConfig& c) { return c.min_deposit.micros(); },
+       [](ServerConfig& c, std::int64_t v) {
+         c.min_deposit = Money::from_micros(v);
+       }},
+  };
+  return table;
+}
+
+RuntimeConfig::RuntimeConfig(ServerConfig initial)
+    : active_(std::move(initial)) {}
+
+bool RuntimeConfig::stage(std::string_view key, std::string_view value,
+                          std::string* error) {
+  const auto& table = keys();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const Key& row = table[i];
+    if (row.name != key) continue;
+    std::int64_t parsed = 0;
+    if (!parse_int(value, &parsed)) {
+      if (error) {
+        *error = "invalid integer for " + std::string(key) + ": '" +
+                 std::string(value) + "'";
+      }
+      return false;
+    }
+    if (parsed < row.min_value || parsed > row.max_value) {
+      if (error) {
+        *error = std::string(key) + " out of range [" +
+                 std::to_string(row.min_value) + ", " +
+                 std::to_string(row.max_value) + "]: " +
+                 std::to_string(parsed);
+      }
+      return false;
+    }
+    // Last stage of the same key wins within one generation.
+    for (Pending& pending : pending_) {
+      if (pending.key_index == i) {
+        pending.value = parsed;
+        return true;
+      }
+    }
+    pending_.push_back(Pending{i, parsed});
+    return true;
+  }
+  if (error) {
+    *error = "unknown config key: '" + std::string(key) + "'";
+  }
+  return false;
+}
+
+bool RuntimeConfig::apply_pending(std::uint64_t stamp) {
+  if (pending_.empty()) return false;
+  const auto& table = keys();
+  bool changed = false;
+  for (const Pending& pending : pending_) {
+    const Key& row = table[pending.key_index];
+    if (row.get(active_) != pending.value) {
+      row.set(active_, pending.value);
+      changed = true;
+    }
+  }
+  pending_.clear();
+  if (changed) {
+    ++generation_;
+    applied_at_ = stamp;
+  }
+  return changed;
+}
+
+std::vector<ConfigEntry> RuntimeConfig::entries() const {
+  const auto& table = keys();
+  std::vector<ConfigEntry> out;
+  out.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const Key& row = table[i];
+    ConfigEntry entry;
+    entry.key = std::string(row.name);
+    entry.type = "int";
+    entry.min_value = row.min_value;
+    entry.max_value = row.max_value;
+    entry.active = row.get(active_);
+    entry.help = std::string(row.help);
+    for (const Pending& pending : pending_) {
+      if (pending.key_index == i) {
+        entry.has_pending = true;
+        entry.pending = pending.value;
+      }
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+bool RuntimeConfig::read(std::string_view key, std::int64_t* value) const {
+  for (const Key& row : keys()) {
+    if (row.name == key) {
+      *value = row.get(active_);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fnda

@@ -1,0 +1,96 @@
+// Runtime-versioned server configuration.
+//
+// PR 2..9 treated ServerConfig as construction-time constants; the
+// operations console (and the future network gateway) need to adjust
+// knobs on a *live* exchange without giving up the determinism contract.
+// RuntimeConfig wraps a ServerConfig in a staged/active pair:
+//
+//   * `stage(key, value)` parses and bounds-checks a typed key against a
+//     declared key table and records the change as *pending* — nothing
+//     the hot path reads has moved yet;
+//   * `apply_pending(stamp)` promotes every pending change into the
+//     active config in one step and bumps the generation, recording the
+//     stamp (the exchange passes its round-open index) at which the new
+//     generation took effect.
+//
+// The exchange calls apply_pending only at round boundaries, on the
+// driver thread, while every shard is quiescent — so a command script
+// replayed against the same session produces bit-identical output for
+// any worker-thread count: the config a round clears under is a pure
+// function of the command sequence, never of thread timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "market/server.h"
+
+namespace fnda {
+
+/// One runtime-settable key's reflection record (for `config show` and
+/// the docs table): name, type, bounds, and current/pending values.
+struct ConfigEntry {
+  std::string key;
+  std::string type;  ///< "int" for now; all knobs are integer-valued
+  std::int64_t min_value = 0;
+  std::int64_t max_value = 0;
+  std::int64_t active = 0;
+  bool has_pending = false;
+  std::int64_t pending = 0;
+  std::string help;
+};
+
+class RuntimeConfig {
+ public:
+  explicit RuntimeConfig(ServerConfig initial);
+
+  /// The config servers run with.  Stable address; re-read by the
+  /// exchange at every round open.
+  const ServerConfig& active() const { return active_; }
+
+  /// Number of apply_pending calls that changed anything; generation 0 is
+  /// the construction-time config.
+  std::uint64_t generation() const { return generation_; }
+  /// The stamp passed to the apply_pending call that produced the current
+  /// generation (0 until the first runtime change lands).
+  std::uint64_t applied_at() const { return applied_at_; }
+
+  /// Parses and bounds-checks `value` for `key`; stages it as pending.
+  /// Returns false and fills `error` on unknown key, parse failure, or a
+  /// value outside the key's declared bounds.
+  bool stage(std::string_view key, std::string_view value,
+             std::string* error);
+
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Promotes pending changes into the active config.  Returns true when
+  /// the active config changed (the caller then pushes it to the
+  /// servers); `stamp` is recorded as the generation's birth round.
+  bool apply_pending(std::uint64_t stamp);
+
+  /// Reflection over every runtime key, in declaration order.
+  std::vector<ConfigEntry> entries() const;
+
+  /// Reads one key's active value (the integer form `stage` accepts).
+  /// Returns false on unknown key.
+  bool read(std::string_view key, std::int64_t* value) const;
+
+ private:
+  struct Key;  // declared key table row (see runtime_config.cpp)
+
+  struct Pending {
+    std::size_t key_index;
+    std::int64_t value;
+  };
+
+  static const std::vector<Key>& keys();
+
+  ServerConfig active_;
+  std::vector<Pending> pending_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t applied_at_ = 0;
+};
+
+}  // namespace fnda

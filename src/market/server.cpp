@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/logging.h"
+
 namespace fnda {
 namespace {
 
@@ -156,6 +158,23 @@ void AuctionServer::set_protocol(const DoubleAuctionProtocol& protocol) {
         "force at open_round() clears it");
   }
   protocol_ = &protocol;
+}
+
+void AuctionServer::set_config(const ServerConfig& config) {
+  if (open_round_.has_value()) {
+    throw std::logic_error(
+        "AuctionServer::set_config: a round is open; the config in force "
+        "at open_round() governs it");
+  }
+  config_ = config;
+  // A tightened retention cap evicts immediately; waiting for the next
+  // clear would briefly hold more rounds than the operator asked for.
+  if (config_.retained_rounds > 0) {
+    while (completion_order_.size() > config_.retained_rounds) {
+      completed_.erase(completion_order_.front());
+      completion_order_.pop_front();
+    }
+  }
 }
 
 RoundId AuctionServer::open_round(SimTime open_for) {
@@ -326,6 +345,28 @@ void AuctionServer::clear_round() {
                 SettlementNoticeMsg{round.id, delivery.seller, false,
                                     delivery.confiscated});
     }
+  }
+
+  if (log_enabled(LogLevel::kInfo)) {
+    // Operational round-close record (off by default: threshold is kWarn).
+    // Surplus here is *declared* surplus — the gain traders' declarations
+    // imply at the clearing prices; true valuations are invisible to the
+    // server, exactly as in the paper's model.
+    Money declared_surplus{};
+    for (const Fill& fill : outcome.fills()) {
+      const SubmittedBid* submitted = round.submitted.find(fill.identity);
+      if (submitted == nullptr) continue;
+      declared_surplus = declared_surplus + (fill.side == Side::kBuyer
+                                                 ? submitted->value - fill.price
+                                                 : fill.price - submitted->value);
+    }
+    FNDA_LOG(kInfo) << "round-close server=" << address_
+                    << " round=" << round.id.value()
+                    << " bids=" << round.submitted.size()
+                    << " trades=" << outcome.trade_count()
+                    << " declared_surplus=" << declared_surplus.to_string()
+                    << " revenue=" << outcome.auctioneer_revenue().to_string()
+                    << " seized=" << report.confiscated_total.to_string();
   }
 
   const std::size_t trade_count = outcome.trade_count();

@@ -68,6 +68,13 @@ class AuctionServer : public Endpoint {
   /// a round opened is the one that clears it.
   void set_protocol(const DoubleAuctionProtocol& protocol);
 
+  /// Replaces the server config for subsequent rounds (the runtime-config
+  /// seam: the exchange pushes RuntimeConfig::active() here at round
+  /// boundaries).  Throws std::logic_error while a round is open — the
+  /// config in force when a round opened governs it.
+  void set_config(const ServerConfig& config);
+  const ServerConfig& config() const { return config_; }
+
   /// Opens a new round that closes `open_for` from now.  Only one round
   /// may be open at a time (throws std::logic_error otherwise).
   RoundId open_round(SimTime open_for);
@@ -105,6 +112,12 @@ class AuctionServer : public Endpoint {
   /// Rounds cleared over the server's lifetime (not capped by
   /// retained_rounds).
   std::size_t rounds_completed() const { return completed_count_; }
+  /// Most recently completed round still retained (nullopt before the
+  /// first clear) — what `book dump` ranks from.
+  std::optional<RoundId> latest_round() const {
+    if (completion_order_.empty()) return std::nullopt;
+    return completion_order_.back();
+  }
   bool round_open() const { return open_round_.has_value(); }
 
   /// Cumulative incremental-ranking work counters across all rounds

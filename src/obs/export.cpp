@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -16,6 +17,37 @@ const char* type_name(MetricKind kind) {
 }
 
 }  // namespace
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::uint64_t snapshot_quantile(const MetricValue& value, double q) {
+  if (value.kind != MetricKind::kHistogram || value.hist_count == 0) return 0;
+  if (q >= 1.0) return value.hist_max;
+  if (q < 0.0) q = 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), floored at rank 1 so q = 0 reads the minimum bucket.
+  const double exact = q * static_cast<double>(value.hist_count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (const auto& [bucket, count] : value.buckets) {
+    cumulative += count;
+    if (cumulative >= rank) return Histogram::bucket_upper_bound(bucket);
+  }
+  return value.hist_max;
+}
 
 void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
   for (const auto& [name, value] : snapshot.metrics) {

@@ -8,10 +8,24 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 
 namespace fnda::obs {
+
+/// Escapes a Prometheus label value per the exposition format: backslash,
+/// double quote, and newline get backslash escapes.  The built-in writers
+/// only ever emit integer `le` bounds (escape-free by construction), but
+/// the ops layer emits operator-supplied strings through this.
+std::string prometheus_escape_label(std::string_view value);
+
+/// Quantile readout from a histogram snapshot value: the upper bound of
+/// the bucket holding the rank-ceil(q*count) sample (nearest-rank, so a
+/// sample recorded exactly at a bucket bound reads back exactly).  q >= 1
+/// returns the recorded max; an empty histogram (or a scalar kind)
+/// returns 0.  Deterministic: pure function of the snapshot.
+std::uint64_t snapshot_quantile(const MetricValue& value, double q);
 
 /// Prometheus text exposition (# TYPE lines, histograms as cumulative
 /// `le` buckets — only non-empty buckets are written, plus `+Inf`).

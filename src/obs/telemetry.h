@@ -56,6 +56,14 @@ class SessionTelemetry {
   ShardTelemetry& shard(std::size_t s) { return shards_[s]; }
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// Gates span recording on every sink at once (`trace start|stop`).
+  /// Quiescent callers only, like the snapshot accessors.
+  void set_trace_enabled(bool enabled) {
+    driver_.trace.set_enabled(enabled);
+    for (ShardTelemetry& shard : shards_) shard.trace.set_enabled(enabled);
+  }
+  bool trace_enabled() const { return driver_.trace.enabled(); }
+
   /// Steady-clock microseconds since session construction (the wall
   /// clock behind --trace-wallclock; never consulted in sim-time mode).
   std::int64_t wall_micros() const;

@@ -51,9 +51,16 @@ class TraceSink {
   }
   std::int64_t now() const { return clock_ ? clock_() : 0; }
 
+  /// Runtime recording gate (`trace start|stop` on the console).  A
+  /// stopped sink drops spans silently — not counted as ring overflow, so
+  /// stop/start never perturbs the dropped counter the tests pin.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
 #ifndef FNDA_NO_TELEMETRY
   void record_span(const char* name, const char* category,
                    std::int64_t ts_micros, std::int64_t dur_micros) {
+    if (!enabled_) return;
     if (events_.size() >= capacity_) {
       ++dropped_;
       return;
@@ -73,6 +80,7 @@ class TraceSink {
  private:
   std::uint32_t tid_ = 0;
   std::size_t capacity_;
+  bool enabled_ = true;
   std::function<std::int64_t()> clock_;
   std::vector<TraceEvent> events_;
 #ifndef FNDA_NO_TELEMETRY

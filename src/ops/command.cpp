@@ -1,0 +1,376 @@
+#include "ops/command.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace fnda::ops {
+namespace {
+
+bool parse_int(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+ParamSpec ParamSpec::integer(std::string name, std::int64_t min_value,
+                             std::int64_t max_value, std::string help) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.type = ParamType::kInt;
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  spec.help = std::move(help);
+  return spec;
+}
+
+ParamSpec ParamSpec::string(std::string name, std::string help) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.type = ParamType::kString;
+  spec.help = std::move(help);
+  return spec;
+}
+
+ParamSpec ParamSpec::choice(std::string name, std::vector<std::string> choices,
+                            std::string help) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.type = ParamType::kChoice;
+  spec.choices = std::move(choices);
+  spec.help = std::move(help);
+  return spec;
+}
+
+ParamSpec ParamSpec::optional(std::string fallback) && {
+  required = false;
+  this->fallback = std::move(fallback);
+  return std::move(*this);
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Reply::text() const {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += '\n';
+    out += lines[i];
+  }
+  return out;
+}
+
+Reply Reply::error(const std::string& message) {
+  Reply reply;
+  reply.ok = false;
+  reply.lines.push_back("error: " + message);
+  reply.json = "{\"ok\":false,\"error\":\"" + json_escape(message) + "\"}";
+  return reply;
+}
+
+ReplyBuilder& ReplyBuilder::field(std::string_view key,
+                                  std::string_view value) {
+  fields_.push_back(Field{std::string(key),
+                          '"' + json_escape(value) + '"',
+                          std::string(value)});
+  return *this;
+}
+
+ReplyBuilder& ReplyBuilder::field(std::string_view key, std::int64_t value) {
+  const std::string text = std::to_string(value);
+  fields_.push_back(Field{std::string(key), text, text});
+  return *this;
+}
+
+ReplyBuilder& ReplyBuilder::field(std::string_view key, std::uint64_t value) {
+  const std::string text = std::to_string(value);
+  fields_.push_back(Field{std::string(key), text, text});
+  return *this;
+}
+
+ReplyBuilder& ReplyBuilder::field(std::string_view key, bool value) {
+  fields_.push_back(Field{std::string(key), value ? "true" : "false",
+                          value ? "true" : "false"});
+  return *this;
+}
+
+ReplyBuilder& ReplyBuilder::row(std::string text) {
+  rows_.push_back(std::move(text));
+  return *this;
+}
+
+Reply ReplyBuilder::build() const {
+  Reply reply;
+  reply.json = "{\"ok\":true";
+  for (const Field& field : fields_) {
+    reply.lines.push_back(field.key + ": " + field.text_value);
+    reply.json += ",\"" + json_escape(field.key) + "\":" + field.json_value;
+  }
+  if (!rows_.empty()) {
+    reply.json += ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) reply.json += ',';
+      reply.json += '"' + json_escape(rows_[i]) + '"';
+      reply.lines.push_back(rows_[i]);
+    }
+    reply.json += ']';
+  }
+  reply.json += '}';
+  return reply;
+}
+
+bool Invocation::flag(std::string_view name) const {
+  for (const std::string& flag : flags_) {
+    if (flag == name) return true;
+  }
+  return false;
+}
+
+const std::string& Invocation::get(std::string_view name) const {
+  for (const auto& [key, value] : values_) {
+    if (key == name) return value;
+  }
+  throw std::logic_error("Invocation: undeclared parameter '" +
+                         std::string(name) + "'");
+}
+
+std::int64_t Invocation::get_int(std::string_view name) const {
+  std::int64_t value = 0;
+  if (!parse_int(get(name), &value)) {
+    throw std::logic_error("Invocation: parameter '" + std::string(name) +
+                           "' is not an integer");
+  }
+  return value;
+}
+
+std::vector<std::string> CommandTable::tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void CommandTable::add(CommandSpec spec) { commands_.push_back(std::move(spec)); }
+
+std::string CommandTable::usage_line(const CommandSpec& spec) {
+  std::string usage = spec.name;
+  for (const ParamSpec& param : spec.params) {
+    usage += ' ';
+    usage += param.required ? "<" + param.name + ">" : "[" + param.name + "]";
+  }
+  for (const std::string& flag : spec.flags) {
+    usage += " [--" + flag + "]";
+  }
+  return usage;
+}
+
+const CommandSpec* CommandTable::match(const std::vector<std::string>& tokens,
+                                       std::size_t* words_consumed) const {
+  const CommandSpec* best = nullptr;
+  std::size_t best_words = 0;
+  for (const CommandSpec& spec : commands_) {
+    // Exact multi-word name match against the leading tokens.
+    const std::vector<std::string> words = tokenize(spec.name);
+    if (words.size() <= tokens.size()) {
+      bool matches = true;
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] != tokens[i]) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches && words.size() > best_words) {
+        best = &spec;
+        best_words = words.size();
+      }
+    }
+    // Aliases are single tokens standing for the whole name.
+    if (best_words < 1 && !tokens.empty()) {
+      for (const std::string& alias : spec.aliases) {
+        if (alias == tokens[0]) {
+          best = &spec;
+          best_words = 1;
+        }
+      }
+    }
+  }
+  *words_consumed = best_words;
+  return best;
+}
+
+Reply CommandTable::dispatch(const std::string& line) const {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return Reply{};
+  if (tokens[0] == "help" || tokens[0] == "?") {
+    return help({tokens.begin() + 1, tokens.end()});
+  }
+
+  std::size_t consumed = 0;
+  const CommandSpec* spec = match(tokens, &consumed);
+  if (spec == nullptr) {
+    return Reply::error("unknown command: '" + tokens[0] +
+                        "' (try 'help')");
+  }
+
+  Invocation invocation;
+  std::vector<std::string> positional;
+  for (std::size_t i = consumed; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.size() > 2 && token[0] == '-' && token[1] == '-') {
+      const std::string name = token.substr(2);
+      bool known = false;
+      for (const std::string& flag : spec->flags) {
+        if (flag == name) known = true;
+      }
+      if (!known) {
+        return Reply::error("unknown flag --" + name + " (usage: " +
+                            usage_line(*spec) + ")");
+      }
+      invocation.flags_.push_back(name);
+    } else {
+      positional.push_back(token);
+    }
+  }
+
+  if (positional.size() > spec->params.size()) {
+    return Reply::error("too many arguments (usage: " + usage_line(*spec) +
+                        ")");
+  }
+  for (std::size_t i = 0; i < spec->params.size(); ++i) {
+    const ParamSpec& param = spec->params[i];
+    if (i >= positional.size()) {
+      if (param.required) {
+        return Reply::error("missing <" + param.name + "> (usage: " +
+                            usage_line(*spec) + ")");
+      }
+      invocation.values_.emplace_back(param.name, param.fallback);
+      continue;
+    }
+    const std::string& raw = positional[i];
+    switch (param.type) {
+      case ParamType::kInt:
+      case ParamType::kUInt: {
+        std::int64_t value = 0;
+        if (!parse_int(raw, &value)) {
+          return Reply::error("<" + param.name + "> expects an integer, got '" +
+                              raw + "'");
+        }
+        if (value < param.min_value || value > param.max_value) {
+          return Reply::error("<" + param.name + "> out of range [" +
+                              std::to_string(param.min_value) + ", " +
+                              std::to_string(param.max_value) + "]: " + raw);
+        }
+        break;
+      }
+      case ParamType::kChoice: {
+        bool valid = false;
+        for (const std::string& choice : param.choices) {
+          if (choice == raw) valid = true;
+        }
+        if (!valid) {
+          std::string options;
+          for (const std::string& choice : param.choices) {
+            if (!options.empty()) options += '|';
+            options += choice;
+          }
+          return Reply::error("<" + param.name + "> must be one of " + options +
+                              ", got '" + raw + "'");
+        }
+        break;
+      }
+      case ParamType::kString:
+        break;
+    }
+    invocation.values_.emplace_back(param.name, raw);
+  }
+
+  return spec->handler(invocation);
+}
+
+Reply CommandTable::help(const std::vector<std::string>& words) const {
+  if (!words.empty()) {
+    // Detail view: match the requested words against one command.
+    std::string requested;
+    for (const std::string& word : words) {
+      if (!requested.empty()) requested += ' ';
+      requested += word;
+    }
+    for (const CommandSpec& spec : commands_) {
+      bool hit = spec.name == requested;
+      for (const std::string& alias : spec.aliases) {
+        if (alias == requested) hit = true;
+      }
+      if (!hit) continue;
+      ReplyBuilder builder;
+      builder.field("command", spec.name);
+      builder.field("usage", usage_line(spec));
+      if (!spec.aliases.empty()) {
+        std::string aliases;
+        for (const std::string& alias : spec.aliases) {
+          if (!aliases.empty()) aliases += ", ";
+          aliases += alias;
+        }
+        builder.field("aliases", aliases);
+      }
+      builder.field("help", spec.help);
+      for (const ParamSpec& param : spec.params) {
+        std::string detail = "  <" + param.name + ">";
+        if (param.type == ParamType::kInt || param.type == ParamType::kUInt) {
+          detail += " int [" + std::to_string(param.min_value) + ", " +
+                    std::to_string(param.max_value) + "]";
+        } else if (param.type == ParamType::kChoice) {
+          detail += " one of";
+          for (const std::string& choice : param.choices) {
+            detail += ' ' + choice;
+          }
+        }
+        if (!param.required) detail += " (default: " + param.fallback + ")";
+        if (!param.help.empty()) detail += " — " + param.help;
+        builder.row(std::move(detail));
+      }
+      return builder.build();
+    }
+    return Reply::error("unknown command: '" + requested + "'");
+  }
+
+  ReplyBuilder builder;
+  builder.field("commands", static_cast<std::uint64_t>(commands_.size()));
+  for (const CommandSpec& spec : commands_) {
+    builder.row("  " + usage_line(spec) + " — " + spec.help);
+  }
+  return builder.build();
+}
+
+}  // namespace fnda::ops

@@ -1,0 +1,38 @@
+// Rendering and parsing helpers shared by the console and the CLI.
+//
+// render_* functions turn deterministic MetricsSnapshots into aligned
+// text tables (every number is an integer — the snapshot never holds
+// floats, so output is byte-stable).  parse_prometheus_text inverts
+// write_prometheus: it reads an exposition-format document back into a
+// snapshot, which is how `fnda metrics-dump --in` validates and reformats
+// files and how tests round-trip the writer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fnda::ops {
+
+/// One text row per metric: counters/gauges show their value, histograms
+/// show count/sum/p50/p99/max (quantiles via obs::snapshot_quantile).
+/// Columns are space-aligned on the longest name.
+std::vector<std::string> render_metrics_table(
+    const obs::MetricsSnapshot& snapshot);
+
+/// Percentile readout for one histogram: count, sum, mean (integer
+/// division), p50/p90/p99/p999, max, and the non-empty buckets.
+std::vector<std::string> render_histogram(const std::string& name,
+                                          const obs::MetricValue& value);
+
+/// Parses a Prometheus text-exposition document (the dialect
+/// write_prometheus emits: `# TYPE` comments, scalar samples, histogram
+/// `_bucket{le="..."}` cumulative counts plus `_sum`/`_count`) into a
+/// snapshot.  Throws std::runtime_error with a line-numbered message on
+/// anything malformed.  Histogram `hist_max` is not representable in the
+/// format and reads back as 0.
+obs::MetricsSnapshot parse_prometheus_text(std::istream& in);
+
+}  // namespace fnda::ops

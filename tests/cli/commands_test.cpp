@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace fnda {
@@ -272,6 +274,114 @@ TEST(CliTest, MarketBenchMultiThreadedMatchesSingleThreaded) {
     return kept;
   };
   EXPECT_EQ(digest(run_one.out), digest(run_two.out));
+}
+
+TEST(CliTest, MetricsDumpTableFormat) {
+  const CliRun result = run({"metrics-dump", "--clients", "16", "--rounds",
+                             "1", "--format", "table"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("name"), std::string::npos);
+  EXPECT_NE(result.out.find("counter"), std::string::npos);
+  EXPECT_NE(result.out.find("fnda_server_rounds_closed_total"),
+            std::string::npos);
+}
+
+TEST(CliTest, MetricsDumpQuietValidatesSilently) {
+  const CliRun result = run({"metrics-dump", "--clients", "16", "--rounds",
+                             "1", "--quiet"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_TRUE(result.out.empty());
+}
+
+TEST(CliTest, MetricsDumpMissingInputFileExitsOne) {
+  const CliRun result = run({"metrics-dump", "--in", "/nonexistent.prom"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, MetricsDumpMalformedInputExitsOne) {
+  const std::string path = testing::TempDir() + "fnda_bad_metrics.prom";
+  {
+    std::ofstream file(path);
+    file << "garbage{\n";
+  }
+  const CliRun result = run({"metrics-dump", "--in", path});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("prometheus parse error at line 1"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MetricsDumpParsesItsOwnOutput) {
+  const CliRun dump = run({"metrics-dump", "--clients", "16", "--rounds",
+                           "1"});
+  ASSERT_EQ(dump.exit_code, 0) << dump.err;
+  const std::string path = testing::TempDir() + "fnda_roundtrip.prom";
+  {
+    std::ofstream file(path);
+    file << dump.out;
+  }
+  const CliRun quiet = run({"metrics-dump", "--in", path, "--quiet"});
+  EXPECT_EQ(quiet.exit_code, 0) << quiet.err;
+  EXPECT_TRUE(quiet.out.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ConsoleInteractiveSessionOverStdin) {
+  const CliRun result =
+      run({"console", "--shards", "2", "--seed", "7"},
+          "status\nrun 1\nhealth\nquit\n");
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("fnda console"), std::string::npos);
+  EXPECT_NE(result.out.find("shards: 2"), std::string::npos);
+  EXPECT_NE(result.out.find("rounds: 1"), std::string::npos);
+  EXPECT_NE(result.out.find("delivery_p99"), std::string::npos);
+}
+
+TEST(CliTest, ConsoleJsonReplies) {
+  const CliRun result =
+      run({"console", "--shards", "2", "--json"}, "status\nquit\n");
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("{\"ok\":true,\"shards\":2"), std::string::npos);
+}
+
+TEST(CliTest, ConsoleScriptModeFailsFastOnBadCommand) {
+  const std::string path = testing::TempDir() + "fnda_console_script.txt";
+  {
+    std::ofstream file(path);
+    file << "status\nconfig set retained_rounds -5\nstatus\n";
+  }
+  const CliRun result = run({"console", "--script", path, "--shards", "2"});
+  EXPECT_EQ(result.exit_code, 1);
+  // The failing command is echoed with its diagnostic; nothing after runs.
+  EXPECT_NE(result.out.find("out of range"), std::string::npos);
+  EXPECT_EQ(result.out.find("config_generation"),
+            result.out.rfind("config_generation"));  // status ran once
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ConsoleMissingScriptExitsOne) {
+  const CliRun result =
+      run({"console", "--script", "/nonexistent-script.txt"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("cannot open script"), std::string::npos);
+}
+
+TEST(CliTest, ConsoleSloFileOverridesDefaults) {
+  const std::string path = testing::TempDir() + "fnda_console_slo.txt";
+  {
+    std::ofstream file(path);
+    file << "# comment lines are skipped\n"
+            "tight max(fnda_epoch_total) <= 0\n";
+  }
+  const CliRun result =
+      run({"console", "--shards", "2", "--slo-file", path},
+          "run 2\nhealth\nquit\n");
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("tight max(fnda_epoch_total) <= 0"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("breaches_total: 2"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// Prometheus exposition edge cases: label escaping, empty registries,
+// throwing gauge_fn callbacks, and histogram percentile exactness when
+// samples sit on bucket upper bounds (the nearest-rank contract
+// snapshot_quantile documents).
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fnda::obs {
+namespace {
+
+TEST(PrometheusEscapeLabel, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label("two\nlines"), "two\\nlines");
+  // Composition: every special byte escapes independently.
+  EXPECT_EQ(prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(prometheus_escape_label(""), "");
+}
+
+TEST(WritePrometheus, EmptyRegistryEmitsEmptyDocument) {
+  MetricsRegistry registry;
+  EXPECT_EQ(prometheus_text(registry.snapshot()), "");
+  std::ostringstream json;
+  write_json_snapshot(json, registry.snapshot());
+  EXPECT_EQ(json.str(), "{\"metrics\":{}}\n");
+}
+
+TEST(WritePrometheus, EmptyHistogramStillEmitsSumCountAndInf) {
+  MetricsRegistry registry;
+  registry.histogram("h");
+  const std::string text = prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE h histogram"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"+Inf\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("h_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("h_count 0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ThrowingGaugeFnPropagatesFromSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("before").add(1);
+  registry.gauge_fn("exploding",
+                    []() -> std::int64_t { throw std::runtime_error("boom"); });
+  // The callback runs at snapshot time, so the failure surfaces there —
+  // documented behavior: exposition is only as reliable as its callbacks.
+  EXPECT_THROW(registry.snapshot(), std::runtime_error);
+}
+
+TEST(MetricsRegistry, ThrowingCounterFnPropagatesFromSnapshot) {
+  MetricsRegistry registry;
+  registry.counter_fn("exploding", []() -> std::uint64_t {
+    throw std::logic_error("boom");
+  });
+  EXPECT_THROW(registry.snapshot(), std::logic_error);
+}
+
+TEST(SnapshotQuantile, ExactAtBucketUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("h");
+  // Values 0..7 are exact unit buckets; each is its own upper bound.
+  for (std::int64_t v = 0; v < 8; ++v) hist.record(v);
+  const MetricsSnapshot snap = registry.snapshot();
+  const MetricValue* value = snap.find("h");
+  ASSERT_NE(value, nullptr);
+  // Nearest rank over 8 samples: rank ceil(q*8) picks sample index
+  // rank-1, and every sample sits on its bucket's upper bound, so the
+  // readout is exact.
+  EXPECT_EQ(snapshot_quantile(*value, 0.125), 0u);  // rank 1 -> value 0
+  EXPECT_EQ(snapshot_quantile(*value, 0.5), 3u);    // rank 4 -> value 3
+  EXPECT_EQ(snapshot_quantile(*value, 0.625), 4u);  // rank 5 -> value 4
+  EXPECT_EQ(snapshot_quantile(*value, 0.99), 7u);   // rank 8 -> value 7
+}
+
+TEST(SnapshotQuantile, OctaveBucketBoundsReadBackExactly) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("h");
+  // 17 is a native upper bound in the msb-4 octave (buckets span two
+  // values there: 16-17, 18-19, ...).  A sample recorded exactly at the
+  // bound reads back exactly; one recorded at 16 rounds up to 17.
+  hist.record(17);
+  const MetricsSnapshot at_bound = registry.snapshot();
+  EXPECT_EQ(snapshot_quantile(*at_bound.find("h"), 0.5), 17u);
+
+  MetricsRegistry registry2;
+  registry2.histogram("h").record(16);
+  const MetricsSnapshot below = registry2.snapshot();
+  EXPECT_EQ(snapshot_quantile(*below.find("h"), 0.5), 17u);
+}
+
+TEST(SnapshotQuantile, DegenerateInputs) {
+  MetricsRegistry registry;
+  registry.histogram("empty");
+  registry.counter("scalar").add(9);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snapshot_quantile(*snap.find("empty"), 0.5), 0u);
+  EXPECT_EQ(snapshot_quantile(*snap.find("scalar"), 0.5), 0u);
+
+  MetricsRegistry registry2;
+  Histogram& hist = registry2.histogram("h");
+  hist.record(100);
+  const MetricsSnapshot one = registry2.snapshot();
+  // q >= 1 returns the true recorded max, not a bucket bound.
+  EXPECT_EQ(snapshot_quantile(*one.find("h"), 1.0), 100u);
+  EXPECT_EQ(snapshot_quantile(*one.find("h"), 2.0), 100u);
+  // q <= 0 clamps to rank 1.
+  EXPECT_EQ(snapshot_quantile(*one.find("h"), 0.0),
+            Histogram::bucket_upper_bound(Histogram::bucket_index(100)));
+}
+
+}  // namespace
+}  // namespace fnda::obs

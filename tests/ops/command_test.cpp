@@ -1,0 +1,169 @@
+// Typed command plane: declarative registration, longest-prefix dispatch,
+// aliases, typed parameter validation (bounds, choices, optionals), flag
+// handling, auto-generated help, and the text/JSON dual rendering of
+// ReplyBuilder.
+#include "ops/command.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace fnda::ops {
+namespace {
+
+CommandTable make_table() {
+  CommandTable table;
+  table.add(CommandSpec{
+      .name = "metrics dump",
+      .aliases = {"md"},
+      .help = "dump the merged metrics",
+      .params = {},
+      .flags = {"json", "prom"},
+      .handler = [](const Invocation& inv) {
+        ReplyBuilder reply;
+        reply.field("json", inv.flag("json"));
+        reply.field("prom", inv.flag("prom"));
+        return reply.build();
+      }});
+  table.add(CommandSpec{
+      .name = "metrics show",
+      .aliases = {"m"},
+      .help = "show the metrics table",
+      .params = {},
+      .flags = {},
+      .handler = [](const Invocation&) {
+        return ReplyBuilder{}.field("shown", true).build();
+      }});
+  table.add(CommandSpec{
+      .name = "run",
+      .aliases = {"r"},
+      .help = "run rounds",
+      .params = {ParamSpec::integer("rounds", 1, 100, "round count")
+                     .optional("1")},
+      .flags = {},
+      .handler = [](const Invocation& inv) {
+        return ReplyBuilder{}.field("rounds", inv.get_int("rounds")).build();
+      }});
+  table.add(CommandSpec{
+      .name = "mode",
+      .aliases = {},
+      .help = "set a mode",
+      .params = {ParamSpec::choice("which", {"fast", "safe"}, "the mode")},
+      .flags = {},
+      .handler = [](const Invocation& inv) {
+        return ReplyBuilder{}.field("which", inv.get("which")).build();
+      }});
+  return table;
+}
+
+TEST(CommandTable, DispatchesLongestMultiWordName) {
+  const CommandTable table = make_table();
+  const Reply dump = table.dispatch("metrics dump");
+  EXPECT_TRUE(dump.ok) << dump.text();
+  EXPECT_NE(dump.text().find("json: false"), std::string::npos);
+  const Reply show = table.dispatch("metrics show");
+  EXPECT_TRUE(show.ok);
+  EXPECT_NE(show.text().find("shown: true"), std::string::npos);
+}
+
+TEST(CommandTable, AliasDispatch) {
+  const CommandTable table = make_table();
+  EXPECT_TRUE(table.dispatch("md").ok);
+  EXPECT_TRUE(table.dispatch("m").ok);
+  const Reply reply = table.dispatch("r 7");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_NE(reply.json.find("\"rounds\":7"), std::string::npos);
+}
+
+TEST(CommandTable, OptionalParamFallsBack) {
+  const CommandTable table = make_table();
+  const Reply reply = table.dispatch("run");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_NE(reply.json.find("\"rounds\":1"), std::string::npos);
+}
+
+TEST(CommandTable, IntegerBoundsEnforced) {
+  const CommandTable table = make_table();
+  EXPECT_FALSE(table.dispatch("run 0").ok);
+  EXPECT_FALSE(table.dispatch("run 101").ok);
+  EXPECT_FALSE(table.dispatch("run banana").ok);
+  EXPECT_TRUE(table.dispatch("run 100").ok);
+}
+
+TEST(CommandTable, ChoiceMembershipEnforced) {
+  const CommandTable table = make_table();
+  EXPECT_TRUE(table.dispatch("mode fast").ok);
+  const Reply bad = table.dispatch("mode slow");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.text().find("fast"), std::string::npos);  // lists choices
+}
+
+TEST(CommandTable, UnknownFlagAndExtraArgsRejected) {
+  const CommandTable table = make_table();
+  EXPECT_FALSE(table.dispatch("metrics dump --nope").ok);
+  EXPECT_TRUE(table.dispatch("metrics dump --json").ok);
+  EXPECT_FALSE(table.dispatch("run 3 extra").ok);
+}
+
+TEST(CommandTable, UnknownCommandAndMissingParam) {
+  const CommandTable table = make_table();
+  const Reply unknown = table.dispatch("frobnicate");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.json.find("\"ok\":false"), std::string::npos);
+  EXPECT_FALSE(table.dispatch("mode").ok);  // required param missing
+}
+
+TEST(CommandTable, BlankLineIsOkNoop) {
+  const CommandTable table = make_table();
+  const Reply reply = table.dispatch("   ");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_TRUE(reply.lines.empty());
+}
+
+TEST(CommandTable, HelpListsCommandsAndPerCommandUsage) {
+  const CommandTable table = make_table();
+  const Reply all = table.dispatch("help");
+  EXPECT_TRUE(all.ok);
+  EXPECT_NE(all.text().find("metrics dump"), std::string::npos);
+  EXPECT_NE(all.text().find("run"), std::string::npos);
+  const Reply one = table.dispatch("help run");
+  EXPECT_TRUE(one.ok);
+  EXPECT_NE(one.text().find("rounds"), std::string::npos);
+}
+
+TEST(ReplyBuilder, TextAndJsonRenderTheSameFields) {
+  ReplyBuilder builder;
+  builder.field("name", std::string_view{"va\"lue"});
+  builder.field("count", std::int64_t{-3});
+  builder.field("total", std::uint64_t{7});
+  builder.field("live", true);
+  builder.row("  raw row");
+  const Reply reply = builder.build();
+  EXPECT_TRUE(reply.ok);
+  EXPECT_NE(reply.text().find("name: va\"lue"), std::string::npos);
+  EXPECT_NE(reply.text().find("count: -3"), std::string::npos);
+  EXPECT_NE(reply.text().find("  raw row"), std::string::npos);
+  EXPECT_NE(reply.json.find("\"name\":\"va\\\"lue\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"count\":-3"), std::string::npos);
+  EXPECT_NE(reply.json.find("\"live\":true"), std::string::npos);
+  EXPECT_NE(reply.json.find("\"rows\":["), std::string::npos);
+}
+
+TEST(ReplyBuilder, ErrorReplyShape) {
+  const Reply reply = Reply::error("boom \"quoted\"");
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.text(), "error: boom \"quoted\"");
+  EXPECT_EQ(reply.json, "{\"ok\":false,\"error\":\"boom \\\"quoted\\\"\"}");
+}
+
+TEST(CommandTable, TokenizeSplitsOnWhitespace) {
+  const auto tokens = CommandTable::tokenize("  a   bb\tccc ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "ccc");
+}
+
+}  // namespace
+}  // namespace fnda::ops
